@@ -1,0 +1,54 @@
+#!/usr/bin/env python3
+"""Fill tools/experiments_template.md with the tables from a bench run.
+
+Usage: python3 tools/render_experiments.py bench_output.txt > EXPERIMENTS.md
+"""
+import re
+import sys
+
+
+def main() -> None:
+    bench_path = sys.argv[1] if len(sys.argv) > 1 else "bench_output.txt"
+    text = open(bench_path).read()
+
+    # Header = everything before the first '===' section.
+    header = text.split("===", 1)[0].strip()
+
+    # Split into sections keyed by their title line.
+    sections = {}
+    for m in re.finditer(r"=== (.+?) ===\n(.*?)(?=\n=== |\Z)", text, re.S):
+        sections[m.group(1)] = ("=== " + m.group(1) + " ===\n" + m.group(2).strip())
+
+    def find(prefix: str) -> str:
+        for title, body in sections.items():
+            if title.startswith(prefix):
+                return body
+        return f"(section '{prefix}' missing from {bench_path})"
+
+    mapping = {
+        "{{HEADER}}": header,
+        "{{F4}}": find("Figure 4"),
+        "{{F5}}": find("Figure 5"),
+        "{{F6}}": find("Figure 6"),
+        "{{F7}}": find("Figure 7"),
+        "{{F8}}": find("Figure 8"),
+        "{{F9}}": find("Figure 9"),
+        "{{F10}}": find("Figure 10"),
+        "{{F11}}": find("Figure 11"),
+        "{{F12}}": find("Figure 12"),
+        "{{F13}}": find("Figure 13"),
+        "{{EXH}}": find("Exhaustive search"),
+        "{{ABL}}": "\n\n".join(
+            body for title, body in sections.items() if title.startswith("Ablation")
+        ),
+        "{{MICRO}}": find("Bechamel"),
+    }
+
+    out = open("tools/experiments_template.md").read()
+    for key, value in mapping.items():
+        out = out.replace(key, value)
+    sys.stdout.write(out)
+
+
+if __name__ == "__main__":
+    main()
