@@ -1,0 +1,1 @@
+bench/ablations.ml: Array Harness Iq List Printf Topk Workload

@@ -1,0 +1,1 @@
+bench/figures.ml: Array Geom Harness Hashtbl Int Iq List Printf Rtree Schemes Topk Workload

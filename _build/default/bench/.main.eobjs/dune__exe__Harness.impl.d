@@ -1,0 +1,1 @@
+bench/harness.ml: Format Int List Printf String Unix Workload

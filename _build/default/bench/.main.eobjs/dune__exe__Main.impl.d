@@ -1,0 +1,1 @@
+bench/main.ml: Ablations Array Figures Harness List Micro Printf Sys

@@ -1,0 +1,1 @@
+bench/micro.ml: Analyze Array Bechamel Benchmark Geom Harness Hashtbl Instance Iq Lazy List Lp Measure Printf Rtree Staged String Test Time Toolkit Topk Workload

@@ -1,0 +1,1 @@
+bench/schemes.ml: Harness Int Iq List Option Workload

@@ -1,0 +1,85 @@
+(* Bechamel micro-benchmarks for the core operations: one Test.make per
+   building block, measured with the monotonic clock and OLS. *)
+
+open Bechamel
+open Toolkit
+
+let prepared =
+  lazy
+    (let rng = Harness.rng 77 in
+     let data =
+       Workload.Datagen.generate rng Workload.Datagen.Independent ~n:2000 ~d:3
+     in
+     let queries =
+       Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 20)
+         ~m:400 ~d:3 ()
+     in
+     let inst = Iq.Instance.create ~data ~queries () in
+     let index = Iq.Query_index.build inst in
+     let state = Iq.Ese.prepare index ~target:0 in
+     let ta = Topk.Ta.build data in
+     let dominance = Topk.Dominance.build data in
+     let rtree =
+       Rtree.bulk_load ~dim:3
+         (List.init (Array.length data) (fun i ->
+              (Geom.Box.of_point data.(i), i)))
+     in
+     (data, inst, index, state, ta, dominance, rtree))
+
+let tests () =
+  let data, inst, index, state, ta, dominance, rtree = Lazy.force prepared in
+  ignore inst;
+  let w = [| 0.4; 0.3; 0.3 |] in
+  let s = [| -0.05; -0.02; -0.01 |] in
+  [
+    Test.make ~name:"topk/scan-top10"
+      (Staged.stage (fun () -> Topk.Eval.top_k data ~weights:w ~k:10));
+    Test.make ~name:"topk/ta-top10"
+      (Staged.stage (fun () -> Topk.Ta.top_k ta ~weights:w ~k:10));
+    Test.make ~name:"topk/dominance-top10"
+      (Staged.stage (fun () ->
+           Topk.Dominance.top_k dominance ~data ~weights:w ~k:10));
+    Test.make ~name:"ese/evaluate"
+      (Staged.stage (fun () -> Iq.Ese.evaluate state ~s));
+    Test.make ~name:"rtree/range-search"
+      (Staged.stage (fun () ->
+           Rtree.search rtree
+             (Geom.Box.make ~lo:[| 0.2; 0.2; 0.2 |] ~hi:[| 0.4; 0.4; 0.4 |])));
+    Test.make ~name:"rtree/knn-10"
+      (Staged.stage (fun () -> Rtree.nearest rtree [| 0.5; 0.5; 0.5 |] 10));
+    Test.make ~name:"index/kth-other"
+      (Staged.stage (fun () -> Iq.Query_index.kth_other index ~q:0 ~target:0));
+    Test.make ~name:"lp/l2-projection"
+      (Staged.stage (fun () ->
+           Lp.Projection.l2_boxed ~a:[| 0.3; 0.5; 0.2 |] ~b:(-0.4) ()));
+    Test.make ~name:"lp/simplex-3x3"
+      (Staged.stage (fun () ->
+           Lp.Simplex.minimize ~objective:[| 1.; 1.; 1. |]
+             ~constraints:
+               [
+                 ([| 1.; 2.; 0. |], Lp.Simplex.Ge, 4.);
+                 ([| 3.; 1.; 1. |], Lp.Simplex.Ge, 6.);
+                 ([| 0.; 1.; 2. |], Lp.Simplex.Ge, 3.);
+               ]));
+  ]
+
+let run () =
+  Harness.header "Bechamel micro-benchmarks (ns per call, OLS on run count)";
+  let cfg = Benchmark.cfg ~limit:1000 ~quota:(Time.second 0.25) ~kde:None () in
+  let instances = Instance.[ monotonic_clock ] in
+  let raw =
+    Benchmark.all cfg instances
+      (Test.make_grouped ~name:"core" ~fmt:"%s %s" (tests ()))
+  in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
+  List.iter
+    (fun name ->
+      let r = Hashtbl.find results name in
+      match Analyze.OLS.estimates r with
+      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+    (List.sort String.compare names)

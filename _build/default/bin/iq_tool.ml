@@ -1,0 +1,354 @@
+(* The analytic tool of Section 6.1 as a command-line program.
+
+   Workflow (mirrors the paper's GUI):
+     iq_tool gen-data    --kind IN --count 5000 --dim 3 --out objects.csv
+     iq_tool gen-queries --kind UN --count 500 --dim 3 --out queries.csv
+     iq_tool stats   --data objects.csv --queries queries.csv
+     iq_tool sql     --data objects.csv --exec "SELECT COUNT(*) FROM data"
+     iq_tool mincost --data objects.csv --queries queries.csv \
+                     --target 17 --tau 25 --cost euclidean
+     iq_tool maxhit  --data objects.csv --queries queries.csv \
+                     --target 17 --target 40 --beta 0.5
+
+   Query CSV format: a "k" column followed by weight columns. *)
+
+open Cmdliner
+
+(* --- shared loading helpers ----------------------------------------- *)
+
+let load_objects = Workload.Loader.load_objects
+let load_queries = Workload.Loader.load_queries
+
+let cost_of_name name d =
+  match name with
+  | "euclidean" -> Iq.Cost.euclidean d
+  | "l1" -> Iq.Cost.l1 d
+  | other -> failwith ("unknown cost function: " ^ other)
+
+let order_of_name = function
+  | "asc" -> Topk.Utility.Asc
+  | "desc" -> Topk.Utility.Desc
+  | other -> failwith ("unknown order: " ^ other)
+
+let build_index ~order data queries =
+  let inst =
+    Iq.Instance.create ~order:(order_of_name order) ~data ~queries ()
+  in
+  (inst, Iq.Query_index.build inst)
+
+(* --- common options -------------------------------------------------- *)
+
+let data_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "data" ] ~docv:"CSV" ~doc:"Object dataset (CSV with header).")
+
+let queries_arg =
+  Arg.(
+    required
+    & opt (some file) None
+    & info [ "queries" ] ~docv:"CSV"
+        ~doc:"Top-k query workload (CSV: k column + weight columns).")
+
+let targets_arg =
+  Arg.(
+    non_empty & opt_all int []
+    & info [ "target" ] ~docv:"ID"
+        ~doc:"Target object id (row number); repeatable for combinatorial \
+              improvement.")
+
+let cost_arg =
+  Arg.(
+    value & opt string "euclidean"
+    & info [ "cost" ] ~docv:"NAME" ~doc:"Cost function: euclidean | l1.")
+
+let order_arg =
+  Arg.(
+    value & opt string "asc"
+    & info [ "order" ] ~docv:"ORDER"
+        ~doc:"asc (lowest score wins, default) or desc (highest wins).")
+
+let cap_arg =
+  Arg.(
+    value & opt (some int) (Some 128)
+    & info [ "candidate-cap" ] ~docv:"N"
+        ~doc:"Evaluate only the N cheapest candidate steps per iteration \
+              (0 = no cap).")
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let normalize_cap = function Some 0 -> None | c -> c
+
+(* --- gen-data --------------------------------------------------------- *)
+
+let gen_data kind n d seed out =
+  let rng = Workload.Rng.make seed in
+  let points =
+    match String.uppercase_ascii kind with
+    | "IN" -> Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d
+    | "CO" -> Workload.Datagen.generate rng Workload.Datagen.Correlated ~n ~d
+    | "AC" ->
+        Workload.Datagen.generate rng Workload.Datagen.Anticorrelated ~n ~d
+    | "VEHICLE" -> Workload.Datagen.vehicle rng ~n ()
+    | "HOUSE" -> Workload.Datagen.house rng ~n ()
+    | other -> failwith ("unknown data kind: " ^ other)
+  in
+  Relation.Csv.save_file out (Relation.Table.of_points points);
+  Printf.printf "wrote %d objects (%d attributes) to %s\n" (Array.length points)
+    (if Array.length points = 0 then 0 else Array.length points.(0))
+    out
+
+let gen_data_cmd =
+  let kind =
+    Arg.(
+      value & opt string "IN"
+      & info [ "kind" ] ~docv:"KIND" ~doc:"IN | CO | AC | vehicle | house.")
+  in
+  let n = Arg.(value & opt int 10_000 & info [ "count" ] ~doc:"Object count.") in
+  let d = Arg.(value & opt int 3 & info [ "dim" ] ~doc:"Attribute count.") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"CSV" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "gen-data" ~doc:"Generate a synthetic object dataset")
+    Term.(const gen_data $ kind $ n $ d $ seed_arg $ out)
+
+(* --- gen-queries ------------------------------------------------------ *)
+
+let gen_queries kind m d kmin kmax seed out =
+  let rng = Workload.Rng.make seed in
+  let qkind =
+    match String.uppercase_ascii kind with
+    | "UN" -> Workload.Querygen.Uniform
+    | "CL" -> Workload.Querygen.Clustered
+    | other -> failwith ("unknown query kind: " ^ other)
+  in
+  let queries =
+    Workload.Querygen.linear rng qkind ~k_range:(kmin, kmax) ~m ~d ()
+  in
+  Workload.Loader.save_queries out queries;
+  Printf.printf "wrote %d queries to %s\n" m out
+
+let gen_queries_cmd =
+  let kind =
+    Arg.(value & opt string "UN" & info [ "kind" ] ~doc:"UN | CL.")
+  in
+  let m = Arg.(value & opt int 1_000 & info [ "count" ] ~doc:"Query count.") in
+  let d = Arg.(value & opt int 3 & info [ "dim" ] ~doc:"Weight dimensions.") in
+  let kmin = Arg.(value & opt int 1 & info [ "kmin" ] ~doc:"Smallest k.") in
+  let kmax = Arg.(value & opt int 50 & info [ "kmax" ] ~doc:"Largest k.") in
+  let out =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "out" ] ~docv:"CSV" ~doc:"Output path.")
+  in
+  Cmd.v
+    (Cmd.info "gen-queries" ~doc:"Generate a top-k query workload")
+    Term.(const gen_queries $ kind $ m $ d $ kmin $ kmax $ seed_arg $ out)
+
+(* --- sql --------------------------------------------------------------- *)
+
+let run_sql data_path table_name statements =
+  let table = Relation.Csv.load_file data_path in
+  let catalog = Relation.Catalog.create () in
+  Relation.Catalog.add catalog table_name table;
+  List.iter
+    (fun stmt ->
+      Printf.printf "sql> %s\n" stmt;
+      match Sql.Executor.query catalog stmt with
+      | result -> Format.printf "%a@." Sql.Executor.pp_result result
+      | exception Sql.Executor.Error m -> Printf.printf "error: %s\n" m)
+    statements
+
+let sql_cmd =
+  let table_name =
+    Arg.(
+      value & opt string "data"
+      & info [ "table" ] ~docv:"NAME" ~doc:"Table name for the loaded CSV.")
+  in
+  let stmts =
+    Arg.(
+      non_empty & opt_all string []
+      & info [ "exec"; "e" ] ~docv:"SQL" ~doc:"Statement to run (repeatable).")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Run SQL against a CSV-loaded table")
+    Term.(const run_sql $ data_arg $ table_name $ stmts)
+
+(* --- stats ------------------------------------------------------------- *)
+
+let run_stats data_path queries_path order =
+  let _, data = load_objects data_path in
+  let queries = load_queries queries_path in
+  let _, index = build_index ~order data queries in
+  Printf.printf "objects:           %d\n" (Array.length data);
+  Printf.printf "queries:           %d\n" (List.length queries);
+  Printf.printf "subdomain groups:  %d\n" (Iq.Query_index.n_groups index);
+  Printf.printf "prefix depth:      %d\n" (Iq.Query_index.depth index);
+  Printf.printf "candidate rivals:  %d\n"
+    (Array.length (Iq.Query_index.candidate_rivals index));
+  Printf.printf "index size:        %d words\n" (Iq.Query_index.size_words index);
+  Printf.printf "build time:        %.3f s\n" (Iq.Query_index.build_seconds index)
+
+let stats_cmd =
+  Cmd.v
+    (Cmd.info "stats" ~doc:"Build the Efficient-IQ index and print statistics")
+    Term.(const run_stats $ data_arg $ queries_arg $ order_arg)
+
+(* --- mincost / maxhit --------------------------------------------------- *)
+
+let print_strategy prefix s =
+  Printf.printf "%s[%s]\n" prefix
+    (String.concat "; "
+       (Array.to_list (Array.map (Printf.sprintf "%+.6f") s)))
+
+let run_mincost data_path queries_path targets tau cost_name order cap =
+  let _, data = load_objects data_path in
+  let queries = load_queries queries_path in
+  let inst, index = build_index ~order data queries in
+  let d = Iq.Instance.dim inst in
+  let cost = cost_of_name cost_name d in
+  let cap = normalize_cap cap in
+  match targets with
+  | [ target ] -> (
+      let evaluator = Iq.Evaluator.ese index ~target in
+      Printf.printf "target %d: H = %d\n" target evaluator.Iq.Evaluator.base_hits;
+      match
+        Iq.Min_cost.search ?candidate_cap:cap ~evaluator ~cost ~target ~tau ()
+      with
+      | None -> Printf.printf "tau = %d is unreachable\n" tau
+      | Some o ->
+          Printf.printf "hits: %d -> %d, cost %.6f (%d iterations, %d evals)\n"
+            o.Iq.Min_cost.hits_before o.Iq.Min_cost.hits_after
+            o.Iq.Min_cost.total_cost o.Iq.Min_cost.iterations
+            o.Iq.Min_cost.evaluations;
+          print_strategy "strategy: " o.Iq.Min_cost.strategy)
+  | targets -> (
+      let costs = List.map (fun t -> (t, cost)) targets in
+      match Iq.Combinatorial.min_cost ?candidate_cap:cap ~index ~costs ~tau () with
+      | None -> Printf.printf "tau = %d is unreachable\n" tau
+      | Some o ->
+          Printf.printf "union hits: %d -> %d, total cost %.6f\n"
+            o.Iq.Combinatorial.union_hits_before
+            o.Iq.Combinatorial.union_hits_after o.Iq.Combinatorial.total_cost;
+          List.iter
+            (fun (t, s) -> print_strategy (Printf.sprintf "target %d: " t) s)
+            o.Iq.Combinatorial.strategies)
+
+let mincost_cmd =
+  let tau =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "tau" ] ~docv:"N" ~doc:"Desired number of hit queries.")
+  in
+  Cmd.v
+    (Cmd.info "mincost" ~doc:"Min-Cost Improvement Query (Algorithm 3)")
+    Term.(
+      const run_mincost $ data_arg $ queries_arg $ targets_arg $ tau $ cost_arg
+      $ order_arg $ cap_arg)
+
+let run_maxhit data_path queries_path targets beta cost_name order cap =
+  let _, data = load_objects data_path in
+  let queries = load_queries queries_path in
+  let inst, index = build_index ~order data queries in
+  let d = Iq.Instance.dim inst in
+  let cost = cost_of_name cost_name d in
+  let cap = normalize_cap cap in
+  match targets with
+  | [ target ] ->
+      let evaluator = Iq.Evaluator.ese index ~target in
+      let o =
+        Iq.Max_hit.search ?candidate_cap:cap ~evaluator ~cost ~target ~beta ()
+      in
+      Printf.printf "hits: %d -> %d, spent %.6f of %.6f\n"
+        o.Iq.Max_hit.hits_before o.Iq.Max_hit.hits_after
+        o.Iq.Max_hit.incremental_cost beta;
+      print_strategy "strategy: " o.Iq.Max_hit.strategy
+  | targets ->
+      let costs = List.map (fun t -> (t, cost)) targets in
+      let o = Iq.Combinatorial.max_hit ?candidate_cap:cap ~index ~costs ~beta () in
+      Printf.printf "union hits: %d -> %d, total cost %.6f of %.6f\n"
+        o.Iq.Combinatorial.union_hits_before o.Iq.Combinatorial.union_hits_after
+        o.Iq.Combinatorial.total_cost beta;
+      List.iter
+        (fun (t, s) -> print_strategy (Printf.sprintf "target %d: " t) s)
+        o.Iq.Combinatorial.strategies
+
+let maxhit_cmd =
+  let beta =
+    Arg.(
+      required
+      & opt (some float) None
+      & info [ "beta" ] ~docv:"BUDGET" ~doc:"Improvement budget.")
+  in
+  Cmd.v
+    (Cmd.info "maxhit" ~doc:"Max-Hit Improvement Query (Algorithm 4)")
+    Term.(
+      const run_maxhit $ data_arg $ queries_arg $ targets_arg $ beta $ cost_arg
+      $ order_arg $ cap_arg)
+
+(* --- exhaustive --------------------------------------------------------- *)
+
+let run_exhaustive data_path queries_path target tau order =
+  let _, data = load_objects data_path in
+  let queries = load_queries queries_path in
+  if List.length queries > 24 then
+    failwith "exhaustive search is capped at 24 queries (see --help)";
+  let inst =
+    Iq.Instance.create ~order:(order_of_name order) ~data ~queries ()
+  in
+  let d = Iq.Instance.dim inst in
+  let weights = Array.make d 1. in
+  match Iq.Exhaustive.min_cost ~inst ~weights ~target ~tau () with
+  | None -> Printf.printf "tau = %d is unreachable\n" tau
+  | Some o ->
+      Printf.printf "optimal cost %.6f achieving %d hits (%d LPs solved)\n"
+        o.Iq.Exhaustive.total_cost o.Iq.Exhaustive.hits_after
+        o.Iq.Exhaustive.lps_solved;
+      print_strategy "strategy: " o.Iq.Exhaustive.strategy
+
+let exhaustive_cmd =
+  let target =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "target" ] ~docv:"ID" ~doc:"Target object id.")
+  in
+  let tau =
+    Arg.(
+      required
+      & opt (some int) None
+      & info [ "tau" ] ~docv:"N" ~doc:"Desired number of hit queries.")
+  in
+  Cmd.v
+    (Cmd.info "exhaustive"
+       ~doc:
+         "Optimal Min-Cost strategy (L1 cost) by exhaustive subset \
+          enumeration; exponential, capped at 24 queries")
+    Term.(
+      const run_exhaustive $ data_arg $ queries_arg $ target $ tau $ order_arg)
+
+(* --- main --------------------------------------------------------------- *)
+
+let () =
+  let doc = "Improvement Queries over top-k workloads (EDBT 2017)" in
+  let info = Cmd.info "iq_tool" ~version:"1.0.0" ~doc in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            gen_data_cmd;
+            gen_queries_cmd;
+            sql_cmd;
+            stats_cmd;
+            mincost_cmd;
+            maxhit_cmd;
+            exhaustive_cmd;
+          ]))

@@ -1,0 +1,1 @@
+examples/camera_marketing.ml: Array Float Geom Iq List Printf String Topk Workload

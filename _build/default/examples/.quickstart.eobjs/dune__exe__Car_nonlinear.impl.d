@@ -1,0 +1,1 @@
+examples/car_nonlinear.ml: Array Iq List Printf Topk Workload

@@ -1,0 +1,1 @@
+examples/dynamic_market.ml: Array Iq Printf Topk Workload

@@ -1,0 +1,1 @@
+examples/election.ml: Array Geom Iq List Printf Topk Workload

@@ -1,0 +1,1 @@
+examples/quickstart.ml: Array Iq Printf String Workload

@@ -1,0 +1,1 @@
+examples/sql_session.ml: Array Format Fun Geom Iq List Printf Relation Sql Topk Workload

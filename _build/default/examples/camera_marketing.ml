@@ -1,0 +1,112 @@
+(* The camera-manufacturer scenario from the paper's introduction and
+   Figure 1.
+
+   Cameras have three attributes — resolution (MP), storage (GB) and
+   price ($) — and every customer ranks them with a linear utility
+   where HIGHER scores are better (handled via the [Desc] order).
+   The manufacturer wants its mid-range model to reach at least 25
+   customers' top-5 lists:
+
+   - raising resolution and storage is expensive, cutting price cheap
+     (per-attribute weighted cost);
+   - resolution cannot decrease, price cannot increase (asymmetric
+     adjustment limits);
+   - storage is a fixed hardware SKU this cycle (frozen attribute).
+
+   Run with: dune exec examples/camera_marketing.exe *)
+
+let attribute_names = [| "resolution(MP)"; "storage(GB)"; "price($)" |]
+
+(* Normalize camera specs to [0,1] per attribute for the geometry, and
+   carry the scale so strategies print in physical units. *)
+let scales = [| 40.; 256.; 2000. |]
+
+let () =
+  let rng = Workload.Rng.make 7 in
+  (* A market of 400 cameras: resolution/storage correlate, price rises
+     with both. *)
+  let raw_market =
+    Array.init 400 (fun _ ->
+        let tier = Workload.Rng.uniform rng in
+        let res = Float.min 1. (tier +. Workload.Rng.gaussian rng ~mean:0. ~stddev:0.1) in
+        let sto = Float.min 1. (tier +. Workload.Rng.gaussian rng ~mean:0. ~stddev:0.15) in
+        let price =
+          Float.min 1.
+            ((0.6 *. tier) +. 0.2
+            +. Workload.Rng.gaussian rng ~mean:0. ~stddev:0.08)
+        in
+        [| Float.max 0. res; Float.max 0. sto; Float.max 0. price |])
+  in
+  (* Customers like resolution and storage, dislike price: positive
+     weights on the first two, negative on price, Desc order. *)
+  let customers =
+    List.init 800 (fun i ->
+        let w_res = Workload.Rng.uniform_in rng 0.2 1. in
+        let w_sto = Workload.Rng.uniform_in rng 0.1 0.8 in
+        let w_price = -.Workload.Rng.uniform_in rng 0.3 1. in
+        Topk.Query.make ~id:i ~k:5 [| w_res; w_sto; w_price |])
+  in
+  let inst =
+    Iq.Instance.create ~order:Topk.Utility.Desc ~data:raw_market
+      ~queries:customers ()
+  in
+  let index = Iq.Query_index.build inst in
+
+  (* Pick the manufacturer's model: a mid-market camera. *)
+  let target = 100 in
+  let p = raw_market.(target) in
+  Printf.printf "our camera: %s\n"
+    (String.concat ", "
+       (List.init 3 (fun j ->
+            Printf.sprintf "%s = %.1f" attribute_names.(j)
+              (p.(j) *. scales.(j)))));
+
+  let evaluator = Iq.Evaluator.ese index ~target in
+  Printf.printf "currently in %d of %d customers' top-5\n"
+    evaluator.Iq.Evaluator.base_hits (List.length customers);
+
+  (* Engineering constraints:
+     - resolution: may only increase, by at most 8 MP (0.2 normalized);
+     - storage: frozen this hardware cycle;
+     - price: may only decrease, by at most $700 (0.35 normalized). *)
+  let limits =
+    let open Iq.Strategy in
+    let l = within_values ~lo:(Geom.Vec.zero 3) ~hi:(Geom.Vec.make 3 1.) in
+    let l = freeze l 1 in
+    {
+      l with
+      adjust_lo = [| 0.; 0.; -0.35 |];
+      adjust_hi = [| 0.2; 0.; 0. |];
+    }
+  in
+
+  (* Costs per normalized unit: resolution improvements cost 5x what
+     price cuts do. *)
+  let cost = Iq.Cost.weighted_l1 [| 5.; 5.; 1. |] in
+
+  match
+    Iq.Min_cost.search ~limits ~evaluator ~cost ~target ~tau:25 ()
+  with
+  | None ->
+      print_endline
+        "25 hits are not reachable under the engineering constraints"
+  | Some o ->
+      Printf.printf "improvement strategy reaching %d hits (cost %.3f):\n"
+        o.Iq.Min_cost.hits_after o.Iq.Min_cost.total_cost;
+      Array.iteri
+        (fun j s ->
+          if abs_float s > 1e-9 then
+            Printf.printf "  %s: %+.1f\n" attribute_names.(j)
+              (s *. scales.(j)))
+        o.Iq.Min_cost.strategy;
+      let improved = Iq.Strategy.apply p o.Iq.Min_cost.strategy in
+      Printf.printf "new spec sheet: %s\n"
+        (String.concat ", "
+           (List.init 3 (fun j ->
+                Printf.sprintf "%s = %.1f" attribute_names.(j)
+                  (improved.(j) *. scales.(j)))));
+      (* Sanity: storage untouched, price not raised, resolution not
+         lowered. *)
+      assert (o.Iq.Min_cost.strategy.(1) = 0.);
+      assert (o.Iq.Min_cost.strategy.(2) <= 0.);
+      assert (o.Iq.Min_cost.strategy.(0) >= 0.)

@@ -1,0 +1,56 @@
+type 'a t = {
+  bits : Bytes.t;
+  m : int; (* number of bits *)
+  k : int; (* number of hash functions *)
+  mutable inserted : int;
+}
+
+let create ?(fp_rate = 0.01) ~expected () =
+  if expected <= 0 then invalid_arg "Bloom.create: expected <= 0";
+  if fp_rate <= 0. || fp_rate >= 1. then
+    invalid_arg "Bloom.create: fp_rate outside (0, 1)";
+  let n = float_of_int expected in
+  let ln2 = log 2. in
+  let m = int_of_float (ceil (-.n *. log fp_rate /. (ln2 *. ln2))) in
+  let m = Int.max 64 m in
+  let k = int_of_float (Float.round (float_of_int m /. n *. ln2)) in
+  let k = Int.max 1 k in
+  { bits = Bytes.make ((m + 7) / 8) '\000'; m; k; inserted = 0 }
+
+let set_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  let c = Char.code (Bytes.get t.bits byte) in
+  Bytes.set t.bits byte (Char.chr (c lor (1 lsl bit)))
+
+let get_bit t i =
+  let byte = i / 8 and bit = i mod 8 in
+  Char.code (Bytes.get t.bits byte) land (1 lsl bit) <> 0
+
+(* Double hashing: g_i(x) = h1(x) + i * h2(x) mod m. *)
+let indices t v =
+  let h1 = Hashtbl.hash v in
+  let h2 = Hashtbl.hash (v, 0x9e3779b9) in
+  let h2 = if h2 mod t.m = 0 then 1 else h2 in
+  List.init t.k (fun i ->
+      let idx = (h1 + (i * h2)) mod t.m in
+      if idx < 0 then idx + t.m else idx)
+
+let add t v =
+  List.iter (set_bit t) (indices t v);
+  t.inserted <- t.inserted + 1
+
+let mem t v = List.for_all (get_bit t) (indices t v)
+
+let clear t =
+  Bytes.fill t.bits 0 (Bytes.length t.bits) '\000';
+  t.inserted <- 0
+
+let count t = t.inserted
+let bit_length t = t.m
+let hash_count t = t.k
+
+let estimated_fp_rate t =
+  let m = float_of_int t.m
+  and k = float_of_int t.k
+  and n = float_of_int t.inserted in
+  (1. -. exp (-.k *. n /. m)) ** k

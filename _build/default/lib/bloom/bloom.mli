@@ -1,0 +1,31 @@
+(** Bloom filter over arbitrary hashable values.
+
+    Section 4.3 of the paper indexes subdomains by their boundary
+    intersections with a Bloom filter so that, when an object is removed,
+    the subdomains bounded by one of its intersections can be found
+    quickly. This is a standard bit-array filter with double hashing
+    (Kirsch–Mitzenmacher). *)
+
+type 'a t
+
+val create : ?fp_rate:float -> expected:int -> unit -> 'a t
+(** [create ~expected ()] sizes the filter for [expected] insertions at
+    false-positive rate [fp_rate] (default 0.01).
+    @raise Invalid_argument if [expected <= 0] or [fp_rate] outside (0,1). *)
+
+val add : 'a t -> 'a -> unit
+
+val mem : 'a t -> 'a -> bool
+(** No false negatives; false positives at roughly the configured rate. *)
+
+val clear : 'a t -> unit
+
+val count : 'a t -> int
+(** Number of [add] calls since creation/clear. *)
+
+val bit_length : 'a t -> int
+
+val hash_count : 'a t -> int
+
+val estimated_fp_rate : 'a t -> float
+(** Predicted false-positive rate given the current load. *)

@@ -1,0 +1,1 @@
+lib/core/baselines.ml: Array Candidates Cost Evaluator Float Geom Instance Lp Strategy Vec

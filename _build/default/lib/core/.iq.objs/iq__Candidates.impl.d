@@ -1,0 +1,1 @@
+lib/core/candidates.ml: Array Cost Evaluator Float Geom Hashtbl Instance List Lp Printf String Vec

@@ -1,0 +1,1 @@
+lib/core/candidates.mli: Cost Evaluator Geom Lp Vec

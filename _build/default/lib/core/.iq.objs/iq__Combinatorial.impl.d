@@ -1,0 +1,1 @@
+lib/core/combinatorial.ml: Array Candidates Cost Ese Float Geom Hashtbl Instance List Lp Printf Query_index Strategy String Vec

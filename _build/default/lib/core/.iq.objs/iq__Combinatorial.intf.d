@@ -1,0 +1,1 @@
+lib/core/combinatorial.mli: Cost Query_index Strategy

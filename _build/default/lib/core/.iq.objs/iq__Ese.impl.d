@@ -1,0 +1,1 @@
+lib/core/ese.ml: Array Geom Hashtbl Instance Int List Query_index Topk Vec

@@ -1,0 +1,1 @@
+lib/core/ese.mli: Geom Query_index Strategy Vec

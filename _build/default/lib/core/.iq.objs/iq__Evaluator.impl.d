@@ -1,0 +1,1 @@
+lib/core/evaluator.ml: Array Ese Geom Instance Query_index Strategy Topk Vec

@@ -1,0 +1,1 @@
+lib/core/evaluator.mli: Geom Instance Query_index Strategy Vec

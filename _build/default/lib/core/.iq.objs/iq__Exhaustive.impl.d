@@ -1,0 +1,1 @@
+lib/core/exhaustive.ml: Array Fun Geom Instance Int List Lp Strategy Topk Vec

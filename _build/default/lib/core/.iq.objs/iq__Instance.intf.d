@@ -1,0 +1,1 @@
+lib/core/instance.mli: Geom Strategy Topk Vec

@@ -1,0 +1,1 @@
+lib/core/max_hit.ml: Array Candidates Cost Evaluator Float Geom Instance List Log Strategy Vec

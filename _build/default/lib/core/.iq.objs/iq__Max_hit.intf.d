@@ -1,0 +1,1 @@
+lib/core/max_hit.mli: Cost Evaluator Strategy

@@ -1,0 +1,1 @@
+lib/core/min_cost.ml: Array Candidates Cost Evaluator Geom Instance List Log Strategy Vec

@@ -1,0 +1,1 @@
+lib/core/min_cost.mli: Cost Evaluator Strategy

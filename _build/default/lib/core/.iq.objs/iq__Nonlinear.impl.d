@@ -1,0 +1,1 @@
+lib/core/nonlinear.ml: Array Float Geom List Topk Vec

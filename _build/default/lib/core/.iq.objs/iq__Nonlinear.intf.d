@@ -1,0 +1,1 @@
+lib/core/nonlinear.mli: Geom Topk Vec

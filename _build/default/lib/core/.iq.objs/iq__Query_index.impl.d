@@ -1,0 +1,1 @@
+lib/core/query_index.ml: Array Bloom Box Fun Geom Hashtbl Hyperplane Instance Int List Log Marshal Rtree Topk Unix Vec

@@ -1,0 +1,1 @@
+lib/core/query_index.mli: Bloom Geom Instance Rtree Topk Vec

@@ -1,0 +1,1 @@
+lib/core/subdomain.ml: Array Bloom Box Fun Geom Hashtbl Hyperplane Instance Int List

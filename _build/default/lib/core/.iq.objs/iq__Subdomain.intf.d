@@ -1,0 +1,1 @@
+lib/core/subdomain.mli: Bloom Box Geom Hyperplane Instance Vec

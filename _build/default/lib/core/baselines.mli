@@ -1,0 +1,65 @@
+(** The comparison schemes of Section 6.1: simple Greedy and Random.
+
+    Greedy always applies the single cheapest step that hits one more
+    query (no cost-per-hit ratio, no look-ahead); Random samples
+    strategies until one satisfies the goal. Both are deliberately
+    naive — they are the paper's quality baselines for Figures 7–12. *)
+
+type outcome = {
+  strategy : Strategy.t;
+  total_cost : float;
+  hits_before : int;
+  hits_after : int;
+  steps : int;
+}
+
+val greedy_min_cost :
+  ?limits:Strategy.limits ->
+  ?max_iterations:int ->
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  target:int ->
+  tau:int ->
+  unit ->
+  outcome option
+(** Repeatedly hit the cheapest still-unhit query until [tau] hits. *)
+
+val greedy_max_hit :
+  ?limits:Strategy.limits ->
+  ?max_iterations:int ->
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  target:int ->
+  beta:float ->
+  unit ->
+  outcome
+(** Same but stop when the next cheapest step exceeds the remaining
+    budget. *)
+
+val random_min_cost :
+  ?attempts:int ->
+  ?step_scale:float ->
+  rng:(unit -> float) ->
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  target:int ->
+  tau:int ->
+  unit ->
+  outcome option
+(** Sample uniform strategies in a growing box until one hits at least
+    [tau] queries ([None] after [attempts], default 500). [rng] returns
+    uniform draws in [0,1). *)
+
+val random_max_hit :
+  ?attempts:int ->
+  ?step_scale:float ->
+  rng:(unit -> float) ->
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  target:int ->
+  beta:float ->
+  unit ->
+  outcome
+(** Sample strategies, keep the first whose cost fits the budget (the
+    paper's "return it as the answer" semantics); falls back to the
+    zero strategy when every sample violates the budget. *)

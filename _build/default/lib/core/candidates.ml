@@ -1,0 +1,54 @@
+open Geom
+
+type t = { step : Vec.t; step_cost : float; hits : int }
+
+let remaining_bounds total s_star =
+  {
+    Lp.Projection.lo = Vec.sub total.Lp.Projection.lo s_star;
+    hi = Vec.sub total.Lp.Projection.hi s_star;
+  }
+
+let step_key step =
+  String.concat ","
+    (List.map (fun x -> Printf.sprintf "%.12g" x) (Array.to_list step))
+
+let collect ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~bounds ~current
+    ~s_star ~cap ?max_step_cost () =
+  let m = Instance.n_queries evaluator.Evaluator.instance in
+  let seen = Hashtbl.create 64 in
+  let steps = ref [] in
+  for q = 0 to m - 1 do
+    if not (evaluator.Evaluator.member ~q s_star) then
+      match evaluator.Evaluator.hit_constraint ~q ~current with
+      | None -> ()
+      | Some (a, b) -> (
+          match cost.Cost.min_step ~a ~b ~bounds with
+          | None -> ()
+          | Some step ->
+              let c = cost.Cost.eval step in
+              let within_budget =
+                match max_step_cost with
+                | None -> true
+                | Some ceiling -> c <= ceiling +. 1e-12
+              in
+              if within_budget then begin
+                let key = step_key step in
+                if not (Hashtbl.mem seen key) then begin
+                  Hashtbl.add seen key ();
+                  steps := (step, c) :: !steps
+                end
+              end)
+  done;
+  let sorted =
+    List.sort (fun (_, c1) (_, c2) -> Float.compare c1 c2) !steps
+  in
+  let capped =
+    match cap with
+    | None -> sorted
+    | Some n -> List.filteri (fun i _ -> i < n) sorted
+  in
+  List.map
+    (fun (step, step_cost) ->
+      let hits = evaluator.Evaluator.hit_count (Vec.add s_star step) in
+      { step; step_cost; hits })
+    capped

@@ -1,0 +1,28 @@
+(** Shared candidate-step collection for the greedy searches
+    (Algorithms 3 and 4): one cheapest step per not-yet-hit query,
+    deduplicated (queries in the same subdomain induce identical
+    steps), cheapest-first, optionally capped before the expensive
+    hit-count evaluations. *)
+
+open Geom
+
+type t = { step : Vec.t; step_cost : float; hits : int }
+
+val collect :
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  bounds:Lp.Projection.bounds ->
+  current:Vec.t ->
+  s_star:Vec.t ->
+  cap:int option ->
+  ?max_step_cost:float ->
+  unit ->
+  t list
+(** Steps are relative to the accumulated strategy [s_star]; [hits] is
+    the evaluator's total hit count for [s_star + step].
+    [max_step_cost] drops candidates above a cost ceiling (the budget
+    filter of Algorithm 4) before evaluation. *)
+
+val remaining_bounds :
+  Lp.Projection.bounds -> Vec.t -> Lp.Projection.bounds
+(** Bounds left for an increment once [s_star] is already applied. *)

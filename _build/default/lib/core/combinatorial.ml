@@ -1,0 +1,236 @@
+open Geom
+
+type outcome = {
+  strategies : (int * Strategy.t) list;
+  total_cost : float;
+  union_hits_before : int;
+  union_hits_after : int;
+  iterations : int;
+}
+
+type target_ctx = {
+  target : int;
+  cost : Cost.t;
+  state : Ese.state;
+  total_bounds : Lp.Projection.bounds;
+  mutable s_star : Vec.t;
+  mutable members : bool array; (* membership under current s_star *)
+  mutable spent : float;
+}
+
+type candidate = {
+  ctx : target_ctx;
+  step : Vec.t;
+  step_cost : float;
+  union_gain : int; (* change in union hit count if applied *)
+}
+
+let make_ctx index limits (target, cost) =
+  let inst = Query_index.instance index in
+  let d = Instance.dim inst in
+  let state = Ese.prepare index ~target in
+  let lims =
+    match List.assoc_opt target limits with
+    | Some l -> l
+    | None -> Strategy.unrestricted d
+  in
+  let m = Instance.n_queries inst in
+  {
+    target;
+    cost;
+    state;
+    total_bounds =
+      Strategy.bounds_for lims ~p:inst.Instance.features.(target);
+    s_star = Strategy.zero d;
+    members = Array.init m (fun q -> Ese.member state ~q);
+    spent = 0.;
+  }
+
+(* cover.(q) = number of targets currently hitting q. *)
+let build_cover ctxs m =
+  let cover = Array.make m 0 in
+  List.iter
+    (fun ctx ->
+      Array.iteri (fun q b -> if b then cover.(q) <- cover.(q) + 1) ctx.members)
+    ctxs;
+  cover
+
+let union_count cover =
+  Array.fold_left (fun acc c -> if c > 0 then acc + 1 else acc) 0 cover
+
+(* Union-hit change if [ctx] moves from [s_star] to [s_star + step]:
+   only queries in the slab between the two positions can flip this
+   target's membership. *)
+let union_gain ~cover ctx step =
+  let s_total = Vec.add ctx.s_star step in
+  let dirty = Ese.dirty_between ctx.state ~s_from:ctx.s_star ~s_to:s_total in
+  List.fold_left
+    (fun acc q ->
+      let before = ctx.members.(q) in
+      let after = Ese.member_after ctx.state ~s:s_total ~q in
+      if after && not before then if cover.(q) = 0 then acc + 1 else acc
+      else if before && not after then
+        if cover.(q) = 1 then acc - 1 else acc
+      else acc)
+    0 dirty
+
+let apply_step ctx step =
+  let s_total = Vec.add ctx.s_star step in
+  let dirty = Ese.dirty_between ctx.state ~s_from:ctx.s_star ~s_to:s_total in
+  let members = Array.copy ctx.members in
+  List.iter
+    (fun q -> members.(q) <- Ese.member_after ctx.state ~s:s_total ~q)
+    dirty;
+  ctx.s_star <- s_total;
+  ctx.members <- members;
+  ctx.spent <- ctx.spent +. Cost.(ctx.cost.eval) step
+
+let collect_candidates index ctxs ~cover ~cap ~budget_left =
+  let inst = Query_index.instance index in
+  let m = Instance.n_queries inst in
+  let raw = ref [] in
+  List.iter
+    (fun ctx ->
+      let current =
+        Vec.add inst.Instance.features.(ctx.target) ctx.s_star
+      in
+      let bounds = Candidates.remaining_bounds ctx.total_bounds ctx.s_star in
+      for q = 0 to m - 1 do
+        if cover.(q) = 0 then
+          match Ese.hit_constraint ctx.state ~q ~current with
+          | None -> ()
+          | Some (a, b) -> (
+              match ctx.cost.Cost.min_step ~a ~b ~bounds with
+              | None -> ()
+              | Some step ->
+                  let c = ctx.cost.Cost.eval step in
+                  let fits =
+                    match budget_left with
+                    | None -> true
+                    | Some left -> c <= left +. 1e-12
+                  in
+                  if fits then raw := (ctx, step, c) :: !raw)
+      done)
+    ctxs;
+  let sorted =
+    List.sort (fun (_, _, c1) (_, _, c2) -> Float.compare c1 c2) !raw
+  in
+  (* Dedup identical (target, step) pairs before evaluation. *)
+  let seen = Hashtbl.create 64 in
+  let dedup =
+    List.filter
+      (fun (ctx, step, _) ->
+        let key =
+          (ctx.target,
+           String.concat ","
+             (List.map (Printf.sprintf "%.12g") (Array.to_list step)))
+        in
+        if Hashtbl.mem seen key then false
+        else begin
+          Hashtbl.add seen key ();
+          true
+        end)
+      sorted
+  in
+  let capped =
+    match cap with
+    | None -> dedup
+    | Some n -> List.filteri (fun i _ -> i < n) dedup
+  in
+  List.map
+    (fun (ctx, step, step_cost) ->
+      { ctx; step; step_cost; union_gain = union_gain ~cover ctx step })
+    capped
+
+let ratio c =
+  if c.union_gain <= 0 then infinity
+  else c.step_cost /. float_of_int c.union_gain
+
+let finish ctxs cover ~before ~iterations =
+  {
+    strategies = List.map (fun ctx -> (ctx.target, ctx.s_star)) ctxs;
+    total_cost =
+      List.fold_left
+        (fun acc ctx -> acc +. ctx.cost.Cost.eval ctx.s_star)
+        0. ctxs;
+    union_hits_before = before;
+    union_hits_after = union_count cover;
+    iterations;
+  }
+
+let min_cost ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~tau
+    () =
+  if tau <= 0 then invalid_arg "Combinatorial.min_cost: tau <= 0";
+  if costs = [] then invalid_arg "Combinatorial.min_cost: no targets";
+  let inst = Query_index.instance index in
+  let m = Instance.n_queries inst in
+  let max_iterations =
+    match max_iterations with Some n -> n | None -> (4 * tau) + 32
+  in
+  let ctxs = List.map (make_ctx index limits) costs in
+  let cover = ref (build_cover ctxs m) in
+  let before = union_count !cover in
+  let iterations = ref 0 in
+  let failed = ref false in
+  while (not !failed) && union_count !cover < tau && !iterations < max_iterations
+  do
+    incr iterations;
+    let candidates =
+      collect_candidates index ctxs ~cover:!cover ~cap:candidate_cap
+        ~budget_left:None
+    in
+    match candidates with
+    | [] -> failed := true
+    | cs ->
+        let best =
+          List.fold_left
+            (fun acc c -> if ratio c < ratio acc then c else acc)
+            (List.hd cs) (List.tl cs)
+        in
+        if best.union_gain <= 0 then failed := true
+        else begin
+          apply_step best.ctx best.step;
+          cover := build_cover ctxs m
+        end
+  done;
+  if union_count !cover < tau then None
+  else Some (finish ctxs !cover ~before ~iterations:!iterations)
+
+let max_hit ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~beta
+    () =
+  if beta < 0. then invalid_arg "Combinatorial.max_hit: beta < 0";
+  if costs = [] then invalid_arg "Combinatorial.max_hit: no targets";
+  let inst = Query_index.instance index in
+  let m = Instance.n_queries inst in
+  let max_iterations =
+    match max_iterations with Some n -> n | None -> 256
+  in
+  let ctxs = List.map (make_ctx index limits) costs in
+  let cover = ref (build_cover ctxs m) in
+  let before = union_count !cover in
+  let spent () = List.fold_left (fun acc ctx -> acc +. ctx.spent) 0. ctxs in
+  let iterations = ref 0 in
+  let stop = ref false in
+  while (not !stop) && !iterations < max_iterations && spent () < beta do
+    incr iterations;
+    let budget_left = beta -. spent () in
+    let candidates =
+      collect_candidates index ctxs ~cover:!cover ~cap:candidate_cap
+        ~budget_left:(Some budget_left)
+    in
+    match candidates with
+    | [] -> stop := true
+    | cs ->
+        let best =
+          List.fold_left
+            (fun acc c -> if ratio c < ratio acc then c else acc)
+            (List.hd cs) (List.tl cs)
+        in
+        if best.union_gain <= 0 || best.step_cost > budget_left then
+          stop := true
+        else begin
+          apply_step best.ctx best.step;
+          cover := build_cover ctxs m
+        end
+  done;
+  finish ctxs !cover ~before ~iterations:!iterations

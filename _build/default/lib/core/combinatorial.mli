@@ -1,0 +1,40 @@
+(** Combinatorial object improvement — Section 5.1.
+
+    Improve a set of target objects together: Min-Cost wants the union
+    of queries hit by the improved targets to reach [tau] at minimal
+    total cost; Max-Hit maximizes that union within a shared budget.
+    A query hit by several targets counts once. Each target may carry
+    its own cost function. The search is the multi-target variant of
+    the greedy ratio loop (steps 1–3 in Section 5.1). *)
+
+type outcome = {
+  strategies : (int * Strategy.t) list;
+      (** one accumulated strategy per target id *)
+  total_cost : float;  (** sum of per-target strategy costs *)
+  union_hits_before : int;
+  union_hits_after : int;
+  iterations : int;
+}
+
+val min_cost :
+  ?limits:(int * Strategy.limits) list ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  index:Query_index.t ->
+  costs:(int * Cost.t) list ->
+  tau:int ->
+  unit ->
+  outcome option
+(** [costs] maps each target id to its cost function (the target set is
+    its domain). [None] when [tau] union hits are unreachable. *)
+
+val max_hit :
+  ?limits:(int * Strategy.limits) list ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  index:Query_index.t ->
+  costs:(int * Cost.t) list ->
+  beta:float ->
+  unit ->
+  outcome
+(** Shared budget [beta] across all targets. *)

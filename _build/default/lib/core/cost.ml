@@ -1,0 +1,197 @@
+open Geom
+
+type t = {
+  name : string;
+  dim : int;
+  eval : Strategy.t -> float;
+  min_step :
+    a:Vec.t -> b:float -> bounds:Lp.Projection.bounds -> Strategy.t option;
+}
+
+let euclidean d =
+  {
+    name = "euclidean";
+    dim = d;
+    eval = Vec.norm;
+    min_step = (fun ~a ~b ~bounds -> Lp.Projection.l2_boxed ~bounds ~a ~b ());
+  }
+
+let check_positive name w =
+  Array.iter (fun x -> if x <= 0. then invalid_arg (name ^ ": weight <= 0")) w
+
+let weighted_euclidean w =
+  check_positive "Cost.weighted_euclidean" w;
+  let d = Vec.dim w in
+  {
+    name = "weighted-euclidean";
+    dim = d;
+    eval =
+      (fun s ->
+        let acc = ref 0. in
+        for j = 0 to d - 1 do
+          acc := !acc +. (w.(j) *. s.(j) *. s.(j))
+        done;
+        sqrt !acc);
+    min_step =
+      (fun ~a ~b ~bounds ->
+        (* Rescale coordinates by sqrt w to reduce to plain L2:
+           t_j = sqrt(w_j) s_j, constraint (a_j / sqrt w_j) . t <= b. *)
+        let sw = Array.map sqrt w in
+        let a' = Array.mapi (fun j aj -> aj /. sw.(j)) a in
+        let bounds' =
+          {
+            Lp.Projection.lo =
+              Array.mapi (fun j x -> x *. sw.(j)) bounds.Lp.Projection.lo;
+            hi = Array.mapi (fun j x -> x *. sw.(j)) bounds.Lp.Projection.hi;
+          }
+        in
+        match Lp.Projection.l2_boxed ~bounds:bounds' ~a:a' ~b () with
+        | None -> None
+        | Some s' -> Some (Array.mapi (fun j x -> x /. sw.(j)) s'));
+  }
+
+let l1 d =
+  {
+    name = "l1";
+    dim = d;
+    eval = Vec.l1_norm;
+    min_step = (fun ~a ~b ~bounds -> Lp.Projection.l1_boxed ~bounds ~a ~b ());
+  }
+
+let weighted_l1 w =
+  check_positive "Cost.weighted_l1" w;
+  let d = Vec.dim w in
+  {
+    name = "weighted-l1";
+    dim = d;
+    eval =
+      (fun s ->
+        let acc = ref 0. in
+        for j = 0 to d - 1 do
+          acc := !acc +. (w.(j) *. abs_float s.(j))
+        done;
+        !acc);
+    min_step =
+      (fun ~a ~b ~bounds ->
+        (* Rescale: t_j = w_j s_j turns the cost into plain L1. *)
+        let a' = Array.mapi (fun j aj -> aj /. w.(j)) a in
+        let bounds' =
+          {
+            Lp.Projection.lo =
+              Array.mapi (fun j x -> x *. w.(j)) bounds.Lp.Projection.lo;
+            hi = Array.mapi (fun j x -> x *. w.(j)) bounds.Lp.Projection.hi;
+          }
+        in
+        match Lp.Projection.l1_boxed ~bounds:bounds' ~a:a' ~b () with
+        | None -> None
+        | Some s' -> Some (Array.mapi (fun j x -> x /. w.(j)) s'));
+  }
+
+let linear c =
+  check_positive "Cost.linear" c;
+  let d = Vec.dim c in
+  {
+    name = "linear";
+    dim = d;
+    eval = (fun s -> Float.max 0. (Vec.dot c s));
+    min_step =
+      (fun ~a ~b ~bounds ->
+        (* Cost c.s is cheapest on coordinates with the best |a_j|/c_j
+           ratio; identical to weighted L1 when steps go in the helpful
+           direction, which the oracle guarantees. *)
+        let a' = Array.mapi (fun j aj -> aj /. c.(j)) a in
+        let bounds' =
+          {
+            Lp.Projection.lo =
+              Array.mapi (fun j x -> x *. c.(j)) bounds.Lp.Projection.lo;
+            hi = Array.mapi (fun j x -> x *. c.(j)) bounds.Lp.Projection.hi;
+          }
+        in
+        match Lp.Projection.l1_boxed ~bounds:bounds' ~a:a' ~b () with
+        | None -> None
+        | Some s' -> Some (Array.mapi (fun j x -> x /. c.(j)) s'));
+  }
+
+(* Coordinate-descent polish on the constraint boundary: shrink one
+   coordinate while growing another so [a . s] stays put, keeping the
+   move whenever the cost drops. *)
+let polish ~eval ~a ~bounds s0 =
+  let d = Array.length s0 in
+  let s = Array.copy s0 in
+  let within j x =
+    Float.min bounds.Lp.Projection.hi.(j) (Float.max bounds.Lp.Projection.lo.(j) x)
+  in
+  let try_pair ji jk step =
+    if a.(jk) <> 0. then begin
+      let sji = within ji (s.(ji) +. step) in
+      let delta = sji -. s.(ji) in
+      if delta <> 0. then begin
+        let sjk = within jk (s.(jk) -. (a.(ji) *. delta /. a.(jk))) in
+        (* Only keep if the constraint value did not increase. *)
+        let old_dot = (a.(ji) *. s.(ji)) +. (a.(jk) *. s.(jk)) in
+        let new_dot = (a.(ji) *. sji) +. (a.(jk) *. sjk) in
+        if new_dot <= old_dot +. 1e-12 then begin
+          let old_cost = eval s in
+          let keep_ji = s.(ji) and keep_jk = s.(jk) in
+          s.(ji) <- sji;
+          s.(jk) <- sjk;
+          if eval s > old_cost -. 1e-15 then begin
+            s.(ji) <- keep_ji;
+            s.(jk) <- keep_jk
+          end
+        end
+      end
+    end
+  in
+  let scale = Float.max 1e-6 (Vec.linf_norm s0) in
+  let steps = [ 0.5 *. scale; 0.1 *. scale; 0.02 *. scale ] in
+  for _round = 1 to 3 do
+    for ji = 0 to d - 1 do
+      for jk = 0 to d - 1 do
+        if ji <> jk then
+          List.iter
+            (fun st ->
+              try_pair ji jk st;
+              try_pair ji jk (-.st))
+            steps
+      done
+    done
+  done;
+  s
+
+let custom ~name ~dim eval =
+  let min_step ~a ~b ~bounds =
+    if not (Lp.Projection.feasible ~a ~b bounds) then None
+    else begin
+      let candidates =
+        List.filter_map
+          (fun c -> c)
+          [
+            Lp.Projection.l2_boxed ~bounds ~a ~b ();
+            Lp.Projection.l1_boxed ~bounds ~a ~b ();
+          ]
+      in
+      match candidates with
+      | [] -> None
+      | cs ->
+          let polished = List.map (polish ~eval ~a ~bounds) cs in
+          let all = cs @ polished in
+          let best =
+            List.fold_left
+              (fun acc s ->
+                match acc with
+                | None -> Some s
+                | Some best -> if eval s < eval best then Some s else acc)
+              None all
+          in
+          best
+    end
+  in
+  { name; dim; eval; min_step }
+
+let scale_invariant_check t =
+  let probe = Array.make t.dim 0.25 in
+  let zero = Array.make t.dim 0. in
+  t.eval zero = 0.
+  && t.eval probe >= 0.
+  && t.eval (Array.map (fun x -> 2. *. x) probe) >= t.eval probe

@@ -1,0 +1,49 @@
+(** User-defined cost functions [Cost_p(s)] and their minimum-step
+    oracles.
+
+    A cost function prices an improvement strategy. Algorithms 3 and 4
+    repeatedly need the {e cheapest} strategy satisfying one linear
+    constraint [a . s <= b] (Equations 13–14); each built-in cost ships a
+    closed-form oracle for that subproblem, and {!custom} costs fall
+    back to a candidate-portfolio + coordinate-polish heuristic. *)
+
+open Geom
+
+type t = {
+  name : string;
+  dim : int;
+  eval : Strategy.t -> float;  (** must be 0 at [s = 0] and >= 0 *)
+  min_step :
+    a:Vec.t -> b:float -> bounds:Lp.Projection.bounds -> Strategy.t option;
+      (** cheapest [s] within [bounds] with [a . s <= b]; [None] when
+          the halfspace is unreachable inside the bounds *)
+}
+
+val euclidean : int -> t
+(** [sqrt (sum s_j^2)] — Equation 30, the experiments' cost. *)
+
+val weighted_euclidean : Vec.t -> t
+(** [sqrt (sum w_j s_j^2)] with positive weights: some attributes are
+    more expensive to move than others. *)
+
+val l1 : int -> t
+(** [sum |s_j|] — total absolute adjustment. *)
+
+val weighted_l1 : Vec.t -> t
+(** [sum w_j |s_j|] with positive weights. *)
+
+val linear : Vec.t -> t
+(** [max(0, c . s)] — the set-cover reduction's cost (Equation 12);
+    the minimum step puts weight on coordinates with the best
+    leverage-to-price ratio. Weights must be positive. *)
+
+val custom :
+  name:string -> dim:int -> (Strategy.t -> float) -> t
+(** Wrap an arbitrary cost. The min-step oracle evaluates a portfolio
+    of closed-form candidates (L2, L1, weighted variants) plus a
+    boundary coordinate-descent polish, and returns the cheapest valid
+    one — a documented heuristic, exact for the built-in shapes. *)
+
+val scale_invariant_check : t -> bool
+(** Sanity predicate used by property tests: cost of the zero strategy
+    is zero and cost is monotone under scaling by 2 on a probe vector. *)

@@ -1,0 +1,126 @@
+open Geom
+
+type state = {
+  index : Query_index.t;
+  target : int;
+  members : bool array;
+  base : int;
+  domain_lo : Vec.t;
+  domain_hi : Vec.t;
+  mutable eval_count : int;
+}
+
+let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
+
+let prepare index ~target =
+  let inst = Query_index.instance index in
+  let m = Instance.n_queries inst in
+  let members = Array.init m (fun q -> Query_index.member index ~q target) in
+  let base = Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 members in
+  let d = Instance.dim inst in
+  let domain_lo = Vec.make d infinity and domain_hi = Vec.make d neg_infinity in
+  Array.iter
+    (fun (q : Topk.Query.t) ->
+      let w = q.Topk.Query.weights in
+      for j = 0 to d - 1 do
+        if w.(j) < domain_lo.(j) then domain_lo.(j) <- w.(j);
+        if w.(j) > domain_hi.(j) then domain_hi.(j) <- w.(j)
+      done)
+    inst.Instance.queries;
+  { index; target; members; base; domain_lo; domain_hi; eval_count = 0 }
+
+let target t = t.target
+let base_hits t = t.base
+let member t ~q = t.members.(q)
+
+let member_after t ~s ~q =
+  let inst = Query_index.instance t.index in
+  let w = inst.Instance.queries.(q).Topk.Query.weights in
+  match Query_index.kth_other t.index ~q ~target:t.target with
+  | None -> true
+  | Some kth ->
+      let new_score = Vec.dot w (Instance.improved inst ~target:t.target ~s) in
+      let thr = Vec.dot w inst.Instance.features.(kth) in
+      better (new_score, t.target) (thr, kth)
+
+(* Interval of [n . q] over the bounding box of the query points. *)
+let dot_range t n =
+  let lo = ref 0. and hi = ref 0. in
+  Array.iteri
+    (fun j c ->
+      if c >= 0. then begin
+        lo := !lo +. (c *. t.domain_lo.(j));
+        hi := !hi +. (c *. t.domain_hi.(j))
+      end
+      else begin
+        lo := !lo +. (c *. t.domain_hi.(j));
+        hi := !hi +. (c *. t.domain_lo.(j))
+      end)
+    n;
+  (!lo, !hi)
+
+(* Queries whose order against some rival flips between the target's
+   position at [s_from] and at [s_to] (both relative to the base
+   feature vector). The plain evaluation path uses
+   [s_from = zero]. *)
+let collect_dirty_between t ~s_from ~s_to f =
+  let inst = Query_index.instance t.index in
+  let feat_t = inst.Instance.features.(t.target) in
+  let visit rival =
+    if rival <> t.target then begin
+      let base = Vec.sub feat_t inst.Instance.features.(rival) in
+      let nb = Vec.add base s_from in
+      let na = Vec.add base s_to in
+      (* Cheap global prune before the R-tree slab search. *)
+      let bmin, bmax = dot_range t nb in
+      let amin, amax = dot_range t na in
+      let flip_possible = (bmax >= 0. && amin < 0.) || (bmin < 0. && amax >= 0.) in
+      if flip_possible then
+        Query_index.slab_queries t.index ~normal_before:nb ~normal_after:na f
+    end
+  in
+  Array.iter visit (Query_index.candidate_rivals t.index)
+
+let collect_dirty t ~s f =
+  let d = Vec.dim s in
+  collect_dirty_between t ~s_from:(Vec.zero d) ~s_to:s f
+
+let dirty_queries t ~s =
+  let seen = Hashtbl.create 64 in
+  collect_dirty t ~s (fun qi -> Hashtbl.replace seen qi ());
+  Hashtbl.fold (fun qi () acc -> qi :: acc) seen [] |> List.sort Int.compare
+
+let dirty_between t ~s_from ~s_to =
+  let seen = Hashtbl.create 64 in
+  collect_dirty_between t ~s_from ~s_to (fun qi -> Hashtbl.replace seen qi ());
+  Hashtbl.fold (fun qi () acc -> qi :: acc) seen [] |> List.sort Int.compare
+
+let evaluate t ~s =
+  t.eval_count <- t.eval_count + 1;
+  if Vec.is_zero ~eps:0. s then t.base
+  else begin
+    let seen = Hashtbl.create 64 in
+    collect_dirty t ~s (fun qi -> Hashtbl.replace seen qi ());
+    Hashtbl.fold
+      (fun qi () acc ->
+        let before = t.members.(qi) in
+        let after = member_after t ~s ~q:qi in
+        acc + (if after && not before then 1 else 0)
+        - (if before && not after then 1 else 0))
+      seen t.base
+  end
+
+let hit_constraint t ~q ~current =
+  let inst = Query_index.instance t.index in
+  let w = inst.Instance.queries.(q).Topk.Query.weights in
+  match Query_index.kth_other t.index ~q ~target:t.target with
+  | None -> None
+  | Some kth ->
+      let thr = Vec.dot w inst.Instance.features.(kth) in
+      let margin = 1e-9 *. (1. +. abs_float thr) in
+      (* Need w . (current + s) < thr (or tie broken by id). Use the
+         strict margin so ids never decide. *)
+      let b = thr -. Vec.dot w current -. margin in
+      Some (w, b)
+
+let evaluations t = t.eval_count

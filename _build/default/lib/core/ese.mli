@@ -1,0 +1,52 @@
+(** Efficient Strategy Evaluation — Algorithm 2.
+
+    Given a target object, the per-target state caches the target's
+    current hit set ([TP(p_i)]). Evaluating a candidate strategy [s]
+    then touches only the queries inside some affected subspace — the
+    slab between an intersection involving the target and its
+    post-strategy image (Equations 4–5) — and re-scores each such query
+    in O(d) using the cached rank-k rival ("switch the rank of f_i and
+    f_l" rather than re-evaluating the query). *)
+
+open Geom
+
+type state
+
+val prepare : Query_index.t -> target:int -> state
+(** Compute the target's base memberships from the index cache. *)
+
+val target : state -> int
+
+val base_hits : state -> int
+(** [H(p_i)] before any improvement. *)
+
+val member : state -> q:int -> bool
+(** Base membership of the target in query [q]'s result. *)
+
+val evaluate : state -> s:Strategy.t -> int
+(** [H(p_i + s)] — Algorithm 2. [s] lives in feature space. *)
+
+val member_after : state -> s:Strategy.t -> q:int -> bool
+(** Whether the improved target hits query [q]; O(d) via the cached
+    threshold rival. *)
+
+val hit_constraint :
+  state -> q:int -> current:Vec.t -> (Vec.t * float) option
+(** The linear constraint [(a, b)] such that a step [s] from [current]
+    (the target's current feature vector) makes the target hit query
+    [q] iff [a . s <= b] (Equation 14, with a small strict-inequality
+    margin). [None] when the target hits [q] unconditionally (fewer
+    than k other objects). *)
+
+val dirty_queries : state -> s:Strategy.t -> int list
+(** The affected-subspace query set for [s] (exposed for tests). *)
+
+val dirty_between :
+  state -> s_from:Strategy.t -> s_to:Strategy.t -> int list
+(** Queries whose result can differ between the target improved by
+    [s_from] and by [s_to] — the slab between the two strategy
+    positions. Incremental searches (Section 5.1) use this to keep
+    per-target membership caches exact across accumulated steps. *)
+
+val evaluations : state -> int
+(** Number of [evaluate] calls so far (benchmark instrumentation). *)

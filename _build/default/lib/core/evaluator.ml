@@ -1,0 +1,107 @@
+open Geom
+
+type t = {
+  name : string;
+  instance : Instance.t;
+  base_hits : int;
+  hit_count : Strategy.t -> int;
+  member : q:int -> Strategy.t -> bool;
+  hit_constraint : q:int -> current:Vec.t -> (Vec.t * float) option;
+  evaluations : unit -> int;
+}
+
+let ese index ~target =
+  let state = Ese.prepare index ~target in
+  {
+    name = "efficient-iq";
+    instance = Query_index.instance index;
+    base_hits = Ese.base_hits state;
+    hit_count = (fun s -> Ese.evaluate state ~s);
+    member = (fun ~q s -> Ese.member_after state ~s ~q);
+    hit_constraint = (fun ~q ~current -> Ese.hit_constraint state ~q ~current);
+    evaluations = (fun () -> Ese.evaluations state);
+  }
+
+let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
+
+(* Per-query hit threshold (Equation 6). It depends only on the OTHER
+   objects, which never move during a search on [target], so both
+   scan-based evaluators memoize it. *)
+let threshold_cache inst ~target =
+  let m = Instance.n_queries inst in
+  let cache = Array.make m `Unknown in
+  fun q ->
+    match cache.(q) with
+    | `Known v -> v
+    | `Unknown ->
+        let w = inst.Instance.queries.(q).Topk.Query.weights in
+        let k = inst.Instance.queries.(q).Topk.Query.k in
+        let v =
+          Topk.Eval.kth_score_excluding inst.Instance.features ~weights:w ~k
+            ~excl:target
+        in
+        cache.(q) <- `Known v;
+        v
+
+let scan_member inst threshold ~target ~q v =
+  let w = inst.Instance.queries.(q).Topk.Query.weights in
+  match threshold q with
+  | None -> true
+  | Some (kth, thr) -> better (Vec.dot w v, target) (thr, kth)
+
+let cached_constraint inst threshold ~q ~current =
+  match threshold q with
+  | None -> None
+  | Some (_, thr) ->
+      let w = inst.Instance.queries.(q).Topk.Query.weights in
+      let margin = 1e-9 *. (1. +. abs_float thr) in
+      Some (w, thr -. Vec.dot w current -. margin)
+
+let naive inst ~target =
+  let count = ref 0 in
+  let m = Instance.n_queries inst in
+  let threshold = threshold_cache inst ~target in
+  let hit_count s =
+    incr count;
+    let v = Instance.improved inst ~target ~s in
+    let acc = ref 0 in
+    for q = 0 to m - 1 do
+      if scan_member inst threshold ~target ~q v then incr acc
+    done;
+    !acc
+  in
+  let member ~q s =
+    scan_member inst threshold ~target ~q (Instance.improved inst ~target ~s)
+  in
+  {
+    name = "naive";
+    instance = inst;
+    base_hits = hit_count (Strategy.zero (Instance.dim inst));
+    hit_count;
+    member;
+    hit_constraint = cached_constraint inst threshold;
+    evaluations = (fun () -> !count);
+  }
+
+let rta inst ~target =
+  let count = ref 0 in
+  let queries = Array.to_list inst.Instance.queries in
+  let threshold = threshold_cache inst ~target in
+  let hit_count s =
+    incr count;
+    let v = Instance.improved inst ~target ~s in
+    let inst' = Instance.with_feature inst ~target v in
+    Topk.Rta.hit_count ~data:inst'.Instance.features ~queries target
+  in
+  let member ~q s =
+    scan_member inst threshold ~target ~q (Instance.improved inst ~target ~s)
+  in
+  {
+    name = "rta-iq";
+    instance = inst;
+    base_hits = hit_count (Strategy.zero (Instance.dim inst));
+    hit_count;
+    member;
+    hit_constraint = cached_constraint inst threshold;
+    evaluations = (fun () -> !count);
+  }

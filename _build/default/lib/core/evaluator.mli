@@ -1,0 +1,32 @@
+(** Strategy evaluators — the pluggable "compute H(p_i + s)" oracle.
+
+    The strategy-search loop (Algorithms 3 and 4) is evaluator-agnostic:
+    Efficient-IQ plugs in {!ese}, the RTA-IQ baseline plugs in {!rta}
+    (reverse top-k recomputed per candidate, linear utilities only), and
+    tests use {!naive} as ground truth. All three agree on results;
+    they differ in cost, which is exactly what Figures 7–12 measure. *)
+
+open Geom
+
+type t = {
+  name : string;
+  instance : Instance.t;
+  base_hits : int;  (** [H(p_target)] with no strategy applied *)
+  hit_count : Strategy.t -> int;  (** [H(p_target + s)], feature space *)
+  member : q:int -> Strategy.t -> bool;
+      (** does the improved target hit query [q]? *)
+  hit_constraint : q:int -> current:Vec.t -> (Vec.t * float) option;
+      (** Equation 14's linear constraint; [None] = unconditional hit *)
+  evaluations : unit -> int;  (** instrumentation *)
+}
+
+val ese : Query_index.t -> target:int -> t
+(** Efficient-IQ's evaluator: Algorithm 2 over the subdomain index. *)
+
+val naive : Instance.t -> target:int -> t
+(** Ground truth: rescan the full dataset per query (O(n·m·d) per
+    evaluation). *)
+
+val rta : Instance.t -> target:int -> t
+(** Reverse-top-k (RTA) evaluation: every [hit_count] call runs RTA
+    over the query set against the dataset with the target moved. *)

@@ -1,0 +1,38 @@
+(** Exhaustive (optimal) strategy search — the "math tools" option of
+    Section 4.2 — for piecewise-linear costs and tiny instances.
+
+    Min-Cost: enumerate every [tau]-subset of queries, solve the LP
+    "cheapest [s] hitting all of them" with the two-phase simplex, keep
+    the best. Max-Hit: binary-search subset sizes from above. Both are
+    exponential in the number of queries (the paper reports > 4 hours at
+    experiment scale; the bench reproduces the blow-up on toy sizes). *)
+
+type outcome = {
+  strategy : Strategy.t;
+  total_cost : float;
+  hits_after : int;
+  lps_solved : int;
+}
+
+val min_cost :
+  ?limits:Strategy.limits ->
+  inst:Instance.t ->
+  weights:Geom.Vec.t ->
+  target:int ->
+  tau:int ->
+  unit ->
+  outcome option
+(** Optimal strategy for cost [sum_j weights_j * |s_j|] (positive
+    weights; use all-ones for plain L1).
+    @raise Invalid_argument when the instance has more than 24 queries
+    (combinatorial blow-up guard) or on bad arguments. *)
+
+val max_hit :
+  ?limits:Strategy.limits ->
+  inst:Instance.t ->
+  weights:Geom.Vec.t ->
+  target:int ->
+  beta:float ->
+  unit ->
+  outcome
+(** Optimal hit count under budget [beta] for the same cost family. *)

@@ -1,0 +1,105 @@
+open Geom
+
+type t = {
+  raw : Vec.t array;
+  features : Vec.t array;
+  utility : Topk.Utility.t;
+  order : Topk.Utility.order;
+  queries : Topk.Query.t array;
+}
+
+let create ?utility ?(order = Topk.Utility.Asc) ~data ~queries () =
+  if Array.length data = 0 then invalid_arg "Instance.create: empty data";
+  let d_raw = Vec.dim data.(0) in
+  let utility =
+    match utility with Some u -> u | None -> Topk.Utility.linear d_raw
+  in
+  if utility.Topk.Utility.dim_in <> d_raw then
+    invalid_arg "Instance.create: utility dim_in mismatch";
+  Array.iter
+    (fun p ->
+      if Vec.dim p <> d_raw then
+        invalid_arg "Instance.create: ragged object attributes")
+    data;
+  let features = Array.map utility.Topk.Utility.features data in
+  let queries =
+    Array.of_list
+      (List.map
+         (fun (q : Topk.Query.t) ->
+           if Vec.dim q.Topk.Query.weights <> utility.Topk.Utility.dim_out
+           then invalid_arg "Instance.create: query weight arity mismatch";
+           {
+             q with
+             Topk.Query.weights =
+               Topk.Utility.effective_weights order q.Topk.Query.weights;
+           })
+         queries)
+  in
+  { raw = data; features; utility; order; queries }
+
+let n_objects t = Array.length t.features
+let n_queries t = Array.length t.queries
+let dim t = t.utility.Topk.Utility.dim_out
+let dim_raw t = t.utility.Topk.Utility.dim_in
+
+let max_k t =
+  Array.fold_left (fun acc q -> Int.max acc q.Topk.Query.k) 1 t.queries
+
+let score t ~q id = Vec.dot t.queries.(q).Topk.Query.weights t.features.(id)
+let score_vec t ~q v = Vec.dot t.queries.(q).Topk.Query.weights v
+let improved t ~target ~s = Vec.add t.features.(target) s
+
+let with_feature t ~target v =
+  let features = Array.copy t.features in
+  features.(target) <- v;
+  let raw =
+    if t.utility.Topk.Utility.dim_in = t.utility.Topk.Utility.dim_out then begin
+      (* Linear utilities: feature space IS raw space. *)
+      let raw = Array.copy t.raw in
+      raw.(target) <- v;
+      raw
+    end
+    else t.raw
+  in
+  { t with raw; features }
+
+let query_points t = Array.map (fun q -> q.Topk.Query.weights) t.queries
+
+let add_query t (q : Topk.Query.t) =
+  if Vec.dim q.Topk.Query.weights <> t.utility.Topk.Utility.dim_out then
+    invalid_arg "Instance.add_query: weight arity mismatch";
+  let q =
+    {
+      q with
+      Topk.Query.weights =
+        Topk.Utility.effective_weights t.order q.Topk.Query.weights;
+    }
+  in
+  { t with queries = Array.append t.queries [| q |] }
+
+let remove_query t i =
+  let m = Array.length t.queries in
+  if i < 0 || i >= m then invalid_arg "Instance.remove_query: bad index";
+  let queries =
+    Array.init (m - 1) (fun j -> if j < i then t.queries.(j) else t.queries.(j + 1))
+  in
+  { t with queries }
+
+let add_object t raw_attrs =
+  if Vec.dim raw_attrs <> t.utility.Topk.Utility.dim_in then
+    invalid_arg "Instance.add_object: attribute arity mismatch";
+  {
+    t with
+    raw = Array.append t.raw [| raw_attrs |];
+    features =
+      Array.append t.features [| t.utility.Topk.Utility.features raw_attrs |];
+  }
+
+let remove_object t id =
+  let n = Array.length t.features in
+  if n <= 1 then invalid_arg "Instance.remove_object: last object";
+  if id < 0 || id >= n then invalid_arg "Instance.remove_object: bad id";
+  let drop arr =
+    Array.init (n - 1) (fun j -> if j < id then arr.(j) else arr.(j + 1))
+  in
+  { t with raw = drop t.raw; features = drop t.features }

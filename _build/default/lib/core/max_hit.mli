@@ -1,0 +1,32 @@
+(** Max-Hit Improvement Query — Algorithm 4.
+
+    Same greedy cost-per-hit search as Algorithm 3, but driven by a
+    budget [beta]: apply best-ratio steps while they fit; once the best
+    ratio no longer fits, sweep the remaining candidates cheapest-first
+    and apply any that still fit, then stop. Budget accounting uses the
+    per-step (incremental) costs, as the paper's pseudocode does. *)
+
+type outcome = {
+  strategy : Strategy.t;
+  total_cost : float;  (** [Cost(s)] of the accumulated strategy *)
+  incremental_cost : float;  (** budget actually consumed *)
+  hits_before : int;
+  hits_after : int;
+  iterations : int;
+  evaluations : int;
+}
+
+val search :
+  ?limits:Strategy.limits ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  target:int ->
+  beta:float ->
+  unit ->
+  outcome
+(** Always returns (the zero strategy is within any non-negative
+    budget). @raise Invalid_argument when [beta < 0]. *)
+
+val per_hit_cost : outcome -> float

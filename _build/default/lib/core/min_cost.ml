@@ -1,0 +1,98 @@
+open Geom
+
+type outcome = {
+  strategy : Strategy.t;
+  total_cost : float;
+  incremental_cost : float;
+  hits_before : int;
+  hits_after : int;
+  iterations : int;
+  evaluations : int;
+}
+
+let ratio (c : Candidates.t) =
+  if c.Candidates.hits <= 0 then infinity
+  else c.Candidates.step_cost /. float_of_int c.Candidates.hits
+
+let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
+    ~(cost : Cost.t) ~target ~tau () =
+  if tau <= 0 then invalid_arg "Min_cost.search: tau <= 0";
+  let inst = evaluator.Evaluator.instance in
+  let d = Instance.dim inst in
+  if cost.Cost.dim <> d then invalid_arg "Min_cost.search: cost arity";
+  let limits =
+    match limits with Some l -> l | None -> Strategy.unrestricted d
+  in
+  let max_iterations =
+    match max_iterations with Some n -> n | None -> (4 * tau) + 16
+  in
+  let p0 = inst.Instance.features.(target) in
+  let total_bounds = Strategy.bounds_for limits ~p:p0 in
+  let s_star = ref (Strategy.zero d) in
+  let spent = ref 0. in
+  let hits = ref evaluator.Evaluator.base_hits in
+  let iterations = ref 0 in
+  let finished = ref (!hits >= tau) in
+  let failed = ref false in
+  while (not !finished) && (not !failed) && !iterations < max_iterations do
+    incr iterations;
+    let current = Vec.add p0 !s_star in
+    let bounds = Candidates.remaining_bounds total_bounds !s_star in
+    let candidates =
+      Candidates.collect ~evaluator ~cost ~bounds ~current ~s_star:!s_star
+        ~cap:candidate_cap ()
+    in
+    Log.debug (fun m ->
+        m "min-cost iteration %d: %d candidates, H=%d/%d" !iterations
+          (List.length candidates) !hits tau);
+    match candidates with
+    | [] -> failed := true
+    | cs -> (
+        let best =
+          List.fold_left
+            (fun acc c -> if ratio c < ratio acc then c else acc)
+            (List.hd cs) (List.tl cs)
+        in
+        if best.Candidates.hits <= tau then begin
+          s_star := Vec.add !s_star best.Candidates.step;
+          spent := !spent +. best.Candidates.step_cost;
+          hits := best.Candidates.hits;
+          if !hits >= tau then finished := true
+        end
+        else begin
+          (* Overshoot: apply the cheapest candidate reaching tau. *)
+          let reaching =
+            List.filter (fun c -> c.Candidates.hits >= tau) cs
+          in
+          match reaching with
+          | [] -> failed := true
+          | r :: rest ->
+              let cheapest =
+                List.fold_left
+                  (fun acc c ->
+                    if c.Candidates.step_cost < acc.Candidates.step_cost then c
+                    else acc)
+                  r rest
+              in
+              s_star := Vec.add !s_star cheapest.Candidates.step;
+              spent := !spent +. cheapest.Candidates.step_cost;
+              hits := cheapest.Candidates.hits;
+              finished := true
+        end)
+  done;
+  if not !finished then None
+  else
+    Some
+      {
+        strategy = !s_star;
+        total_cost = cost.Cost.eval !s_star;
+        incremental_cost = !spent;
+        hits_before = evaluator.Evaluator.base_hits;
+        hits_after = !hits;
+        iterations = !iterations;
+        evaluations = evaluator.Evaluator.evaluations ();
+      }
+
+let per_hit_cost o =
+  if o.hits_after <= 0 then infinity
+  else o.total_cost /. float_of_int o.hits_after

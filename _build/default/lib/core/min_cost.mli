@@ -1,0 +1,39 @@
+(** Min-Cost Improvement Query — Algorithm 3.
+
+    Greedy ratio search: each iteration computes, for every query the
+    target does not yet hit, the cheapest single step that would hit it
+    (Equations 13–14 via the cost's min-step oracle), evaluates each
+    candidate's total hit count with the plugged evaluator, applies the
+    candidate with the best cost-per-hit ratio, and stops once at least
+    [tau] queries are hit — switching to the cheapest
+    [tau]-reaching candidate when the ratio choice would overshoot. *)
+
+type outcome = {
+  strategy : Strategy.t;  (** the accumulated strategy [s], feature space *)
+  total_cost : float;  (** [Cost(s)] of the accumulated strategy *)
+  incremental_cost : float;  (** sum of per-iteration step costs *)
+  hits_before : int;
+  hits_after : int;
+  iterations : int;
+  evaluations : int;  (** candidate evaluations performed *)
+}
+
+val search :
+  ?limits:Strategy.limits ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  evaluator:Evaluator.t ->
+  cost:Cost.t ->
+  target:int ->
+  tau:int ->
+  unit ->
+  outcome option
+(** [None] when [tau] hits are unreachable (no feasible candidate
+    remains or the iteration cap — default [4*tau + 16] — is hit).
+    [candidate_cap], when given, fully evaluates only the that many
+    cheapest candidate steps per iteration (a benchmark-scale knob; the
+    default evaluates all, as the paper does).
+    @raise Invalid_argument when [tau <= 0] or dimensions mismatch. *)
+
+val per_hit_cost : outcome -> float
+(** The experiments' quality metric: total cost / hits achieved. *)

@@ -1,0 +1,72 @@
+open Geom
+
+type monomial = { attr : int; degree : int }
+type monomial_map = monomial array
+
+let monomial_utility ~dim_in map =
+  Array.iter
+    (fun m ->
+      if m.attr < 0 || m.attr >= dim_in then
+        invalid_arg "Nonlinear.monomial_utility: attribute out of range";
+      if m.degree <= 0 then
+        invalid_arg "Nonlinear.monomial_utility: non-positive degree")
+    map;
+  Topk.Utility.polynomial ~dim_in
+    ~terms:(Array.to_list (Array.map (fun m -> [ (m.attr, m.degree) ]) map))
+
+let nth_root v degree =
+  if degree = 1 then Some v
+  else if degree mod 2 = 1 then
+    (* Odd roots exist for negatives. *)
+    Some (Float.of_int (compare v 0.) *. (abs_float v ** (1. /. float_of_int degree)))
+  else if v < 0. then None
+  else Some (v ** (1. /. float_of_int degree))
+
+let invert_strategy map ~raw ~s_feature =
+  let d_raw = Vec.dim raw in
+  if Array.length map <> Vec.dim s_feature then
+    invalid_arg "Nonlinear.invert_strategy: arity mismatch";
+  let adjustments = Array.make d_raw nan in
+  let ok = ref true in
+  Array.iteri
+    (fun j m ->
+      if !ok then begin
+        let x = raw.(m.attr) in
+        let old_feature = x ** float_of_int m.degree in
+        let new_feature = old_feature +. s_feature.(j) in
+        match nth_root new_feature m.degree with
+        | None -> ok := false
+        | Some x' ->
+            let adj = x' -. x in
+            if Float.is_nan adjustments.(m.attr) then
+              adjustments.(m.attr) <- adj
+            else if abs_float (adjustments.(m.attr) -. adj) > 1e-6 then
+              ok := false
+      end)
+    map;
+  if not !ok then None
+  else
+    Some
+      (Array.map (fun a -> if Float.is_nan a then 0. else a) adjustments)
+
+let generic = function
+  | [] -> invalid_arg "Nonlinear.generic: empty family list"
+  | f :: fs -> List.fold_left Topk.Utility.concat f fs
+
+let embed_query ~families ~family (q : Topk.Query.t) =
+  let n = List.length families in
+  if family < 0 || family >= n then
+    invalid_arg "Nonlinear.embed_query: family index out of range";
+  let fam = List.nth families family in
+  if Vec.dim q.Topk.Query.weights <> fam.Topk.Utility.dim_out then
+    invalid_arg "Nonlinear.embed_query: query weight arity mismatch";
+  let before =
+    List.filteri (fun i _ -> i < family) families
+    |> List.fold_left (fun acc f -> acc + f.Topk.Utility.dim_out) 0
+  in
+  let total =
+    List.fold_left (fun acc f -> acc + f.Topk.Utility.dim_out) 0 families
+  in
+  let w = Array.make total 0. in
+  Array.blit q.Topk.Query.weights 0 w before (Vec.dim q.Topk.Query.weights);
+  { q with Topk.Query.weights = w }

@@ -1,0 +1,42 @@
+(** Complex and heterogeneous utility functions — Sections 5.2 / 5.3.
+
+    The instance machinery already works in feature space; what this
+    module adds is the glue the paper describes around it:
+
+    - building variable-substitution linearizations for polynomial
+      utilities and inverting feature-space strategies back to raw
+      attribute adjustments when each augmented attribute is a
+      single-variable monomial;
+    - the "generic function" construction that unifies heterogeneous
+      user-defined utilities into one weight space by concatenation and
+      zero-padding. *)
+
+open Geom
+
+type monomial = { attr : int; degree : int }
+type monomial_map = monomial array
+(** Feature [j] is [x_{attr_j} ^ degree_j]. *)
+
+val monomial_utility : dim_in:int -> monomial_map -> Topk.Utility.t
+(** The Section 5.2 linearization for single-variable monomials.
+    @raise Invalid_argument on bad indices or degrees. *)
+
+val invert_strategy :
+  monomial_map -> raw:Vec.t -> s_feature:Vec.t -> Vec.t option
+(** Map a feature-space strategy back to raw attribute adjustments:
+    for each feature [j] with new value [v_j = x^deg + s_j], the raw
+    adjustment is [v_j^(1/deg) - x]. [None] when some new feature value
+    is negative and the degree even (no real root), or when two
+    features constrain the same raw attribute inconsistently (beyond
+    1e-6). *)
+
+val generic : Topk.Utility.t list -> Topk.Utility.t
+(** Section 5.3's generic function: concatenate the families' feature
+    spaces. Queries using family [i] must zero-pad the other blocks;
+    {!embed_query} does so. @raise Invalid_argument on empty list or
+    differing input arities. *)
+
+val embed_query :
+  families:Topk.Utility.t list -> family:int -> Topk.Query.t -> Topk.Query.t
+(** Lift a query expressed in family [family]'s weight space into the
+    generic function's weight space (zero-padding other blocks). *)

@@ -1,0 +1,124 @@
+(** The Efficient-IQ query index (Section 4.1, scalable path).
+
+    Queries are grouped by their {e ranking signature} — the ordered
+    prefix of the best [depth] object ids — which is the subdomain
+    equivalence relation restricted to the intersections that can ever
+    affect a top-k result (see DESIGN.md). Each group caches that
+    ordered prefix once ("at most one query needs to be evaluated per
+    subdomain"); an R-tree over the query points supports the
+    affected-subspace slab searches of Equations 4–5. *)
+
+open Geom
+
+type group = {
+  gid : int;
+  prefix : int array;  (** ordered best-object ids, shared by the group *)
+  members : int array;  (** query indices *)
+}
+
+type t
+
+type build_method =
+  | Scan  (** bounded-selection scan per query (default) *)
+  | Threshold_algorithm
+      (** Fagin TA over per-dimension sorted lists; requires
+          non-negative query weights *)
+
+val build : ?depth_slack:int -> ?method_:build_method -> Instance.t -> t
+(** Prefix depth is [max_k + 1 + depth_slack] (slack defaults to 0; a
+    positive slack keeps signatures valid under deeper perturbations).
+    @raise Invalid_argument when [Threshold_algorithm] is requested on a
+    workload with negative weights. *)
+
+val instance : t -> Instance.t
+
+val depth : t -> int
+
+val groups : t -> group array
+
+val group_of : t -> int -> group
+(** Group containing a query index. *)
+
+val n_groups : t -> int
+
+val rtree : t -> int Rtree.t
+(** Query-point R-tree; payloads are query indices. *)
+
+val candidate_rivals : t -> int array
+(** Object ids appearing in at least one cached prefix — the only
+    possible swap partners whose intersections with a target can change
+    any query's result (the Fact-2 elimination of Section 4.1). *)
+
+val build_seconds : t -> float
+
+val size_words : t -> int
+(** Approximate index footprint in machine words (R-tree nodes, group
+    prefixes, membership arrays). *)
+
+val kth_other : t -> q:int -> target:int -> int option
+(** The object at rank [k_q] once [target] is removed — Equation 6's
+    threshold object [p_{j,k}]. [None] when fewer than [k] others exist
+    in the prefix (implies the target always hits). *)
+
+val member : t -> q:int -> int -> bool
+(** Whether object [id] is in query [q]'s top-k (from the cache). *)
+
+val slab_queries :
+  t -> normal_before:Vec.t -> normal_after:Vec.t -> (int -> unit) -> unit
+(** Visit every query index whose sign under [normal_before . q]
+    differs from its sign under [normal_after . q] — the affected
+    subspace between an intersection and its post-strategy image.
+    Points on a hyperplane count as above (Section 4.1). Uses R-tree
+    pruning via per-node interval bounds. *)
+
+(** {2 Data updating — Section 4.3}
+
+    All update operations maintain the index in place. Evaluator/ESE
+    states prepared before an update are stale afterwards; prepare
+    fresh ones. *)
+
+val add_query : t -> Topk.Query.t -> int
+(** Insert a top-k query, returning its index. The nearest existing
+    query's subdomain is tried first (the paper's kNN shortcut) and
+    verified against its boundaries; only on mismatch is the prefix
+    recomputed from scratch.
+    @raise Invalid_argument when the query's [k] exceeds the index
+    depth (rebuild with [depth_slack] instead). *)
+
+val remove_query : t -> int -> unit
+(** Remove the query at an index; later query indices shift down. *)
+
+val add_object : t -> Vec.t -> int
+(** Insert an object (raw attributes), returning its id. Subdomain
+    boundaries move only where the new function cuts into a cached
+    prefix; those prefixes are updated by sorted insertion, everything
+    else is untouched. *)
+
+val remove_object : t -> int -> unit
+(** Remove an object id (later ids shift down). The Bloom filter over
+    prefix membership ({!prefix_filter}) short-circuits the search for
+    affected subdomains; only those recompute their prefixes. *)
+
+val prefix_filter : t -> int Bloom.t
+(** Bloom filter over object ids that bound some populated subdomain
+    (appear in a cached prefix) — Section 4.3's structure. *)
+
+val hint_stats : t -> int * int
+(** [(hits, misses)] of the kNN subdomain shortcut across
+    {!add_query} calls. *)
+
+(** {2 Persistence}
+
+    Snapshots store plain data only — raw attributes, feature vectors,
+    effective query weights and the cached prefixes; the utility's
+    feature map (a closure) is not stored. A loaded index works in
+    feature space, which is where all IQ processing happens; for linear
+    utilities this is a perfect round trip. *)
+
+val save : t -> string -> unit
+(** Write a binary index snapshot. *)
+
+val load : string -> t
+(** Load a snapshot written by {!save}. The loaded instance's objects
+    are the saved feature vectors (weights already in the minimizing
+    convention). @raise Invalid_argument on a non-snapshot file. *)

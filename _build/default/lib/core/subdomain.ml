@@ -1,0 +1,305 @@
+open Geom
+
+type boundary = { intersection : int; above : bool }
+
+type subdomain = {
+  sid : int;
+  boundaries : boundary list;
+  members : int list;
+}
+
+type t = { cells : subdomain list; cell_of : int array }
+
+(* Algorithm 1: start with one subdomain holding every query point;
+   for each intersection, split every subdomain it crosses into the
+   above / below children, keeping only non-empty cells. *)
+let find_subdomains ~intersections ~points =
+  let next_sid = ref 0 in
+  let fresh () =
+    let sid = !next_sid in
+    incr next_sid;
+    sid
+  in
+  let initial =
+    { sid = fresh (); boundaries = []; members = List.init (Array.length points) Fun.id }
+  in
+  let split_cell hyper_idx hyper cell =
+    let above, below =
+      List.partition
+        (fun qi -> Hyperplane.above_or_on hyper points.(qi))
+        cell.members
+    in
+    match (above, below) with
+    | _, [] | [], _ -> [ cell ] (* intersection does not cross this cell *)
+    | _ ->
+        [
+          {
+            sid = fresh ();
+            boundaries = { intersection = hyper_idx; above = true } :: cell.boundaries;
+            members = above;
+          };
+          {
+            sid = fresh ();
+            boundaries = { intersection = hyper_idx; above = false } :: cell.boundaries;
+            members = below;
+          };
+        ]
+  in
+  let cells =
+    Array.to_list intersections
+    |> List.mapi (fun i h -> (i, h))
+    |> List.fold_left
+         (fun cells (i, h) -> List.concat_map (split_cell i h) cells)
+         [ initial ]
+  in
+  let cell_of = Array.make (Array.length points) (-1) in
+  List.iter
+    (fun cell -> List.iter (fun qi -> cell_of.(qi) <- cell.sid) cell.members)
+    cells;
+  (* Re-number densely so sids are stable and compact. *)
+  let renumber = Hashtbl.create 16 in
+  let cells =
+    List.mapi
+      (fun fresh_sid cell ->
+        Hashtbl.add renumber cell.sid fresh_sid;
+        { cell with sid = fresh_sid })
+      cells
+  in
+  Array.iteri (fun qi sid -> cell_of.(qi) <- Hashtbl.find renumber sid) cell_of;
+  { cells; cell_of }
+
+let pairwise_intersections ?domain features =
+  let crosses h =
+    match domain with
+    | None -> true
+    | Some (box : Box.t) ->
+        (* A hyperplane that keeps the whole query domain on one side
+           can never separate two query points: drop it (the paper
+           notes empty subdomains are discarded; this prunes them
+           before they are even created). *)
+        let mn, mx = Hyperplane.box_min_max h ~lo:box.Box.lo ~hi:box.Box.hi in
+        mn < 0. && mx >= 0.
+  in
+  let n = Array.length features in
+  let out = ref [] in
+  for i = 0 to n - 1 do
+    for l = i + 1 to n - 1 do
+      match Hyperplane.of_points features.(i) features.(l) with
+      | Some h -> if crosses h then out := h :: !out
+      | None -> ()
+    done
+  done;
+  Array.of_list (List.rev !out)
+
+let of_instance ?domain inst =
+  let intersections = pairwise_intersections ?domain inst.Instance.features in
+  let points = Instance.query_points inst in
+  (intersections, find_subdomains ~intersections ~points)
+
+let subdomains t = t.cells
+
+let subdomain_of t qi =
+  if qi < 0 || qi >= Array.length t.cell_of then
+    invalid_arg "Subdomain.subdomain_of: bad query index";
+  t.cell_of.(qi)
+
+let count t = List.length t.cells
+let same_cell t a b = subdomain_of t a = subdomain_of t b
+
+let boundary_filter t =
+  let total =
+    List.fold_left (fun acc c -> acc + List.length c.boundaries) 0 t.cells
+  in
+  let filter = Bloom.create ~expected:(Int.max 1 total) () in
+  List.iter
+    (fun c -> List.iter (fun b -> Bloom.add filter b.intersection) c.boundaries)
+    t.cells;
+  filter
+
+let locate t ~intersections point =
+  let matches cell =
+    List.for_all
+      (fun b ->
+        let above = Hyperplane.above_or_on intersections.(b.intersection) point in
+        above = b.above)
+      cell.boundaries
+    && cell.members <> []
+  in
+  match List.find_opt matches t.cells with
+  | Some cell -> Some cell.sid
+  | None -> None
+
+(* --- Section 4.3 maintenance on the exact partition ----------------- *)
+
+let renumber cells n_points =
+  let cell_of = Array.make n_points (-1) in
+  let cells =
+    List.mapi (fun sid cell -> { cell with sid }) cells
+  in
+  List.iter
+    (fun cell -> List.iter (fun qi -> cell_of.(qi) <- cell.sid) cell.members)
+    cells;
+  { cells; cell_of }
+
+let n_points t = Array.length t.cell_of
+
+let add_point t ~intersections ~points point =
+  let qi = n_points t in
+  (* Candidate via the cheap boundary test (the paper's kNN shortcut),
+     then verified against a representative member's full sign vector —
+     recorded boundaries are only the splits that happened, which does
+     not discriminate on intersections that never crossed the cell. *)
+  let agrees_with member =
+    Array.for_all
+      (fun h ->
+        Hyperplane.above_or_on h point
+        = Hyperplane.above_or_on h points.(member))
+      intersections
+  in
+  let candidate =
+    match locate t ~intersections point with
+    | Some sid -> List.find_opt (fun c -> c.sid = sid) t.cells
+    | None -> None
+  in
+  let verified =
+    match candidate with
+    | Some cell -> (
+        match cell.members with
+        | member :: _ when agrees_with member -> Some cell
+        | _ -> (
+            (* Fallback: scan every populated cell for a sign match. *)
+            match
+              List.find_opt
+                (fun c ->
+                  match c.members with
+                  | member :: _ -> agrees_with member
+                  | [] -> false)
+                t.cells
+            with
+            | Some c -> Some c
+            | None -> None))
+    | None ->
+        List.find_opt
+          (fun c ->
+            match c.members with
+            | member :: _ -> agrees_with member
+            | [] -> false)
+          t.cells
+  in
+  let cells =
+    match verified with
+    | Some cell ->
+        List.map
+          (fun c ->
+            if c.sid = cell.sid then { c with members = qi :: c.members }
+            else c)
+          t.cells
+    | None ->
+        (* A fresh region: sign the point against every intersection
+           (a superset of its minimal boundary set, which is safe). *)
+        let boundaries =
+          Array.to_list intersections
+          |> List.mapi (fun i h ->
+                 { intersection = i; above = Hyperplane.above_or_on h point })
+        in
+        { sid = -1; boundaries; members = [ qi ] } :: t.cells
+  in
+  (renumber cells (qi + 1), qi)
+
+let remove_point t qi =
+  if qi < 0 || qi >= n_points t then
+    invalid_arg "Subdomain.remove_point: bad index";
+  let shift j = if j > qi then j - 1 else j in
+  let cells =
+    t.cells
+    |> List.map (fun cell ->
+           {
+             cell with
+             members =
+               List.filter_map
+                 (fun j -> if j = qi then None else Some (shift j))
+                 cell.members;
+           })
+    |> List.filter (fun cell -> cell.members <> [])
+  in
+  renumber cells (n_points t - 1)
+
+let split_by t ~points ~first_index new_hyperplanes =
+  let split_cell hyper_idx hyper cell =
+    let above, below =
+      List.partition
+        (fun qi -> Hyperplane.above_or_on hyper points.(qi))
+        cell.members
+    in
+    match (above, below) with
+    | _, [] | [], _ -> [ cell ]
+    | _ ->
+        [
+          {
+            sid = -1;
+            boundaries =
+              { intersection = hyper_idx; above = true } :: cell.boundaries;
+            members = above;
+          };
+          {
+            sid = -1;
+            boundaries =
+              { intersection = hyper_idx; above = false } :: cell.boundaries;
+            members = below;
+          };
+        ]
+  in
+  let cells =
+    Array.to_list new_hyperplanes
+    |> List.mapi (fun i h -> (first_index + i, h))
+    |> List.fold_left
+         (fun cells (i, h) -> List.concat_map (split_cell i h) cells)
+         t.cells
+  in
+  renumber cells (n_points t)
+
+let merge_removed t ~points ~kept ~removed ~remap =
+  let filter = boundary_filter t in
+  let maybe_affected =
+    List.exists (fun i -> Bloom.mem filter i) removed
+  in
+  let is_removed i = List.mem i removed in
+  let affected, untouched =
+    if not maybe_affected then ([], t.cells)
+    else
+      List.partition
+        (fun cell ->
+          List.exists (fun b -> is_removed b.intersection) cell.boundaries)
+        t.cells
+  in
+  let untouched =
+    List.map
+      (fun cell ->
+        {
+          cell with
+          boundaries =
+            List.map
+              (fun b -> { b with intersection = remap b.intersection })
+              cell.boundaries;
+        })
+      untouched
+  in
+  (* Re-partition the affected members among themselves with the kept
+     intersections: cells separated only by a dead intersection merge. *)
+  let affected_members = List.concat_map (fun c -> c.members) affected in
+  let merged =
+    match affected_members with
+    | [] -> []
+    | members ->
+        let sub_points = Array.of_list (List.map (fun qi -> points.(qi)) members) in
+        let sub = find_subdomains ~intersections:kept ~points:sub_points in
+        let members_arr = Array.of_list members in
+        List.map
+          (fun cell ->
+            {
+              cell with
+              members = List.map (fun i -> members_arr.(i)) cell.members;
+            })
+          sub.cells
+  in
+  renumber (untouched @ merged) (n_points t)

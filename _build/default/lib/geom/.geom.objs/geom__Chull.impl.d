@@ -1,0 +1,1 @@
+lib/geom/chull.ml: Array Float Fun List Vec

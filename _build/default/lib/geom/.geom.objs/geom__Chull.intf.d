@@ -1,0 +1,1 @@
+lib/geom/chull.mli: Vec

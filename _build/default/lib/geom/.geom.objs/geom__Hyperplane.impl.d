@@ -1,0 +1,1 @@
+lib/geom/hyperplane.ml: Array Format Vec

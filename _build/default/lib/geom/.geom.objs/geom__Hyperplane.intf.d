@@ -1,0 +1,1 @@
+lib/geom/hyperplane.mli: Format Vec

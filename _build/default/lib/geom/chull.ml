@@ -1,0 +1,60 @@
+let compare_xy (a : Vec.t) (b : Vec.t) =
+  match Float.compare a.(0) b.(0) with
+  | 0 -> Float.compare a.(1) b.(1)
+  | c -> c
+
+let dedup pts =
+  let sorted = List.sort_uniq compare_xy pts in
+  sorted
+
+let cross o a b =
+  ((a.(0) -. o.(0)) *. (b.(1) -. o.(1)))
+  -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+let hull pts =
+  List.iter
+    (fun p -> if Vec.dim p <> 2 then invalid_arg "Geom.Chull.hull: 2-D only")
+    pts;
+  let pts = dedup pts in
+  if List.length pts < 3 then pts
+  else begin
+    let arr = Array.of_list pts in
+    let n = Array.length arr in
+    let build indices =
+      let stack = ref [] in
+      let push p =
+        let rec pop () =
+          match !stack with
+          | b :: a :: _ when cross a b p <= 0. ->
+              stack := List.tl !stack;
+              pop ()
+          | _ -> ()
+        in
+        pop ();
+        stack := p :: !stack
+      in
+      List.iter (fun i -> push arr.(i)) indices;
+      List.rev !stack
+    in
+    let fwd = List.init n Fun.id in
+    let bwd = List.rev fwd in
+    let lower = build fwd and upper = build bwd in
+    (* Drop the last point of each chain (it repeats at the start of the
+       other chain). *)
+    let trim l = match List.rev l with _ :: tl -> List.rev tl | [] -> [] in
+    trim lower @ trim upper
+  end
+
+let layers pts =
+  let eq a b = compare_xy a b = 0 in
+  let rec go remaining acc =
+    match dedup remaining with
+    | [] -> List.rev acc
+    | pts ->
+        let h = hull pts in
+        let rest =
+          List.filter (fun p -> not (List.exists (eq p) h)) pts
+        in
+        go rest (h :: acc)
+  in
+  go pts []

@@ -1,0 +1,13 @@
+(** 2-D convex hulls (Andrew's monotone chain).
+
+    Used by the layer-based top-k discussion ("onion" peeling, [6]) and
+    by tests that cross-check dominance layers. *)
+
+val hull : Vec.t list -> Vec.t list
+(** Convex hull in counter-clockwise order, first point = lowest-then-
+    leftmost. Duplicates removed; collinear boundary points dropped.
+    Input points must be 2-D. Returns the input (deduplicated) when it
+    has fewer than 3 distinct points. *)
+
+val layers : Vec.t list -> Vec.t list list
+(** Onion layers: repeatedly peel the hull off the point set. *)

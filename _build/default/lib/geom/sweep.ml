@@ -1,0 +1,83 @@
+type segment = { a : Vec.t; b : Vec.t; tag : int }
+
+let segment ?(tag = 0) a b =
+  if Vec.dim a <> 2 || Vec.dim b <> 2 then
+    invalid_arg "Geom.Sweep.segment: 2-D only";
+  { a; b; tag }
+
+let on_segment s (p : Vec.t) =
+  let eps = 1e-12 in
+  Float.min s.a.(0) s.b.(0) -. eps <= p.(0)
+  && p.(0) <= Float.max s.a.(0) s.b.(0) +. eps
+  && Float.min s.a.(1) s.b.(1) -. eps <= p.(1)
+  && p.(1) <= Float.max s.a.(1) s.b.(1) +. eps
+
+let segment_intersection s1 s2 =
+  let p = s1.a and r = Vec.sub s1.b s1.a in
+  let q = s2.a and s = Vec.sub s2.b s2.a in
+  let rxs = (r.(0) *. s.(1)) -. (r.(1) *. s.(0)) in
+  let qp = Vec.sub q p in
+  let qpxr = (qp.(0) *. r.(1)) -. (qp.(1) *. r.(0)) in
+  let eps = 1e-12 in
+  if abs_float rxs <= eps then
+    if abs_float qpxr > eps then None (* parallel, non-collinear *)
+    else begin
+      (* Collinear: report an endpoint lying on the other segment. *)
+      let candidates = [ s2.a; s2.b; s1.a; s1.b ] in
+      List.find_opt (fun c -> on_segment s1 c && on_segment s2 c) candidates
+    end
+  else
+    let t = ((qp.(0) *. s.(1)) -. (qp.(1) *. s.(0))) /. rxs in
+    let u = qpxr /. rxs in
+    (* p + t r = q + u s  =>  t = (q-p) x s / (r x s),
+                              u = (q-p) x r / (r x s). *)
+    if t >= -.eps && t <= 1. +. eps && u >= -.eps && u <= 1. +. eps then
+      Some (Vec.add p (Vec.scale t r))
+    else None
+
+let x_lo s = Float.min s.a.(0) s.b.(0)
+let x_hi s = Float.max s.a.(0) s.b.(0)
+
+let intersections segs =
+  let sorted = List.sort (fun s1 s2 -> Float.compare (x_lo s1) (x_lo s2)) segs in
+  let out = ref [] in
+  let active : segment list ref = ref [] in
+  let step s =
+    active := List.filter (fun t -> x_hi t >= x_lo s) !active;
+    let check t =
+      match segment_intersection s t with
+      | Some p -> out := (t, s, p) :: !out
+      | None -> ()
+    in
+    List.iter check !active;
+    active := s :: !active
+  in
+  List.iter step sorted;
+  List.rev !out
+
+let line_segment_in_box normal offset (box : Box.t) =
+  if Vec.dim normal <> 2 then
+    invalid_arg "Geom.Sweep.line_segment_in_box: 2-D only";
+  let nx = normal.(0) and ny = normal.(1) in
+  let pts = ref [] in
+  let add p = if Box.contains_point box p then pts := p :: !pts in
+  let x0 = box.Box.lo.(0) and x1 = box.Box.hi.(0) in
+  let y0 = box.Box.lo.(1) and y1 = box.Box.hi.(1) in
+  (* Crossings with the four box edges. *)
+  if ny <> 0. then begin
+    add [| x0; (offset -. (nx *. x0)) /. ny |];
+    add [| x1; (offset -. (nx *. x1)) /. ny |]
+  end;
+  if nx <> 0. then begin
+    add [| (offset -. (ny *. y0)) /. nx; y0 |];
+    add [| (offset -. (ny *. y1)) /. nx; y1 |]
+  end;
+  let uniq =
+    List.fold_left
+      (fun acc p -> if List.exists (Vec.equal ~eps:1e-9 p) acc then acc else p :: acc)
+      [] !pts
+  in
+  match uniq with
+  | [ p; q ] -> Some (segment p q)
+  | [ p ] -> Some (segment p p)
+  | _ -> None

@@ -1,0 +1,28 @@
+(** Plane-sweep intersection discovery for 2-D segments.
+
+    Section 4.1 of the paper discovers intersections between object
+    functions with a plane-sweep algorithm [Nievergelt & Preparata 82].
+    In the 2-D weight domain, each object function restricted to the unit
+    square is a line segment; this module finds all pairwise intersection
+    points with a sweep-and-prune over x-sorted segments, reporting each
+    intersecting pair once. *)
+
+type segment = { a : Vec.t; b : Vec.t; tag : int }
+(** A closed 2-D segment from [a] to [b], carrying a caller tag. *)
+
+val segment : ?tag:int -> Vec.t -> Vec.t -> segment
+(** @raise Invalid_argument unless both endpoints are 2-dimensional. *)
+
+val segment_intersection : segment -> segment -> Vec.t option
+(** Intersection point of two segments, [None] if disjoint. Collinear
+    overlapping segments report one representative point. *)
+
+val intersections : segment list -> (segment * segment * Vec.t) list
+(** All intersecting pairs with a witness point, each unordered pair
+    reported once, discovered by a sweep over x-extents. *)
+
+val line_segment_in_box : Vec.t -> float -> Box.t -> segment option
+(** [line_segment_in_box normal offset box] clips the line
+    [{x | normal . x = offset}] to [box] (2-D only), returning the
+    resulting segment, or [None] when the line misses the box. Used to
+    materialize intersection hyperplanes inside the unit weight domain. *)

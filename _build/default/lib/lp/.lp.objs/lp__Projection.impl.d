@@ -1,0 +1,1 @@
+lib/lp/projection.ml: Array Float Fun List

@@ -1,0 +1,175 @@
+type bounds = { lo : float array; hi : float array }
+
+let unbounded d =
+  { lo = Array.make d neg_infinity; hi = Array.make d infinity }
+
+let freeze b i =
+  let lo = Array.copy b.lo and hi = Array.copy b.hi in
+  lo.(i) <- 0.;
+  hi.(i) <- 0.;
+  { lo; hi }
+
+let l2 ~a ~b =
+  let d = Array.length a in
+  if b >= 0. then Array.make d 0.
+  else begin
+    let n2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. a in
+    if n2 = 0. then Array.make d 0.
+    else Array.map (fun aj -> b *. aj /. n2) a
+  end
+
+let weighted_l2 ~w ~a ~b =
+  let d = Array.length a in
+  Array.iter
+    (fun wj -> if wj <= 0. then invalid_arg "Projection.weighted_l2: w <= 0")
+    w;
+  if b >= 0. then Some (Array.make d 0.)
+  else begin
+    (* Lagrangian: s_j = lambda * a_j / (2 w_j); constraint tight. *)
+    let denom = ref 0. in
+    for j = 0 to d - 1 do
+      denom := !denom +. (a.(j) *. a.(j) /. w.(j))
+    done;
+    if !denom = 0. then None
+    else begin
+      let lambda = b /. !denom in
+      Some (Array.init d (fun j -> lambda *. a.(j) /. w.(j)))
+    end
+  end
+
+(* Best achievable value of [a . s] inside the box (its minimum). *)
+let min_dot a (bounds : bounds) =
+  let acc = ref 0. in
+  Array.iteri
+    (fun j aj ->
+      let contrib =
+        if aj > 0. then aj *. bounds.lo.(j)
+        else if aj < 0. then aj *. bounds.hi.(j)
+        else 0.
+      in
+      acc := !acc +. contrib)
+    a;
+  !acc
+
+let feasible ~a ~b bounds = min_dot a bounds <= b
+
+let l2_boxed ?bounds ~a ~b () =
+  let d = Array.length a in
+  let bounds = match bounds with Some b -> b | None -> unbounded d in
+  if not (feasible ~a ~b bounds) then None
+  else begin
+    let zero = Array.make d 0. in
+    let clamp s =
+      Array.mapi (fun j x -> Float.min bounds.hi.(j) (Float.max bounds.lo.(j) x)) s
+    in
+    if b >= 0. && Array.for_all2 (fun l h -> l <= 0. && 0. <= h) bounds.lo bounds.hi
+    then Some zero
+    else begin
+      (* Active-set loop: solve the equality-projection on free coords,
+         clamp out-of-bound coordinates, repeat. Terminates in <= d
+         rounds because the active set only grows. *)
+      let active = Array.make d false in
+      let fixed = Array.make d 0. in
+      (* Coordinates where 0 is outside the bound range must start fixed
+         at their nearest bound. *)
+      for j = 0 to d - 1 do
+        if bounds.lo.(j) > 0. then begin
+          active.(j) <- true;
+          fixed.(j) <- bounds.lo.(j)
+        end
+        else if bounds.hi.(j) < 0. then begin
+          active.(j) <- true;
+          fixed.(j) <- bounds.hi.(j)
+        end
+      done;
+      let rec iterate round =
+        if round > d + 1 then None
+        else begin
+          let b' = ref b in
+          for j = 0 to d - 1 do
+            if active.(j) then b' := !b' -. (a.(j) *. fixed.(j))
+          done;
+          let n2 = ref 0. in
+          for j = 0 to d - 1 do
+            if not active.(j) then n2 := !n2 +. (a.(j) *. a.(j))
+          done;
+          let s =
+            if !b' >= 0. then
+              Array.init d (fun j -> if active.(j) then fixed.(j) else 0.)
+            else if !n2 = 0. then [||]
+            else
+              Array.init d (fun j ->
+                  if active.(j) then fixed.(j) else !b' *. a.(j) /. !n2)
+          in
+          if Array.length s = 0 then None
+          else begin
+            let violated = ref false in
+            for j = 0 to d - 1 do
+              if not active.(j) then
+                if s.(j) < bounds.lo.(j) -. 1e-12 then begin
+                  active.(j) <- true;
+                  fixed.(j) <- bounds.lo.(j);
+                  violated := true
+                end
+                else if s.(j) > bounds.hi.(j) +. 1e-12 then begin
+                  active.(j) <- true;
+                  fixed.(j) <- bounds.hi.(j);
+                  violated := true
+                end
+            done;
+            if !violated then iterate (round + 1) else Some (clamp s)
+          end
+        end
+      in
+      iterate 0
+    end
+  end
+
+let l1_boxed ?bounds ~a ~b () =
+  let d = Array.length a in
+  let bounds = match bounds with Some b -> b | None -> unbounded d in
+  if not (feasible ~a ~b bounds) then None
+  else begin
+    let s = Array.make d 0. in
+    (* Start from the cheapest point of the box w.r.t. |s| that is
+       closest to zero on every coordinate. *)
+    for j = 0 to d - 1 do
+      if bounds.lo.(j) > 0. then s.(j) <- bounds.lo.(j)
+      else if bounds.hi.(j) < 0. then s.(j) <- bounds.hi.(j)
+    done;
+    let dot () =
+      let acc = ref 0. in
+      for j = 0 to d - 1 do
+        acc := !acc +. (a.(j) *. s.(j))
+      done;
+      !acc
+    in
+    let need = ref (dot () -. b) in
+    if !need <= 0. then Some s
+    else begin
+      (* Reduce [a . s] by moving the highest-leverage coordinates toward
+         their helpful bound. Moving s_j by delta changes a.s by
+         a_j * delta; cost per unit decrease is 1 / |a_j|. *)
+      let order =
+        List.sort
+          (fun j1 j2 -> Float.compare (abs_float a.(j2)) (abs_float a.(j1)))
+          (List.init d Fun.id)
+      in
+      let step j =
+        if !need > 0. && a.(j) <> 0. then begin
+          let target_dir = if a.(j) > 0. then bounds.lo.(j) else bounds.hi.(j) in
+          let room = target_dir -. s.(j) in
+          (* room has the sign that decreases a.s *)
+          let max_decrease = -.(a.(j) *. room) in
+          if max_decrease > 0. then begin
+            let take = Float.min max_decrease !need in
+            let delta = -.take /. a.(j) in
+            s.(j) <- s.(j) +. delta;
+            need := !need -. take
+          end
+        end
+      in
+      List.iter step order;
+      if !need > 1e-9 then None else Some s
+    end
+  end

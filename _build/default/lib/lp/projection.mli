@@ -1,0 +1,46 @@
+(** Closed-form minimum-cost steps onto a halfspace.
+
+    The inner subproblem of Algorithms 3 and 4 — "the cheapest strategy
+    [s] that makes the target hit query [q]" (Equations 13–14) — is
+    [minimize Cost(s)  s.t.  a . s <= b], a single linear constraint.
+    For the quadratic and L1 costs used in the paper's experiments this
+    has a closed form; box bounds and frozen attributes are handled with
+    an active-set refinement. Every function returns [None] when no
+    feasible step exists within the given bounds. *)
+
+type bounds = {
+  lo : float array;  (** per-coordinate lower bound on [s] *)
+  hi : float array;  (** per-coordinate upper bound on [s] *)
+}
+
+val unbounded : int -> bounds
+(** [(-inf, +inf)] on every coordinate. *)
+
+val freeze : bounds -> int -> bounds
+(** Pin coordinate [i] of the step to 0 (the paper's "attribute cannot
+    be adjusted" constraint, [s_i = 0]). *)
+
+val l2 : a:float array -> b:float -> float array
+(** [l2 ~a ~b] minimizes the Euclidean norm of [s] subject to
+    [a . s <= b]. When [b >= 0] the zero step is returned. When [a = 0]
+    and [b < 0] the constraint is unsatisfiable; the zero vector is
+    returned — use {!l2_boxed} for an explicit option. *)
+
+val weighted_l2 :
+  w:float array -> a:float array -> b:float -> float array option
+(** Minimize [sum_j w_j * s_j^2]; weights must be positive.
+    [None] when unsatisfiable (all effective coefficients are zero). *)
+
+val l2_boxed :
+  ?bounds:bounds -> a:float array -> b:float -> unit -> float array option
+(** Euclidean-norm minimization with per-coordinate bounds via
+    active-set iteration: clamp violated coordinates, re-solve on the
+    rest. [None] when the halfspace cannot be reached inside the box. *)
+
+val l1_boxed :
+  ?bounds:bounds -> a:float array -> b:float -> unit -> float array option
+(** L1-cost (sum of absolute adjustments) minimization: allocate the
+    needed decrease to coordinates in order of leverage [|a_j|]. *)
+
+val feasible : a:float array -> b:float -> bounds -> bool
+(** Whether any step within [bounds] satisfies [a . s <= b]. *)

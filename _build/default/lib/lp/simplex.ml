@@ -1,0 +1,204 @@
+type op = Le | Ge | Eq
+
+type outcome =
+  | Optimal of float array * float
+  | Infeasible
+  | Unbounded
+
+let eps = 1e-9
+
+(* Tableau layout: rows = constraints, columns = structural variables ++
+   slack/surplus ++ artificial ++ [rhs]. Bland's rule prevents cycling. *)
+
+type tableau = {
+  a : float array array; (* m rows, each of width n_total + 1 (rhs last) *)
+  basis : int array; (* basis.(row) = column index of the basic variable *)
+  n_total : int;
+}
+
+let pivot t ~row ~col =
+  let width = t.n_total + 1 in
+  let piv = t.a.(row).(col) in
+  for j = 0 to width - 1 do
+    t.a.(row).(j) <- t.a.(row).(j) /. piv
+  done;
+  Array.iteri
+    (fun i r ->
+      if i <> row then begin
+        let factor = r.(col) in
+        if abs_float factor > 0. then
+          for j = 0 to width - 1 do
+            r.(j) <- r.(j) -. (factor *. t.a.(row).(j))
+          done
+      end)
+    t.a;
+  t.basis.(row) <- col
+
+(* Minimize [obj . x] given a feasible basis; restrict entering columns
+   to [allowed]. Returns `Optimal or `Unbounded; the objective row is
+   maintained functionally (reduced costs recomputed per iteration for
+   simplicity and numerical robustness). *)
+let optimize t ~obj ~allowed =
+  let m = Array.length t.a in
+  let reduced_cost j =
+    (* c_j - c_B . B^-1 A_j  where column j of the current tableau is
+       already B^-1 A_j. *)
+    let cbTa = ref 0. in
+    for i = 0 to m - 1 do
+      let cb = obj.(t.basis.(i)) in
+      if cb <> 0. then cbTa := !cbTa +. (cb *. t.a.(i).(j))
+    done;
+    obj.(j) -. !cbTa
+  in
+  let rec loop iter =
+    if iter > 20_000 then `Optimal (* numerical stall guard *)
+    else begin
+      (* Bland: smallest-index entering column with negative reduced cost. *)
+      let entering = ref (-1) in
+      (try
+         for j = 0 to t.n_total - 1 do
+           if allowed j && reduced_cost j < -.eps then begin
+             entering := j;
+             raise Exit
+           end
+         done
+       with Exit -> ());
+      if !entering < 0 then `Optimal
+      else begin
+        let col = !entering in
+        let best_row = ref (-1) and best_ratio = ref infinity in
+        for i = 0 to m - 1 do
+          let aij = t.a.(i).(col) in
+          if aij > eps then begin
+            let ratio = t.a.(i).(t.n_total) /. aij in
+            if
+              ratio < !best_ratio -. eps
+              || (abs_float (ratio -. !best_ratio) <= eps
+                 && (!best_row < 0 || t.basis.(i) < t.basis.(!best_row)))
+            then begin
+              best_ratio := ratio;
+              best_row := i
+            end
+          end
+        done;
+        if !best_row < 0 then `Unbounded
+        else begin
+          pivot t ~row:!best_row ~col;
+          loop (iter + 1)
+        end
+      end
+    end
+  in
+  loop 0
+
+let objective_value t ~obj =
+  let m = Array.length t.a in
+  let v = ref 0. in
+  for i = 0 to m - 1 do
+    v := !v +. (obj.(t.basis.(i)) *. t.a.(i).(t.n_total))
+  done;
+  !v
+
+let minimize ~objective ~constraints =
+  let n = Array.length objective in
+  List.iter
+    (fun (row, _, _) ->
+      if Array.length row <> n then
+        invalid_arg "Lp.Simplex.minimize: ragged constraint row")
+    constraints;
+  (* Normalize to rhs >= 0. *)
+  let rows =
+    List.map
+      (fun (row, op, b) ->
+        if b < 0. then
+          let row = Array.map (fun x -> -.x) row in
+          let op = match op with Le -> Ge | Ge -> Le | Eq -> Eq in
+          (row, op, -.b)
+        else (Array.copy row, op, b))
+      constraints
+  in
+  let m = List.length rows in
+  let n_slack =
+    List.length (List.filter (fun (_, op, _) -> op <> Eq) rows)
+  in
+  let n_art = m in
+  let n_total = n + n_slack + n_art in
+  let a = Array.make_matrix m (n_total + 1) 0. in
+  let basis = Array.make m 0 in
+  let slack_idx = ref 0 in
+  List.iteri
+    (fun i (row, op, b) ->
+      Array.blit row 0 a.(i) 0 n;
+      (match op with
+      | Le ->
+          a.(i).(n + !slack_idx) <- 1.;
+          incr slack_idx
+      | Ge ->
+          a.(i).(n + !slack_idx) <- -1.;
+          incr slack_idx
+      | Eq -> ());
+      let art = n + n_slack + i in
+      a.(i).(art) <- 1.;
+      basis.(i) <- art;
+      a.(i).(n_total) <- b)
+    rows;
+  let t = { a; basis; n_total } in
+  (* Phase 1: minimize the sum of artificials. *)
+  let phase1_obj = Array.make n_total 0. in
+  for j = n + n_slack to n_total - 1 do
+    phase1_obj.(j) <- 1.
+  done;
+  (match optimize t ~obj:phase1_obj ~allowed:(fun _ -> true) with
+  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Optimal -> ());
+  if objective_value t ~obj:phase1_obj > 1e-7 then Infeasible
+  else begin
+    (* Drive remaining artificials out of the basis where possible. *)
+    Array.iteri
+      (fun i bi ->
+        if bi >= n + n_slack then begin
+          let col = ref (-1) in
+          (try
+             for j = 0 to n + n_slack - 1 do
+               if abs_float t.a.(i).(j) > eps then begin
+                 col := j;
+                 raise Exit
+               end
+             done
+           with Exit -> ());
+          if !col >= 0 then pivot t ~row:i ~col:!col
+        end)
+      t.basis;
+    let phase2_obj = Array.make n_total 0. in
+    Array.blit objective 0 phase2_obj 0 n;
+    let allowed j = j < n + n_slack in
+    match optimize t ~obj:phase2_obj ~allowed with
+    | `Unbounded -> Unbounded
+    | `Optimal ->
+        let x = Array.make n 0. in
+        Array.iteri
+          (fun i bi ->
+            if bi < n then x.(bi) <- t.a.(i).(n_total))
+          t.basis;
+        Optimal (x, objective_value t ~obj:phase2_obj)
+  end
+
+let minimize_free ~objective ~constraints =
+  let n = Array.length objective in
+  let widen row =
+    Array.init (2 * n) (fun j -> if j < n then row.(j) else -.row.(j - n))
+  in
+  let objective' = widen objective in
+  let constraints' =
+    List.map (fun (row, op, b) -> (widen row, op, b)) constraints
+  in
+  match minimize ~objective:objective' ~constraints:constraints' with
+  | Optimal (x, v) ->
+      Optimal (Array.init n (fun j -> x.(j) -. x.(j + n)), v)
+  | (Infeasible | Unbounded) as r -> r
+
+let maximize ~objective ~constraints =
+  let neg = Array.map (fun x -> -.x) objective in
+  match minimize ~objective:neg ~constraints with
+  | Optimal (x, v) -> Optimal (x, -.v)
+  | (Infeasible | Unbounded) as r -> r

@@ -1,0 +1,32 @@
+(** Dense two-phase simplex, the "standard math tool" (Khachiyan-style
+    LP oracle, reference [12]) that Algorithm 3/4 call to solve the
+    single-constraint cost minimization and that the exhaustive searcher
+    uses for linear cost functions. *)
+
+type op = Le | Ge | Eq
+
+type outcome =
+  | Optimal of float array * float  (** solution, objective value *)
+  | Infeasible
+  | Unbounded
+
+val minimize :
+  objective:float array ->
+  constraints:(float array * op * float) list ->
+  outcome
+(** [minimize ~objective ~constraints] minimizes [c . x] subject to the
+    constraints over [x >= 0].
+    @raise Invalid_argument on ragged constraint rows. *)
+
+val minimize_free :
+  objective:float array ->
+  constraints:(float array * op * float) list ->
+  outcome
+(** Same but over free (sign-unrestricted) variables, handled by the
+    [x = x+ - x-] split. The reported solution has the original arity. *)
+
+val maximize :
+  objective:float array ->
+  constraints:(float array * op * float) list ->
+  outcome
+(** [maximize] over [x >= 0]; the reported value is the maximum. *)

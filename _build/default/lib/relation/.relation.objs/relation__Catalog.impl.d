@@ -1,0 +1,1 @@
+lib/relation/catalog.ml: Hash_index Hashtbl List Schema String Table

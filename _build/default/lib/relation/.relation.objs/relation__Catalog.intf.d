@@ -1,0 +1,1 @@
+lib/relation/catalog.mli: Hash_index Table

@@ -1,0 +1,1 @@
+lib/relation/hash_index.ml: Array Hashtbl Int List Printf Schema Table Value

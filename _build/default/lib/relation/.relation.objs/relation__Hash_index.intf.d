@@ -1,0 +1,1 @@
+lib/relation/hash_index.mli: Table Value

@@ -1,0 +1,136 @@
+let parse_line line =
+  let buf = Buffer.create 32 in
+  let fields = ref [] in
+  let n = String.length line in
+  let flush () =
+    fields := Buffer.contents buf :: !fields;
+    Buffer.clear buf
+  in
+  let rec plain i =
+    if i >= n then flush ()
+    else
+      match line.[i] with
+      | ',' ->
+          flush ();
+          plain (i + 1)
+      | '"' when Buffer.length buf = 0 -> quoted (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          plain (i + 1)
+  and quoted i =
+    if i >= n then flush () (* unterminated quote: be lenient *)
+    else
+      match line.[i] with
+      | '"' when i + 1 < n && line.[i + 1] = '"' ->
+          Buffer.add_char buf '"';
+          quoted (i + 2)
+      | '"' -> plain (i + 1)
+      | c ->
+          Buffer.add_char buf c;
+          quoted (i + 1)
+  in
+  plain 0;
+  List.rev !fields
+
+(* Split on newlines that are outside quotes. *)
+let split_records s =
+  let records = ref [] in
+  let buf = Buffer.create 128 in
+  let in_quotes = ref false in
+  let flush () =
+    records := Buffer.contents buf :: !records;
+    Buffer.clear buf
+  in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' ->
+          in_quotes := not !in_quotes;
+          Buffer.add_char buf c
+      | '\n' when not !in_quotes -> flush ()
+      | '\r' -> ()
+      | c -> Buffer.add_char buf c)
+    s;
+  if Buffer.length buf > 0 then flush ();
+  List.rev (List.filter (fun r -> String.trim r <> "") !records)
+
+let parse_string s = List.map parse_line (split_records s)
+
+let needs_quoting s =
+  String.exists (fun c -> c = ',' || c = '"' || c = '\n') s
+
+let render_field s =
+  if needs_quoting s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let render_line fields = String.concat "," (List.map render_field fields)
+
+let table_of_string ?(header = true) s =
+  match parse_string s with
+  | [] -> invalid_arg "Csv.table_of_string: empty document"
+  | first :: rest ->
+      let names, data =
+        if header then (first, rest)
+        else (List.mapi (fun i _ -> Printf.sprintf "c%d" i) first, first :: rest)
+      in
+      let infer_col j =
+        let rec from = function
+          | [] -> Value.TText
+          | row :: rest -> (
+              match List.nth_opt row j with
+              | Some cell when String.trim cell <> "" -> (
+                  match Value.infer_of_string cell with
+                  | Value.Int _ -> Value.TInt
+                  | Value.Float _ -> Value.TFloat
+                  | Value.Bool _ -> Value.TBool
+                  | Value.Text _ | Value.Null -> Value.TText)
+              | _ -> from rest)
+        in
+        from data
+      in
+      let tys = List.mapi (fun j _ -> infer_col j) names in
+      let schema =
+        Schema.make
+          (List.map2 (fun name ty -> { Schema.name; ty }) names tys)
+      in
+      let table = Table.create schema in
+      List.iter
+        (fun row ->
+          let padded =
+            List.mapi
+              (fun j ty ->
+                match List.nth_opt row j with
+                | Some cell -> (
+                    try Value.of_string_typed ty cell
+                    with _ -> Value.infer_of_string cell)
+                | None -> Value.Null)
+              tys
+          in
+          Table.insert table (Array.of_list padded))
+        data;
+      table
+
+let string_of_table ?(header = true) t =
+  let buf = Buffer.create 1024 in
+  if header then begin
+    Buffer.add_string buf (render_line (Schema.names (Table.schema t)));
+    Buffer.add_char buf '\n'
+  end;
+  Table.iter t (fun row ->
+      Buffer.add_string buf
+        (render_line (List.map Value.to_string (Array.to_list row)));
+      Buffer.add_char buf '\n');
+  Buffer.contents buf
+
+let load_file ?header path =
+  let ic = open_in path in
+  let len = in_channel_length ic in
+  let s = really_input_string ic len in
+  close_in ic;
+  table_of_string ?header s
+
+let save_file ?header path t =
+  let oc = open_out path in
+  output_string oc (string_of_table ?header t);
+  close_out oc

@@ -1,0 +1,53 @@
+type t = {
+  column : string;
+  buckets : (string, int list) Hashtbl.t; (* canonical value -> rows *)
+  distinct : int;
+  rows : int;
+}
+
+(* Canonical key: numeric values collapse across Int/Float (SQL
+   equality is numeric), everything else by tagged string. *)
+let key v =
+  match Value.to_float v with
+  | Some f when not (Value.is_null v) -> Printf.sprintf "n:%.17g" f
+  | _ -> (
+      match v with
+      | Value.Text s -> "t:" ^ s
+      | Value.Bool b -> "b:" ^ string_of_bool b
+      | _ -> "?:" ^ Value.to_string v)
+
+let build table column =
+  let idx =
+    match Schema.index_of (Table.schema table) column with
+    | Some i -> i
+    | None -> invalid_arg ("Hash_index.build: unknown column " ^ column)
+  in
+  let buckets = Hashtbl.create (Int.max 16 (Table.length table / 4)) in
+  Table.iteri table (fun row_pos row ->
+      let v = row.(idx) in
+      if not (Value.is_null v) then begin
+        let k = key v in
+        let existing =
+          match Hashtbl.find_opt buckets k with Some l -> l | None -> []
+        in
+        Hashtbl.replace buckets k (row_pos :: existing)
+      end);
+  let keys = Hashtbl.fold (fun k _ acc -> k :: acc) buckets [] in
+  List.iter
+    (fun k -> Hashtbl.replace buckets k (List.rev (Hashtbl.find buckets k)))
+    keys;
+  {
+    column;
+    buckets;
+    distinct = Hashtbl.length buckets;
+    rows = Table.length table;
+  }
+
+let table_column t = t.column
+
+let lookup t v =
+  if Value.is_null v then []
+  else match Hashtbl.find_opt t.buckets (key v) with Some l -> l | None -> []
+
+let cardinality t = t.distinct
+let row_count t = t.rows

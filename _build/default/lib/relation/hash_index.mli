@@ -1,0 +1,24 @@
+(** Secondary hash index over one column of a table.
+
+    Maps a column value to the row positions holding it, as of build
+    time; the catalog tracks staleness and rebuilds lazily after
+    writes. Equality predicates on indexed columns then avoid full
+    scans (the executor's sargable path). *)
+
+type t
+
+val build : Table.t -> string -> t
+(** @raise Invalid_argument on an unknown column. *)
+
+val table_column : t -> string
+(** The indexed column's name. *)
+
+val lookup : t -> Value.t -> int list
+(** Row positions whose column equals the value (ascending). NULLs are
+    not indexed (SQL equality never matches them). *)
+
+val cardinality : t -> int
+(** Number of distinct indexed values. *)
+
+val row_count : t -> int
+(** Number of table rows the index was built from (staleness probe). *)

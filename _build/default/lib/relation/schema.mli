@@ -1,0 +1,26 @@
+(** Table schemas: ordered, named, typed columns. *)
+
+type column = { name : string; ty : Value.ty }
+
+type t
+
+val make : column list -> t
+(** @raise Invalid_argument on duplicate (case-insensitive) names. *)
+
+val columns : t -> column list
+
+val arity : t -> int
+
+val index_of : t -> string -> int option
+(** Case-insensitive column lookup. *)
+
+val index_of_exn : t -> string -> int
+(** @raise Not_found *)
+
+val column_at : t -> int -> column
+
+val names : t -> string list
+
+val equal : t -> t -> bool
+
+val pp : Format.formatter -> t -> unit

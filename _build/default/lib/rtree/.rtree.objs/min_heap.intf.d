@@ -1,0 +1,1 @@
+lib/rtree/min_heap.mli:

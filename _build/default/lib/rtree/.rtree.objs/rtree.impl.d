@@ -1,0 +1,1 @@
+lib/rtree/rtree.ml: Array Box Float Format Geom Int List Min_heap

@@ -1,0 +1,1 @@
+lib/rtree/xtree.ml: Array Box Float Format Geom List

@@ -1,0 +1,1 @@
+lib/rtree/xtree.mli: Box Geom Vec

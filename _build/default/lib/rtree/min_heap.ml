@@ -1,0 +1,68 @@
+type 'a t = {
+  mutable keys : float array;
+  mutable vals : 'a option array;
+  mutable len : int;
+}
+
+let create () = { keys = Array.make 16 0.; vals = Array.make 16 None; len = 0 }
+let is_empty h = h.len = 0
+let size h = h.len
+
+let grow h =
+  let n = Array.length h.keys in
+  let keys = Array.make (2 * n) 0. in
+  let vals = Array.make (2 * n) None in
+  Array.blit h.keys 0 keys 0 h.len;
+  Array.blit h.vals 0 vals 0 h.len;
+  h.keys <- keys;
+  h.vals <- vals
+
+let swap h i j =
+  let k = h.keys.(i) and v = h.vals.(i) in
+  h.keys.(i) <- h.keys.(j);
+  h.vals.(i) <- h.vals.(j);
+  h.keys.(j) <- k;
+  h.vals.(j) <- v
+
+let rec sift_up h i =
+  if i > 0 then begin
+    let parent = (i - 1) / 2 in
+    if h.keys.(i) < h.keys.(parent) then begin
+      swap h i parent;
+      sift_up h parent
+    end
+  end
+
+let rec sift_down h i =
+  let l = (2 * i) + 1 and r = (2 * i) + 2 in
+  let smallest = ref i in
+  if l < h.len && h.keys.(l) < h.keys.(!smallest) then smallest := l;
+  if r < h.len && h.keys.(r) < h.keys.(!smallest) then smallest := r;
+  if !smallest <> i then begin
+    swap h i !smallest;
+    sift_down h !smallest
+  end
+
+let push h k v =
+  if h.len = Array.length h.keys then grow h;
+  h.keys.(h.len) <- k;
+  h.vals.(h.len) <- Some v;
+  h.len <- h.len + 1;
+  sift_up h (h.len - 1)
+
+let pop h =
+  if h.len = 0 then None
+  else begin
+    let k = h.keys.(0) in
+    let v = h.vals.(0) in
+    h.len <- h.len - 1;
+    h.keys.(0) <- h.keys.(h.len);
+    h.vals.(0) <- h.vals.(h.len);
+    h.vals.(h.len) <- None;
+    if h.len > 0 then sift_down h 0;
+    match v with Some v -> Some (k, v) | None -> assert false
+  end
+
+let peek h =
+  if h.len = 0 then None
+  else match h.vals.(0) with Some v -> Some (h.keys.(0), v) | None -> assert false

@@ -1,0 +1,19 @@
+(** Minimal mutable binary min-heap keyed by [float].
+
+    Supports the best-first traversals of the R-tree (kNN search) and is
+    generally useful for priority-ordered expansion. *)
+
+type 'a t
+
+val create : unit -> 'a t
+
+val is_empty : 'a t -> bool
+
+val size : 'a t -> int
+
+val push : 'a t -> float -> 'a -> unit
+
+val pop : 'a t -> (float * 'a) option
+(** Remove and return the entry with the smallest key. *)
+
+val peek : 'a t -> (float * 'a) option

@@ -1,0 +1,1 @@
+lib/sql/executor.ml: Array Ast Catalog Char Float Format Fun Hashtbl Int List Option Parser Printf Relation Schema String Table Value

@@ -1,0 +1,174 @@
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type agg = Count | Sum | Avg | Min | Max
+
+type expr =
+  | Lit of Relation.Value.t
+  | Col of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Agg of agg * expr option
+  | Between of expr * expr * expr
+  | In_list of expr * expr list
+  | Like of expr * string
+  | Is_null of expr * bool
+
+type projection = Star | Expr of expr * string option
+
+type order = { key : expr; asc : bool }
+
+type join = { table : string; on : expr }
+
+type select = {
+  distinct : bool;
+  projections : projection list;
+  table : string;
+  joins : join list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order list;
+  limit : int option;
+  offset : int option;
+}
+
+type statement =
+  | Select of select
+  | Create_table of string * Relation.Schema.column list
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      columns : string list option;
+      rows : expr list list;
+    }
+  | Update of {
+      table : string;
+      sets : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+  | Create_index of { index_name : string; table : string; column : string }
+  | Drop_index of string
+  | Explain of statement
+
+let binop_name = function
+  | Add -> "+"
+  | Sub -> "-"
+  | Mul -> "*"
+  | Div -> "/"
+  | Mod -> "%"
+  | Eq -> "="
+  | Neq -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+  | And -> "AND"
+  | Or -> "OR"
+
+let agg_name = function
+  | Count -> "COUNT"
+  | Sum -> "SUM"
+  | Avg -> "AVG"
+  | Min -> "MIN"
+  | Max -> "MAX"
+
+let rec pp_expr ppf = function
+  | Lit v -> Relation.Value.pp ppf v
+  | Col c -> Format.pp_print_string ppf c
+  | Unary (Neg, e) -> Format.fprintf ppf "(- %a)" pp_expr e
+  | Unary (Not, e) -> Format.fprintf ppf "(NOT %a)" pp_expr e
+  | Binary (op, a, b) ->
+      Format.fprintf ppf "(%a %s %a)" pp_expr a (binop_name op) pp_expr b
+  | Call (f, args) ->
+      Format.fprintf ppf "%s(%a)" f
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        args
+  | Agg (a, None) -> Format.fprintf ppf "%s(*)" (agg_name a)
+  | Agg (a, Some e) -> Format.fprintf ppf "%s(%a)" (agg_name a) pp_expr e
+  | Between (e, lo, hi) ->
+      Format.fprintf ppf "(%a BETWEEN %a AND %a)" pp_expr e pp_expr lo pp_expr
+        hi
+  | In_list (e, items) ->
+      Format.fprintf ppf "(%a IN (%a))" pp_expr e
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_expr)
+        items
+  | Like (e, pat) -> Format.fprintf ppf "(%a LIKE %S)" pp_expr e pat
+  | Is_null (e, false) -> Format.fprintf ppf "(%a IS NULL)" pp_expr e
+  | Is_null (e, true) -> Format.fprintf ppf "(%a IS NOT NULL)" pp_expr e
+
+let rec pp_statement ppf = function
+  | Select s ->
+      let pp_proj ppf = function
+        | Star -> Format.pp_print_string ppf "*"
+        | Expr (e, None) -> pp_expr ppf e
+        | Expr (e, Some a) -> Format.fprintf ppf "%a AS %s" pp_expr e a
+      in
+      Format.fprintf ppf "SELECT %s%a FROM %s"
+        (if s.distinct then "DISTINCT " else "")
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           pp_proj)
+        s.projections s.table;
+      List.iter
+        (fun (j : join) ->
+          Format.fprintf ppf " JOIN %s ON %a" j.table pp_expr j.on)
+        s.joins;
+      Option.iter (Format.fprintf ppf " WHERE %a" pp_expr) s.where;
+      (match s.group_by with
+      | [] -> ()
+      | keys ->
+          Format.fprintf ppf " GROUP BY %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               pp_expr)
+            keys);
+      Option.iter (Format.fprintf ppf " HAVING %a" pp_expr) s.having;
+      (match s.order_by with
+      | [] -> ()
+      | keys ->
+          Format.fprintf ppf " ORDER BY %a"
+            (Format.pp_print_list
+               ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+               (fun ppf o ->
+                 Format.fprintf ppf "%a %s" pp_expr o.key
+                   (if o.asc then "ASC" else "DESC")))
+            keys);
+      Option.iter (Format.fprintf ppf " LIMIT %d") s.limit;
+      Option.iter (Format.fprintf ppf " OFFSET %d") s.offset
+  | Create_table (name, cols) ->
+      Format.fprintf ppf "CREATE TABLE %s (%a)" name
+        (Format.pp_print_list
+           ~pp_sep:(fun ppf () -> Format.fprintf ppf ", ")
+           (fun ppf c ->
+             Format.fprintf ppf "%s %s" c.Relation.Schema.name
+               (Relation.Value.ty_name c.Relation.Schema.ty)))
+        cols
+  | Drop_table name -> Format.fprintf ppf "DROP TABLE %s" name
+  | Insert { table; _ } -> Format.fprintf ppf "INSERT INTO %s ..." table
+  | Update { table; _ } -> Format.fprintf ppf "UPDATE %s ..." table
+  | Delete { table; _ } -> Format.fprintf ppf "DELETE FROM %s ..." table
+  | Create_index { index_name; table; column } ->
+      Format.fprintf ppf "CREATE INDEX %s ON %s (%s)" index_name table column
+  | Drop_index name -> Format.fprintf ppf "DROP INDEX %s" name
+  | Explain inner -> Format.fprintf ppf "EXPLAIN %a" pp_statement inner

@@ -1,0 +1,78 @@
+(** Abstract syntax for the SQL dialect of the analytic tool.
+
+    The dialect covers what the paper's GUI needs — selecting target
+    objects and managing the object table — plus enough of standard SQL
+    (aggregates, grouping, ordering) to be useful on its own. *)
+
+type binop =
+  | Add
+  | Sub
+  | Mul
+  | Div
+  | Mod
+  | Eq
+  | Neq
+  | Lt
+  | Le
+  | Gt
+  | Ge
+  | And
+  | Or
+
+type unop = Neg | Not
+
+type agg = Count | Sum | Avg | Min | Max
+
+type expr =
+  | Lit of Relation.Value.t
+  | Col of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Call of string * expr list
+  | Agg of agg * expr option  (** [COUNT] of all rows is [Agg (Count, None)] *)
+  | Between of expr * expr * expr
+  | In_list of expr * expr list
+  | Like of expr * string
+  | Is_null of expr * bool  (** [IS NULL] / [IS NOT NULL] (bool = negated) *)
+
+type projection = Star | Expr of expr * string option
+
+type order = { key : expr; asc : bool }
+
+type join = { table : string; on : expr }
+
+type select = {
+  distinct : bool;
+  projections : projection list;
+  table : string;
+  joins : join list;
+  where : expr option;
+  group_by : expr list;
+  having : expr option;
+  order_by : order list;
+  limit : int option;
+  offset : int option;
+}
+
+type statement =
+  | Select of select
+  | Create_table of string * Relation.Schema.column list
+  | Drop_table of string
+  | Insert of {
+      table : string;
+      columns : string list option;
+      rows : expr list list;
+    }
+  | Update of {
+      table : string;
+      sets : (string * expr) list;
+      where : expr option;
+    }
+  | Delete of { table : string; where : expr option }
+  | Create_index of { index_name : string; table : string; column : string }
+  | Drop_index of string
+  | Explain of statement
+
+val pp_expr : Format.formatter -> expr -> unit
+
+val pp_statement : Format.formatter -> statement -> unit

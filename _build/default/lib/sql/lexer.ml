@@ -1,0 +1,194 @@
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string
+
+let is_ident_start c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+let tokenize input =
+  let n = String.length input in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let rec go i =
+    if i >= n then emit EOF
+    else
+      match input.[i] with
+      | ' ' | '\t' | '\n' | '\r' -> go (i + 1)
+      | '-' when i + 1 < n && input.[i + 1] = '-' ->
+          (* line comment *)
+          let rec skip j = if j < n && input.[j] <> '\n' then skip (j + 1) else j in
+          go (skip (i + 2))
+      | '(' ->
+          emit LPAREN;
+          go (i + 1)
+      | ')' ->
+          emit RPAREN;
+          go (i + 1)
+      | ',' ->
+          emit COMMA;
+          go (i + 1)
+      | '.' when not (i + 1 < n && is_digit input.[i + 1]) ->
+          emit DOT;
+          go (i + 1)
+      | ';' ->
+          emit SEMI;
+          go (i + 1)
+      | '*' ->
+          emit STAR;
+          go (i + 1)
+      | '+' ->
+          emit PLUS;
+          go (i + 1)
+      | '-' ->
+          emit MINUS;
+          go (i + 1)
+      | '/' ->
+          emit SLASH;
+          go (i + 1)
+      | '%' ->
+          emit PERCENT;
+          go (i + 1)
+      | '=' ->
+          emit EQ;
+          go (i + 1)
+      | '!' when i + 1 < n && input.[i + 1] = '=' ->
+          emit NEQ;
+          go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '>' ->
+          emit NEQ;
+          go (i + 2)
+      | '<' when i + 1 < n && input.[i + 1] = '=' ->
+          emit LE;
+          go (i + 2)
+      | '<' ->
+          emit LT;
+          go (i + 1)
+      | '>' when i + 1 < n && input.[i + 1] = '=' ->
+          emit GE;
+          go (i + 2)
+      | '>' ->
+          emit GT;
+          go (i + 1)
+      | '\'' ->
+          let buf = Buffer.create 16 in
+          let rec str j =
+            if j >= n then raise (Error "unterminated string literal")
+            else if input.[j] = '\'' then
+              if j + 1 < n && input.[j + 1] = '\'' then begin
+                Buffer.add_char buf '\'';
+                str (j + 2)
+              end
+              else begin
+                emit (STRING (Buffer.contents buf));
+                go (j + 1)
+              end
+            else begin
+              Buffer.add_char buf input.[j];
+              str (j + 1)
+            end
+          in
+          str (i + 1)
+      | '"' ->
+          (* quoted identifier *)
+          let buf = Buffer.create 16 in
+          let rec qid j =
+            if j >= n then raise (Error "unterminated quoted identifier")
+            else if input.[j] = '"' then begin
+              emit (IDENT (Buffer.contents buf));
+              go (j + 1)
+            end
+            else begin
+              Buffer.add_char buf input.[j];
+              qid (j + 1)
+            end
+          in
+          qid (i + 1)
+      | c when is_digit c || (c = '.' && i + 1 < n && is_digit input.[i + 1]) ->
+          let j = ref i in
+          let seen_dot = ref false and seen_exp = ref false in
+          let continue () =
+            !j < n
+            &&
+            let c = input.[!j] in
+            is_digit c
+            || (c = '.' && not !seen_dot && not !seen_exp)
+            || ((c = 'e' || c = 'E') && not !seen_exp)
+            || ((c = '+' || c = '-')
+               && !j > i
+               && (input.[!j - 1] = 'e' || input.[!j - 1] = 'E'))
+          in
+          while continue () do
+            (match input.[!j] with
+            | '.' -> seen_dot := true
+            | 'e' | 'E' -> seen_exp := true
+            | _ -> ());
+            incr j
+          done;
+          let text = String.sub input i (!j - i) in
+          (match int_of_string_opt text with
+          | Some v -> emit (INT v)
+          | None -> (
+              match float_of_string_opt text with
+              | Some v -> emit (FLOAT v)
+              | None -> raise (Error ("bad numeric literal: " ^ text))));
+          go !j
+      | c when is_ident_start c ->
+          let j = ref i in
+          while !j < n && is_ident_char input.[!j] do
+            incr j
+          done;
+          emit (IDENT (String.sub input i (!j - i)));
+          go !j
+      | c -> raise (Error (Printf.sprintf "unexpected character %C" c))
+  in
+  go 0;
+  List.rev !tokens
+
+let keyword = function IDENT s -> Some (String.uppercase_ascii s) | _ -> None
+
+let pp_token ppf = function
+  | INT i -> Format.fprintf ppf "INT %d" i
+  | FLOAT f -> Format.fprintf ppf "FLOAT %g" f
+  | STRING s -> Format.fprintf ppf "STRING %S" s
+  | IDENT s -> Format.fprintf ppf "IDENT %s" s
+  | LPAREN -> Format.pp_print_string ppf "("
+  | RPAREN -> Format.pp_print_string ppf ")"
+  | COMMA -> Format.pp_print_string ppf ","
+  | DOT -> Format.pp_print_string ppf "."
+  | SEMI -> Format.pp_print_string ppf ";"
+  | STAR -> Format.pp_print_string ppf "*"
+  | PLUS -> Format.pp_print_string ppf "+"
+  | MINUS -> Format.pp_print_string ppf "-"
+  | SLASH -> Format.pp_print_string ppf "/"
+  | PERCENT -> Format.pp_print_string ppf "%"
+  | EQ -> Format.pp_print_string ppf "="
+  | NEQ -> Format.pp_print_string ppf "<>"
+  | LT -> Format.pp_print_string ppf "<"
+  | LE -> Format.pp_print_string ppf "<="
+  | GT -> Format.pp_print_string ppf ">"
+  | GE -> Format.pp_print_string ppf ">="
+  | EOF -> Format.pp_print_string ppf "EOF"

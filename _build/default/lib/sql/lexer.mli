@@ -1,0 +1,34 @@
+(** Hand-written SQL lexer. *)
+
+type token =
+  | INT of int
+  | FLOAT of float
+  | STRING of string
+  | IDENT of string  (** unquoted identifier or keyword, original case *)
+  | LPAREN
+  | RPAREN
+  | COMMA
+  | DOT
+  | SEMI
+  | STAR
+  | PLUS
+  | MINUS
+  | SLASH
+  | PERCENT
+  | EQ
+  | NEQ
+  | LT
+  | LE
+  | GT
+  | GE
+  | EOF
+
+exception Error of string
+
+val tokenize : string -> token list
+(** @raise Error on malformed input (unterminated string, bad char). *)
+
+val keyword : token -> string option
+(** Uppercased identifier view of a token, for keyword matching. *)
+
+val pp_token : Format.formatter -> token -> unit

@@ -1,0 +1,1 @@
+lib/topk/dominance.ml: Array Float Fun Geom Int List

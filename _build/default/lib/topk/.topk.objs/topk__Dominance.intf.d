@@ -1,0 +1,1 @@
+lib/topk/dominance.mli: Geom

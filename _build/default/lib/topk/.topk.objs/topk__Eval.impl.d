@@ -1,0 +1,1 @@
+lib/topk/eval.ml: Array Geom Int List Query

@@ -1,0 +1,1 @@
+lib/topk/eval.mli: Geom Query

@@ -1,0 +1,1 @@
+lib/topk/onion.ml: Array Dominance Fun Geom Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/topk/onion.mli: Geom

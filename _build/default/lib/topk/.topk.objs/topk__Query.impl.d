@@ -1,0 +1,1 @@
+lib/topk/query.ml: Format Geom

@@ -1,0 +1,1 @@
+lib/topk/query.mli: Format Geom

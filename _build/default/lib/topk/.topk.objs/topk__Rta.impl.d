@@ -1,0 +1,1 @@
+lib/topk/rta.ml: Array Eval Geom List Query

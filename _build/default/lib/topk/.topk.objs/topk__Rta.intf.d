@@ -1,0 +1,1 @@
+lib/topk/rta.mli: Geom Query

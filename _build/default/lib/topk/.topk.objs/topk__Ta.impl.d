@@ -1,0 +1,1 @@
+lib/topk/ta.ml: Array Geom Hashtbl Int List

@@ -1,0 +1,1 @@
+lib/topk/utility.ml: Array Float Fun Geom List Printf

@@ -1,0 +1,1 @@
+lib/topk/utility.mli: Geom

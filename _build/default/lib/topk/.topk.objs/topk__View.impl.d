@@ -1,0 +1,1 @@
+lib/topk/view.ml: Array Float Geom Int List

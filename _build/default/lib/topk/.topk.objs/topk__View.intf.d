@@ -1,0 +1,1 @@
+lib/topk/view.mli: Geom

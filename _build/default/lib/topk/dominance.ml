@@ -1,0 +1,105 @@
+type t = {
+  layers : int array array;
+  layer_of : int array;
+  edges : int; (* materialized parent-child edge count *)
+}
+
+let dominates p q =
+  let d = Geom.Vec.dim p in
+  let rec go j strict =
+    if j >= d then strict
+    else if p.(j) > q.(j) then false
+    else go (j + 1) (strict || p.(j) < q.(j))
+  in
+  go 0 false
+
+(* Sort-filter-skyline peeling: process ids by ascending coordinate sum
+   (a dominator always has a strictly smaller sum, so it is seen first);
+   an id joins the current layer when nothing already in the layer
+   dominates it. *)
+let build ?(with_edges = false) data =
+  let n = Array.length data in
+  let order = Array.init n Fun.id in
+  let sums = Array.map (Array.fold_left ( +. ) 0.) data in
+  Array.sort
+    (fun a b ->
+      match Float.compare sums.(a) sums.(b) with
+      | 0 -> Int.compare a b
+      | c -> c)
+    order;
+  let layer_of = Array.make n (-1) in
+  let layers = ref [] in
+  let remaining = ref (Array.to_list order) in
+  let layer_idx = ref 0 in
+  while !remaining <> [] do
+    let layer = ref [] in
+    let next = ref [] in
+    let consider id =
+      if List.exists (fun s -> dominates data.(s) data.(id)) !layer then
+        next := id :: !next
+      else begin
+        layer := id :: !layer;
+        layer_of.(id) <- !layer_idx
+      end
+    in
+    List.iter consider !remaining;
+    layers := Array.of_list (List.rev !layer) :: !layers;
+    remaining := List.rev !next;
+    incr layer_idx
+  done;
+  let layers = Array.of_list (List.rev !layers) in
+  let edges =
+    if not with_edges then 0
+    else begin
+      let count = ref 0 in
+      for j = 1 to Array.length layers - 1 do
+        Array.iter
+          (fun child ->
+            Array.iter
+              (fun parent ->
+                if dominates data.(parent) data.(child) then incr count)
+              layers.(j - 1))
+          layers.(j)
+      done;
+      !count
+    end
+  in
+  { layers; layer_of; edges }
+
+let layer_count t = Array.length t.layers
+let layers t = t.layers
+
+let layer_of t id =
+  if id < 0 || id >= Array.length t.layer_of then
+    invalid_arg "Dominance.layer_of: bad id";
+  t.layer_of.(id)
+
+let edge_count t = t.edges
+
+let size_words t =
+  Array.length t.layer_of + t.edges + (2 * Array.length t.layers)
+
+let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
+
+let top_k t ~data ~weights ~k =
+  Array.iter
+    (fun w ->
+      if w < 0. then invalid_arg "Dominance.top_k: negative weight")
+    weights;
+  let candidates = ref [] in
+  let depth = Int.min k (Array.length t.layers) in
+  for j = 0 to depth - 1 do
+    Array.iter
+      (fun id -> candidates := (Geom.Vec.dot weights data.(id), id) :: !candidates)
+      t.layers.(j)
+  done;
+  let sorted =
+    List.sort (fun a b -> if better a b then -1 else if better b a then 1 else 0)
+      !candidates
+  in
+  let rec take n = function
+    | [] -> []
+    | _ when n = 0 -> []
+    | (_, id) :: rest -> id :: take (n - 1) rest
+  in
+  take k sorted

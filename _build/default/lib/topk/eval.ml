@@ -1,0 +1,111 @@
+let score data ~weights id = Geom.Vec.dot weights data.(id)
+
+(* (score, id) ascending: lower score first, then lower id. *)
+let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
+
+(* Full sort: better than k-insertion once k is large. *)
+let top_k_scored_by_sort data ~weights ~k =
+  let n = Array.length data in
+  let scored = Array.init n (fun id -> (Geom.Vec.dot weights data.(id), id)) in
+  Array.sort compare scored;
+  Array.to_list (Array.sub scored 0 (Int.min k n))
+  |> List.map (fun (s, id) -> (id, s))
+
+(* Bounded selection kept as a sorted array of the current k best; for
+   small k insertion beats sorting, for large k we fall back to a full
+   sort (same tie-break either way). *)
+let top_k_scored data ~weights ~k =
+  let n = Array.length data in
+  let cap = Int.min k n in
+  if cap = 0 then []
+  else if cap > 24 && n > 512 then top_k_scored_by_sort data ~weights ~k:cap
+  else begin
+    let best = Array.make cap (infinity, max_int) in
+    let len = ref 0 in
+    for id = 0 to n - 1 do
+      let s = Geom.Vec.dot weights data.(id) in
+      let entry = (s, id) in
+      if !len < cap then begin
+        (* insertion sort step *)
+        let pos = ref !len in
+        while !pos > 0 && better entry best.(!pos - 1) do
+          best.(!pos) <- best.(!pos - 1);
+          decr pos
+        done;
+        best.(!pos) <- entry;
+        incr len
+      end
+      else if better entry best.(cap - 1) then begin
+        let pos = ref (cap - 1) in
+        while !pos > 0 && better entry best.(!pos - 1) do
+          best.(!pos) <- best.(!pos - 1);
+          decr pos
+        done;
+        best.(!pos) <- entry
+      end
+    done;
+    Array.to_list (Array.sub best 0 !len)
+    |> List.map (fun (s, id) -> (id, s))
+  end
+
+let top_k data ~weights ~k = List.map fst (top_k_scored data ~weights ~k)
+
+let rank data ~weights id =
+  let s_id = score data ~weights id in
+  let better_count = ref 0 in
+  Array.iteri
+    (fun j p ->
+      if j <> id then begin
+        let s = Geom.Vec.dot weights p in
+        if better (s, j) (s_id, id) then incr better_count
+      end)
+    data;
+  !better_count + 1
+
+let kth_score_excluding data ~weights ~k ~excl =
+  let n = Array.length data in
+  if n - 1 < k then None
+  else begin
+    (* kth best among all but [excl]. *)
+    let best = Array.make k (infinity, max_int) in
+    let len = ref 0 in
+    for id = 0 to n - 1 do
+      if id <> excl then begin
+        let s = Geom.Vec.dot weights data.(id) in
+        let entry = (s, id) in
+        if !len < k then begin
+          let pos = ref !len in
+          while !pos > 0 && better entry best.(!pos - 1) do
+            best.(!pos) <- best.(!pos - 1);
+            decr pos
+          done;
+          best.(!pos) <- entry;
+          incr len
+        end
+        else if better entry best.(k - 1) then begin
+          let pos = ref (k - 1) in
+          while !pos > 0 && better entry best.(!pos - 1) do
+            best.(!pos) <- best.(!pos - 1);
+            decr pos
+          done;
+          best.(!pos) <- entry
+        end
+      end
+    done;
+    let s, id = best.(k - 1) in
+    Some (id, s)
+  end
+
+let hits data ~weights ~k id =
+  match kth_score_excluding data ~weights ~k ~excl:id with
+  | None -> true
+  | Some (kth_id, kth_s) ->
+      let s = score data ~weights id in
+      better (s, id) (kth_s, kth_id)
+
+let hit_count data ~queries id =
+  List.fold_left
+    (fun acc (q : Query.t) ->
+      if hits data ~weights:q.Query.weights ~k:q.Query.k id then acc + 1
+      else acc)
+    0 queries

@@ -1,0 +1,33 @@
+(** Exact top-k evaluation by scan, with partial selection.
+
+    Scores are minimized (the paper's Section 3.2 convention). Ties are
+    broken by object id, ascending, so all evaluators in this library
+    agree on results. The dataset is an array of feature vectors; object
+    ids are array indices. *)
+
+val score : Geom.Vec.t array -> weights:Geom.Vec.t -> int -> float
+(** Score of object [id]. *)
+
+val top_k : Geom.Vec.t array -> weights:Geom.Vec.t -> k:int -> int list
+(** The [k] best (lowest-scoring) object ids, best first; O(n log k). *)
+
+val top_k_scored :
+  Geom.Vec.t array -> weights:Geom.Vec.t -> k:int -> (int * float) list
+
+val rank : Geom.Vec.t array -> weights:Geom.Vec.t -> int -> int
+(** 1-based rank of an object under the tie-break order. *)
+
+val kth_score_excluding :
+  Geom.Vec.t array -> weights:Geom.Vec.t -> k:int -> excl:int -> (int * float) option
+(** The object and score at rank [k] once [excl] is removed from the
+    dataset — the hit threshold [f_{j,k}] of Equation 6: the improved
+    target hits the query iff its score beats (is below, or ties with a
+    smaller id than) this. [None] when fewer than [k] other objects
+    exist (then the target always hits). *)
+
+val hits : Geom.Vec.t array -> weights:Geom.Vec.t -> k:int -> int -> bool
+(** Whether the object is in the query's top-k. *)
+
+val hit_count :
+  Geom.Vec.t array -> queries:Query.t list -> int -> int
+(** [H(p)]: number of queries whose top-k contains the object. *)

@@ -1,0 +1,15 @@
+(** A top-k query: a point in the (possibly feature-augmented) weight
+    domain plus the number of results to return. *)
+
+type t = { weights : Geom.Vec.t; k : int; id : int }
+
+val make : ?id:int -> k:int -> Geom.Vec.t -> t
+(** @raise Invalid_argument when [k <= 0]. *)
+
+val point : t -> Geom.Vec.t
+(** The query seen as a point of the weight domain — the object of the
+    paper's "treat each top-k query as an input to the functions". *)
+
+val dim : t -> int
+
+val pp : Format.formatter -> t -> unit

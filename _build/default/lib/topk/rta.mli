@@ -1,0 +1,25 @@
+(** Reverse top-k evaluation via the RTA algorithm [Vlachou et al. 11].
+
+    Given a target object and a set of top-k queries, reverse top-k
+    returns the queries whose result contains the target. RTA avoids
+    evaluating every query from scratch: queries are processed in an
+    order that keeps consecutive weight vectors similar, and the top-k
+    buffer of the previous query is re-scored under the current query —
+    if [k] buffered objects already beat the target, the query is pruned
+    without a full evaluation.
+
+    The paper's RTA-IQ baseline plugs this evaluator into the same
+    greedy strategy search as Efficient-IQ (it supports only linear
+    utilities). *)
+
+type stats = { evaluated : int; pruned : int }
+
+val reverse_top_k :
+  data:Geom.Vec.t array ->
+  queries:Query.t list ->
+  target:int ->
+  Query.t list * stats
+(** Queries hit by [target] (in input order) plus pruning statistics. *)
+
+val hit_count : data:Geom.Vec.t array -> queries:Query.t list -> int -> int
+(** [H(target)] computed through RTA. *)

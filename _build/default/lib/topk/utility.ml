@@ -1,0 +1,74 @@
+type t = {
+  name : string;
+  dim_in : int;
+  dim_out : int;
+  features : Geom.Vec.t -> Geom.Vec.t;
+}
+
+type order = Asc | Desc
+
+let linear d =
+  { name = Printf.sprintf "linear-%d" d; dim_in = d; dim_out = d;
+    features = Fun.id }
+
+let polynomial ~dim_in ~terms =
+  List.iter
+    (fun term ->
+      if term = [] then invalid_arg "Utility.polynomial: empty monomial";
+      List.iter
+        (fun (attr, degree) ->
+          if attr < 0 || attr >= dim_in then
+            invalid_arg "Utility.polynomial: attribute index out of range";
+          if degree <= 0 then
+            invalid_arg "Utility.polynomial: non-positive degree")
+        term)
+    terms;
+  let terms = Array.of_list (List.map Array.of_list terms) in
+  let features p =
+    Array.map
+      (fun term ->
+        Array.fold_left
+          (fun acc (attr, degree) ->
+            acc *. (p.(attr) ** float_of_int degree))
+          1. term)
+      terms
+  in
+  {
+    name = Printf.sprintf "poly-%d->%d" dim_in (Array.length terms);
+    dim_in;
+    dim_out = Array.length terms;
+    features;
+  }
+
+let sqrt_term i = fun (p : Geom.Vec.t) -> sqrt (Float.max 0. p.(i))
+
+let custom ~name ~dim_in fs =
+  let fs = Array.of_list fs in
+  {
+    name;
+    dim_in;
+    dim_out = Array.length fs;
+    features = (fun p -> Array.map (fun f -> f p) fs);
+  }
+
+let concat a b =
+  if a.dim_in <> b.dim_in then invalid_arg "Utility.concat: dim_in mismatch";
+  {
+    name = a.name ^ "+" ^ b.name;
+    dim_in = a.dim_in;
+    dim_out = a.dim_out + b.dim_out;
+    features =
+      (fun p ->
+        let fa = a.features p and fb = b.features p in
+        Array.append fa fb);
+  }
+
+let score u ~weights p =
+  if Geom.Vec.dim p <> u.dim_in then
+    invalid_arg "Utility.score: object arity mismatch";
+  if Geom.Vec.dim weights <> u.dim_out then
+    invalid_arg "Utility.score: weight arity mismatch";
+  Geom.Vec.dot weights (u.features p)
+
+let effective_weights order w =
+  match order with Asc -> w | Desc -> Geom.Vec.neg w

@@ -1,0 +1,58 @@
+(** Utility-function families, expressed as feature maps.
+
+    The paper's key move (Section 3.2) is to read a top-k utility
+    function "objects -> score given weights" the other way around:
+    every object becomes a function of the query. For linear utilities
+    the score is [q . p]; for the complex utilities of Section 5.2 the
+    score is [q . phi(p)] where [phi] is the variable-substitution
+    feature map (e.g. [p5 = p1^3], [p6 = p2*p3]). Heterogeneous
+    utilities (Section 5.3) concatenate feature maps into one "generic"
+    function whose weight space embeds every user's function.
+
+    A {!t} bundles the feature map with its dimensions; scores are
+    always [weights . features(p)], which is what makes the subdomain
+    geometry linear in the (possibly augmented) weight space. *)
+
+type t = {
+  name : string;
+  dim_in : int;  (** arity of raw object attribute vectors *)
+  dim_out : int;  (** arity of the feature/weight space *)
+  features : Geom.Vec.t -> Geom.Vec.t;  (** [phi]; must be pure *)
+}
+
+type order = Asc | Desc
+(** [Asc]: lowest score ranks first (the paper's Section 3.2 convention;
+    Equation 6). [Desc]: highest score first (the camera example).
+    [Desc] is implemented by negating weights, so all internal machinery
+    minimizes. *)
+
+val linear : int -> t
+(** Identity feature map on [R^d]: the standard linear utility family. *)
+
+val polynomial : dim_in:int -> terms:(int * int) list list -> t
+(** [polynomial ~dim_in ~terms] builds the Section 5.2 linearization:
+    each element of [terms] is one augmented attribute, given as a
+    monomial — a list of (attribute index, degree) factors. E.g.
+    [[ [(0,3)]; [(1,1);(2,1)]; [(3,2)] ]] is
+    [w1*x0^3 + w2*(x1*x2) + w3*x3^2].
+    @raise Invalid_argument on out-of-range attribute indices or
+    non-positive degrees. *)
+
+val sqrt_term : int -> (Geom.Vec.t -> float)
+(** Helper: [sqrt_term i] maps an object to [sqrt x_i] (clamped at 0). *)
+
+val custom : name:string -> dim_in:int -> (Geom.Vec.t -> float) list -> t
+(** Arbitrary per-feature functions, one per output dimension. *)
+
+val concat : t -> t -> t
+(** The Section 5.3 "generic function": feature spaces are concatenated,
+    so a query using only the first family zero-pads the second block
+    and vice versa.
+    @raise Invalid_argument when input arities differ. *)
+
+val score : t -> weights:Geom.Vec.t -> Geom.Vec.t -> float
+(** [score u ~weights p] is [weights . (u.features p)].
+    @raise Invalid_argument on arity mismatch. *)
+
+val effective_weights : order -> Geom.Vec.t -> Geom.Vec.t
+(** Identity for [Asc], negation for [Desc]. *)

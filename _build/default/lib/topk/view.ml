@@ -1,0 +1,78 @@
+type view = { reference : Geom.Vec.t; order : (float * int) array }
+
+type t = { data : Geom.Vec.t array; views : view array; radius : float }
+
+let build ~views data =
+  if views = [] then invalid_arg "View.build: no views";
+  let d = if Array.length data = 0 then 0 else Geom.Vec.dim data.(0) in
+  List.iter
+    (fun v ->
+      if Geom.Vec.dim v <> d then invalid_arg "View.build: arity mismatch")
+    views;
+  let radius =
+    Array.fold_left (fun acc p -> Float.max acc (Geom.Vec.norm p)) 0. data
+  in
+  let materialize reference =
+    let order =
+      Array.init (Array.length data) (fun id ->
+          (Geom.Vec.dot reference data.(id), id))
+    in
+    Array.sort compare order;
+    { reference; order }
+  in
+  { data; views = Array.of_list (List.map materialize views); radius }
+
+let view_count t = Array.length t.views
+
+let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
+
+let top_k_stats t ~weights ~k =
+  let n = Array.length t.data in
+  let cap = Int.min k n in
+  if cap = 0 then ([], 0)
+  else begin
+    (* Nearest view by Euclidean distance of the weight vectors. *)
+    let view =
+      Array.fold_left
+        (fun best v ->
+          if
+            Geom.Vec.dist v.reference weights
+            < Geom.Vec.dist best.reference weights
+          then v
+          else best)
+        t.views.(0) t.views
+    in
+    let slack = Geom.Vec.dist view.reference weights *. t.radius in
+    let best = ref [] in
+    let insert entry =
+      let rec ins = function
+        | [] -> [ entry ]
+        | e :: rest ->
+            if better entry e then entry :: e :: rest else e :: ins rest
+      in
+      let merged = ins !best in
+      best :=
+        if List.length merged > cap then
+          List.filteri (fun i _ -> i < cap) merged
+        else merged
+    in
+    let kth () =
+      if List.length !best < cap then infinity else fst (List.nth !best (cap - 1))
+    in
+    let scanned = ref 0 in
+    (try
+       Array.iter
+         (fun (vscore, id) ->
+           (* Lower bound on any remaining object's w-score. *)
+           if vscore -. slack > kth () then raise Exit;
+           incr scanned;
+           insert (Geom.Vec.dot weights t.data.(id), id))
+         view.order
+     with Exit -> ());
+    (List.map snd !best, !scanned)
+  end
+
+let top_k t ~weights ~k = fst (top_k_stats t ~weights ~k)
+
+let size_words t =
+  Array.fold_left (fun acc v -> acc + (2 * Array.length v.order)) 0 t.views

@@ -1,0 +1,1 @@
+lib/workload/config.mli: Format

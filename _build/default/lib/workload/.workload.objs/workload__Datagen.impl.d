@@ -1,0 +1,1 @@
+lib/workload/datagen.ml: Array Float List Relation Rng Schema Table Value

@@ -1,0 +1,1 @@
+lib/workload/loader.ml: Array Csv Geom List Printf Relation Schema Table Topk Value

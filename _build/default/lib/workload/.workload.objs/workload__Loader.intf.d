@@ -1,0 +1,1 @@
+lib/workload/loader.mli: Geom Relation Topk

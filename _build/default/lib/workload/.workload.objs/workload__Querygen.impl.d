@@ -1,0 +1,1 @@
+lib/workload/querygen.ml: Array Float Geom Int List Rng Topk

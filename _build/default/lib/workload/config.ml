@@ -1,0 +1,52 @@
+type t = {
+  n_objects : int;
+  n_queries : int;
+  tau : int;
+  beta : float;
+  dimension : int;
+  seed : int;
+}
+
+let default =
+  {
+    n_objects = 100_000;
+    n_queries = 10_000;
+    tau = 250;
+    beta = 50.;
+    dimension = 3;
+    seed = 42;
+  }
+
+let scale () =
+  match Sys.getenv_opt "REPRO_SCALE" with
+  | None -> 0.05
+  | Some s -> (
+      match float_of_string_opt s with
+      | Some f when f > 0. -> Float.min 1. f
+      | _ -> 0.05)
+
+let scaled ?scale:(s = scale ()) t =
+  let scale_int min_v v =
+    Int.max min_v (int_of_float (float_of_int v *. s))
+  in
+  {
+    t with
+    n_objects = scale_int 100 t.n_objects;
+    n_queries = scale_int 50 t.n_queries;
+    tau = scale_int 5 t.tau;
+  }
+
+let object_sweep t =
+  ignore t;
+  [ 50_000; 100_000; 150_000; 200_000 ]
+
+let query_sweep t =
+  ignore t;
+  [ 5_000; 10_000; 15_000 ]
+
+let dimension_sweep = [ 1; 2; 3; 4; 5 ]
+
+let pp ppf t =
+  Format.fprintf ppf
+    "{|D|=%d; |Q|=%d; tau=%d; beta=%g; dim=%d; seed=%d}"
+    t.n_objects t.n_queries t.tau t.beta t.dimension t.seed

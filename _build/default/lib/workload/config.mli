@@ -1,0 +1,44 @@
+(** Experiment configuration — Table 2 of the paper.
+
+    | Parameter      | Default | Range           |
+    |----------------|---------|-----------------|
+    | |D|            | 100,000 | 50,000–200,000  |
+    | |Q|            | 10,000  | 5,000–15,000    |
+    | tau            | 250     | 100–500         |
+    | beta           | 50      | 10–100          |
+    | dimensionality | 3       | 1–5             |
+
+    Benchmarks run the paper's sweeps scaled by [scale] (the
+    [REPRO_SCALE] environment variable, default 0.05) so the full suite
+    finishes in minutes on a laptop; the harness reports both paper and
+    scaled coordinates. *)
+
+type t = {
+  n_objects : int;
+  n_queries : int;
+  tau : int;
+  beta : float;
+  dimension : int;
+  seed : int;
+}
+
+val default : t
+(** Table 2 defaults at scale 1. *)
+
+val scale : unit -> float
+(** [REPRO_SCALE] env var, default 0.05; clamped to (0, 1]. *)
+
+val scaled : ?scale:float -> t -> t
+(** Scale object/query counts and tau (budget and dimension are
+    scale-free). Counts are kept >= 100 (objects), >= 50 (queries). *)
+
+val object_sweep : t -> int list
+(** The Figure 4/7–9 x-axis: 50k, 100k, 150k, 200k (before scaling). *)
+
+val query_sweep : t -> int list
+(** The Figure 5/10–11 x-axis: 5k, 10k, 15k (before scaling). *)
+
+val dimension_sweep : int list
+(** Figure 13 x-axis: 1–5 variables. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,76 @@
+open Relation
+
+let numeric_columns table =
+  Schema.columns (Table.schema table)
+  |> List.filter (fun c ->
+         match c.Schema.ty with
+         | Value.TInt | Value.TFloat -> true
+         | Value.TBool | Value.TText -> false)
+  |> List.map (fun c -> c.Schema.name)
+
+let objects_of_table table =
+  match numeric_columns table with
+  | [] -> invalid_arg "Loader.objects_of_table: no numeric columns"
+  | cols -> (cols, Table.to_points table cols)
+
+let load_objects path =
+  let table = Csv.load_file path in
+  let _, points = objects_of_table table in
+  (table, points)
+
+let queries_of_table table =
+  let schema = Table.schema table in
+  let k_idx =
+    match Schema.index_of schema "k" with
+    | Some i -> i
+    | None -> failwith "query table needs a 'k' column"
+  in
+  let weight_cols =
+    Schema.columns schema
+    |> List.mapi (fun i c -> (i, c))
+    |> List.filter (fun (i, _) -> i <> k_idx)
+    |> List.map fst
+  in
+  Table.to_list table
+  |> List.mapi (fun id row ->
+         let k =
+           match Value.to_int row.(k_idx) with
+           | Some k when k > 0 -> k
+           | Some _ | None -> failwith "bad k value"
+         in
+         let weights =
+           Array.of_list
+             (List.map
+                (fun i ->
+                  match Value.to_float row.(i) with
+                  | Some f -> f
+                  | None -> failwith "non-numeric weight")
+                weight_cols)
+         in
+         Topk.Query.make ~id ~k weights)
+
+let load_queries path = queries_of_table (Csv.load_file path)
+
+let queries_to_table queries =
+  let d =
+    match queries with
+    | [] -> 0
+    | q :: _ -> Geom.Vec.dim q.Topk.Query.weights
+  in
+  let schema =
+    Schema.make
+      ({ Schema.name = "k"; ty = Value.TInt }
+      :: List.init d (fun j ->
+             { Schema.name = Printf.sprintf "w%d" j; ty = Value.TFloat }))
+  in
+  let table = Table.create schema in
+  List.iter
+    (fun (q : Topk.Query.t) ->
+      Table.insert table
+        (Array.append
+           [| Value.Int q.Topk.Query.k |]
+           (Array.map (fun w -> Value.Float w) q.Topk.Query.weights)))
+    queries;
+  table
+
+let save_queries path queries = Csv.save_file path (queries_to_table queries)

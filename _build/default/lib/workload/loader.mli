@@ -1,0 +1,23 @@
+(** CSV ingestion for the analytic tool: object datasets and top-k
+    query workloads as the CLI exchanges them.
+
+    Object CSVs: any table with a header; every numeric column becomes
+    an attribute, in column order. Query CSVs: a column named [k] plus
+    the weight columns (any names), one query per row. *)
+
+val objects_of_table : Relation.Table.t -> string list * Geom.Vec.t array
+(** The numeric column names used and the extracted points.
+    @raise Invalid_argument when no numeric column exists. *)
+
+val load_objects : string -> Relation.Table.t * Geom.Vec.t array
+(** Load a CSV file and extract its numeric columns as objects. *)
+
+val queries_of_table : Relation.Table.t -> Topk.Query.t list
+(** @raise Failure when the [k] column is missing or malformed. *)
+
+val load_queries : string -> Topk.Query.t list
+
+val queries_to_table : Topk.Query.t list -> Relation.Table.t
+(** Inverse of {!queries_of_table}: a [k] column plus [w0..w(d-1)]. *)
+
+val save_queries : string -> Topk.Query.t list -> unit

@@ -1,0 +1,47 @@
+type kind = Uniform | Clustered
+
+let clamp01 x = Float.min 1. (Float.max 0. x)
+
+let weights rng kind ~m ~d =
+  match kind with
+  | Uniform -> Array.init m (fun _ -> Array.init d (fun _ -> Rng.uniform rng))
+  | Clustered ->
+      let n_clusters = Int.max 1 (Int.min 8 (m / 50)) in
+      let centers =
+        Array.init n_clusters (fun _ -> Array.init d (fun _ -> Rng.uniform rng))
+      in
+      Array.init m (fun _ ->
+          let c = Rng.pick rng centers in
+          Array.init d (fun j ->
+              clamp01 (c.(j) +. Rng.gaussian rng ~mean:0. ~stddev:0.05)))
+
+let queries_of rng ?(k_range = (1, 50)) ws =
+  let lo, hi = k_range in
+  Array.to_list ws
+  |> List.mapi (fun i w -> Topk.Query.make ~id:i ~k:(Rng.int_in rng lo hi) w)
+
+let linear rng kind ?k_range ~m ~d () =
+  queries_of rng ?k_range (weights rng kind ~m ~d)
+
+let normalized_linear rng kind ?k_range ~m ~d () =
+  let ws = weights rng kind ~m ~d in
+  let ws = Array.map Geom.Vec.normalize_l1 ws in
+  (* Re-randomize degenerate all-zero vectors. *)
+  let ws =
+    Array.map
+      (fun w ->
+        if Geom.Vec.is_zero w then
+          Geom.Vec.normalize_l1 (Array.init d (fun _ -> 0.5 +. Rng.uniform rng))
+        else w)
+      ws
+  in
+  queries_of rng ?k_range ws
+
+let polynomial rng kind ?k_range ?(degree_range = (1, 5)) ~m ~d () =
+  let lo, hi = degree_range in
+  let terms = List.init d (fun j -> [ (j, Rng.int_in rng lo hi) ]) in
+  let utility = Topk.Utility.polynomial ~dim_in:d ~terms in
+  let qs = linear rng kind ?k_range ~m ~d:utility.Topk.Utility.dim_out () in
+  (utility, qs)
+
+let kind_name = function Uniform -> "UN" | Clustered -> "CL"

@@ -1,0 +1,32 @@
+(** Top-k query workload generators.
+
+    UN draws weight vectors uniformly and independently from [0,1]^d;
+    CL draws them from Gaussian clusters (the clustered workload of the
+    reverse top-k paper [21]). [k] values are uniform on a range —
+    [1, 50] by default, matching Section 6.2. The polynomial variants
+    attach the Section 5.2 utility linearization: each weight multiplies
+    a monomial of degree drawn from [1, 5]. *)
+
+type kind = Uniform | Clustered
+
+val weights : Rng.t -> kind -> m:int -> d:int -> Geom.Vec.t array
+(** [m] weight vectors in [0,1]^d (not normalized; normalization is the
+    caller's choice, as in the paper's linear-utility experiments). *)
+
+val linear :
+  Rng.t -> kind -> ?k_range:int * int -> m:int -> d:int -> unit ->
+  Topk.Query.t list
+(** Linear top-k queries with ids [0..m-1]. *)
+
+val normalized_linear :
+  Rng.t -> kind -> ?k_range:int * int -> m:int -> d:int -> unit ->
+  Topk.Query.t list
+(** Same but each weight vector is scaled to sum to 1 (RTA's setting). *)
+
+val polynomial :
+  Rng.t -> kind -> ?k_range:int * int -> ?degree_range:int * int ->
+  m:int -> d:int -> unit -> Topk.Utility.t * Topk.Query.t list
+(** A shared polynomial utility (one monomial of random degree per
+    attribute) and queries over its feature space. *)
+
+val kind_name : kind -> string

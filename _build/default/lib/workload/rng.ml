@@ -1,0 +1,38 @@
+type t = Random.State.t
+
+let make seed = Random.State.make [| seed; 0x51ab5eed; seed lxor 0x2c0ffee |]
+let uniform t = Random.State.float t 1.
+let uniform_in t lo hi = lo +. ((hi -. lo) *. uniform t)
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int: bound <= 0";
+  Random.State.int t bound
+
+let int_in t lo hi = lo + int t (hi - lo + 1)
+
+let gaussian t ~mean ~stddev =
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  let u1 = nonzero () and u2 = uniform t in
+  mean +. (stddev *. sqrt (-2. *. log u1) *. cos (2. *. Float.pi *. u2))
+
+let exponential t ~rate =
+  let rec nonzero () =
+    let u = uniform t in
+    if u > 0. then u else nonzero ()
+  in
+  -.log (nonzero ()) /. rate
+
+let pick t arr =
+  if Array.length arr = 0 then invalid_arg "Rng.pick: empty";
+  arr.(int t (Array.length arr))
+
+let shuffle t arr =
+  for i = Array.length arr - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = arr.(i) in
+    arr.(i) <- arr.(j);
+    arr.(j) <- tmp
+  done

@@ -1,0 +1,33 @@
+(** Deterministic pseudo-random source for reproducible experiments.
+
+    A thin wrapper around [Random.State] with the distributions the
+    generators need. Every generator takes an explicit [Rng.t] so that a
+    seed fully determines a workload. *)
+
+type t
+
+val make : int -> t
+(** Seeded generator. *)
+
+val uniform : t -> float
+(** Uniform on [0, 1). *)
+
+val uniform_in : t -> float -> float -> float
+(** Uniform on [lo, hi). *)
+
+val int : t -> int -> int
+(** Uniform on [0, bound). @raise Invalid_argument if [bound <= 0]. *)
+
+val int_in : t -> int -> int -> int
+(** Uniform on [lo, hi] inclusive. *)
+
+val gaussian : t -> mean:float -> stddev:float -> float
+(** Box–Muller normal deviate. *)
+
+val exponential : t -> rate:float -> float
+
+val pick : t -> 'a array -> 'a
+(** Uniform choice. @raise Invalid_argument on empty array. *)
+
+val shuffle : t -> 'a array -> unit
+(** In-place Fisher–Yates. *)

@@ -1,0 +1,1 @@
+test/test_bloom.ml: Alcotest Bloom Gen List Printf QCheck QCheck_alcotest

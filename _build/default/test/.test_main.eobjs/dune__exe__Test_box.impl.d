@@ -1,0 +1,1 @@
+test/test_box.ml: Alcotest Box Format Geom QCheck QCheck_alcotest Vec

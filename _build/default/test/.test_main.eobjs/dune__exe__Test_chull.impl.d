@@ -1,0 +1,1 @@
+test/test_chull.ml: Alcotest Array Chull Geom List QCheck QCheck_alcotest Vec

@@ -1,0 +1,1 @@
+test/test_core_basics.ml: Alcotest Array Cost Geom Instance Iq List Lp Strategy Topk

@@ -1,0 +1,1 @@
+test/test_edge_cases.ml: Alcotest Array Cost Evaluator Float Geom Instance Iq List Lp Max_hit Min_cost Printf Query_index Relation Rtree Topk Workload

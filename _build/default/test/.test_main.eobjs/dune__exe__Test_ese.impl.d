@@ -1,0 +1,1 @@
+test/test_ese.ml: Alcotest Array Cost Ese Evaluator Geom Instance Int Iq List Lp Printf Query_index Strategy Topk Workload

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Array Bloom Cost Evaluator Filename Float Fun Geom Instance Iq List Marshal Min_cost Nonlinear Printf Query_index Sys Topk Workload

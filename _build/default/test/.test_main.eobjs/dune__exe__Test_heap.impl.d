@@ -1,0 +1,1 @@
+test/test_heap.ml: Alcotest Float Gen List Min_heap QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_hyperplane.ml: Alcotest Array Format Geom Hyperplane QCheck QCheck_alcotest Vec

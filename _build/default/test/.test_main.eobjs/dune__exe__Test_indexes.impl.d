@@ -1,0 +1,1 @@
+test/test_indexes.ml: Alcotest Array List Printf Topk Workload

@@ -1,0 +1,1 @@
+test/test_projection.ml: Alcotest Array Lp QCheck QCheck_alcotest

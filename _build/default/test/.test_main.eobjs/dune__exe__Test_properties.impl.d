@@ -1,0 +1,1 @@
+test/test_properties.ml: Alcotest Array Cost Evaluator Exhaustive Geom Instance Int Iq List Max_hit Min_cost Printf QCheck QCheck_alcotest Query_index Strategy Topk Workload

@@ -1,0 +1,1 @@
+test/test_relation.ml: Alcotest Array Catalog Csv Hash_index List QCheck QCheck_alcotest Relation Schema String Table Value

@@ -1,0 +1,1 @@
+test/test_rtree.ml: Alcotest Array Box Float Gen Geom Hyperplane Int List QCheck QCheck_alcotest Rtree Vec Workload

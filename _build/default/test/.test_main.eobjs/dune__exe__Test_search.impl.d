@@ -1,0 +1,1 @@
+test/test_search.ml: Alcotest Array Baselines Combinatorial Cost Evaluator Exhaustive Instance Int Iq List Max_hit Min_cost Printf Query_index Strategy Workload

@@ -1,0 +1,1 @@
+test/test_simplex.ml: Alcotest Array Fmt List Lp QCheck QCheck_alcotest

@@ -1,0 +1,1 @@
+test/test_sql.ml: Alcotest Array Catalog List Printf Relation Sql Value

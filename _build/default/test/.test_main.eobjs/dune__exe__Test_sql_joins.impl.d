@@ -1,0 +1,1 @@
+test/test_sql_joins.ml: Alcotest Array Catalog List Printf Relation Sql String Value

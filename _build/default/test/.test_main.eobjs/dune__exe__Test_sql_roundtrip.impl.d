@@ -1,0 +1,1 @@
+test/test_sql_roundtrip.ml: Alcotest Format List Option Printf QCheck QCheck_alcotest Relation Sql String

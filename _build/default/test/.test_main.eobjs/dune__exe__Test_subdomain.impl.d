@@ -1,0 +1,1 @@
+test/test_subdomain.ml: Alcotest Array Bloom Ese Evaluator Geom Instance Iq List Printf Query_index Subdomain Topk Workload

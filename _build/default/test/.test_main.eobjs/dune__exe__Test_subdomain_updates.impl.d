@@ -1,0 +1,1 @@
+test/test_subdomain_updates.ml: Alcotest Array Fun Geom Instance Iq List Subdomain Workload

@@ -1,0 +1,1 @@
+test/test_sweep.ml: Alcotest Array Box Geom List Sweep Vec Workload

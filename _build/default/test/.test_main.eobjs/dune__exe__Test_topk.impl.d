@@ -1,0 +1,1 @@
+test/test_topk.ml: Alcotest Array Dominance Eval Geom List Printf Query Rta Ta Topk Utility Workload

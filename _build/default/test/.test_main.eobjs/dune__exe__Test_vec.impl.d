@@ -1,0 +1,1 @@
+test/test_vec.ml: Alcotest Array Format Geom QCheck QCheck_alcotest Vec

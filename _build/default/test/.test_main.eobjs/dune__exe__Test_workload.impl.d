@@ -1,0 +1,1 @@
+test/test_workload.ml: Alcotest Array Fun Geom Int List Printf Relation Topk Workload

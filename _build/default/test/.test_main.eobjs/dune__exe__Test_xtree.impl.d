@@ -1,0 +1,1 @@
+test/test_xtree.ml: Alcotest Array Box Fun Gen Geom Hyperplane Int List Printf QCheck QCheck_alcotest Rtree Vec Workload Xtree

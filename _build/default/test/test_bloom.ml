@@ -1,0 +1,69 @@
+let test_no_false_negatives () =
+  let b = Bloom.create ~expected:1000 () in
+  for i = 0 to 999 do
+    Bloom.add b (i * 7)
+  done;
+  for i = 0 to 999 do
+    Alcotest.(check bool) "member found" true (Bloom.mem b (i * 7))
+  done
+
+let test_false_positive_rate () =
+  let b = Bloom.create ~fp_rate:0.01 ~expected:2000 () in
+  for i = 0 to 1999 do
+    Bloom.add b i
+  done;
+  let fp = ref 0 in
+  let probes = 10_000 in
+  for i = 0 to probes - 1 do
+    if Bloom.mem b (100_000 + i) then incr fp
+  done;
+  let rate = float_of_int !fp /. float_of_int probes in
+  Alcotest.(check bool)
+    (Printf.sprintf "fp rate %.4f below 5x target" rate)
+    true (rate < 0.05)
+
+let test_clear () =
+  let b = Bloom.create ~expected:10 () in
+  Bloom.add b "x";
+  Alcotest.(check bool) "present" true (Bloom.mem b "x");
+  Bloom.clear b;
+  Alcotest.(check bool) "cleared" false (Bloom.mem b "x");
+  Alcotest.(check int) "count reset" 0 (Bloom.count b)
+
+let test_parameters () =
+  let b = Bloom.create ~fp_rate:0.01 ~expected:100 () in
+  Alcotest.(check bool) "bits sized" true (Bloom.bit_length b >= 100);
+  Alcotest.(check bool) "k >= 1" true (Bloom.hash_count b >= 1);
+  Alcotest.check_raises "bad expected"
+    (Invalid_argument "Bloom.create: expected <= 0") (fun () ->
+      ignore (Bloom.create ~expected:0 ()));
+  Alcotest.check_raises "bad rate"
+    (Invalid_argument "Bloom.create: fp_rate outside (0, 1)") (fun () ->
+      ignore (Bloom.create ~fp_rate:1.5 ~expected:10 ()))
+
+let test_estimated_fp () =
+  let b = Bloom.create ~fp_rate:0.01 ~expected:100 () in
+  Alcotest.(check (float 1e-9)) "empty filter" 0. (Bloom.estimated_fp_rate b);
+  for i = 0 to 99 do
+    Bloom.add b i
+  done;
+  let est = Bloom.estimated_fp_rate b in
+  Alcotest.(check bool) "near design rate" true (est > 0. && est < 0.05)
+
+let prop_membership =
+  QCheck.Test.make ~name:"added strings always found" ~count:100
+    QCheck.(list_of_size Gen.(int_range 1 50) string)
+    (fun xs ->
+      let b = Bloom.create ~expected:(List.length xs) () in
+      List.iter (Bloom.add b) xs;
+      List.for_all (Bloom.mem b) xs)
+
+let suite =
+  [
+    Alcotest.test_case "no false negatives" `Quick test_no_false_negatives;
+    Alcotest.test_case "false positive rate" `Quick test_false_positive_rate;
+    Alcotest.test_case "clear" `Quick test_clear;
+    Alcotest.test_case "parameters" `Quick test_parameters;
+    Alcotest.test_case "estimated fp rate" `Quick test_estimated_fp;
+    QCheck_alcotest.to_alcotest prop_membership;
+  ]

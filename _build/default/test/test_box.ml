@@ -1,0 +1,87 @@
+open Geom
+
+let b lo hi = Box.make ~lo:(Vec.of_list lo) ~hi:(Vec.of_list hi)
+
+let test_construction () =
+  Alcotest.check_raises "lo > hi"
+    (Invalid_argument "Geom.Box.make: lo > hi on some axis") (fun () ->
+      ignore (b [ 1.; 0. ] [ 0.; 1. ]));
+  let unit = Box.unit 2 in
+  Alcotest.(check (float 1e-12)) "unit area" 1. (Box.area unit);
+  Alcotest.(check (float 1e-12)) "unit margin" 2. (Box.margin unit)
+
+let test_union_intersection () =
+  let a = b [ 0.; 0. ] [ 1.; 1. ] and c = b [ 2.; 2. ] [ 3.; 3. ] in
+  let u = Box.union a c in
+  Alcotest.(check bool) "contains a" true (Box.contains_box u a);
+  Alcotest.(check bool) "contains c" true (Box.contains_box u c);
+  Alcotest.(check bool) "disjoint" false (Box.intersects a c);
+  Alcotest.(check (float 1e-12)) "no overlap area" 0. (Box.overlap_area a c);
+  let d = b [ 0.5; 0.5 ] [ 1.5; 1.5 ] in
+  Alcotest.(check bool) "overlapping" true (Box.intersects a d);
+  Alcotest.(check (float 1e-12)) "overlap area" 0.25 (Box.overlap_area a d)
+
+let test_touching_boxes_intersect () =
+  let a = b [ 0.; 0. ] [ 1.; 1. ] and c = b [ 1.; 0. ] [ 2.; 1. ] in
+  Alcotest.(check bool) "shared edge intersects" true (Box.intersects a c)
+
+let test_points () =
+  let box = Box.of_points [ [| 0.; 5. |]; [| 3.; 1. |]; [| 1.; 2. |] ] in
+  Alcotest.(check bool) "lo" true (Vec.equal box.Box.lo [| 0.; 1. |]);
+  Alcotest.(check bool) "hi" true (Vec.equal box.Box.hi [| 3.; 5. |]);
+  Alcotest.(check bool)
+    "contains interior" true
+    (Box.contains_point box [| 1.; 3. |]);
+  Alcotest.(check bool)
+    "boundary counts" true
+    (Box.contains_point box [| 0.; 1. |])
+
+let test_enlargement () =
+  let a = b [ 0.; 0. ] [ 1.; 1. ] in
+  Alcotest.(check (float 1e-12))
+    "no growth for contained" 0.
+    (Box.enlargement a (b [ 0.2; 0.2 ] [ 0.8; 0.8 ]));
+  Alcotest.(check (float 1e-12))
+    "growth" 1.
+    (Box.enlargement a (b [ 0.; 0. ] [ 2.; 1. ]))
+
+let test_min_dist2 () =
+  let box = b [ 0.; 0. ] [ 1.; 1. ] in
+  Alcotest.(check (float 1e-12)) "inside" 0. (Box.min_dist2 box [| 0.5; 0.5 |]);
+  Alcotest.(check (float 1e-12)) "axis gap" 1. (Box.min_dist2 box [| 2.; 0.5 |]);
+  Alcotest.(check (float 1e-12)) "corner" 2. (Box.min_dist2 box [| 2.; 2. |])
+
+let test_center () =
+  let box = b [ 0.; 2. ] [ 2.; 4. ] in
+  Alcotest.(check bool) "center" true (Vec.equal (Box.center box) [| 1.; 3. |])
+
+let arb_point =
+  QCheck.make
+    ~print:(fun v -> Format.asprintf "%a" Vec.pp v)
+    QCheck.Gen.(array_size (return 3) (float_range (-4.) 4.))
+
+let prop_union_contains =
+  QCheck.Test.make ~name:"union contains both points" ~count:200
+    (QCheck.pair arb_point arb_point)
+    (fun (p, q) ->
+      let u = Box.union (Box.of_point p) (Box.of_point q) in
+      Box.contains_point u p && Box.contains_point u q)
+
+let prop_min_dist_zero_inside =
+  QCheck.Test.make ~name:"min_dist2 zero iff inside" ~count:200 arb_point
+    (fun p ->
+      let box = Box.make ~lo:(Vec.make 3 (-1.)) ~hi:(Vec.make 3 1.) in
+      Box.contains_point box p = (Box.min_dist2 box p = 0.))
+
+let suite =
+  [
+    Alcotest.test_case "construction" `Quick test_construction;
+    Alcotest.test_case "union & intersection" `Quick test_union_intersection;
+    Alcotest.test_case "touching boxes" `Quick test_touching_boxes_intersect;
+    Alcotest.test_case "of_points / contains" `Quick test_points;
+    Alcotest.test_case "enlargement" `Quick test_enlargement;
+    Alcotest.test_case "min_dist2" `Quick test_min_dist2;
+    Alcotest.test_case "center" `Quick test_center;
+    QCheck_alcotest.to_alcotest prop_union_contains;
+    QCheck_alcotest.to_alcotest prop_min_dist_zero_inside;
+  ]

@@ -1,0 +1,90 @@
+open Geom
+
+let square = [ [| 0.; 0. |]; [| 1.; 0. |]; [| 1.; 1. |]; [| 0.; 1. |] ]
+
+let test_square_hull () =
+  let h = Chull.hull ([| 0.5; 0.5 |] :: square) in
+  Alcotest.(check int) "four corners" 4 (List.length h);
+  List.iter
+    (fun corner ->
+      Alcotest.(check bool)
+        "corner present" true
+        (List.exists (Vec.equal corner) h))
+    square
+
+let test_degenerate () =
+  Alcotest.(check int) "empty" 0 (List.length (Chull.hull []));
+  Alcotest.(check int) "single" 1 (List.length (Chull.hull [ [| 1.; 2. |] ]));
+  Alcotest.(check int)
+    "duplicates collapse" 1
+    (List.length (Chull.hull [ [| 1.; 2. |]; [| 1.; 2. |] ]))
+
+let test_collinear () =
+  let pts = [ [| 0.; 0. |]; [| 1.; 1. |]; [| 2.; 2. |] ] in
+  let h = Chull.hull pts in
+  Alcotest.(check bool) "at most 2 points" true (List.length h <= 2)
+
+let test_layers () =
+  let inner = [ [| 0.4; 0.4 |]; [| 0.6; 0.6 |]; [| 0.4; 0.6 |]; [| 0.6; 0.4 |] ] in
+  let layers = Chull.layers (square @ inner) in
+  Alcotest.(check int) "two layers" 2 (List.length layers);
+  Alcotest.(check int) "outer is the square" 4 (List.length (List.hd layers))
+
+let cross o a b =
+  ((a.(0) -. o.(0)) *. (b.(1) -. o.(1)))
+  -. ((a.(1) -. o.(1)) *. (b.(0) -. o.(0)))
+
+let prop_hull_is_convex =
+  let arb =
+    QCheck.make
+      ~print:(fun pts -> string_of_int (List.length pts))
+      QCheck.Gen.(
+        list_size (int_range 3 30)
+          (map
+             (fun (x, y) -> [| x; y |])
+             (pair (float_range 0. 1.) (float_range 0. 1.))))
+  in
+  QCheck.Test.make ~name:"hull boundary turns left" ~count:100 arb (fun pts ->
+      let h = Array.of_list (Chull.hull pts) in
+      let n = Array.length h in
+      n < 3
+      ||
+      let ok = ref true in
+      for i = 0 to n - 1 do
+        let o = h.(i) and a = h.((i + 1) mod n) and b = h.((i + 2) mod n) in
+        if cross o a b < -1e-9 then ok := false
+      done;
+      !ok)
+
+let prop_hull_contains_all =
+  let arb =
+    QCheck.make
+      ~print:(fun pts -> string_of_int (List.length pts))
+      QCheck.Gen.(
+        list_size (int_range 3 25)
+          (map
+             (fun (x, y) -> [| x; y |])
+             (pair (float_range 0. 1.) (float_range 0. 1.))))
+  in
+  QCheck.Test.make ~name:"all points inside hull" ~count:100 arb (fun pts ->
+      let h = Array.of_list (Chull.hull pts) in
+      let n = Array.length h in
+      n < 3
+      || List.for_all
+           (fun p ->
+             let inside = ref true in
+             for i = 0 to n - 1 do
+               if cross h.(i) h.((i + 1) mod n) p < -1e-9 then inside := false
+             done;
+             !inside)
+           pts)
+
+let suite =
+  [
+    Alcotest.test_case "square hull" `Quick test_square_hull;
+    Alcotest.test_case "degenerate inputs" `Quick test_degenerate;
+    Alcotest.test_case "collinear" `Quick test_collinear;
+    Alcotest.test_case "onion layers" `Quick test_layers;
+    QCheck_alcotest.to_alcotest prop_hull_is_convex;
+    QCheck_alcotest.to_alcotest prop_hull_contains_all;
+  ]

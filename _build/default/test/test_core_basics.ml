@@ -1,0 +1,177 @@
+open Iq
+
+(* --- Strategy --- *)
+
+let test_apply () =
+  let p = [| 10.; 2.; 250. |] and s = [| 5.; 2.; -50. |] in
+  (* The camera example of Figure 1. *)
+  Alcotest.(check bool)
+    "p1 + s = p1'" true
+    (Geom.Vec.equal (Strategy.apply p s) [| 15.; 4.; 200. |])
+
+let test_limits_bounds () =
+  let limits =
+    Strategy.within_values ~lo:(Geom.Vec.zero 2) ~hi:(Geom.Vec.make 2 1.)
+  in
+  let b = Strategy.bounds_for limits ~p:[| 0.3; 0.9 |] in
+  Alcotest.(check (float 1e-12)) "room below" (-0.3) b.Lp.Projection.lo.(0);
+  Alcotest.(check (float 1e-12)) "room above" 0.7 b.Lp.Projection.hi.(0);
+  Alcotest.(check (float 1e-12)) "tight above" 0.1 b.Lp.Projection.hi.(1)
+
+let test_freeze () =
+  let limits = Strategy.freeze (Strategy.unrestricted 3) 1 in
+  Alcotest.(check bool)
+    "frozen coordinate invalid" false
+    (Strategy.is_valid limits ~p:(Geom.Vec.zero 3) [| 0.; 0.5; 0. |]);
+  Alcotest.(check bool)
+    "other coordinates fine" true
+    (Strategy.is_valid limits ~p:(Geom.Vec.zero 3) [| 1.; 0.; -2. |])
+
+let test_freeze_all_but () =
+  let limits = Strategy.freeze_all_but (Strategy.unrestricted 3) [ 2 ] in
+  Alcotest.(check bool)
+    "only attr 2 movable" true
+    (Strategy.is_valid limits ~p:(Geom.Vec.zero 3) [| 0.; 0.; 9. |]);
+  Alcotest.(check bool)
+    "attr 0 frozen" false
+    (Strategy.is_valid limits ~p:(Geom.Vec.zero 3) [| 0.1; 0.; 0. |])
+
+let test_validity_value_range () =
+  let limits =
+    Strategy.within_values ~lo:(Geom.Vec.zero 2) ~hi:(Geom.Vec.make 2 1.)
+  in
+  Alcotest.(check bool)
+    "stays inside" true
+    (Strategy.is_valid limits ~p:[| 0.5; 0.5 |] [| 0.4; -0.5 |]);
+  Alcotest.(check bool)
+    "escapes above" false
+    (Strategy.is_valid limits ~p:[| 0.5; 0.5 |] [| 0.6; 0. |])
+
+(* --- Cost --- *)
+
+let test_euclidean_cost () =
+  let c = Cost.euclidean 2 in
+  Alcotest.(check (float 1e-12)) "norm" 5. (c.Cost.eval [| 3.; 4. |]);
+  Alcotest.(check bool) "sanity" true (Cost.scale_invariant_check c)
+
+let test_cost_min_steps_satisfy () =
+  let bounds = Lp.Projection.unbounded 3 in
+  let a = [| 0.5; 1.; 0.2 |] and b = -1.2 in
+  List.iter
+    (fun c ->
+      match c.Cost.min_step ~a ~b ~bounds with
+      | None -> Alcotest.failf "%s: expected a step" c.Cost.name
+      | Some s ->
+          let dot = Geom.Vec.dot a s in
+          Alcotest.(check bool)
+            (c.Cost.name ^ " satisfies constraint")
+            true (dot <= b +. 1e-6))
+    [
+      Cost.euclidean 3;
+      Cost.l1 3;
+      Cost.weighted_euclidean [| 1.; 2.; 3. |];
+      Cost.weighted_l1 [| 1.; 2.; 3. |];
+      Cost.linear [| 1.; 1.; 1. |];
+      Cost.custom ~name:"quartic" ~dim:3 (fun s ->
+          Array.fold_left (fun acc x -> acc +. (x ** 4.)) 0. s);
+    ]
+
+let test_weighted_prefers_cheap_axis () =
+  let c = Cost.weighted_euclidean [| 100.; 1. |] in
+  match
+    c.Cost.min_step ~a:[| 1.; 1. |] ~b:(-1.) ~bounds:(Lp.Projection.unbounded 2)
+  with
+  | None -> Alcotest.fail "expected step"
+  | Some s ->
+      Alcotest.(check bool)
+        "cheap axis does the work" true
+        (abs_float s.(1) > 10. *. abs_float s.(0))
+
+let test_l2_min_step_optimal () =
+  (* For Euclidean cost the step must be the orthogonal projection:
+     length |b| / ||a||. *)
+  let c = Cost.euclidean 2 in
+  let a = [| 3.; 4. |] and b = -5. in
+  match c.Cost.min_step ~a ~b ~bounds:(Lp.Projection.unbounded 2) with
+  | None -> Alcotest.fail "expected step"
+  | Some s -> Alcotest.(check (float 1e-9)) "length |b|/||a||" 1. (c.Cost.eval s)
+
+let test_custom_cost_not_worse_than_l2_l1 () =
+  (* The custom-cost oracle evaluates L1 and L2 candidates, so for an
+     L1-like eval it must return a step at most the L1 step's cost. *)
+  let eval s = Array.fold_left (fun acc x -> acc +. abs_float x) 0. s in
+  let c = Cost.custom ~name:"custom-l1" ~dim:3 eval in
+  let a = [| 0.2; 1.; 0.4 |] and b = -0.9 in
+  let bounds = Lp.Projection.unbounded 3 in
+  match (c.Cost.min_step ~a ~b ~bounds, (Cost.l1 3).Cost.min_step ~a ~b ~bounds) with
+  | Some s_custom, Some s_l1 ->
+      Alcotest.(check bool)
+        "custom <= pure l1 cost" true
+        (eval s_custom <= eval s_l1 +. 1e-9)
+  | _ -> Alcotest.fail "expected steps"
+
+(* --- Instance --- *)
+
+let mk_instance () =
+  let data = [| [| 0.2; 0.8 |]; [| 0.8; 0.2 |]; [| 0.5; 0.5 |] |] in
+  let queries =
+    [ Topk.Query.make ~id:0 ~k:1 [| 1.; 0. |]; Topk.Query.make ~id:1 ~k:2 [| 0.; 1. |] ]
+  in
+  Instance.create ~data ~queries ()
+
+let test_instance_basics () =
+  let inst = mk_instance () in
+  Alcotest.(check int) "objects" 3 (Instance.n_objects inst);
+  Alcotest.(check int) "queries" 2 (Instance.n_queries inst);
+  Alcotest.(check int) "dim" 2 (Instance.dim inst);
+  Alcotest.(check int) "max k" 2 (Instance.max_k inst);
+  Alcotest.(check (float 1e-12)) "score" 0.2 (Instance.score inst ~q:0 0)
+
+let test_instance_desc_negates () =
+  let data = [| [| 1.; 2. |] |] in
+  let queries = [ Topk.Query.make ~k:1 [| 1.; 1. |] ] in
+  let inst =
+    Instance.create ~order:Topk.Utility.Desc ~data ~queries ()
+  in
+  Alcotest.(check (float 1e-12)) "negated score" (-3.) (Instance.score inst ~q:0 0)
+
+let test_instance_improved () =
+  let inst = mk_instance () in
+  let v = Instance.improved inst ~target:0 ~s:[| 0.1; -0.1 |] in
+  Alcotest.(check bool) "moved" true (Geom.Vec.equal v [| 0.3; 0.7 |])
+
+let test_instance_guards () =
+  Alcotest.(check bool)
+    "empty data rejected" true
+    (try
+       ignore (Instance.create ~data:[||] ~queries:[] ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "arity mismatch rejected" true
+    (try
+       ignore
+         (Instance.create
+            ~data:[| [| 1.; 2. |] |]
+            ~queries:[ Topk.Query.make ~k:1 [| 1. |] ]
+            ());
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "apply (Figure 1)" `Quick test_apply;
+    Alcotest.test_case "limits bounds" `Quick test_limits_bounds;
+    Alcotest.test_case "freeze" `Quick test_freeze;
+    Alcotest.test_case "freeze_all_but" `Quick test_freeze_all_but;
+    Alcotest.test_case "value-range validity" `Quick test_validity_value_range;
+    Alcotest.test_case "euclidean cost (Eq 30)" `Quick test_euclidean_cost;
+    Alcotest.test_case "min steps satisfy constraint" `Quick test_cost_min_steps_satisfy;
+    Alcotest.test_case "weighted cost prefers cheap axis" `Quick test_weighted_prefers_cheap_axis;
+    Alcotest.test_case "L2 min step optimal" `Quick test_l2_min_step_optimal;
+    Alcotest.test_case "custom cost portfolio" `Quick test_custom_cost_not_worse_than_l2_l1;
+    Alcotest.test_case "instance basics" `Quick test_instance_basics;
+    Alcotest.test_case "Desc negates weights" `Quick test_instance_desc_negates;
+    Alcotest.test_case "improved object" `Quick test_instance_improved;
+    Alcotest.test_case "instance guards" `Quick test_instance_guards;
+  ]

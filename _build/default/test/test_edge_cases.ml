@@ -1,0 +1,197 @@
+(* Edge cases and failure injection across the stack. *)
+
+open Iq
+
+(* --- degenerate geometry --- *)
+
+let test_duplicate_objects () =
+  (* Coinciding objects create no intersection and must not break ESE. *)
+  let data = [| [| 0.5; 0.5 |]; [| 0.5; 0.5 |]; [| 0.1; 0.9 |] |] in
+  let queries =
+    [ Topk.Query.make ~id:0 ~k:1 [| 1.; 0. |]; Topk.Query.make ~id:1 ~k:2 [| 0.5; 0.5 |] ]
+  in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  for t = 0 to 2 do
+    let ese = Evaluator.ese idx ~target:t in
+    let naive = Evaluator.naive inst ~target:t in
+    Alcotest.(check int)
+      (Printf.sprintf "dup base t=%d" t)
+      naive.Evaluator.base_hits ese.Evaluator.base_hits;
+    let s = [| -0.2; 0.1 |] in
+    Alcotest.(check int)
+      (Printf.sprintf "dup eval t=%d" t)
+      (naive.Evaluator.hit_count s) (ese.Evaluator.hit_count s)
+  done
+
+let test_single_object () =
+  (* One object hits every query trivially; improvement changes nothing. *)
+  let data = [| [| 0.3; 0.3 |] |] in
+  let queries = [ Topk.Query.make ~k:1 [| 1.; 0. |] ] in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  let ese = Evaluator.ese idx ~target:0 in
+  Alcotest.(check int) "hits all" 1 ese.Evaluator.base_hits;
+  Alcotest.(check int) "still hits all" 1 (ese.Evaluator.hit_count [| 5.; 5. |])
+
+let test_zero_weight_query () =
+  (* An all-zero weight vector scores everything 0; ids break ties. *)
+  let data = [| [| 0.9; 0.9 |]; [| 0.1; 0.1 |] |] in
+  let queries = [ Topk.Query.make ~k:1 [| 0.; 0. |] ] in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  Alcotest.(check bool) "id 0 wins tie" true (Query_index.member idx ~q:0 0);
+  Alcotest.(check bool) "id 1 loses tie" false (Query_index.member idx ~q:0 1)
+
+let test_identical_queries () =
+  let data =
+    Workload.Datagen.generate (Workload.Rng.make 3) Workload.Datagen.Independent
+      ~n:50 ~d:2
+  in
+  let w = [| 0.4; 0.6 |] in
+  let queries = List.init 10 (fun i -> Topk.Query.make ~id:i ~k:3 w) in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  (* All ten queries share one subdomain group. *)
+  Alcotest.(check int) "one group" 1 (Query_index.n_groups idx)
+
+let test_min_cost_negative_tau_rejected () =
+  let data = [| [| 0.5 |]; [| 0.6 |] |] in
+  let queries = [ Topk.Query.make ~k:1 [| 1. |] ] in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  let ev = Evaluator.ese idx ~target:0 in
+  Alcotest.check_raises "tau <= 0"
+    (Invalid_argument "Min_cost.search: tau <= 0") (fun () ->
+      ignore (Min_cost.search ~evaluator:ev ~cost:(Cost.euclidean 1) ~target:0 ~tau:0 ()))
+
+let test_max_hit_negative_budget_rejected () =
+  let data = [| [| 0.5 |]; [| 0.6 |] |] in
+  let queries = [ Topk.Query.make ~k:1 [| 1. |] ] in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  let ev = Evaluator.ese idx ~target:0 in
+  Alcotest.check_raises "beta < 0"
+    (Invalid_argument "Max_hit.search: beta < 0") (fun () ->
+      ignore
+        (Max_hit.search ~evaluator:ev ~cost:(Cost.euclidean 1) ~target:0
+           ~beta:(-1.) ()))
+
+(* --- cost function edge cases --- *)
+
+let test_weighted_cost_end_to_end () =
+  let rng = Workload.Rng.make 12 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:80 ~d:3 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 5)
+      ~m:40 ~d:3 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let idx = Query_index.build inst in
+  (* Attribute 0 is 100x more expensive: strategies should barely move it. *)
+  let cost = Cost.weighted_euclidean [| 100.; 1.; 1. |] in
+  let ev = Evaluator.ese idx ~target:0 in
+  match Min_cost.search ~evaluator:ev ~cost ~target:0 ~tau:5 () with
+  | None -> Alcotest.fail "search failed"
+  | Some o ->
+      let s = o.Min_cost.strategy in
+      Alcotest.(check bool)
+        (Printf.sprintf "expensive attr small (%.4f vs %.4f)" (abs_float s.(0))
+           (abs_float s.(1) +. abs_float s.(2)))
+        true
+        (abs_float s.(0) <= abs_float s.(1) +. abs_float s.(2) +. 1e-9)
+
+let test_desc_order_end_to_end () =
+  (* In Desc order, improving means increasing the score: the strategy
+     should push weighted-positive attributes up. *)
+  let rng = Workload.Rng.make 13 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:60 ~d:2 in
+  let queries =
+    List.init 30 (fun i ->
+        Topk.Query.make ~id:i
+          ~k:(1 + Workload.Rng.int rng 4)
+          [| Workload.Rng.uniform rng; Workload.Rng.uniform rng |])
+  in
+  let inst = Instance.create ~order:Topk.Utility.Desc ~data ~queries () in
+  let idx = Query_index.build inst in
+  let ev = Evaluator.ese idx ~target:5 in
+  match Min_cost.search ~evaluator:ev ~cost:(Cost.euclidean 2) ~target:5 ~tau:5 () with
+  | None -> Alcotest.fail "search failed"
+  | Some o ->
+      (* The improvement must point upward overall (the feature space
+         negates weights, so a feature-space decrease = raw increase).
+         Strategies live in the negated space here; interpret sign. *)
+      Alcotest.(check bool) "achieved" true (o.Min_cost.hits_after >= 5)
+
+(* --- CSV failure injection --- *)
+
+let test_csv_ragged_rows () =
+  (* Short rows pad with NULL; long rows drop extras — never crash. *)
+  let t = Relation.Csv.table_of_string "a,b,c\n1,2\n1,2,3,4\n" in
+  Alcotest.(check int) "rows" 2 (Relation.Table.length t);
+  Alcotest.(check bool)
+    "padded null" true
+    (Relation.Value.is_null (Relation.Table.get t 0).(2))
+
+let test_csv_empty_rejected () =
+  Alcotest.(check bool)
+    "empty doc rejected" true
+    (try
+       ignore (Relation.Csv.table_of_string "");
+       false
+     with Invalid_argument _ -> true)
+
+let test_csv_unterminated_quote_lenient () =
+  let fields = Relation.Csv.parse_line "\"abc" in
+  Alcotest.(check (list string)) "lenient" [ "abc" ] fields
+
+(* --- R-tree pathological inputs --- *)
+
+let test_rtree_identical_points () =
+  let t = Rtree.create ~dim:2 () in
+  for i = 0 to 99 do
+    Rtree.insert_point t [| 0.5; 0.5 |] i
+  done;
+  Rtree.check_invariants t;
+  Alcotest.(check int) "all stored" 100 (Rtree.size t);
+  let found = Rtree.search t (Geom.Box.of_point [| 0.5; 0.5 |]) in
+  Alcotest.(check int) "all found" 100 (List.length found)
+
+let test_rtree_collinear_points () =
+  let t = Rtree.create ~dim:2 () in
+  for i = 0 to 199 do
+    Rtree.insert_point t [| float_of_int i /. 200.; 0. |] i
+  done;
+  Rtree.check_invariants t;
+  let window = Geom.Box.make ~lo:[| 0.25; -0.1 |] ~hi:[| 0.5; 0.1 |] in
+  let found = Rtree.search t window in
+  Alcotest.(check int) "range on a line" 51 (List.length found)
+
+(* --- simplex numerical robustness --- *)
+
+let test_simplex_tiny_coefficients () =
+  match
+    Lp.Simplex.minimize ~objective:[| 1e-8; 1. |]
+      ~constraints:[ ([| 1e-8; 1. |], Lp.Simplex.Ge, 1e-8) ]
+  with
+  | Lp.Simplex.Optimal (_, v) ->
+      Alcotest.(check bool) "finite optimum" true (Float.is_finite v)
+  | _ -> Alcotest.fail "expected optimum"
+
+let suite =
+  [
+    Alcotest.test_case "duplicate objects" `Quick test_duplicate_objects;
+    Alcotest.test_case "single object" `Quick test_single_object;
+    Alcotest.test_case "zero-weight query ties" `Quick test_zero_weight_query;
+    Alcotest.test_case "identical queries share group" `Quick test_identical_queries;
+    Alcotest.test_case "tau guard" `Quick test_min_cost_negative_tau_rejected;
+    Alcotest.test_case "beta guard" `Quick test_max_hit_negative_budget_rejected;
+    Alcotest.test_case "weighted cost steers" `Quick test_weighted_cost_end_to_end;
+    Alcotest.test_case "Desc order end-to-end" `Quick test_desc_order_end_to_end;
+    Alcotest.test_case "csv ragged rows" `Quick test_csv_ragged_rows;
+    Alcotest.test_case "csv empty rejected" `Quick test_csv_empty_rejected;
+    Alcotest.test_case "csv unterminated quote" `Quick test_csv_unterminated_quote_lenient;
+    Alcotest.test_case "rtree identical points" `Quick test_rtree_identical_points;
+    Alcotest.test_case "rtree collinear points" `Quick test_rtree_collinear_points;
+    Alcotest.test_case "simplex tiny coefficients" `Quick test_simplex_tiny_coefficients;
+  ]

@@ -1,0 +1,47 @@
+let test_basic () =
+  let h = Min_heap.create () in
+  Alcotest.(check bool) "empty" true (Min_heap.is_empty h);
+  Min_heap.push h 3. "c";
+  Min_heap.push h 1. "a";
+  Min_heap.push h 2. "b";
+  Alcotest.(check int) "size" 3 (Min_heap.size h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "peek" (Some (1., "a")) (Min_heap.peek h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop a" (Some (1., "a")) (Min_heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop b" (Some (2., "b")) (Min_heap.pop h);
+  Alcotest.(check (option (pair (float 0.) string)))
+    "pop c" (Some (3., "c")) (Min_heap.pop h);
+  Alcotest.(check bool) "drained" true (Min_heap.pop h = None)
+
+let test_growth () =
+  let h = Min_heap.create () in
+  for i = 100 downto 1 do
+    Min_heap.push h (float_of_int i) i
+  done;
+  for i = 1 to 100 do
+    match Min_heap.pop h with
+    | Some (_, v) -> Alcotest.(check int) "ascending order" i v
+    | None -> Alcotest.fail "heap drained early"
+  done
+
+let prop_heap_sorts =
+  let arb = QCheck.(list_of_size Gen.(int_range 0 200) (float_range 0. 100.)) in
+  QCheck.Test.make ~name:"heap pops sorted" ~count:100 arb (fun xs ->
+      let h = Min_heap.create () in
+      List.iter (fun x -> Min_heap.push h x x) xs;
+      let rec drain acc =
+        match Min_heap.pop h with
+        | Some (k, _) -> drain (k :: acc)
+        | None -> List.rev acc
+      in
+      let popped = drain [] in
+      popped = List.sort Float.compare xs)
+
+let suite =
+  [
+    Alcotest.test_case "basic push/pop/peek" `Quick test_basic;
+    Alcotest.test_case "growth keeps order" `Quick test_growth;
+    QCheck_alcotest.to_alcotest prop_heap_sorts;
+  ]

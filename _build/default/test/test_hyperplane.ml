@@ -1,0 +1,96 @@
+open Geom
+
+let test_sides () =
+  let h = Hyperplane.make ~normal:[| 1.; -1. |] ~offset:0. in
+  Alcotest.(check bool)
+    "above" true
+    (Hyperplane.side h [| 2.; 1. |] = Hyperplane.Above);
+  Alcotest.(check bool)
+    "below" true
+    (Hyperplane.side h [| 1.; 2. |] = Hyperplane.Below);
+  Alcotest.(check bool)
+    "on" true
+    (Hyperplane.side h [| 1.; 1. |] = Hyperplane.On);
+  Alcotest.(check bool)
+    "on counts as above" true
+    (Hyperplane.above_or_on h [| 1.; 1. |])
+
+let test_of_points () =
+  let p = [| 1.; 2. |] and l = [| 0.; 3. |] in
+  match Hyperplane.of_points p l with
+  | None -> Alcotest.fail "expected a hyperplane"
+  | Some h ->
+      (* f_p(q) - f_l(q) = q . (p - l); q = (1, 0): 1 - 0 = 1 > 0. *)
+      Alcotest.(check (float 1e-12)) "eval" 1. (Hyperplane.eval h [| 1.; 0. |]);
+      Alcotest.(check bool)
+        "coincident objects give None" true
+        (Hyperplane.of_points p p = None)
+
+let test_shift () =
+  let h = Hyperplane.make ~normal:[| 1.; 0. |] ~offset:0. in
+  let h' = Hyperplane.shift h [| 1.; 1. |] in
+  Alcotest.(check (float 1e-12))
+    "shifted eval" 3.
+    (Hyperplane.eval h' [| 1.; 1. |]);
+  Alcotest.(check bool)
+    "shift to zero is None" true
+    (Hyperplane.shift_opt h [| -1.; 0. |] = None)
+
+let test_distance_projection () =
+  let h = Hyperplane.make ~normal:[| 0.; 2. |] ~offset:2. in
+  (* plane y = 1 *)
+  Alcotest.(check (float 1e-12)) "distance" 1. (Hyperplane.distance h [| 5.; 2. |]);
+  let p = Hyperplane.project h [| 5.; 2. |] in
+  Alcotest.(check (float 1e-12)) "projection y" 1. p.(1);
+  Alcotest.(check (float 1e-12)) "projection x" 5. p.(0);
+  Alcotest.(check (float 1e-12)) "projected on plane" 0. (Hyperplane.eval h p)
+
+let test_box_min_max () =
+  let h = Hyperplane.make ~normal:[| 1.; -2. |] ~offset:0.5 in
+  let lo = [| 0.; 0. |] and hi = [| 1.; 1. |] in
+  let mn, mx = Hyperplane.box_min_max h ~lo ~hi in
+  (* min = 0*1 + 1*(-2) - 0.5 = -2.5; max = 1*1 + 0*(-2) - 0.5 = 0.5 *)
+  Alcotest.(check (float 1e-12)) "min" (-2.5) mn;
+  Alcotest.(check (float 1e-12)) "max" 0.5 mx
+
+let test_zero_normal_rejected () =
+  Alcotest.check_raises "zero normal"
+    (Invalid_argument "Geom.Hyperplane.make: zero normal") (fun () ->
+      ignore (Hyperplane.make ~normal:[| 0.; 0. |] ~offset:1.))
+
+let arb_vec d =
+  QCheck.make
+    ~print:(fun v -> Format.asprintf "%a" Vec.pp v)
+    QCheck.Gen.(array_size (return d) (float_range (-5.) 5.))
+
+let prop_box_min_max_bounds =
+  QCheck.Test.make ~name:"box interval contains samples" ~count:200
+    (QCheck.pair (arb_vec 3) (arb_vec 3))
+    (fun (n, probe) ->
+      QCheck.assume (not (Vec.is_zero n));
+      let h = Hyperplane.make ~normal:n ~offset:0.3 in
+      let lo = Vec.make 3 (-1.) and hi = Vec.make 3 1. in
+      let p = Vec.clamp ~lo ~hi probe in
+      let mn, mx = Hyperplane.box_min_max h ~lo ~hi in
+      let v = Hyperplane.eval h p in
+      mn -. 1e-9 <= v && v <= mx +. 1e-9)
+
+let prop_projection_idempotent =
+  QCheck.Test.make ~name:"projection is on plane" ~count:200
+    (QCheck.pair (arb_vec 4) (arb_vec 4))
+    (fun (n, x) ->
+      QCheck.assume (Vec.norm n > 0.01);
+      let h = Hyperplane.make ~normal:n ~offset:1. in
+      abs_float (Hyperplane.eval h (Hyperplane.project h x)) < 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "sides" `Quick test_sides;
+    Alcotest.test_case "of_points" `Quick test_of_points;
+    Alcotest.test_case "shift (Equation 3)" `Quick test_shift;
+    Alcotest.test_case "distance & projection" `Quick test_distance_projection;
+    Alcotest.test_case "box_min_max" `Quick test_box_min_max;
+    Alcotest.test_case "zero normal rejected" `Quick test_zero_normal_rejected;
+    QCheck_alcotest.to_alcotest prop_box_min_max_bounds;
+    QCheck_alcotest.to_alcotest prop_projection_idempotent;
+  ]

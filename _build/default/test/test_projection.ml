@@ -1,0 +1,135 @@
+open Lp.Projection
+
+let dot a b =
+  let acc = ref 0. in
+  Array.iteri (fun i x -> acc := !acc +. (x *. b.(i))) a;
+  !acc
+
+let norm s = sqrt (dot s s)
+
+let test_l2_zero_when_satisfied () =
+  let s = l2 ~a:[| 1.; 1. |] ~b:2. in
+  Alcotest.(check (float 1e-12)) "zero step" 0. (norm s)
+
+let test_l2_projection () =
+  let a = [| 1.; 1. |] and b = -2. in
+  let s = l2 ~a ~b in
+  Alcotest.(check (float 1e-9)) "constraint tight" b (dot a s);
+  (* min-norm solution is along -a: (-1, -1). *)
+  Alcotest.(check (float 1e-9)) "s0" (-1.) s.(0);
+  Alcotest.(check (float 1e-9)) "s1" (-1.) s.(1)
+
+let test_weighted_l2 () =
+  let a = [| 1.; 1. |] and w = [| 1.; 4. |] in
+  match weighted_l2 ~w ~a ~b:(-2.) with
+  | None -> Alcotest.fail "expected solution"
+  | Some s ->
+      Alcotest.(check (float 1e-9)) "tight" (-2.) (dot a s);
+      (* Cheap coordinate moves 4x more: s = (-1.6, -0.4). *)
+      Alcotest.(check (float 1e-9)) "s0" (-1.6) s.(0);
+      Alcotest.(check (float 1e-9)) "s1" (-0.4) s.(1)
+
+let test_l2_boxed () =
+  let a = [| 1.; 1. |] in
+  let bounds = { lo = [| -0.5; -10. |]; hi = [| 10.; 10. |] } in
+  match l2_boxed ~bounds ~a ~b:(-2.) () with
+  | None -> Alcotest.fail "expected solution"
+  | Some s ->
+      Alcotest.(check bool) "within box" true (s.(0) >= -0.5 -. 1e-9);
+      Alcotest.(check bool) "constraint" true (dot a s <= -2. +. 1e-6);
+      (* Clamped coordinate takes -0.5; the rest falls on s1 = -1.5. *)
+      Alcotest.(check (float 1e-6)) "s0 clamped" (-0.5) s.(0);
+      Alcotest.(check (float 1e-6)) "s1 compensates" (-1.5) s.(1)
+
+let test_l2_boxed_infeasible () =
+  let bounds = { lo = [| -0.1; -0.1 |]; hi = [| 0.1; 0.1 |] } in
+  Alcotest.(check bool)
+    "unreachable halfspace" true
+    (l2_boxed ~bounds ~a:[| 1.; 1. |] ~b:(-2.) () = None)
+
+let test_l1 () =
+  let a = [| 1.; 3. |] in
+  match l1_boxed ~a ~b:(-3.) () with
+  | None -> Alcotest.fail "expected solution"
+  | Some s ->
+      (* Leverage goes to coordinate 1: s = (0, -1), cost 1. *)
+      Alcotest.(check (float 1e-9)) "s0" 0. s.(0);
+      Alcotest.(check (float 1e-9)) "s1" (-1.) s.(1);
+      Alcotest.(check bool) "constraint" true (dot a s <= -3. +. 1e-9)
+
+let test_l1_boxed_spillover () =
+  let a = [| 1.; 3. |] in
+  let bounds = { lo = [| -10.; -0.5 |]; hi = [| 10.; 10. |] } in
+  match l1_boxed ~bounds ~a ~b:(-3.) () with
+  | None -> Alcotest.fail "expected solution"
+  | Some s ->
+      (* Coordinate 1 saturates at -0.5 (removes 1.5); coordinate 0
+         covers the remaining 1.5. *)
+      Alcotest.(check (float 1e-9)) "s1 saturated" (-0.5) s.(1);
+      Alcotest.(check (float 1e-9)) "s0 spillover" (-1.5) s.(0)
+
+let test_freeze () =
+  let b = unbounded 3 in
+  let b = freeze b 1 in
+  Alcotest.(check (float 0.)) "frozen lo" 0. b.lo.(1);
+  Alcotest.(check (float 0.)) "frozen hi" 0. b.hi.(1);
+  let a = [| 0.; 5.; 0. |] in
+  (* Only the frozen coordinate has leverage: infeasible. *)
+  Alcotest.(check bool) "frozen leverage infeasible" true
+    (l2_boxed ~bounds:b ~a ~b:(-1.) () = None)
+
+let test_feasible () =
+  let b = { lo = [| -1.; -1. |]; hi = [| 1.; 1. |] } in
+  Alcotest.(check bool) "reachable" true (feasible ~a:[| 1.; 1. |] ~b:(-1.5) b);
+  Alcotest.(check bool) "unreachable" false (feasible ~a:[| 1.; 1. |] ~b:(-3.) b)
+
+let arb_case =
+  QCheck.make
+    ~print:(fun _ -> "case")
+    QCheck.Gen.(
+      pair
+        (array_size (return 4) (float_range (-2.) 2.))
+        (float_range (-3.) 1.))
+
+let prop_l2_satisfies =
+  QCheck.Test.make ~name:"l2 satisfies constraint when a <> 0" ~count:200
+    arb_case (fun (a, b) ->
+      QCheck.assume (Array.exists (fun x -> abs_float x > 0.1) a);
+      let s = l2 ~a ~b in
+      dot a s <= b +. 1e-6 || b >= 0.)
+
+let prop_l2_boxed_within =
+  QCheck.Test.make ~name:"l2_boxed stays in box and satisfies" ~count:200
+    arb_case (fun (a, b) ->
+      QCheck.assume (Array.exists (fun x -> abs_float x > 0.1) a);
+      let bounds = { lo = Array.make 4 (-1.5); hi = Array.make 4 1.5 } in
+      match l2_boxed ~bounds ~a ~b () with
+      | None -> not (feasible ~a ~b bounds)
+      | Some s ->
+          Array.for_all2 (fun l x -> l -. 1e-9 <= x) bounds.lo s
+          && Array.for_all2 (fun x h -> x <= h +. 1e-9) s bounds.hi
+          && dot a s <= b +. 1e-6)
+
+let prop_l1_never_beats_l2_constraintwise =
+  QCheck.Test.make ~name:"l1 satisfies constraint too" ~count:200 arb_case
+    (fun (a, b) ->
+      QCheck.assume (Array.exists (fun x -> abs_float x > 0.1) a);
+      match l1_boxed ~a ~b () with
+      | None -> false (* unbounded box is always feasible for a <> 0 *)
+      | Some s -> dot a s <= b +. 1e-6)
+
+let suite =
+  [
+    Alcotest.test_case "l2 zero when satisfied" `Quick test_l2_zero_when_satisfied;
+    Alcotest.test_case "l2 projection" `Quick test_l2_projection;
+    Alcotest.test_case "weighted l2" `Quick test_weighted_l2;
+    Alcotest.test_case "l2 boxed active-set" `Quick test_l2_boxed;
+    Alcotest.test_case "l2 boxed infeasible" `Quick test_l2_boxed_infeasible;
+    Alcotest.test_case "l1 leverage" `Quick test_l1;
+    Alcotest.test_case "l1 boxed spillover" `Quick test_l1_boxed_spillover;
+    Alcotest.test_case "freeze" `Quick test_freeze;
+    Alcotest.test_case "feasible" `Quick test_feasible;
+    QCheck_alcotest.to_alcotest prop_l2_satisfies;
+    QCheck_alcotest.to_alcotest prop_l2_boxed_within;
+    QCheck_alcotest.to_alcotest prop_l1_never_beats_l2_constraintwise;
+  ]

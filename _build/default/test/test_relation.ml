@@ -1,0 +1,246 @@
+open Relation
+
+(* --- Value --- *)
+
+let test_value_compare () =
+  Alcotest.(check bool) "null first" true (Value.compare Value.Null (Value.Int 0) < 0);
+  Alcotest.(check int) "int eq" 0 (Value.compare (Value.Int 3) (Value.Int 3));
+  Alcotest.(check bool)
+    "cross numeric" true
+    (Value.compare (Value.Int 2) (Value.Float 2.5) < 0);
+  Alcotest.(check int)
+    "int/float equal" 0
+    (Value.compare (Value.Int 2) (Value.Float 2.));
+  Alcotest.(check bool)
+    "text order" true
+    (Value.compare (Value.Text "a") (Value.Text "b") < 0)
+
+let test_value_coercions () =
+  Alcotest.(check (option (float 0.))) "int to float" (Some 3.) (Value.to_float (Value.Int 3));
+  Alcotest.(check (option int)) "float to int" (Some 3) (Value.to_int (Value.Float 3.7));
+  Alcotest.(check (option bool)) "nonzero true" (Some true) (Value.to_bool (Value.Int 5));
+  Alcotest.(check (option bool)) "text none" None (Value.to_bool (Value.Text "x"));
+  Alcotest.(check (option (float 0.))) "null none" None (Value.to_float Value.Null)
+
+let test_value_parse () =
+  Alcotest.(check bool) "infer int" true (Value.infer_of_string "42" = Value.Int 42);
+  Alcotest.(check bool) "infer float" true (Value.infer_of_string "4.5" = Value.Float 4.5);
+  Alcotest.(check bool) "infer bool" true (Value.infer_of_string "true" = Value.Bool true);
+  Alcotest.(check bool) "infer text" true (Value.infer_of_string "abc" = Value.Text "abc");
+  Alcotest.(check bool) "empty is null" true (Value.infer_of_string "" = Value.Null);
+  Alcotest.(check bool)
+    "typed parse" true
+    (Value.of_string_typed Value.TFloat "2.5" = Value.Float 2.5)
+
+(* --- Schema --- *)
+
+let sample_schema () =
+  Schema.make
+    [
+      { Schema.name = "id"; ty = Value.TInt };
+      { Schema.name = "price"; ty = Value.TFloat };
+      { Schema.name = "name"; ty = Value.TText };
+    ]
+
+let test_schema_lookup () =
+  let s = sample_schema () in
+  Alcotest.(check int) "arity" 3 (Schema.arity s);
+  Alcotest.(check (option int)) "by name" (Some 1) (Schema.index_of s "price");
+  Alcotest.(check (option int)) "case insensitive" (Some 1) (Schema.index_of s "PRICE");
+  Alcotest.(check (option int)) "missing" None (Schema.index_of s "nope");
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Schema.make: duplicate column ID") (fun () ->
+      ignore
+        (Schema.make
+           [
+             { Schema.name = "id"; ty = Value.TInt };
+             { Schema.name = "ID"; ty = Value.TInt };
+           ]))
+
+(* --- Table --- *)
+
+let test_table_insert_get () =
+  let t = Table.create (sample_schema ()) in
+  Table.insert t [| Value.Int 1; Value.Float 9.99; Value.Text "ball" |];
+  Table.insert t [| Value.Int 2; Value.Int 5; Value.Text "cube" |];
+  (* int into float column coerces silently at type-check level *)
+  Alcotest.(check int) "length" 2 (Table.length t);
+  let row = Table.get t 0 in
+  Alcotest.(check bool) "value" true (Value.equal row.(2) (Value.Text "ball"));
+  Alcotest.check_raises "arity"
+    (Invalid_argument "Table.insert: arity mismatch") (fun () ->
+      Table.insert t [| Value.Int 1 |])
+
+let test_table_type_mismatch () =
+  let t = Table.create (sample_schema ()) in
+  Alcotest.(check bool)
+    "text into int rejected" true
+    (try
+       Table.insert t [| Value.Text "x"; Value.Float 0.; Value.Text "y" |];
+       false
+     with Invalid_argument _ -> true)
+
+let test_table_delete_set () =
+  let t = Table.create (sample_schema ()) in
+  for i = 1 to 10 do
+    Table.insert t
+      [| Value.Int i; Value.Float (float_of_int i); Value.Text "x" |]
+  done;
+  let removed =
+    Table.delete_where t (fun row ->
+        match row.(0) with Value.Int i -> i mod 2 = 0 | _ -> false)
+  in
+  Alcotest.(check int) "removed evens" 5 removed;
+  Alcotest.(check int) "left" 5 (Table.length t);
+  Table.set t 0 [| Value.Int 100; Value.Float 1.; Value.Text "y" |];
+  Alcotest.(check bool)
+    "set applied" true
+    (Value.equal (Table.get t 0).(0) (Value.Int 100))
+
+let test_table_points () =
+  let t = Table.create (sample_schema ()) in
+  Table.insert t [| Value.Int 1; Value.Float 0.5; Value.Text "a" |];
+  Table.insert t [| Value.Int 2; Value.Float 0.7; Value.Text "b" |];
+  let pts = Table.to_points t [ "price"; "id" ] in
+  Alcotest.(check int) "rows" 2 (Array.length pts);
+  Alcotest.(check (float 1e-12)) "price first" 0.5 pts.(0).(0);
+  Alcotest.(check (float 1e-12)) "id second" 1. pts.(0).(1);
+  let t2 = Table.of_points ~prefix:"f" pts in
+  Alcotest.(check int) "round trip rows" 2 (Table.length t2);
+  Alcotest.(check (list string))
+    "generated names" [ "f0"; "f1" ]
+    (Schema.names (Table.schema t2))
+
+(* --- Catalog --- *)
+
+let test_catalog () =
+  let c = Catalog.create () in
+  let t = Table.create (sample_schema ()) in
+  Catalog.add c "objects" t;
+  Alcotest.(check bool) "found" true (Catalog.find c "OBJECTS" <> None);
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "Catalog.add: table exists: Objects") (fun () ->
+      Catalog.add c "Objects" t);
+  Alcotest.(check (list string)) "names" [ "objects" ] (Catalog.names c);
+  Alcotest.(check bool) "dropped" true (Catalog.drop c "objects");
+  Alcotest.(check bool) "gone" true (Catalog.find c "objects" = None);
+  Alcotest.(check bool) "double drop" false (Catalog.drop c "objects")
+
+(* --- CSV --- *)
+
+let test_csv_parse_line () =
+  Alcotest.(check (list string))
+    "plain" [ "a"; "b"; "c" ]
+    (Csv.parse_line "a,b,c");
+  Alcotest.(check (list string))
+    "quoted comma" [ "a,b"; "c" ]
+    (Csv.parse_line "\"a,b\",c");
+  Alcotest.(check (list string))
+    "escaped quote" [ "say \"hi\""; "x" ]
+    (Csv.parse_line "\"say \"\"hi\"\"\",x");
+  Alcotest.(check (list string)) "empty fields" [ ""; ""; "" ] (Csv.parse_line ",,")
+
+let test_csv_roundtrip () =
+  let doc = "id,price,name\n1,9.99,ball\n2,5.0,\"a, cube\"\n" in
+  let t = Csv.table_of_string doc in
+  Alcotest.(check int) "rows" 2 (Table.length t);
+  Alcotest.(check (list string))
+    "columns" [ "id"; "price"; "name" ]
+    (Schema.names (Table.schema t));
+  let round = Csv.string_of_table t in
+  let t2 = Csv.table_of_string round in
+  Alcotest.(check int) "round trip" 2 (Table.length t2);
+  Alcotest.(check bool)
+    "quoted survives" true
+    (Value.equal (Table.get t2 1).(2) (Value.Text "a, cube"))
+
+let test_csv_type_inference () =
+  let t = Csv.table_of_string "a,b,c\n1,2.5,xyz\n" in
+  let tys = List.map (fun c -> c.Schema.ty) (Schema.columns (Table.schema t)) in
+  Alcotest.(check bool)
+    "types" true
+    (tys = [ Value.TInt; Value.TFloat; Value.TText ])
+
+let test_csv_headerless () =
+  let t = Csv.table_of_string ~header:false "1,2\n3,4\n" in
+  Alcotest.(check int) "rows" 2 (Table.length t);
+  Alcotest.(check (list string))
+    "generated columns" [ "c0"; "c1" ]
+    (Schema.names (Table.schema t))
+
+let prop_csv_field_roundtrip =
+  QCheck.Test.make ~name:"csv field round trip" ~count:200
+    QCheck.(small_list (string_gen_of_size (QCheck.Gen.int_range 0 10) QCheck.Gen.printable))
+    (fun fields ->
+      QCheck.assume (fields <> []);
+      let clean =
+        List.map
+          (fun s ->
+            String.map (fun c -> if c = '\r' || c = '\n' then '_' else c) s)
+          fields
+      in
+      Csv.parse_line (Csv.render_line clean) = clean)
+
+let test_hash_index () =
+  let t = Table.create (sample_schema ()) in
+  for i = 1 to 20 do
+    Table.insert t
+      [| Value.Int (i mod 4); Value.Float (float_of_int i); Value.Text "x" |]
+  done;
+  let idx = Hash_index.build t "id" in
+  Alcotest.(check int) "cardinality" 4 (Hash_index.cardinality idx);
+  Alcotest.(check int) "rows" 20 (Hash_index.row_count idx);
+  let rows = Hash_index.lookup idx (Value.Int 2) in
+  Alcotest.(check int) "bucket size" 5 (List.length rows);
+  List.iter
+    (fun pos ->
+      Alcotest.(check bool)
+        "row matches" true
+        (Value.equal (Table.get t pos).(0) (Value.Int 2)))
+    rows;
+  (* Numeric equality across int/float representations. *)
+  Alcotest.(check int)
+    "float probe matches int rows" 5
+    (List.length (Hash_index.lookup idx (Value.Float 2.)));
+  Alcotest.(check (list int)) "missing value" [] (Hash_index.lookup idx (Value.Int 99));
+  Alcotest.(check (list int)) "null never matches" [] (Hash_index.lookup idx Value.Null)
+
+let test_catalog_indexes () =
+  let c = Catalog.create () in
+  let t = Table.create (sample_schema ()) in
+  Table.insert t [| Value.Int 1; Value.Float 1.; Value.Text "a" |];
+  Catalog.add c "objs" t;
+  Catalog.create_index c ~index_name:"by_id" ~table:"objs" ~column:"id";
+  Alcotest.(check (list string)) "listed" [ "by_id" ] (Catalog.index_names c);
+  (match Catalog.index_on c ~table:"objs" ~column:"id" with
+  | Some idx -> Alcotest.(check int) "built lazily" 1 (Hash_index.row_count idx)
+  | None -> Alcotest.fail "index not found");
+  (* Staleness: a write then re-fetch rebuilds. *)
+  Table.insert t [| Value.Int 2; Value.Float 2.; Value.Text "b" |];
+  Catalog.invalidate_indexes c "objs";
+  (match Catalog.index_on c ~table:"objs" ~column:"id" with
+  | Some idx -> Alcotest.(check int) "rebuilt" 2 (Hash_index.row_count idx)
+  | None -> Alcotest.fail "index lost");
+  (* Dropping the table drops its indexes. *)
+  ignore (Catalog.drop c "objs");
+  Alcotest.(check (list string)) "gone with table" [] (Catalog.index_names c)
+
+let suite =
+  [
+    Alcotest.test_case "value compare" `Quick test_value_compare;
+    Alcotest.test_case "value coercions" `Quick test_value_coercions;
+    Alcotest.test_case "value parse" `Quick test_value_parse;
+    Alcotest.test_case "schema lookup" `Quick test_schema_lookup;
+    Alcotest.test_case "table insert/get" `Quick test_table_insert_get;
+    Alcotest.test_case "table type mismatch" `Quick test_table_type_mismatch;
+    Alcotest.test_case "table delete/set" `Quick test_table_delete_set;
+    Alcotest.test_case "table points" `Quick test_table_points;
+    Alcotest.test_case "catalog" `Quick test_catalog;
+    Alcotest.test_case "csv parse line" `Quick test_csv_parse_line;
+    Alcotest.test_case "csv round trip" `Quick test_csv_roundtrip;
+    Alcotest.test_case "csv type inference" `Quick test_csv_type_inference;
+    Alcotest.test_case "csv headerless" `Quick test_csv_headerless;
+    QCheck_alcotest.to_alcotest prop_csv_field_roundtrip;
+    Alcotest.test_case "hash index" `Quick test_hash_index;
+    Alcotest.test_case "catalog indexes" `Quick test_catalog_indexes;
+  ]

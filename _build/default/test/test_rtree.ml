@@ -1,0 +1,161 @@
+open Geom
+
+let random_points rng n d =
+  Array.init n (fun _ -> Array.init d (fun _ -> Workload.Rng.uniform rng))
+
+let build_tree points =
+  let t = Rtree.create ~dim:(Vec.dim points.(0)) () in
+  Array.iteri (fun i p -> Rtree.insert_point t p i) points;
+  t
+
+let in_window (w : Box.t) p = Box.contains_point w p
+
+let test_insert_search () =
+  let rng = Workload.Rng.make 1 in
+  let points = random_points rng 500 2 in
+  let t = build_tree points in
+  Alcotest.(check int) "size" 500 (Rtree.size t);
+  Rtree.check_invariants t;
+  let window = Box.make ~lo:[| 0.2; 0.2 |] ~hi:[| 0.5; 0.6 |] in
+  let found =
+    Rtree.search t window |> List.map snd |> List.sort Int.compare
+  in
+  let expected =
+    Array.to_list points
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter (fun (_, p) -> in_window window p)
+    |> List.map fst
+  in
+  Alcotest.(check (list int)) "range query exact" expected found
+
+let test_bulk_load_matches_inserts () =
+  let rng = Workload.Rng.make 2 in
+  let points = random_points rng 800 3 in
+  let entries =
+    Array.to_list (Array.mapi (fun i p -> (Box.of_point p, i)) points)
+  in
+  let t = Rtree.bulk_load ~dim:3 entries in
+  Rtree.check_invariants t;
+  Alcotest.(check int) "size" 800 (Rtree.size t);
+  let window = Box.make ~lo:(Vec.make 3 0.1) ~hi:(Vec.make 3 0.4) in
+  let found = Rtree.search t window |> List.map snd |> List.sort Int.compare in
+  let expected =
+    Array.to_list points
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter (fun (_, p) -> in_window window p)
+    |> List.map fst
+  in
+  Alcotest.(check (list int)) "bulk range exact" expected found
+
+let test_nearest () =
+  let rng = Workload.Rng.make 3 in
+  let points = random_points rng 300 2 in
+  let t = build_tree points in
+  let q = [| 0.5; 0.5 |] in
+  let knn = Rtree.nearest t q 10 in
+  Alcotest.(check int) "k results" 10 (List.length knn);
+  let brute =
+    Array.to_list points
+    |> List.mapi (fun i p -> (Vec.dist2 p q, i))
+    |> List.sort compare
+    |> List.filteri (fun i _ -> i < 10)
+    |> List.map snd
+  in
+  let got = List.map (fun (_, _, i) -> i) knn in
+  Alcotest.(check (list int)) "kNN matches brute force" brute got;
+  (* Nearest distances are non-decreasing. *)
+  let dists = List.map (fun (d, _, _) -> d) knn in
+  Alcotest.(check bool)
+    "sorted distances" true
+    (List.sort Float.compare dists = dists)
+
+let test_remove () =
+  let rng = Workload.Rng.make 4 in
+  let points = random_points rng 200 2 in
+  let t = build_tree points in
+  let victim = points.(50) in
+  Alcotest.(check bool)
+    "removed" true
+    (Rtree.remove t (Box.of_point victim) (fun i -> i = 50));
+  Alcotest.(check int) "size shrinks" 199 (Rtree.size t);
+  Rtree.check_invariants t;
+  let window = Box.of_point victim in
+  let found = Rtree.search t window |> List.map snd in
+  Alcotest.(check bool) "id 50 gone" false (List.mem 50 found);
+  Alcotest.(check bool)
+    "absent delete is false" false
+    (Rtree.remove t (Box.of_point victim) (fun i -> i = 50))
+
+let test_remove_many () =
+  let rng = Workload.Rng.make 5 in
+  let points = random_points rng 300 2 in
+  let t = build_tree points in
+  for i = 0 to 149 do
+    Alcotest.(check bool)
+      "each removal succeeds" true
+      (Rtree.remove t (Box.of_point points.(i)) (fun j -> j = i))
+  done;
+  Rtree.check_invariants t;
+  Alcotest.(check int) "half left" 150 (Rtree.size t);
+  let all = Rtree.fold t ~init:[] ~f:(fun acc _ v -> v :: acc) in
+  Alcotest.(check int) "fold agrees" 150 (List.length all);
+  List.iter
+    (fun v -> Alcotest.(check bool) "only survivors" true (v >= 150))
+    all
+
+let test_search_pred_halfspace () =
+  let rng = Workload.Rng.make 6 in
+  let points = random_points rng 400 2 in
+  let t = build_tree points in
+  (* Halfspace x + y <= 1. *)
+  let h = Hyperplane.make ~normal:[| 1.; 1. |] ~offset:1. in
+  let hits = ref [] in
+  Rtree.search_pred t
+    ~node_pred:(fun box ->
+      let mn, _ = Hyperplane.box_min_max h ~lo:box.Box.lo ~hi:box.Box.hi in
+      mn <= 0.)
+    ~entry_pred:(fun box -> Hyperplane.eval h box.Box.lo <= 0.)
+    ~f:(fun _ v -> hits := v :: !hits);
+  let expected =
+    Array.to_list points
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter (fun (_, p) -> p.(0) +. p.(1) <= 1.)
+    |> List.map fst
+  in
+  Alcotest.(check (list int))
+    "halfspace search exact" expected
+    (List.sort Int.compare !hits)
+
+let test_empty_tree () =
+  let t : int Rtree.t = Rtree.create ~dim:2 () in
+  Alcotest.(check int) "size 0" 0 (Rtree.size t);
+  Alcotest.(check int) "height 0" 0 (Rtree.height t);
+  Alcotest.(check (list int))
+    "search empty" []
+    (List.map snd (Rtree.search t (Box.unit 2)));
+  Alcotest.(check int) "knn empty" 0 (List.length (Rtree.nearest t [| 0.; 0. |] 5))
+
+let prop_insert_then_found =
+  QCheck.Test.make ~name:"inserted points are findable" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 80) (pair (QCheck.float_range 0. 1.) (QCheck.float_range 0. 1.)))
+    (fun pts ->
+      let t = Rtree.create ~dim:2 () in
+      List.iteri (fun i (x, y) -> Rtree.insert_point t [| x; y |] i) pts;
+      Rtree.check_invariants t;
+      List.for_all
+        (fun (i, (x, y)) ->
+          Rtree.search t (Box.of_point [| x; y |])
+          |> List.exists (fun (_, v) -> v = i))
+        (List.mapi (fun i p -> (i, p)) pts))
+
+let suite =
+  [
+    Alcotest.test_case "insert & range search" `Quick test_insert_search;
+    Alcotest.test_case "bulk load (STR)" `Quick test_bulk_load_matches_inserts;
+    Alcotest.test_case "kNN best-first" `Quick test_nearest;
+    Alcotest.test_case "remove" `Quick test_remove;
+    Alcotest.test_case "remove many" `Quick test_remove_many;
+    Alcotest.test_case "halfspace search_pred" `Quick test_search_pred_halfspace;
+    Alcotest.test_case "empty tree" `Quick test_empty_tree;
+    QCheck_alcotest.to_alcotest prop_insert_then_found;
+  ]

@@ -1,0 +1,133 @@
+open Lp.Simplex
+
+let solution = Alcotest.testable (Fmt.Dump.array Fmt.float) (fun a b ->
+    Array.length a = Array.length b
+    && Array.for_all2 (fun x y -> abs_float (x -. y) < 1e-6) a b)
+
+let get_optimal = function
+  | Optimal (x, v) -> (x, v)
+  | Infeasible -> Alcotest.fail "unexpected Infeasible"
+  | Unbounded -> Alcotest.fail "unexpected Unbounded"
+
+let test_basic_max () =
+  (* max 3x + 5y s.t. x <= 4, 2y <= 12, 3x + 2y <= 18 (classic). *)
+  let r =
+    maximize ~objective:[| 3.; 5. |]
+      ~constraints:
+        [
+          ([| 1.; 0. |], Le, 4.);
+          ([| 0.; 2. |], Le, 12.);
+          ([| 3.; 2. |], Le, 18.);
+        ]
+  in
+  let x, v = get_optimal r in
+  Alcotest.(check (float 1e-6)) "value" 36. v;
+  Alcotest.check solution "solution" [| 2.; 6. |] x
+
+let test_basic_min () =
+  (* min x + y s.t. x + 2y >= 4, 3x + y >= 6. *)
+  let r =
+    minimize ~objective:[| 1.; 1. |]
+      ~constraints:[ ([| 1.; 2. |], Ge, 4.); ([| 3.; 1. |], Ge, 6.) ]
+  in
+  let x, v = get_optimal r in
+  Alcotest.(check (float 1e-6)) "value" 2.8 v;
+  Alcotest.check solution "solution" [| 1.6; 1.2 |] x
+
+let test_equality () =
+  (* min 2x + 3y s.t. x + y = 10, x <= 6. *)
+  let r =
+    minimize ~objective:[| 2.; 3. |]
+      ~constraints:[ ([| 1.; 1. |], Eq, 10.); ([| 1.; 0. |], Le, 6.) ]
+  in
+  let x, v = get_optimal r in
+  Alcotest.(check (float 1e-6)) "value" 24. v;
+  Alcotest.check solution "solution" [| 6.; 4. |] x
+
+let test_infeasible () =
+  let r =
+    minimize ~objective:[| 1. |]
+      ~constraints:[ ([| 1. |], Ge, 5.); ([| 1. |], Le, 2.) ]
+  in
+  Alcotest.(check bool) "infeasible" true (r = Infeasible)
+
+let test_unbounded () =
+  let r = maximize ~objective:[| 1. |] ~constraints:[ ([| -1. |], Le, 1.) ] in
+  Alcotest.(check bool) "unbounded" true (r = Unbounded)
+
+let test_negative_rhs () =
+  (* min x s.t. -x <= -3  (i.e. x >= 3). *)
+  let r = minimize ~objective:[| 1. |] ~constraints:[ ([| -1. |], Le, -3.) ] in
+  let x, v = get_optimal r in
+  Alcotest.(check (float 1e-6)) "value" 3. v;
+  Alcotest.(check (float 1e-6)) "x" 3. x.(0)
+
+let test_free_variables () =
+  (* max x0 + x1 over free variables, x0 + x1 <= 4, x0 - x1 <= 2:
+     any point on x0 + x1 = 4 is optimal, value -4 for the minimizer —
+     reachable only because x1 may go negative. *)
+  let r =
+    minimize_free ~objective:[| -1.; -1. |]
+      ~constraints:[ ([| 1.; 1. |], Le, 4.); ([| 1.; -1. |], Le, 2.) ]
+  in
+  let x, v = get_optimal r in
+  Alcotest.(check (float 1e-6)) "value" (-4.) v;
+  Alcotest.(check (float 1e-6)) "on the binding facet" 4. (x.(0) +. x.(1));
+  (* And a case where a free variable must actually go negative:
+     min x0 s.t. -x0 <= 3 (x0 >= -3) with x0 <= 0 via 1*x0 <= 0. *)
+  let r2 =
+    minimize_free ~objective:[| 1. |]
+      ~constraints:[ ([| -1. |], Le, 3.); ([| 1. |], Le, 0.) ]
+  in
+  let x2, _ = get_optimal r2 in
+  Alcotest.(check (float 1e-6)) "negative optimum" (-3.) x2.(0)
+
+let test_degenerate () =
+  (* Degenerate vertex should not cycle (Bland's rule). *)
+  let r =
+    maximize ~objective:[| 10.; -57.; -9.; -24. |]
+      ~constraints:
+        [
+          ([| 0.5; -5.5; -2.5; 9. |], Le, 0.);
+          ([| 0.5; -1.5; -0.5; 1. |], Le, 0.);
+          ([| 1.; 0.; 0.; 0. |], Le, 1.);
+        ]
+  in
+  let _, v = get_optimal r in
+  Alcotest.(check (float 1e-6)) "Beale example optimum" 1. v
+
+let prop_feasible_solutions_respect_constraints =
+  let arb =
+    QCheck.make
+      ~print:(fun _ -> "lp")
+      QCheck.Gen.(
+        let row = array_size (return 3) (float_range 0.1 2.) in
+        pair (array_size (return 3) (float_range 0.1 2.))
+          (list_size (int_range 1 4) (pair row (float_range 1. 5.))))
+  in
+  QCheck.Test.make ~name:"returned solution satisfies Ax >= b" ~count:100 arb
+    (fun (c, rows) ->
+      let constraints = List.map (fun (a, b) -> (a, Ge, b)) rows in
+      match minimize ~objective:c ~constraints with
+      | Optimal (x, _) ->
+          Array.for_all (fun v -> v >= -1e-9) x
+          && List.for_all
+               (fun (a, b) ->
+                 let lhs = ref 0. in
+                 Array.iteri (fun i ai -> lhs := !lhs +. (ai *. x.(i))) a;
+                 !lhs >= b -. 1e-6)
+               rows
+      | Infeasible | Unbounded -> false (* positive rows: always feasible *))
+
+let suite =
+  [
+    Alcotest.test_case "textbook max" `Quick test_basic_max;
+    Alcotest.test_case "textbook min" `Quick test_basic_min;
+    Alcotest.test_case "equality constraint" `Quick test_equality;
+    Alcotest.test_case "infeasible" `Quick test_infeasible;
+    Alcotest.test_case "unbounded" `Quick test_unbounded;
+    Alcotest.test_case "negative rhs" `Quick test_negative_rhs;
+    Alcotest.test_case "free variables" `Quick test_free_variables;
+    Alcotest.test_case "degenerate (no cycling)" `Quick test_degenerate;
+    QCheck_alcotest.to_alcotest prop_feasible_solutions_respect_constraints;
+  ]

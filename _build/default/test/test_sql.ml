@@ -1,0 +1,284 @@
+open Relation
+
+(* --- Lexer --- *)
+
+let test_lexer_basic () =
+  let toks = Sql.Lexer.tokenize "SELECT a, b FROM t WHERE x >= 1.5" in
+  Alcotest.(check int) "token count" 11 (List.length toks);
+  (* includes EOF *)
+  Alcotest.(check bool)
+    "ge token" true
+    (List.exists (fun t -> t = Sql.Lexer.GE) toks)
+
+let test_lexer_strings () =
+  (match Sql.Lexer.tokenize "'it''s'" with
+  | [ Sql.Lexer.STRING s; Sql.Lexer.EOF ] ->
+      Alcotest.(check string) "escaped quote" "it's" s
+  | _ -> Alcotest.fail "bad tokens");
+  Alcotest.(check bool)
+    "unterminated raises" true
+    (try
+       ignore (Sql.Lexer.tokenize "'oops");
+       false
+     with Sql.Lexer.Error _ -> true)
+
+let test_lexer_numbers_comments () =
+  (match Sql.Lexer.tokenize "1 2.5 1e3 -- comment\n7" with
+  | [ INT 1; FLOAT a; FLOAT b; INT 7; EOF ] ->
+      Alcotest.(check (float 1e-9)) "2.5" 2.5 a;
+      Alcotest.(check (float 1e-9)) "1e3" 1000. b
+  | _ -> Alcotest.fail "bad tokens")
+
+(* --- Parser --- *)
+
+let parse_ok sql =
+  try Sql.Parser.parse sql
+  with Sql.Parser.Error m -> Alcotest.failf "parse error: %s (%s)" m sql
+
+let test_parse_select () =
+  match parse_ok "SELECT a, b * 2 AS doubled FROM t WHERE a > 1 AND b < 3 ORDER BY a DESC LIMIT 5" with
+  | Sql.Ast.Select s ->
+      Alcotest.(check int) "projections" 2 (List.length s.Sql.Ast.projections);
+      Alcotest.(check string) "table" "t" s.Sql.Ast.table;
+      Alcotest.(check bool) "where" true (s.Sql.Ast.where <> None);
+      Alcotest.(check int) "order" 1 (List.length s.Sql.Ast.order_by);
+      Alcotest.(check bool)
+        "desc" true
+        (not (List.hd s.Sql.Ast.order_by).Sql.Ast.asc);
+      Alcotest.(check (option int)) "limit" (Some 5) s.Sql.Ast.limit
+  | _ -> Alcotest.fail "expected SELECT"
+
+let test_parse_precedence () =
+  (* 1 + 2 * 3 parses as 1 + (2 * 3). *)
+  match Sql.Parser.parse_expr "1 + 2 * 3" with
+  | Sql.Ast.Binary (Sql.Ast.Add, Sql.Ast.Lit (Value.Int 1), Sql.Ast.Binary (Sql.Ast.Mul, _, _)) ->
+      ()
+  | e -> Alcotest.failf "bad tree: %a" (fun ppf -> Sql.Ast.pp_expr ppf) e
+
+let test_parse_bool_precedence () =
+  (* a OR b AND c = a OR (b AND c). *)
+  match Sql.Parser.parse_expr "a OR b AND c" with
+  | Sql.Ast.Binary (Sql.Ast.Or, Sql.Ast.Col "a", Sql.Ast.Binary (Sql.Ast.And, _, _)) -> ()
+  | _ -> Alcotest.fail "OR/AND precedence wrong"
+
+let test_parse_between_in_like () =
+  (match Sql.Parser.parse_expr "x BETWEEN 1 AND 5" with
+  | Sql.Ast.Between _ -> ()
+  | _ -> Alcotest.fail "between");
+  (match Sql.Parser.parse_expr "x IN (1, 2, 3)" with
+  | Sql.Ast.In_list (_, l) -> Alcotest.(check int) "3 items" 3 (List.length l)
+  | _ -> Alcotest.fail "in");
+  (match Sql.Parser.parse_expr "name LIKE 'a%'" with
+  | Sql.Ast.Like _ -> ()
+  | _ -> Alcotest.fail "like");
+  match Sql.Parser.parse_expr "x IS NOT NULL" with
+  | Sql.Ast.Is_null (_, true) -> ()
+  | _ -> Alcotest.fail "is not null"
+
+let test_parse_ddl_dml () =
+  (match parse_ok "CREATE TABLE t (id INT, price REAL, name TEXT)" with
+  | Sql.Ast.Create_table ("t", cols) ->
+      Alcotest.(check int) "3 columns" 3 (List.length cols)
+  | _ -> Alcotest.fail "create");
+  (match parse_ok "INSERT INTO t (id, name) VALUES (1, 'a'), (2, 'b')" with
+  | Sql.Ast.Insert { rows; columns = Some cols; _ } ->
+      Alcotest.(check int) "2 rows" 2 (List.length rows);
+      Alcotest.(check (list string)) "cols" [ "id"; "name" ] cols
+  | _ -> Alcotest.fail "insert");
+  (match parse_ok "UPDATE t SET price = price * 1.1 WHERE id = 1" with
+  | Sql.Ast.Update { sets; _ } -> Alcotest.(check int) "1 set" 1 (List.length sets)
+  | _ -> Alcotest.fail "update");
+  match parse_ok "DELETE FROM t WHERE id = 2" with
+  | Sql.Ast.Delete _ -> ()
+  | _ -> Alcotest.fail "delete"
+
+let test_parse_errors () =
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" sql)
+        true
+        (try
+           ignore (Sql.Parser.parse sql);
+           false
+         with Sql.Parser.Error _ -> true))
+    [
+      "SELECT";
+      "SELECT * FROM";
+      "SELECT * FROM t WHERE";
+      "SELECT * FROM t LIMIT x";
+      "CREATE TABLE t (a BADTYPE)";
+      "SELECT * FROM t extra garbage (";
+    ]
+
+(* --- Executor --- *)
+
+let setup () =
+  let c = Catalog.create () in
+  List.iter
+    (fun sql -> ignore (Sql.Executor.query c sql))
+    [
+      "CREATE TABLE cameras (id INT, resolution REAL, storage REAL, price REAL, brand TEXT)";
+      "INSERT INTO cameras VALUES (1, 10, 2, 250, 'acme')";
+      "INSERT INTO cameras VALUES (2, 12, 4, 340, 'acme')";
+      "INSERT INTO cameras VALUES (3, 24, 8, 700, 'bolt')";
+      "INSERT INTO cameras VALUES (4, 16, 4, 450, 'bolt')";
+      "INSERT INTO cameras VALUES (5, 8, 1, 150, 'acme')";
+    ];
+  c
+
+let rows_of c sql =
+  let _, rows = Sql.Executor.query_rows c sql in
+  rows
+
+let first_ints c sql =
+  rows_of c sql
+  |> List.map (fun row ->
+         match row.(0) with
+         | Value.Int i -> i
+         | v -> Alcotest.failf "expected int, got %s" (Value.to_string v))
+
+let test_exec_select_where () =
+  let c = setup () in
+  Alcotest.(check (list int))
+    "filter" [ 3; 4 ]
+    (first_ints c "SELECT id FROM cameras WHERE price > 400 ORDER BY id");
+  Alcotest.(check (list int))
+    "and" [ 2 ]
+    (first_ints c
+       "SELECT id FROM cameras WHERE brand = 'acme' AND storage >= 4")
+
+let test_exec_order_limit () =
+  let c = setup () in
+  Alcotest.(check (list int))
+    "order by price desc limit 2" [ 3; 4 ]
+    (first_ints c "SELECT id FROM cameras ORDER BY price DESC LIMIT 2")
+
+let test_exec_projection_expr () =
+  let c = setup () in
+  let rows = rows_of c "SELECT price / 100.0 AS h FROM cameras WHERE id = 1" in
+  match rows with
+  | [ [| Value.Float f |] ] -> Alcotest.(check (float 1e-9)) "expr" 2.5 f
+  | _ -> Alcotest.fail "bad result shape"
+
+let test_exec_aggregates () =
+  let c = setup () in
+  (match rows_of c "SELECT COUNT(*), AVG(price), MIN(price), MAX(price), SUM(storage) FROM cameras" with
+  | [ [| Value.Int n; Value.Float avg; mn; mx; Value.Float sum |] ] ->
+      Alcotest.(check int) "count" 5 n;
+      Alcotest.(check (float 1e-9)) "avg" 378. avg;
+      Alcotest.(check bool) "min" true (Value.compare mn (Value.Float 150.) = 0);
+      Alcotest.(check bool) "max" true (Value.compare mx (Value.Float 700.) = 0);
+      Alcotest.(check (float 1e-9)) "sum" 19. sum
+  | _ -> Alcotest.fail "bad aggregate row")
+
+let test_exec_group_by () =
+  let c = setup () in
+  let rows =
+    rows_of c
+      "SELECT brand, COUNT(*) FROM cameras GROUP BY brand ORDER BY brand"
+  in
+  match rows with
+  | [ [| Value.Text "acme"; Value.Int 3 |]; [| Value.Text "bolt"; Value.Int 2 |] ] -> ()
+  | _ -> Alcotest.fail "bad group result"
+
+let test_exec_having () =
+  let c = setup () in
+  let rows =
+    rows_of c
+      "SELECT brand, COUNT(*) FROM cameras GROUP BY brand HAVING COUNT(*) > 2"
+  in
+  Alcotest.(check int) "one group" 1 (List.length rows)
+
+let test_exec_like_between_in () =
+  let c = setup () in
+  Alcotest.(check (list int))
+    "like" [ 1; 2; 5 ]
+    (first_ints c "SELECT id FROM cameras WHERE brand LIKE 'ac%' ORDER BY id");
+  Alcotest.(check (list int))
+    "between" [ 1; 2; 4 ]
+    (first_ints c
+       "SELECT id FROM cameras WHERE price BETWEEN 200 AND 500 ORDER BY id");
+  Alcotest.(check (list int))
+    "in" [ 1; 3 ]
+    (first_ints c "SELECT id FROM cameras WHERE id IN (1, 3) ORDER BY id")
+
+let test_exec_update_delete () =
+  let c = setup () in
+  (match Sql.Executor.query c "UPDATE cameras SET price = price - 50 WHERE brand = 'acme'" with
+  | Sql.Executor.Affected 3 -> ()
+  | _ -> Alcotest.fail "update count");
+  (match rows_of c "SELECT price FROM cameras WHERE id = 1" with
+  | [ [| Value.Float f |] ] -> Alcotest.(check (float 1e-9)) "updated" 200. f
+  | _ -> Alcotest.fail "bad row");
+  (match Sql.Executor.query c "DELETE FROM cameras WHERE price < 150" with
+  | Sql.Executor.Affected 1 -> ()
+  | _ -> Alcotest.fail "delete count");
+  match rows_of c "SELECT COUNT(*) FROM cameras" with
+  | [ [| Value.Int 4 |] ] -> ()
+  | _ -> Alcotest.fail "count after delete"
+
+let test_exec_null_semantics () =
+  let c = Catalog.create () in
+  ignore (Sql.Executor.query c "CREATE TABLE t (a INT, b INT)");
+  ignore (Sql.Executor.query c "INSERT INTO t VALUES (1, NULL), (2, 5)");
+  Alcotest.(check int)
+    "null filtered out" 1
+    (List.length (rows_of c "SELECT a FROM t WHERE b > 1"));
+  Alcotest.(check int)
+    "is null" 1
+    (List.length (rows_of c "SELECT a FROM t WHERE b IS NULL"));
+  match rows_of c "SELECT COUNT(b) FROM t" with
+  | [ [| Value.Int 1 |] ] -> () (* COUNT skips NULL *)
+  | _ -> Alcotest.fail "count(b)"
+
+let test_exec_functions () =
+  let c = setup () in
+  match rows_of c "SELECT SQRT(ABS(-4)), POWER(2, 10) FROM cameras LIMIT 1" with
+  | [ [| Value.Float a; Value.Float b |] ] ->
+      Alcotest.(check (float 1e-9)) "sqrt" 2. a;
+      Alcotest.(check (float 1e-9)) "power" 1024. b
+  | _ -> Alcotest.fail "bad function row"
+
+let test_exec_errors () =
+  let c = setup () in
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" sql)
+        true
+        (try
+           ignore (Sql.Executor.query c sql);
+           false
+         with Sql.Executor.Error _ -> true))
+    [
+      "SELECT * FROM missing";
+      "SELECT nocolumn FROM cameras";
+      "SELECT id / 0 FROM cameras";
+      "INSERT INTO cameras VALUES (1)";
+      "CREATE TABLE cameras (id INT)";
+    ]
+
+let suite =
+  [
+    Alcotest.test_case "lexer basic" `Quick test_lexer_basic;
+    Alcotest.test_case "lexer strings" `Quick test_lexer_strings;
+    Alcotest.test_case "lexer numbers/comments" `Quick test_lexer_numbers_comments;
+    Alcotest.test_case "parse select" `Quick test_parse_select;
+    Alcotest.test_case "arith precedence" `Quick test_parse_precedence;
+    Alcotest.test_case "bool precedence" `Quick test_parse_bool_precedence;
+    Alcotest.test_case "between/in/like/is-null" `Quick test_parse_between_in_like;
+    Alcotest.test_case "ddl & dml" `Quick test_parse_ddl_dml;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "select + where" `Quick test_exec_select_where;
+    Alcotest.test_case "order + limit" `Quick test_exec_order_limit;
+    Alcotest.test_case "projection expressions" `Quick test_exec_projection_expr;
+    Alcotest.test_case "aggregates" `Quick test_exec_aggregates;
+    Alcotest.test_case "group by" `Quick test_exec_group_by;
+    Alcotest.test_case "having" `Quick test_exec_having;
+    Alcotest.test_case "like/between/in" `Quick test_exec_like_between_in;
+    Alcotest.test_case "update & delete" `Quick test_exec_update_delete;
+    Alcotest.test_case "null semantics" `Quick test_exec_null_semantics;
+    Alcotest.test_case "scalar functions" `Quick test_exec_functions;
+    Alcotest.test_case "executor errors" `Quick test_exec_errors;
+  ]

@@ -1,0 +1,205 @@
+open Relation
+
+let setup () =
+  let c = Catalog.create () in
+  List.iter
+    (fun sql -> ignore (Sql.Executor.query c sql))
+    [
+      "CREATE TABLE products (id INT, name TEXT, category_id INT)";
+      "INSERT INTO products VALUES (1, 'lens', 10), (2, 'body', 10), \
+       (3, 'bag', 20), (4, 'mystery', 99)";
+      "CREATE TABLE categories (id INT, label TEXT)";
+      "INSERT INTO categories VALUES (10, 'optics'), (20, 'accessories')";
+      "CREATE TABLE stock (product_id INT, qty INT)";
+      "INSERT INTO stock VALUES (1, 5), (2, 0), (3, 7)";
+    ];
+  c
+
+let rows c sql =
+  let _, rows = Sql.Executor.query_rows c sql in
+  rows
+
+let texts r = List.map (fun row -> Value.to_string row.(0)) r
+
+let test_inner_join () =
+  let c = setup () in
+  let r =
+    rows c
+      "SELECT products.name FROM products JOIN categories ON \
+       products.category_id = categories.id ORDER BY products.id"
+  in
+  Alcotest.(check (list string)) "matched rows" [ "lens"; "body"; "bag" ] (texts r)
+
+let test_join_filters_unmatched () =
+  let c = setup () in
+  let r =
+    rows c
+      "SELECT name FROM products JOIN categories ON category_id = \
+       categories.id WHERE label = 'optics' ORDER BY products.id"
+  in
+  Alcotest.(check (list string)) "optics only" [ "lens"; "body" ] (texts r)
+
+let test_three_way_join () =
+  let c = setup () in
+  let r =
+    rows c
+      "SELECT name, qty FROM products JOIN categories ON category_id = \
+       categories.id JOIN stock ON product_id = products.id WHERE qty > 0 \
+       ORDER BY qty DESC"
+  in
+  Alcotest.(check (list string)) "in stock" [ "bag"; "lens" ] (texts r)
+
+let test_join_aggregate () =
+  let c = setup () in
+  match
+    rows c
+      "SELECT label, COUNT(*) FROM products JOIN categories ON category_id \
+       = categories.id GROUP BY label ORDER BY label"
+  with
+  | [ [| Value.Text "accessories"; Value.Int 1 |];
+      [| Value.Text "optics"; Value.Int 2 |] ] -> ()
+  | _ -> Alcotest.fail "bad grouped join"
+
+let test_ambiguous_column_rejected () =
+  let c = setup () in
+  Alcotest.(check bool)
+    "ambiguous id" true
+    (try
+       ignore
+         (rows c
+            "SELECT id FROM products JOIN categories ON products.category_id \
+             = categories.id");
+       false
+     with Sql.Executor.Error _ -> true)
+
+let test_distinct () =
+  let c = setup () in
+  let r = rows c "SELECT DISTINCT category_id FROM products ORDER BY category_id" in
+  Alcotest.(check (list string)) "distinct" [ "10"; "20"; "99" ] (texts r)
+
+let test_offset () =
+  let c = setup () in
+  let r = rows c "SELECT id FROM products ORDER BY id LIMIT 2 OFFSET 1" in
+  Alcotest.(check (list string)) "page 2" [ "2"; "3" ] (texts r);
+  let r2 = rows c "SELECT id FROM products ORDER BY id OFFSET 3" in
+  Alcotest.(check (list string)) "tail" [ "4" ] (texts r2)
+
+let test_qualified_columns_single_table () =
+  let c = setup () in
+  let r = rows c "SELECT products.name FROM products WHERE products.id = 3" in
+  Alcotest.(check (list string)) "qualified on single table" [ "bag" ] (texts r)
+
+let test_join_star () =
+  let c = setup () in
+  match
+    rows c
+      "SELECT * FROM products JOIN categories ON category_id = categories.id \
+       LIMIT 1"
+  with
+  | [ row ] -> Alcotest.(check int) "all columns" 5 (Array.length row)
+  | _ -> Alcotest.fail "expected one row"
+
+let test_explain () =
+  let c = setup () in
+  match
+    Sql.Executor.query c
+      "EXPLAIN SELECT name FROM products JOIN categories ON category_id = \
+       categories.id WHERE products.id > 1 AND label = 'optics' ORDER BY name \
+       LIMIT 2"
+  with
+  | Sql.Executor.Rows { columns = [ "plan" ]; rows } ->
+      let plan = List.map (fun r -> Value.to_string r.(0)) rows in
+      let has prefix =
+        List.exists
+          (fun l ->
+            String.length l >= String.length prefix
+            && String.sub l 0 (String.length prefix) = prefix)
+          plan
+      in
+      Alcotest.(check bool) "scan line" true (has "SCAN products (4 rows)");
+      Alcotest.(check bool) "join line" true (has "NESTED-LOOP JOIN categories");
+      Alcotest.(check bool) "filter lines" true (has "FILTER");
+      Alcotest.(check bool)
+        "sargable annotation" true
+        (List.exists
+           (fun l ->
+             String.length l > 10
+             && String.sub l (String.length l - 10) 10 = "[sargable]")
+           plan);
+      Alcotest.(check bool) "sort line" true (has "SORT BY 1 key(s)");
+      Alcotest.(check bool) "limit line" true (has "LIMIT 2")
+  | _ -> Alcotest.fail "expected a plan"
+
+let test_explain_dml () =
+  let c = setup () in
+  match Sql.Executor.query c "EXPLAIN DELETE FROM products WHERE id = 1" with
+  | Sql.Executor.Rows { rows; _ } ->
+      Alcotest.(check bool) "one line" true (List.length rows = 1)
+  | _ -> Alcotest.fail "expected a plan"
+
+let test_create_index_and_lookup () =
+  let c = setup () in
+  ignore (Sql.Executor.query c "CREATE INDEX idx_cat ON products (category_id)");
+  (* Same results with and without the index path. *)
+  Alcotest.(check (list string))
+    "indexed equality" [ "lens"; "body" ]
+    (texts (rows c "SELECT name FROM products WHERE category_id = 10 ORDER BY id"));
+  (* EXPLAIN shows the index lookup. *)
+  (match
+     Sql.Executor.query c
+       "EXPLAIN SELECT name FROM products WHERE category_id = 10"
+   with
+  | Sql.Executor.Rows { rows = plan; _ } ->
+      Alcotest.(check bool)
+        "plan uses index" true
+        (List.exists
+           (fun r ->
+             let l = Value.to_string r.(0) in
+             String.length l >= 12 && String.sub l 0 12 = "INDEX LOOKUP")
+           plan)
+  | _ -> Alcotest.fail "expected plan");
+  (* Writes invalidate: after an UPDATE the index must refresh. *)
+  ignore
+    (Sql.Executor.query c "UPDATE products SET category_id = 10 WHERE id = 3");
+  Alcotest.(check (list string))
+    "post-update lookup fresh" [ "lens"; "body"; "bag" ]
+    (texts (rows c "SELECT name FROM products WHERE category_id = 10 ORDER BY id"))
+
+let test_index_ddl_guards () =
+  let c = setup () in
+  ignore (Sql.Executor.query c "CREATE INDEX i1 ON products (id)");
+  List.iter
+    (fun sql ->
+      Alcotest.(check bool)
+        (Printf.sprintf "rejects %S" sql)
+        true
+        (try
+           ignore (Sql.Executor.query c sql);
+           false
+         with Sql.Executor.Error _ -> true))
+    [
+      "CREATE INDEX i1 ON products (id)";
+      "CREATE INDEX i2 ON missing (id)";
+      "CREATE INDEX i3 ON products (nope)";
+      "DROP INDEX absent";
+    ];
+  (match Sql.Executor.query c "DROP INDEX i1" with
+  | Sql.Executor.Done -> ()
+  | _ -> Alcotest.fail "drop index")
+
+let suite =
+  [
+    Alcotest.test_case "inner join" `Quick test_inner_join;
+    Alcotest.test_case "join drops unmatched" `Quick test_join_filters_unmatched;
+    Alcotest.test_case "three-way join" `Quick test_three_way_join;
+    Alcotest.test_case "join + group by" `Quick test_join_aggregate;
+    Alcotest.test_case "ambiguous column" `Quick test_ambiguous_column_rejected;
+    Alcotest.test_case "distinct" `Quick test_distinct;
+    Alcotest.test_case "offset" `Quick test_offset;
+    Alcotest.test_case "qualified single-table" `Quick test_qualified_columns_single_table;
+    Alcotest.test_case "join star expansion" `Quick test_join_star;
+    Alcotest.test_case "explain select" `Quick test_explain;
+    Alcotest.test_case "explain dml" `Quick test_explain_dml;
+    Alcotest.test_case "create index + lookup" `Quick test_create_index_and_lookup;
+    Alcotest.test_case "index ddl guards" `Quick test_index_ddl_guards;
+  ]

@@ -1,0 +1,125 @@
+(* Property: pretty-printing an expression and re-parsing it yields the
+   same tree (for the printable core: literals, columns, arithmetic,
+   comparisons, boolean connectives, BETWEEN/IN/IS NULL). *)
+
+open Sql.Ast
+
+let rec expr_gen depth =
+  let open QCheck.Gen in
+  if depth = 0 then
+    oneof
+      [
+        map (fun i -> Lit (Relation.Value.Int i)) (int_range (-100) 100);
+        map (fun b -> Lit (Relation.Value.Bool b)) bool;
+        return (Lit Relation.Value.Null);
+        map
+          (fun i -> Col (Printf.sprintf "c%d" i))
+          (int_range 0 5);
+      ]
+  else begin
+    let sub = expr_gen (depth - 1) in
+    frequency
+      [
+        (3, sub);
+        ( 2,
+          let* op =
+            oneofl [ Add; Sub; Mul; Eq; Neq; Lt; Le; Gt; Ge; And; Or ]
+          in
+          let* a = sub in
+          let* b = sub in
+          return (Binary (op, a, b)) );
+        (1, map (fun e -> Unary (Not, e)) sub);
+        (1, map (fun e -> Unary (Neg, e)) sub);
+        ( 1,
+          let* e = sub in
+          let* lo = sub in
+          let* hi = sub in
+          return (Between (e, lo, hi)) );
+        ( 1,
+          let* e = sub in
+          let* items = list_size (int_range 1 3) sub in
+          return (In_list (e, items)) );
+        ( 1,
+          let* e = sub in
+          let* n = bool in
+          return (Is_null (e, n)) );
+      ]
+  end
+
+let arb_expr =
+  QCheck.make
+    ~print:(fun e -> Format.asprintf "%a" pp_expr e)
+    (expr_gen 3)
+
+let rec equal_expr a b =
+  match (a, b) with
+  | Lit x, Lit y -> Relation.Value.compare x y = 0
+  | Col x, Col y -> String.lowercase_ascii x = String.lowercase_ascii y
+  | Unary (o1, e1), Unary (o2, e2) -> o1 = o2 && equal_expr e1 e2
+  | Binary (o1, a1, b1), Binary (o2, a2, b2) ->
+      o1 = o2 && equal_expr a1 a2 && equal_expr b1 b2
+  | Between (e1, l1, h1), Between (e2, l2, h2) ->
+      equal_expr e1 e2 && equal_expr l1 l2 && equal_expr h1 h2
+  | In_list (e1, i1), In_list (e2, i2) ->
+      equal_expr e1 e2
+      && List.length i1 = List.length i2
+      && List.for_all2 equal_expr i1 i2
+  | Is_null (e1, n1), Is_null (e2, n2) -> n1 = n2 && equal_expr e1 e2
+  | Call (f1, a1), Call (f2, a2) ->
+      f1 = f2 && List.length a1 = List.length a2 && List.for_all2 equal_expr a1 a2
+  | Agg (g1, e1), Agg (g2, e2) -> (
+      g1 = g2
+      && match (e1, e2) with
+         | None, None -> true
+         | Some x, Some y -> equal_expr x y
+         | _ -> false)
+  | Like (e1, p1), Like (e2, p2) -> equal_expr e1 e2 && p1 = p2
+  | _ -> false
+
+(* The printer renders negative literals as e.g. -5, which re-parses as
+   Unary (Neg, Lit 5): normalize both sides. *)
+let rec normalize e =
+  match e with
+  | Lit (Relation.Value.Int i) when i < 0 ->
+      Unary (Neg, Lit (Relation.Value.Int (-i)))
+  | Unary (o, e) -> Unary (o, normalize e)
+  | Binary (o, a, b) -> Binary (o, normalize a, normalize b)
+  | Between (e, lo, hi) -> Between (normalize e, normalize lo, normalize hi)
+  | In_list (e, items) -> In_list (normalize e, List.map normalize items)
+  | Is_null (e, n) -> Is_null (normalize e, n)
+  | Call (f, args) -> Call (f, List.map normalize args)
+  | Agg (g, e) -> Agg (g, Option.map normalize e)
+  | Like (e, p) -> Like (normalize e, p)
+  | Lit _ | Col _ -> e
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"pp then parse is identity" ~count:300 arb_expr
+    (fun e ->
+      let printed = Format.asprintf "%a" pp_expr e in
+      match Sql.Parser.parse_expr printed with
+      | parsed -> equal_expr (normalize e) (normalize parsed)
+      | exception Sql.Parser.Error m ->
+          QCheck.Test.fail_reportf "parse error on %s: %s" printed m)
+
+let test_statement_roundtrip () =
+  (* Full SELECT statements survive a print/parse cycle. *)
+  List.iter
+    (fun sql ->
+      let ast = Sql.Parser.parse sql in
+      let printed = Format.asprintf "%a" Sql.Ast.pp_statement ast in
+      let reparsed = Sql.Parser.parse printed in
+      let printed2 = Format.asprintf "%a" Sql.Ast.pp_statement reparsed in
+      Alcotest.(check string) ("stable print: " ^ sql) printed printed2)
+    [
+      "SELECT a, b + 1 AS c FROM t WHERE a > 2 ORDER BY b DESC LIMIT 3";
+      "SELECT DISTINCT a FROM t OFFSET 2";
+      "SELECT x FROM t JOIN u ON t.a = u.b WHERE u.c IS NOT NULL";
+      "SELECT COUNT(*), AVG(a) FROM t GROUP BY b HAVING COUNT(*) > 1";
+      "CREATE TABLE z (a INT, b REAL, c TEXT)";
+    ]
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest prop_roundtrip;
+    Alcotest.test_case "statement print stability" `Quick test_statement_roundtrip;
+  ]

@@ -1,0 +1,198 @@
+open Iq
+
+(* The worked example of Figure 2: f1(q) = 4 q1 + 3 q2,
+   f2(q) = q1 - 2 q2, strategy s = (1, 0) on p1. *)
+let figure2_instance () =
+  let data = [| [| 4.; 3. |]; [| 1.; -2. |] |] in
+  let queries =
+    List.map
+      (fun (x, y) -> Topk.Query.make ~k:1 [| x; y |])
+      [ (0.05, 0.9); (0.1, 0.6); (0.4, 0.45); (0.5, 0.3); (0.8, 0.1) ]
+  in
+  Instance.create ~data ~queries ()
+
+let test_figure2_subdomains () =
+  let inst = figure2_instance () in
+  let _, sd = Subdomain.of_instance inst in
+  (* The single intersection f1 = f2 (3 q1 + 5 q2 = 0) has all queries
+     strictly above it in the positive quadrant: one populated cell. *)
+  Alcotest.(check int) "one populated cell" 1 (Subdomain.count sd)
+
+let test_figure2_ranking_flip () =
+  (* Check Fact 2 on the figure: before s, f2 < f1 everywhere in the
+     positive quadrant; applying s to p1 never changes that (f1 grows).
+     Instead apply s = (-4, -4): the intersection of f1' and f2 now cuts
+     the quadrant, flipping some queries. *)
+  let inst = figure2_instance () in
+  let idx = Query_index.build inst in
+  let ese = Ese.prepare idx ~target:0 in
+  Alcotest.(check int) "p1 hits nothing initially" 0 (Ese.base_hits ese);
+  let s = [| -4.; -4. |] in
+  let h = Ese.evaluate ese ~s in
+  let naive = Evaluator.naive inst ~target:0 in
+  Alcotest.(check int) "flip count matches naive" (naive.Evaluator.hit_count s) h;
+  Alcotest.(check bool) "some queries flipped" true (h > 0)
+
+let test_partition_is_exact () =
+  (* Two queries share a subdomain iff every pair of objects ranks the
+     same way for both — verify against brute force on random data. *)
+  let rng = Workload.Rng.make 21 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:12 ~d:2 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 3)
+      ~m:40 ~d:2 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let _, sd = Subdomain.of_instance inst in
+  let same_order qa qb =
+    let wa = inst.Instance.queries.(qa).Topk.Query.weights in
+    let wb = inst.Instance.queries.(qb).Topk.Query.weights in
+    let n = Instance.n_objects inst in
+    let ok = ref true in
+    for i = 0 to n - 1 do
+      for l = 0 to n - 1 do
+        if i <> l then begin
+          let above_a =
+            Geom.Vec.dot wa (Geom.Vec.sub data.(i) data.(l)) >= 0.
+          in
+          let above_b =
+            Geom.Vec.dot wb (Geom.Vec.sub data.(i) data.(l)) >= 0.
+          in
+          if above_a <> above_b then ok := false
+        end
+      done
+    done;
+    !ok
+  in
+  let m = Instance.n_queries inst in
+  for qa = 0 to m - 1 do
+    for qb = qa + 1 to m - 1 do
+      Alcotest.(check bool)
+        (Printf.sprintf "cells agree with sign vectors (%d, %d)" qa qb)
+        (same_order qa qb)
+        (Subdomain.same_cell sd qa qb)
+    done
+  done
+
+let test_members_partition_queries () =
+  let rng = Workload.Rng.make 22 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:8 ~d:3 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 2)
+      ~m:25 ~d:3 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let _, sd = Subdomain.of_instance inst in
+  let seen = Array.make 25 0 in
+  List.iter
+    (fun c ->
+      List.iter (fun qi -> seen.(qi) <- seen.(qi) + 1) c.Subdomain.members)
+    (Subdomain.subdomains sd);
+  Array.iteri
+    (fun qi n ->
+      Alcotest.(check int) (Printf.sprintf "query %d in one cell" qi) 1 n)
+    seen
+
+let test_boundaries_consistent () =
+  let rng = Workload.Rng.make 23 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:6 ~d:2 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 2)
+      ~m:30 ~d:2 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let intersections, sd = Subdomain.of_instance inst in
+  let points = Instance.query_points inst in
+  List.iter
+    (fun c ->
+      List.iter
+        (fun qi ->
+          List.iter
+            (fun b ->
+              let h = intersections.(b.Subdomain.intersection) in
+              Alcotest.(check bool)
+                "member on the recorded side" b.Subdomain.above
+                (Geom.Hyperplane.above_or_on h points.(qi)))
+            c.Subdomain.boundaries)
+        c.Subdomain.members)
+    (Subdomain.subdomains sd)
+
+let test_locate () =
+  let rng = Workload.Rng.make 24 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:6 ~d:2 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 2)
+      ~m:30 ~d:2 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let intersections, sd = Subdomain.of_instance inst in
+  let points = Instance.query_points inst in
+  (* Every existing query point must locate into a cell whose boundary
+     signature it satisfies. *)
+  Array.iteri
+    (fun qi p ->
+      match Subdomain.locate sd ~intersections p with
+      | Some _ -> ()
+      | None -> Alcotest.failf "query %d failed to locate" qi)
+    points
+
+let test_bloom_boundary_filter () =
+  let rng = Workload.Rng.make 25 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:7 ~d:2 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 2)
+      ~m:40 ~d:2 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let _, sd = Subdomain.of_instance inst in
+  let filter = Subdomain.boundary_filter sd in
+  (* No false negatives: every recorded boundary is found. *)
+  List.iter
+    (fun c ->
+      List.iter
+        (fun b ->
+          Alcotest.(check bool)
+            "boundary in filter" true
+            (Bloom.mem filter b.Subdomain.intersection))
+        c.Subdomain.boundaries)
+    (Subdomain.subdomains sd)
+
+let test_domain_pruning_equivalent () =
+  (* Pruning intersections that miss the unit domain must not change
+     how the queries are grouped. *)
+  let rng = Workload.Rng.make 26 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n:10 ~d:2 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 3)
+      ~m:35 ~d:2 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let all, full = Subdomain.of_instance inst in
+  let pruned_set, pruned =
+    Subdomain.of_instance ~domain:(Geom.Box.unit 2) inst
+  in
+  Alcotest.(check bool)
+    (Printf.sprintf "fewer or equal intersections (%d <= %d)"
+       (Array.length pruned_set) (Array.length all))
+    true
+    (Array.length pruned_set <= Array.length all);
+  for a = 0 to 34 do
+    for b = a + 1 to 34 do
+      Alcotest.(check bool)
+        (Printf.sprintf "same grouping (%d, %d)" a b)
+        (Subdomain.same_cell full a b)
+        (Subdomain.same_cell pruned a b)
+    done
+  done
+
+let suite =
+  [
+    Alcotest.test_case "Figure 2 subdomains" `Quick test_figure2_subdomains;
+    Alcotest.test_case "Figure 2 ranking flips" `Quick test_figure2_ranking_flip;
+    Alcotest.test_case "partition is exact" `Quick test_partition_is_exact;
+    Alcotest.test_case "cells partition queries" `Quick test_members_partition_queries;
+    Alcotest.test_case "boundary sides consistent" `Quick test_boundaries_consistent;
+    Alcotest.test_case "locate" `Quick test_locate;
+    Alcotest.test_case "bloom boundary filter" `Quick test_bloom_boundary_filter;
+    Alcotest.test_case "domain pruning equivalent" `Quick test_domain_pruning_equivalent;
+  ]

@@ -1,0 +1,115 @@
+(* Section 4.3 maintenance on the exact Algorithm-1 partition: every
+   update must leave the partition equivalent to a fresh rebuild
+   (queries grouped the same way). *)
+
+open Iq
+
+let build_setting seed n m =
+  let rng = Workload.Rng.make seed in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d:2 in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 3) ~m
+      ~d:2 ()
+  in
+  let inst = Instance.create ~data ~queries () in
+  let intersections, sd = Subdomain.of_instance inst in
+  (inst, intersections, sd)
+
+(* Two partitions over the same point set are equivalent iff they group
+   the points identically. *)
+let assert_equivalent ~what ~points ~intersections updated =
+  let fresh = Subdomain.find_subdomains ~intersections ~points in
+  let n = Array.length points in
+  for a = 0 to n - 1 do
+    for b = a + 1 to n - 1 do
+      if Subdomain.same_cell fresh a b <> Subdomain.same_cell updated a b then
+        Alcotest.failf "%s: cells disagree for points %d and %d" what a b
+    done
+  done
+
+let test_add_point_existing_cell () =
+  let inst, intersections, sd = build_setting 1 8 25 in
+  (* A point near an existing query should locate into its cell. *)
+  let points = Instance.query_points inst in
+  let nearby = Geom.Vec.add points.(0) [| 1e-9; 1e-9 |] in
+  let sd', qi = Subdomain.add_point sd ~intersections ~points nearby in
+  Alcotest.(check int) "new index" 25 qi;
+  let all_points = Array.append points [| nearby |] in
+  assert_equivalent ~what:"add nearby" ~points:all_points ~intersections sd'
+
+let test_add_point_new_cell () =
+  let inst, intersections, sd = build_setting 2 8 10 in
+  let points = Instance.query_points inst in
+  (* A far-away corner point may open a new cell; equivalence must hold
+     either way. *)
+  let outlier = [| 0.999; 0.001 |] in
+  let sd', _ = Subdomain.add_point sd ~intersections ~points outlier in
+  let all_points = Array.append points [| outlier |] in
+  assert_equivalent ~what:"add outlier" ~points:all_points ~intersections sd'
+
+let test_remove_point () =
+  let inst, intersections, sd = build_setting 3 8 20 in
+  let points = Instance.query_points inst in
+  let sd' = Subdomain.remove_point sd 5 in
+  let remaining =
+    Array.init 19 (fun i -> if i < 5 then points.(i) else points.(i + 1))
+  in
+  assert_equivalent ~what:"remove point" ~points:remaining ~intersections sd'
+
+let test_split_by_new_object () =
+  let inst, intersections, sd = build_setting 4 8 30 in
+  let points = Instance.query_points inst in
+  (* Adding an object creates intersections with every existing object. *)
+  let new_object = [| 0.5; 0.45 |] in
+  let new_hypers =
+    Array.to_list inst.Instance.features
+    |> List.filter_map (fun f -> Geom.Hyperplane.of_points new_object f)
+    |> Array.of_list
+  in
+  let sd' =
+    Subdomain.split_by sd ~points ~first_index:(Array.length intersections)
+      new_hypers
+  in
+  let all = Array.append intersections new_hypers in
+  assert_equivalent ~what:"object insertion split" ~points ~intersections:all
+    sd'
+
+let test_merge_removed_object () =
+  let inst, intersections, sd = build_setting 5 7 30 in
+  let points = Instance.query_points inst in
+  (* Remove object 0: all intersections involving feature 0 die. With
+     Algorithm-1 ordering (i < l pairs), those are the first n-1. *)
+  let n = Instance.n_objects inst in
+  let removed = List.init (n - 1) Fun.id in
+  let kept_hypers =
+    Array.sub intersections (n - 1) (Array.length intersections - (n - 1))
+  in
+  let remap i = i - (n - 1) in
+  let sd' =
+    Subdomain.merge_removed sd ~points ~kept:kept_hypers ~removed ~remap
+  in
+  assert_equivalent ~what:"object removal merge" ~points
+    ~intersections:kept_hypers sd';
+  (* Merging can only reduce (or keep) the number of populated cells. *)
+  Alcotest.(check bool)
+    "cells did not multiply" true
+    (Subdomain.count sd' <= Subdomain.count sd)
+
+let test_update_round_trip () =
+  let inst, intersections, sd = build_setting 6 6 15 in
+  let points = Instance.query_points inst in
+  (* add then remove the same point: partition equivalent to original. *)
+  let p = [| 0.3; 0.6 |] in
+  let sd1, qi = Subdomain.add_point sd ~intersections ~points p in
+  let sd2 = Subdomain.remove_point sd1 qi in
+  assert_equivalent ~what:"round trip" ~points ~intersections sd2
+
+let suite =
+  [
+    Alcotest.test_case "add point (existing cell)" `Quick test_add_point_existing_cell;
+    Alcotest.test_case "add point (new cell)" `Quick test_add_point_new_cell;
+    Alcotest.test_case "remove point" `Quick test_remove_point;
+    Alcotest.test_case "object insertion splits" `Quick test_split_by_new_object;
+    Alcotest.test_case "object removal merges" `Quick test_merge_removed_object;
+    Alcotest.test_case "add/remove round trip" `Quick test_update_round_trip;
+  ]

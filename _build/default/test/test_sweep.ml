@@ -1,0 +1,84 @@
+open Geom
+
+let seg ax ay bx by = Sweep.segment [| ax; ay |] [| bx; by |]
+
+let test_crossing () =
+  match Sweep.segment_intersection (seg 0. 0. 1. 1.) (seg 0. 1. 1. 0.) with
+  | Some p ->
+      Alcotest.(check (float 1e-9)) "x" 0.5 p.(0);
+      Alcotest.(check (float 1e-9)) "y" 0.5 p.(1)
+  | None -> Alcotest.fail "expected intersection"
+
+let test_disjoint () =
+  Alcotest.(check bool)
+    "parallel" true
+    (Sweep.segment_intersection (seg 0. 0. 1. 0.) (seg 0. 1. 1. 1.) = None);
+  Alcotest.(check bool)
+    "separated" true
+    (Sweep.segment_intersection (seg 0. 0. 0.4 0.4) (seg 0.6 0. 1. 0.1) = None)
+
+let test_endpoint_touch () =
+  match Sweep.segment_intersection (seg 0. 0. 1. 1.) (seg 1. 1. 2. 0.) with
+  | Some p ->
+      Alcotest.(check (float 1e-9)) "touch x" 1. p.(0);
+      Alcotest.(check (float 1e-9)) "touch y" 1. p.(1)
+  | None -> Alcotest.fail "expected endpoint intersection"
+
+let test_collinear_overlap () =
+  match Sweep.segment_intersection (seg 0. 0. 2. 0.) (seg 1. 0. 3. 0.) with
+  | Some p ->
+      Alcotest.(check bool) "witness on both" true (p.(0) >= 1. && p.(0) <= 2.)
+  | None -> Alcotest.fail "expected overlap witness"
+
+let test_sweep_counts () =
+  (* Three segments pairwise crossing: 3 intersections. *)
+  let segs = [ seg 0. 0. 2. 2.; seg 0. 2. 2. 0.; seg 0. 1. 2. 1.2 ] in
+  Alcotest.(check int) "3 pairs" 3 (List.length (Sweep.intersections segs));
+  (* Disjoint segments: none. *)
+  let apart = [ seg 0. 0. 0.4 0.4; seg 3. 3. 4. 4. ] in
+  Alcotest.(check int) "none" 0 (List.length (Sweep.intersections apart))
+
+let test_sweep_matches_bruteforce () =
+  let rng = Workload.Rng.make 11 in
+  let random_seg () =
+    seg
+      (Workload.Rng.uniform rng)
+      (Workload.Rng.uniform rng)
+      (Workload.Rng.uniform rng)
+      (Workload.Rng.uniform rng)
+  in
+  let segs = List.init 40 (fun _ -> random_seg ()) in
+  let brute = ref 0 in
+  let arr = Array.of_list segs in
+  for i = 0 to Array.length arr - 1 do
+    for j = i + 1 to Array.length arr - 1 do
+      if Sweep.segment_intersection arr.(i) arr.(j) <> None then incr brute
+    done
+  done;
+  Alcotest.(check int)
+    "sweep finds the same count" !brute
+    (List.length (Sweep.intersections segs))
+
+let test_line_clipping () =
+  let box = Box.unit 2 in
+  (* Line x = y clipped to the unit square: from (0,0) to (1,1). *)
+  (match Sweep.line_segment_in_box [| 1.; -1. |] 0. box with
+  | Some s ->
+      let len = Vec.dist s.Sweep.a s.Sweep.b in
+      Alcotest.(check (float 1e-9)) "diagonal length" (sqrt 2.) len
+  | None -> Alcotest.fail "expected a clip");
+  (* Line far away misses the box. *)
+  Alcotest.(check bool)
+    "miss" true
+    (Sweep.line_segment_in_box [| 1.; 1. |] 5. box = None)
+
+let suite =
+  [
+    Alcotest.test_case "crossing segments" `Quick test_crossing;
+    Alcotest.test_case "disjoint segments" `Quick test_disjoint;
+    Alcotest.test_case "endpoint touch" `Quick test_endpoint_touch;
+    Alcotest.test_case "collinear overlap" `Quick test_collinear_overlap;
+    Alcotest.test_case "sweep counts" `Quick test_sweep_counts;
+    Alcotest.test_case "sweep = brute force" `Quick test_sweep_matches_bruteforce;
+    Alcotest.test_case "line clipping" `Quick test_line_clipping;
+  ]

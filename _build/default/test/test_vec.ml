@@ -1,0 +1,104 @@
+open Geom
+
+let check_float = Alcotest.(check (float 1e-9))
+
+let test_basic_ops () =
+  let a = Vec.of_list [ 1.; 2.; 3. ] and b = Vec.of_list [ 4.; 5.; 6. ] in
+  check_float "dot" 32. (Vec.dot a b);
+  Alcotest.(check bool) "add" true (Vec.equal (Vec.add a b) [| 5.; 7.; 9. |]);
+  Alcotest.(check bool) "sub" true (Vec.equal (Vec.sub b a) [| 3.; 3.; 3. |]);
+  Alcotest.(check bool)
+    "scale" true
+    (Vec.equal (Vec.scale 2. a) [| 2.; 4.; 6. |]);
+  Alcotest.(check bool) "neg" true (Vec.equal (Vec.neg a) [| -1.; -2.; -3. |]);
+  Alcotest.(check bool) "mul" true (Vec.equal (Vec.mul a b) [| 4.; 10.; 18. |])
+
+let test_norms () =
+  let v = Vec.of_list [ 3.; 4. ] in
+  check_float "norm" 5. (Vec.norm v);
+  check_float "norm2" 25. (Vec.norm2 v);
+  check_float "l1" 7. (Vec.l1_norm v);
+  check_float "linf" 4. (Vec.linf_norm v);
+  check_float "dist" 5. (Vec.dist v (Vec.zero 2));
+  let u = Vec.normalize v in
+  check_float "normalize" 1. (Vec.norm u);
+  Alcotest.(check bool)
+    "normalize zero unchanged" true
+    (Vec.equal (Vec.normalize (Vec.zero 3)) (Vec.zero 3))
+
+let test_normalize_l1 () =
+  let v = Vec.of_list [ 1.; 3. ] in
+  let u = Vec.normalize_l1 v in
+  check_float "sums to one" 1. (Array.fold_left ( +. ) 0. u);
+  check_float "proportional" 0.25 u.(0)
+
+let test_basis () =
+  let e1 = Vec.basis 3 1 in
+  Alcotest.(check bool) "basis" true (Vec.equal e1 [| 0.; 1.; 0. |])
+
+let test_lerp () =
+  let a = Vec.zero 2 and b = Vec.of_list [ 2.; 4. ] in
+  Alcotest.(check bool)
+    "midpoint" true
+    (Vec.equal (Vec.lerp a b 0.5) [| 1.; 2. |])
+
+let test_clamp () =
+  let lo = Vec.of_list [ 0.; 0. ] and hi = Vec.of_list [ 1.; 1. ] in
+  Alcotest.(check bool)
+    "clamped" true
+    (Vec.equal (Vec.clamp ~lo ~hi [| -5.; 0.5 |]) [| 0.; 0.5 |])
+
+let test_dim_mismatch () =
+  Alcotest.check_raises "add mismatch"
+    (Invalid_argument "Geom.Vec: dimension mismatch") (fun () ->
+      ignore (Vec.add (Vec.zero 2) (Vec.zero 3)))
+
+let test_is_zero () =
+  Alcotest.(check bool) "zero" true (Vec.is_zero (Vec.zero 4));
+  Alcotest.(check bool) "eps zero" true (Vec.is_zero [| 1e-12 |]);
+  Alcotest.(check bool) "nonzero" false (Vec.is_zero [| 0.1 |])
+
+let vec_gen d =
+  QCheck.Gen.(array_size (return d) (float_range (-10.) 10.))
+
+let arb_vec d =
+  QCheck.make ~print:(fun v -> Format.asprintf "%a" Vec.pp v) (vec_gen d)
+
+let prop_dot_commutative =
+  QCheck.Test.make ~name:"dot commutative" ~count:200
+    (QCheck.pair (arb_vec 4) (arb_vec 4))
+    (fun (a, b) -> abs_float (Vec.dot a b -. Vec.dot b a) < 1e-9)
+
+let prop_triangle_inequality =
+  QCheck.Test.make ~name:"triangle inequality" ~count:200
+    (QCheck.pair (arb_vec 5) (arb_vec 5))
+    (fun (a, b) -> Vec.norm (Vec.add a b) <= Vec.norm a +. Vec.norm b +. 1e-9)
+
+let prop_cauchy_schwarz =
+  QCheck.Test.make ~name:"Cauchy-Schwarz" ~count:200
+    (QCheck.pair (arb_vec 3) (arb_vec 3))
+    (fun (a, b) ->
+      abs_float (Vec.dot a b) <= (Vec.norm a *. Vec.norm b) +. 1e-6)
+
+let prop_clamp_within =
+  QCheck.Test.make ~name:"clamp lands inside box" ~count:200 (arb_vec 3)
+    (fun v ->
+      let lo = Vec.make 3 (-1.) and hi = Vec.make 3 1. in
+      let c = Vec.clamp ~lo ~hi v in
+      Vec.for_all2 ( <= ) lo c && Vec.for_all2 ( <= ) c hi)
+
+let suite =
+  [
+    Alcotest.test_case "basic ops" `Quick test_basic_ops;
+    Alcotest.test_case "norms" `Quick test_norms;
+    Alcotest.test_case "normalize_l1" `Quick test_normalize_l1;
+    Alcotest.test_case "basis" `Quick test_basis;
+    Alcotest.test_case "lerp" `Quick test_lerp;
+    Alcotest.test_case "clamp" `Quick test_clamp;
+    Alcotest.test_case "dim mismatch raises" `Quick test_dim_mismatch;
+    Alcotest.test_case "is_zero" `Quick test_is_zero;
+    QCheck_alcotest.to_alcotest prop_dot_commutative;
+    QCheck_alcotest.to_alcotest prop_triangle_inequality;
+    QCheck_alcotest.to_alcotest prop_cauchy_schwarz;
+    QCheck_alcotest.to_alcotest prop_clamp_within;
+  ]

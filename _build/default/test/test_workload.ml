@@ -1,0 +1,231 @@
+let test_rng_deterministic () =
+  let a = Workload.Rng.make 42 and b = Workload.Rng.make 42 in
+  for _ = 1 to 50 do
+    Alcotest.(check (float 0.))
+      "same stream" (Workload.Rng.uniform a) (Workload.Rng.uniform b)
+  done
+
+let test_rng_ranges () =
+  let r = Workload.Rng.make 1 in
+  for _ = 1 to 200 do
+    let x = Workload.Rng.uniform_in r 2. 5. in
+    Alcotest.(check bool) "in range" true (x >= 2. && x < 5.);
+    let i = Workload.Rng.int_in r 3 7 in
+    Alcotest.(check bool) "int in range" true (i >= 3 && i <= 7)
+  done
+
+let test_gaussian_moments () =
+  let r = Workload.Rng.make 2 in
+  let n = 20_000 in
+  let sum = ref 0. and sum2 = ref 0. in
+  for _ = 1 to n do
+    let x = Workload.Rng.gaussian r ~mean:1. ~stddev:2. in
+    sum := !sum +. x;
+    sum2 := !sum2 +. (x *. x)
+  done;
+  let mean = !sum /. float_of_int n in
+  let var = (!sum2 /. float_of_int n) -. (mean *. mean) in
+  Alcotest.(check bool) "mean near 1" true (abs_float (mean -. 1.) < 0.1);
+  Alcotest.(check bool) "var near 4" true (abs_float (var -. 4.) < 0.3)
+
+let test_shuffle_permutes () =
+  let r = Workload.Rng.make 3 in
+  let arr = Array.init 100 Fun.id in
+  Workload.Rng.shuffle r arr;
+  let sorted = Array.copy arr in
+  Array.sort Int.compare sorted;
+  Alcotest.(check bool) "is permutation" true (sorted = Array.init 100 Fun.id);
+  Alcotest.(check bool) "actually moved" true (arr <> Array.init 100 Fun.id)
+
+let in_unit_box pts =
+  Array.for_all (Array.for_all (fun x -> x >= 0. && x <= 1.)) pts
+
+let test_datagen_shapes () =
+  let r = Workload.Rng.make 4 in
+  List.iter
+    (fun kind ->
+      let pts = Workload.Datagen.generate r kind ~n:500 ~d:4 in
+      Alcotest.(check int)
+        (Workload.Datagen.kind_name kind ^ " count")
+        500 (Array.length pts);
+      Alcotest.(check bool)
+        (Workload.Datagen.kind_name kind ^ " in box")
+        true (in_unit_box pts))
+    [ Workload.Datagen.Independent; Workload.Datagen.Correlated; Workload.Datagen.Anticorrelated ]
+
+let pearson xs ys =
+  let n = float_of_int (Array.length xs) in
+  let mean a = Array.fold_left ( +. ) 0. a /. n in
+  let mx = mean xs and my = mean ys in
+  let cov = ref 0. and vx = ref 0. and vy = ref 0. in
+  Array.iteri
+    (fun i x ->
+      let dx = x -. mx and dy = ys.(i) -. my in
+      cov := !cov +. (dx *. dy);
+      vx := !vx +. (dx *. dx);
+      vy := !vy +. (dy *. dy))
+    xs;
+  !cov /. sqrt (!vx *. !vy)
+
+let test_correlation_signs () =
+  let r = Workload.Rng.make 5 in
+  let co = Workload.Datagen.generate r Workload.Datagen.Correlated ~n:2000 ~d:2 in
+  let ac = Workload.Datagen.generate r Workload.Datagen.Anticorrelated ~n:2000 ~d:2 in
+  let col pts j = Array.map (fun p -> p.(j)) pts in
+  let r_co = pearson (col co 0) (col co 1) in
+  let r_ac = pearson (col ac 0) (col ac 1) in
+  Alcotest.(check bool) (Printf.sprintf "CO positive (%.2f)" r_co) true (r_co > 0.5);
+  Alcotest.(check bool) (Printf.sprintf "AC negative (%.2f)" r_ac) true (r_ac < -0.2)
+
+let test_vehicle_house () =
+  let r = Workload.Rng.make 6 in
+  let v = Workload.Datagen.vehicle r ~n:1000 () in
+  Alcotest.(check int) "vehicle dims" 5 (Array.length v.(0));
+  Alcotest.(check bool) "vehicle in box" true (in_unit_box v);
+  (* Weight (1) vs MPG (3) should anti-correlate. *)
+  let wcol = Array.map (fun p -> p.(1)) v and mcol = Array.map (fun p -> p.(3)) v in
+  Alcotest.(check bool) "weight vs mpg negative" true (pearson wcol mcol < -0.3);
+  let h = Workload.Datagen.house r ~n:1000 () in
+  Alcotest.(check int) "house dims" 4 (Array.length h.(0));
+  (* Value (0) vs income (1) positive. *)
+  let vcol = Array.map (fun p -> p.(0)) h and icol = Array.map (fun p -> p.(1)) h in
+  Alcotest.(check bool) "value vs income positive" true (pearson vcol icol > 0.3);
+  let tbl = Workload.Datagen.vehicle_table r ~n:10 () in
+  Alcotest.(check int) "table rows" 10 (Relation.Table.length tbl);
+  Alcotest.(check int) "table cols" 5 (Relation.Schema.arity (Relation.Table.schema tbl))
+
+let test_querygen () =
+  let r = Workload.Rng.make 7 in
+  let qs = Workload.Querygen.linear r Workload.Querygen.Uniform ~k_range:(1, 50) ~m:300 ~d:3 () in
+  Alcotest.(check int) "count" 300 (List.length qs);
+  List.iter
+    (fun (q : Topk.Query.t) ->
+      Alcotest.(check bool) "k in range" true (q.Topk.Query.k >= 1 && q.Topk.Query.k <= 50);
+      Array.iter
+        (fun w -> Alcotest.(check bool) "weight in unit" true (w >= 0. && w <= 1.))
+        q.Topk.Query.weights)
+    qs;
+  let ids = List.map (fun (q : Topk.Query.t) -> q.Topk.Query.id) qs in
+  Alcotest.(check (list int)) "sequential ids" (List.init 300 Fun.id) ids
+
+let test_querygen_normalized () =
+  let r = Workload.Rng.make 8 in
+  let qs =
+    Workload.Querygen.normalized_linear r Workload.Querygen.Uniform ~m:100 ~d:4 ()
+  in
+  List.iter
+    (fun (q : Topk.Query.t) ->
+      let sum = Array.fold_left ( +. ) 0. q.Topk.Query.weights in
+      Alcotest.(check (float 1e-9)) "weights sum to 1" 1. sum)
+    qs
+
+let test_querygen_clustered_tighter () =
+  let r = Workload.Rng.make 9 in
+  let spread kind =
+    let ws = Workload.Querygen.weights r kind ~m:400 ~d:2 in
+    let mean j =
+      Array.fold_left (fun acc w -> acc +. w.(j)) 0. ws /. 400.
+    in
+    let m0 = mean 0 and m1 = mean 1 in
+    Array.fold_left
+      (fun acc w ->
+        acc +. ((w.(0) -. m0) ** 2.) +. ((w.(1) -. m1) ** 2.))
+      0. ws
+  in
+  let un = spread Workload.Querygen.Uniform in
+  let cl = spread Workload.Querygen.Clustered in
+  Alcotest.(check bool)
+    (Printf.sprintf "clusters tighter (%.1f < %.1f)" cl un)
+    true (cl < un)
+
+let test_querygen_polynomial () =
+  let r = Workload.Rng.make 10 in
+  let u, qs =
+    Workload.Querygen.polynomial r Workload.Querygen.Uniform ~m:50 ~d:3 ()
+  in
+  Alcotest.(check int) "feature space dim" 3 u.Topk.Utility.dim_out;
+  Alcotest.(check int) "queries" 50 (List.length qs);
+  (* Features must be monomials of degree within [1,5]. *)
+  let f = u.Topk.Utility.features [| 2.; 2.; 2. |] in
+  Array.iter
+    (fun x ->
+      Alcotest.(check bool) "power of two" true (List.mem x [ 2.; 4.; 8.; 16.; 32. ]))
+    f
+
+let test_config () =
+  let d = Workload.Config.default in
+  Alcotest.(check int) "Table 2 |D|" 100_000 d.Workload.Config.n_objects;
+  Alcotest.(check int) "Table 2 |Q|" 10_000 d.Workload.Config.n_queries;
+  Alcotest.(check int) "Table 2 tau" 250 d.Workload.Config.tau;
+  let s = Workload.Config.scaled ~scale:0.01 d in
+  Alcotest.(check int) "scaled objects" 1000 s.Workload.Config.n_objects;
+  Alcotest.(check int) "scaled queries" 100 s.Workload.Config.n_queries;
+  Alcotest.(check int) "dim sweep" 5 (List.length Workload.Config.dimension_sweep)
+
+let test_loader_roundtrip () =
+  let r = Workload.Rng.make 11 in
+  let queries =
+    Workload.Querygen.linear r Workload.Querygen.Uniform ~k_range:(2, 9)
+      ~m:40 ~d:3 ()
+  in
+  let table = Workload.Loader.queries_to_table queries in
+  let back = Workload.Loader.queries_of_table table in
+  Alcotest.(check int) "count" 40 (List.length back);
+  List.iter2
+    (fun (a : Topk.Query.t) (b : Topk.Query.t) ->
+      Alcotest.(check int) "k" a.Topk.Query.k b.Topk.Query.k;
+      Alcotest.(check bool)
+        "weights" true
+        (Geom.Vec.equal ~eps:1e-9 a.Topk.Query.weights b.Topk.Query.weights))
+    queries back
+
+let test_loader_objects () =
+  let table =
+    Relation.Csv.table_of_string "name,price,stock\nwidget,9.5,3\ngadget,2.0,7\n"
+  in
+  let cols, points = Workload.Loader.objects_of_table table in
+  Alcotest.(check (list string)) "numeric columns" [ "price"; "stock" ] cols;
+  Alcotest.(check int) "points" 2 (Array.length points);
+  Alcotest.(check (float 1e-9)) "value" 9.5 points.(0).(0)
+
+let test_loader_guards () =
+  let no_numeric = Relation.Csv.table_of_string "a,b\nx,y\n" in
+  Alcotest.(check bool)
+    "no numeric columns rejected" true
+    (try
+       ignore (Workload.Loader.objects_of_table no_numeric);
+       false
+     with Invalid_argument _ -> true);
+  let no_k = Relation.Csv.table_of_string "w0,w1\n0.5,0.5\n" in
+  Alcotest.(check bool)
+    "missing k rejected" true
+    (try
+       ignore (Workload.Loader.queries_of_table no_k);
+       false
+     with Failure _ -> true);
+  let bad_k = Relation.Csv.table_of_string "k,w0\n0,0.5\n" in
+  Alcotest.(check bool)
+    "non-positive k rejected" true
+    (try
+       ignore (Workload.Loader.queries_of_table bad_k);
+       false
+     with Failure _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng ranges" `Quick test_rng_ranges;
+    Alcotest.test_case "gaussian moments" `Quick test_gaussian_moments;
+    Alcotest.test_case "shuffle" `Quick test_shuffle_permutes;
+    Alcotest.test_case "datagen shapes" `Quick test_datagen_shapes;
+    Alcotest.test_case "correlation signs" `Quick test_correlation_signs;
+    Alcotest.test_case "vehicle & house" `Quick test_vehicle_house;
+    Alcotest.test_case "query generator" `Quick test_querygen;
+    Alcotest.test_case "normalized queries" `Quick test_querygen_normalized;
+    Alcotest.test_case "clustered tighter" `Quick test_querygen_clustered_tighter;
+    Alcotest.test_case "polynomial queries" `Quick test_querygen_polynomial;
+    Alcotest.test_case "config (Table 2)" `Quick test_config;
+    Alcotest.test_case "loader round trip" `Quick test_loader_roundtrip;
+    Alcotest.test_case "loader objects" `Quick test_loader_objects;
+    Alcotest.test_case "loader guards" `Quick test_loader_guards;
+  ]

@@ -1,0 +1,135 @@
+open Geom
+
+let random_points seed n d =
+  Workload.Datagen.generate (Workload.Rng.make seed) Workload.Datagen.Independent
+    ~n ~d
+
+let build points =
+  let t = Xtree.create ~dim:(Vec.dim points.(0)) () in
+  Array.iteri (fun i p -> Xtree.insert_point t p i) points;
+  t
+
+let test_insert_search_exact () =
+  let points = random_points 1 600 2 in
+  let t = build points in
+  Xtree.check_invariants t;
+  Alcotest.(check int) "size" 600 (Xtree.size t);
+  let window = Box.make ~lo:[| 0.1; 0.3 |] ~hi:[| 0.4; 0.7 |] in
+  let got = Xtree.search t window |> List.map snd |> List.sort Int.compare in
+  let expected =
+    Array.to_list points
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter (fun (_, p) -> Box.contains_point window p)
+    |> List.map fst
+  in
+  Alcotest.(check (list int)) "window exact" expected got
+
+let test_matches_rtree () =
+  let points = random_points 2 800 3 in
+  let xt = build points in
+  let rt = Rtree.create ~dim:3 () in
+  Array.iteri (fun i p -> Rtree.insert_point rt p i) points;
+  let rng = Workload.Rng.make 3 in
+  for _ = 1 to 20 do
+    let lo = Array.init 3 (fun _ -> Workload.Rng.uniform rng *. 0.8) in
+    let hi = Array.mapi (fun _ l -> l +. 0.2) lo in
+    let window = Box.make ~lo ~hi in
+    let a = Xtree.search xt window |> List.map snd |> List.sort Int.compare in
+    let b = Rtree.search rt window |> List.map snd |> List.sort Int.compare in
+    Alcotest.(check (list int)) "same results as R-tree" b a
+  done
+
+let test_supernodes_on_overlapping_data () =
+  (* Many near-identical boxes make every split overlap heavily; with a
+     tiny threshold the tree must create supernodes. *)
+  let t = Xtree.create ~max_overlap:0.0001 ~dim:4 () in
+  let rng = Workload.Rng.make 4 in
+  for i = 0 to 400 do
+    let p =
+      Array.init 4 (fun _ -> 0.5 +. (0.001 *. (Workload.Rng.uniform rng -. 0.5)))
+    in
+    Xtree.insert_point t p i
+  done;
+  Xtree.check_invariants t;
+  Alcotest.(check bool)
+    (Printf.sprintf "supernodes created (%d)" (Xtree.supernode_count t))
+    true
+    (Xtree.supernode_count t > 0)
+
+let test_no_supernodes_on_spread_data () =
+  (* Well-spread 1-D-ish data splits cleanly: permissive threshold
+     should avoid supernodes entirely. *)
+  let t = Xtree.create ~max_overlap:0.5 ~dim:2 () in
+  for i = 0 to 299 do
+    Xtree.insert_point t [| float_of_int i /. 300.; 0.5 |] i
+  done;
+  Xtree.check_invariants t;
+  Alcotest.(check int) "no supernodes" 0 (Xtree.supernode_count t)
+
+let test_search_pred_halfspace () =
+  let points = random_points 5 500 2 in
+  let t = build points in
+  let h = Hyperplane.make ~normal:[| 1.; 1. |] ~offset:1. in
+  let hits = ref [] in
+  Xtree.search_pred t
+    ~node_pred:(fun box ->
+      let mn, _ = Hyperplane.box_min_max h ~lo:box.Box.lo ~hi:box.Box.hi in
+      mn <= 0.)
+    ~entry_pred:(fun box -> Hyperplane.eval h box.Box.lo <= 0.)
+    ~f:(fun _ v -> hits := v :: !hits);
+  let expected =
+    Array.to_list points
+    |> List.mapi (fun i p -> (i, p))
+    |> List.filter (fun (_, p) -> p.(0) +. p.(1) <= 1.)
+    |> List.map fst
+  in
+  Alcotest.(check (list int))
+    "halfspace exact" expected
+    (List.sort Int.compare !hits)
+
+let test_iter_covers_all () =
+  let points = random_points 6 250 3 in
+  let t = build points in
+  let seen = Array.make 250 false in
+  Xtree.iter t (fun _ v -> seen.(v) <- true);
+  Alcotest.(check bool) "all visited" true (Array.for_all Fun.id seen)
+
+let test_parameter_guards () =
+  Alcotest.(check bool)
+    "bad overlap" true
+    (try
+       ignore (Xtree.create ~max_overlap:1.5 ~dim:2 ());
+       false
+     with Invalid_argument _ -> true);
+  Alcotest.(check bool)
+    "bad fanout" true
+    (try
+       ignore (Xtree.create ~max_entries:2 ~dim:2 ());
+       false
+     with Invalid_argument _ -> true)
+
+let prop_inserted_found =
+  QCheck.Test.make ~name:"xtree: inserted points findable" ~count:50
+    QCheck.(list_of_size Gen.(int_range 1 120)
+              (pair (float_range 0. 1.) (float_range 0. 1.)))
+    (fun pts ->
+      let t = Xtree.create ~dim:2 () in
+      List.iteri (fun i (x, y) -> Xtree.insert_point t [| x; y |] i) pts;
+      Xtree.check_invariants t;
+      List.for_all
+        (fun (i, (x, y)) ->
+          Xtree.search t (Box.of_point [| x; y |])
+          |> List.exists (fun (_, v) -> v = i))
+        (List.mapi (fun i p -> (i, p)) pts))
+
+let suite =
+  [
+    Alcotest.test_case "insert & window search" `Quick test_insert_search_exact;
+    Alcotest.test_case "matches R-tree" `Quick test_matches_rtree;
+    Alcotest.test_case "supernodes on overlap" `Quick test_supernodes_on_overlapping_data;
+    Alcotest.test_case "no supernodes when spread" `Quick test_no_supernodes_on_spread_data;
+    Alcotest.test_case "halfspace search_pred" `Quick test_search_pred_halfspace;
+    Alcotest.test_case "iter covers all" `Quick test_iter_covers_all;
+    Alcotest.test_case "parameter guards" `Quick test_parameter_guards;
+    QCheck_alcotest.to_alcotest prop_inserted_found;
+  ]
