@@ -12,7 +12,7 @@ let make_index ~seed ~n ~m ~d =
       ~d ()
   in
   let inst = Iq.Instance.create ~data ~queries () in
-  Iq.Query_index.build inst
+  Iq.Query_index.build ~pool:(Harness.default_pool ()) inst
 
 (* --- candidate cap: time/quality trade-off of Algorithm 3 ----------- *)
 
@@ -207,7 +207,8 @@ let updates () =
   in
   let t_rebuild =
     Harness.time_only (fun () ->
-        ignore (Iq.Query_index.build (Iq.Query_index.instance index)))
+        ignore (Iq.Query_index.build ~pool:(Harness.default_pool ())
+                  (Iq.Query_index.instance index)))
   in
   let hint_hits, hint_misses = Iq.Query_index.hint_stats index in
   Harness.row [ "          op"; "   ms/op" ];

@@ -39,7 +39,7 @@ let f4 () =
       List.iteri
         (fun i kind ->
           let inst = make_instance ~kind ~seed:(n_paper + i) ~n ~m () in
-          let index, t_eff = Harness.time (fun () -> Iq.Query_index.build inst) in
+          let index, t_eff = Harness.time (fun () -> Iq.Query_index.build ~pool:(Harness.default_pool ()) inst) in
           eff_times := t_eff :: !eff_times;
           eff_sizes :=
             size_pct ~words:(Iq.Query_index.size_words index) ~n ~d:dim
@@ -86,7 +86,7 @@ let f5 () =
           ~k_range:(1, 50) ~m ~d:dim ()
       in
       let inst = Iq.Instance.create ~utility ~data ~queries () in
-      let index, t_eff = Harness.time (fun () -> Iq.Query_index.build inst) in
+      let index, t_eff = Harness.time (fun () -> Iq.Query_index.build ~pool:(Harness.default_pool ()) inst) in
       let rtree, t_rtree =
         Harness.time (fun () ->
             Rtree.bulk_load ~dim:(Iq.Instance.dim inst)
@@ -137,7 +137,7 @@ let f6 () =
           ~m ~d ()
       in
       let inst = Iq.Instance.create ~data ~queries () in
-      let index, t_eff = Harness.time (fun () -> Iq.Query_index.build inst) in
+      let index, t_eff = Harness.time (fun () -> Iq.Query_index.build ~pool:(Harness.default_pool ()) inst) in
       let rtree, t_rtree =
         Harness.time (fun () ->
             Rtree.bulk_load ~dim:d
@@ -202,7 +202,7 @@ let f7_9 ~kind ~figure () =
         let n = Harness.scaled_int n_paper in
         let m = Harness.defaults.Workload.Config.n_queries in
         let inst = make_instance ~kind ~seed:(figure + n_paper) ~n ~m () in
-        Iq.Query_index.build inst)
+        Iq.Query_index.build ~pool:(Harness.default_pool ()) inst)
       object_sweep
   in
   query_processing_table ~instances ~label:"|D|(paper)" ~xs:object_sweep
@@ -229,7 +229,7 @@ let f10_11 ~qkind ~figure () =
         let m = Harness.scaled_int m_paper in
         let n = Harness.defaults.Workload.Config.n_objects in
         let inst = make_instance ~qkind ~seed:(figure + m_paper) ~n ~m () in
-        Iq.Query_index.build inst)
+        Iq.Query_index.build ~pool:(Harness.default_pool ()) inst)
       query_sweep
   in
   query_processing_table ~instances ~label:"|Q|(paper)" ~xs:query_sweep ~n_iqs;
@@ -264,7 +264,7 @@ let f12 () =
           ~m ~d ()
       in
       let inst = Iq.Instance.create ~data ~queries () in
-      let index = Iq.Query_index.build inst in
+      let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
       let tau = Harness.defaults.Workload.Config.tau in
       let beta = Harness.beta_eff Harness.defaults.Workload.Config.beta in
       let results =
@@ -295,7 +295,7 @@ let f13 () =
       let n = Harness.defaults.Workload.Config.n_objects in
       let m = Harness.defaults.Workload.Config.n_queries in
       let inst = make_instance ~d ~seed:(1300 + d) ~n ~m () in
-      let index = Iq.Query_index.build inst in
+      let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
       let tau = Harness.defaults.Workload.Config.tau in
       let beta = Harness.beta_eff Harness.defaults.Workload.Config.beta in
       let results =
@@ -338,10 +338,11 @@ let exhaustive () =
         Harness.time (fun () ->
             Iq.Exhaustive.min_cost ~inst ~weights:[| 1.; 1. |] ~target:0 ~tau ())
       in
-      let index = Iq.Query_index.build inst in
+      let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
       let eff, t_eff =
         Harness.time (fun () ->
             Iq.Min_cost.search
+              ~pool:(Harness.default_pool ())
               ~evaluator:(Iq.Evaluator.ese index ~target:0)
               ~cost:(Iq.Cost.l1 2) ~target:0 ~tau ())
       in

@@ -15,7 +15,7 @@ let prepared =
          ~m:400 ~d:3 ()
      in
      let inst = Iq.Instance.create ~data ~queries () in
-     let index = Iq.Query_index.build inst in
+     let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
      let state = Iq.Ese.prepare index ~target:0 in
      let ta = Topk.Ta.build data in
      let dominance = Topk.Dominance.build data in

@@ -1,0 +1,132 @@
+(* Domain-pool speedup table: Query_index build and end-to-end
+   Min-Cost search at domains = 1/2/4/8 on the scaled Table-2
+   workload. domains=1 is the sequential bypass (no domains spawned),
+   so its column is the exact pre-parallel-layer behaviour; the other
+   columns must return byte-identical strategies (checked here, and
+   property-tested in test/test_parallel.ml).
+
+   Results also land in BENCH_parallel.json so future changes have a
+   perf trajectory to regress against.
+
+   (This module is not named bench/parallel.ml: that would shadow the
+   lib/parallel library module `Parallel` across the whole bench
+   executable and make the pool API unreachable.) *)
+
+let domain_counts = [ 1; 2; 4; 8 ]
+
+let make_workload () =
+  let cfg = Harness.defaults in
+  let n = cfg.Workload.Config.n_objects in
+  let m = cfg.Workload.Config.n_queries in
+  let d = cfg.Workload.Config.dimension in
+  let rng = Harness.rng 4242 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 50) ~m
+      ~d ()
+  in
+  Iq.Instance.create ~data ~queries ()
+
+(* A few deterministic search targets; per-IQ times are summed so one
+   row = one end-to-end "answer these IQs" session. *)
+let n_targets = 3
+let candidate_cap = Some 24
+
+let search_session ?pool index ~tau =
+  let inst = Iq.Query_index.instance index in
+  let d = Iq.Instance.dim inst in
+  let cost = Iq.Cost.euclidean d in
+  List.init n_targets (fun target ->
+      let evaluator = Iq.Evaluator.ese index ~target in
+      Iq.Min_cost.search ?candidate_cap ?pool ~evaluator ~cost ~target ~tau ())
+
+let strategies_equal a b =
+  List.for_all2
+    (fun (o1 : Iq.Min_cost.outcome option) o2 ->
+      match (o1, o2) with
+      | None, None -> true
+      | Some o1, Some o2 ->
+          o1.Iq.Min_cost.strategy = o2.Iq.Min_cost.strategy
+          && o1.Iq.Min_cost.total_cost = o2.Iq.Min_cost.total_cost
+          && o1.Iq.Min_cost.hits_after = o2.Iq.Min_cost.hits_after
+      | _ -> false)
+    a b
+
+let run () =
+  Harness.header
+    "Parallel: Domain-pool speedups (index build & Min-Cost search)";
+  Printf.printf
+    "host cores: %d recommended domains; IQ_DOMAINS default here: %d\n"
+    (Domain.recommended_domain_count ())
+    (Workload.Config.domains ());
+  let inst = make_workload () in
+  let tau = Harness.defaults.Workload.Config.tau in
+  Harness.row
+    [
+      "  domains"; "   build(s)"; " build-spd"; "  search(s)"; "search-spd";
+      " identical";
+    ];
+  let baseline = ref None (* (build_s, search_s, outcomes) at domains=1 *) in
+  let rows =
+    List.map
+      (fun dc ->
+        let pool =
+          if dc = 1 then None else Some (Parallel.create ~domains:dc ())
+        in
+        let index, build_s =
+          Harness.time (fun () -> Iq.Query_index.build ?pool inst)
+        in
+        let outcomes, search_s =
+          Harness.time (fun () -> search_session ?pool index ~tau)
+        in
+        (match pool with Some p -> Parallel.shutdown p | None -> ());
+        let build_ref, search_ref, outcomes_ref =
+          match !baseline with
+          | None ->
+              baseline := Some (build_s, search_s, outcomes);
+              (build_s, search_s, outcomes)
+          | Some b -> b
+        in
+        let identical = strategies_equal outcomes outcomes_ref in
+        Harness.row
+          [
+            Printf.sprintf "%9d" dc;
+            Printf.sprintf "%11.3f" build_s;
+            Printf.sprintf "%9.2fx" (build_ref /. build_s);
+            Printf.sprintf "%11.3f" search_s;
+            Printf.sprintf "%9.2fx" (search_ref /. search_s);
+            Printf.sprintf "%10s" (if identical then "yes" else "NO");
+          ];
+        (dc, build_s, search_s, identical))
+      domain_counts
+  in
+  Harness.note
+    "domains=1 is the sequential bypass; speedups need as many physical \
+     cores (this host recommends %d)"
+    (Domain.recommended_domain_count ());
+  if List.exists (fun (_, _, _, ok) -> not ok) rows then
+    failwith "parallel bench: outcomes diverged across domain counts";
+  Harness.write_json ~name:"parallel"
+    (Harness.Obj
+       [
+         ("bench", Harness.String "parallel");
+         ("scale", Harness.Float Harness.scale);
+         ("n_objects", Harness.Int (Iq.Instance.n_objects inst));
+         ("n_queries", Harness.Int (Iq.Instance.n_queries inst));
+         ("tau", Harness.Int tau);
+         ("n_targets", Harness.Int n_targets);
+         ( "recommended_domains",
+           Harness.Int (Domain.recommended_domain_count ()) );
+         ( "rows",
+           Harness.List
+             (List.map
+                (fun (dc, build_s, search_s, identical) ->
+                  Harness.Obj
+                    [
+                      ("domains", Harness.Int dc);
+                      ("build_seconds", Harness.Float build_s);
+                      ("search_seconds", Harness.Float search_s);
+                      ("identical_outcomes", Harness.Bool identical);
+                    ])
+                rows) );
+       ])

@@ -29,7 +29,8 @@ let efficient_iq =
         let evaluator = Iq.Evaluator.ese index ~target in
         let r, seconds =
           Harness.time (fun () ->
-              Iq.Min_cost.search ?candidate_cap:cap ~evaluator ~cost ~target
+              Iq.Min_cost.search ?candidate_cap:cap
+                ~pool:(Harness.default_pool ()) ~evaluator ~cost ~target
                 ~tau ())
         in
         Option.map
@@ -43,6 +44,7 @@ let efficient_iq =
         let o, seconds =
           Harness.time (fun () ->
               Iq.Max_hit.search ?candidate_cap:cap ?max_iterations:mh_iters
+                ~pool:(Harness.default_pool ())
                 ~evaluator ~cost ~target ~beta ())
         in
         Some
@@ -60,10 +62,11 @@ let rta_iq =
       (fun index ~target ~tau ->
         let inst = Iq.Query_index.instance index in
         let cost = cost_for index in
-        let evaluator = Iq.Evaluator.rta inst ~target in
+        let evaluator = Iq.Evaluator.rta ~pool:(Harness.default_pool ()) inst ~target in
         let r, seconds =
           Harness.time (fun () ->
-              Iq.Min_cost.search ?candidate_cap:cap ~evaluator ~cost ~target
+              Iq.Min_cost.search ?candidate_cap:cap
+                ~pool:(Harness.default_pool ()) ~evaluator ~cost ~target
                 ~tau ())
         in
         Option.map
@@ -74,10 +77,11 @@ let rta_iq =
       (fun index ~target ~beta ->
         let inst = Iq.Query_index.instance index in
         let cost = cost_for index in
-        let evaluator = Iq.Evaluator.rta inst ~target in
+        let evaluator = Iq.Evaluator.rta ~pool:(Harness.default_pool ()) inst ~target in
         let o, seconds =
           Harness.time (fun () ->
               Iq.Max_hit.search ?candidate_cap:cap ?max_iterations:mh_iters
+                ~pool:(Harness.default_pool ())
                 ~evaluator ~cost ~target ~beta ())
         in
         Some

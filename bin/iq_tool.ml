@@ -34,7 +34,7 @@ let build_index ~order data queries =
   let inst =
     Iq.Instance.create ~order:(order_of_name order) ~data ~queries ()
   in
-  (inst, Iq.Query_index.build inst)
+  (inst, Iq.Query_index.build ~pool:(Parallel.default ()) inst)
 
 (* --- common options -------------------------------------------------- *)
 
@@ -220,7 +220,8 @@ let run_mincost data_path queries_path targets tau cost_name order cap =
       let evaluator = Iq.Evaluator.ese index ~target in
       Printf.printf "target %d: H = %d\n" target evaluator.Iq.Evaluator.base_hits;
       match
-        Iq.Min_cost.search ?candidate_cap:cap ~evaluator ~cost ~target ~tau ()
+        Iq.Min_cost.search ?candidate_cap:cap ~pool:(Parallel.default ())
+          ~evaluator ~cost ~target ~tau ()
       with
       | None -> Printf.printf "tau = %d is unreachable\n" tau
       | Some o ->
@@ -265,7 +266,8 @@ let run_maxhit data_path queries_path targets beta cost_name order cap =
   | [ target ] ->
       let evaluator = Iq.Evaluator.ese index ~target in
       let o =
-        Iq.Max_hit.search ?candidate_cap:cap ~evaluator ~cost ~target ~beta ()
+        Iq.Max_hit.search ?candidate_cap:cap ~pool:(Parallel.default ())
+          ~evaluator ~cost ~target ~beta ()
       in
       Printf.printf "hits: %d -> %d, spent %.6f of %.6f\n"
         o.Iq.Max_hit.hits_before o.Iq.Max_hit.hits_after

@@ -12,7 +12,7 @@ let step_key step =
   String.concat ","
     (List.map (fun x -> Printf.sprintf "%.12g" x) (Array.to_list step))
 
-let collect ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~bounds ~current
+let collect ?pool ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~bounds ~current
     ~s_star ~cap ?max_step_cost () =
   let m = Instance.n_queries evaluator.Evaluator.instance in
   let seen = Hashtbl.create 64 in
@@ -47,8 +47,16 @@ let collect ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~bounds ~current
     | None -> sorted
     | Some n -> List.filteri (fun i _ -> i < n) sorted
   in
-  List.map
-    (fun (step, step_cost) ->
-      let hits = evaluator.Evaluator.hit_count (Vec.add s_star step) in
-      { step; step_cost; hits })
-    capped
+  (* The expensive part: one full hit-count evaluation per candidate.
+     Candidates are independent, so this is the fan-out the Parallel
+     pool accelerates; the order-preserving map keeps the result (and
+     hence every downstream index-based tie-break) identical to the
+     sequential path. *)
+  let evaluate (step, step_cost) =
+    let hits = evaluator.Evaluator.hit_count (Vec.add s_star step) in
+    { step; step_cost; hits }
+  in
+  match pool with
+  | None -> List.map evaluate capped
+  | Some pool ->
+      Array.to_list (Parallel.map_array pool evaluate (Array.of_list capped))

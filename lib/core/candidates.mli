@@ -9,6 +9,7 @@ open Geom
 type t = { step : Vec.t; step_cost : float; hits : int }
 
 val collect :
+  ?pool:Parallel.pool ->
   evaluator:Evaluator.t ->
   cost:Cost.t ->
   bounds:Lp.Projection.bounds ->
@@ -21,7 +22,13 @@ val collect :
 (** Steps are relative to the accumulated strategy [s_star]; [hits] is
     the evaluator's total hit count for [s_star + step].
     [max_step_cost] drops candidates above a cost ceiling (the budget
-    filter of Algorithm 4) before evaluation. *)
+    filter of Algorithm 4) before evaluation.
+
+    [pool] fans the per-candidate hit-count evaluations out across a
+    {!Parallel} pool; collection order, dedup and the cheapest-first
+    sort are unchanged, so the returned list is identical to the
+    sequential one (the evaluator's [hit_count] must be safe to call
+    concurrently — all built-in evaluators are). *)
 
 val remaining_bounds :
   Lp.Projection.bounds -> Vec.t -> Lp.Projection.bounds

@@ -7,7 +7,10 @@ type state = {
   base : int;
   domain_lo : Vec.t;
   domain_hi : Vec.t;
-  mutable eval_count : int;
+  (* Atomic so one state can serve concurrent candidate evaluations
+     from a Parallel pool; everything else in the state is frozen
+     after [prepare]. *)
+  eval_count : int Atomic.t;
 }
 
 let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
@@ -27,7 +30,15 @@ let prepare index ~target =
         if w.(j) > domain_hi.(j) then domain_hi.(j) <- w.(j)
       done)
     inst.Instance.queries;
-  { index; target; members; base; domain_lo; domain_hi; eval_count = 0 }
+  {
+    index;
+    target;
+    members;
+    base;
+    domain_lo;
+    domain_hi;
+    eval_count = Atomic.make 0;
+  }
 
 let target t = t.target
 let base_hits t = t.base
@@ -96,7 +107,7 @@ let dirty_between t ~s_from ~s_to =
   Hashtbl.fold (fun qi () acc -> qi :: acc) seen [] |> List.sort Int.compare
 
 let evaluate t ~s =
-  t.eval_count <- t.eval_count + 1;
+  Atomic.incr t.eval_count;
   if Vec.is_zero ~eps:0. s then t.base
   else begin
     let seen = Hashtbl.create 64 in
@@ -123,4 +134,4 @@ let hit_constraint t ~q ~current =
       let b = thr -. Vec.dot w current -. margin in
       Some (w, b)
 
-let evaluations t = t.eval_count
+let evaluations t = Atomic.get t.eval_count

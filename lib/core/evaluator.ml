@@ -57,18 +57,36 @@ let cached_constraint inst threshold ~q ~current =
       let margin = 1e-9 *. (1. +. abs_float thr) in
       Some (w, thr -. Vec.dot w current -. margin)
 
-let naive inst ~target =
-  let count = ref 0 in
+(* Contiguous query-range shards for a pool fan-out: one deterministic
+   partition per (shards, m), so a given query index is always scanned
+   by the same shard — the lazily-filled threshold cache therefore has
+   exactly one writer per slot even on the first (cache-cold) parallel
+   evaluation. *)
+let shard_ranges ~shards m =
+  let shards = Int.max 1 (Int.min shards m) in
+  let per = (m + shards - 1) / shards in
+  Array.init shards (fun i -> (i * per, Int.min m ((i + 1) * per)))
+
+let naive ?pool inst ~target =
+  let count = Atomic.make 0 in
   let m = Instance.n_queries inst in
   let threshold = threshold_cache inst ~target in
-  let hit_count s =
-    incr count;
-    let v = Instance.improved inst ~target ~s in
+  let count_range v (lo, hi) =
     let acc = ref 0 in
-    for q = 0 to m - 1 do
+    for q = lo to hi - 1 do
       if scan_member inst threshold ~target ~q v then incr acc
     done;
     !acc
+  in
+  let hit_count s =
+    Atomic.incr count;
+    let v = Instance.improved inst ~target ~s in
+    match pool with
+    | None -> count_range v (0, m)
+    | Some pool ->
+        let shards = shard_ranges ~shards:(Parallel.domains pool * 4) m in
+        Parallel.map_array pool (count_range v) shards
+        |> Array.fold_left ( + ) 0
   in
   let member ~q s =
     scan_member inst threshold ~target ~q (Instance.improved inst ~target ~s)
@@ -80,18 +98,39 @@ let naive inst ~target =
     hit_count;
     member;
     hit_constraint = cached_constraint inst threshold;
-    evaluations = (fun () -> !count);
+    evaluations = (fun () -> Atomic.get count);
   }
 
-let rta inst ~target =
-  let count = ref 0 in
+let rta ?pool inst ~target =
+  let count = Atomic.make 0 in
   let queries = Array.to_list inst.Instance.queries in
   let threshold = threshold_cache inst ~target in
+  (* Query shards for the pool path, split once up front. RTA decides
+     each query exactly (the shared-buffer pruning only skips
+     known-misses), so per-shard hit counts sum to the sequential
+     count; only the evaluated/pruned balance shifts. *)
+  let query_shards =
+    match pool with
+    | None -> [||]
+    | Some pool ->
+        let m = Instance.n_queries inst in
+        Array.map
+          (fun (lo, hi) ->
+            List.filteri (fun qi _ -> qi >= lo && qi < hi) queries)
+          (shard_ranges ~shards:(Parallel.domains pool * 2) m)
+  in
   let hit_count s =
-    incr count;
+    Atomic.incr count;
     let v = Instance.improved inst ~target ~s in
     let inst' = Instance.with_feature inst ~target v in
-    Topk.Rta.hit_count ~data:inst'.Instance.features ~queries target
+    match pool with
+    | None -> Topk.Rta.hit_count ~data:inst'.Instance.features ~queries target
+    | Some pool ->
+        Parallel.map_array pool
+          (fun qs ->
+            Topk.Rta.hit_count ~data:inst'.Instance.features ~queries:qs target)
+          query_shards
+        |> Array.fold_left ( + ) 0
   in
   let member ~q s =
     scan_member inst threshold ~target ~q (Instance.improved inst ~target ~s)
@@ -103,5 +142,5 @@ let rta inst ~target =
     hit_count;
     member;
     hit_constraint = cached_constraint inst threshold;
-    evaluations = (fun () -> !count);
+    evaluations = (fun () -> Atomic.get count);
   }

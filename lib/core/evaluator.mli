@@ -12,7 +12,11 @@ type t = {
   name : string;
   instance : Instance.t;
   base_hits : int;  (** [H(p_target)] with no strategy applied *)
-  hit_count : Strategy.t -> int;  (** [H(p_target + s)], feature space *)
+  hit_count : Strategy.t -> int;
+      (** [H(p_target + s)], feature space. Safe to call concurrently
+          from several domains (the parallel candidate fan-out relies
+          on this): all built-in evaluators read frozen state and keep
+          their instrumentation in atomics. *)
   member : q:int -> Strategy.t -> bool;
       (** does the improved target hit query [q]? *)
   hit_constraint : q:int -> current:Vec.t -> (Vec.t * float) option;
@@ -23,10 +27,17 @@ type t = {
 val ese : Query_index.t -> target:int -> t
 (** Efficient-IQ's evaluator: Algorithm 2 over the subdomain index. *)
 
-val naive : Instance.t -> target:int -> t
+val naive : ?pool:Parallel.pool -> Instance.t -> target:int -> t
 (** Ground truth: rescan the full dataset per query (O(n·m·d) per
-    evaluation). *)
+    evaluation). [pool] shards the per-query scan of each [hit_count]
+    call across domains (an exact integer sum, so counts are identical
+    to the sequential path). *)
 
-val rta : Instance.t -> target:int -> t
+val rta : ?pool:Parallel.pool -> Instance.t -> target:int -> t
 (** Reverse-top-k (RTA) evaluation: every [hit_count] call runs RTA
-    over the query set against the dataset with the target moved. *)
+    over the query set against the dataset with the target moved.
+    [pool] runs RTA over disjoint query shards and sums the counts —
+    the result is exact either way (pruning only skips known misses);
+    sharding merely trades some shared-buffer pruning for
+    parallelism, keeping baseline-vs-Efficient-IQ comparisons at equal
+    domain counts apples-to-apples. *)

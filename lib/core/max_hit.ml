@@ -14,8 +14,17 @@ let ratio (c : Candidates.t) =
   if c.Candidates.hits <= 0 then infinity
   else c.Candidates.step_cost /. float_of_int c.Candidates.hits
 
-let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
-    ~(cost : Cost.t) ~target ~beta () =
+(* Same deterministic argmin as Min_cost: ties keep the lowest
+   candidate index, and Candidates.collect preserves order under a
+   Parallel pool, so parallel and sequential searches accumulate the
+   same strategy. *)
+let best_by score = function
+  | [] -> invalid_arg "Max_hit.best_by: no candidates"
+  | c :: cs ->
+      List.fold_left (fun acc c -> if score c < score acc then c else acc) c cs
+
+let search ?limits ?max_iterations ?candidate_cap ?pool
+    ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~target ~beta () =
   if beta < 0. then invalid_arg "Max_hit.search: beta < 0";
   let inst = evaluator.Evaluator.instance in
   let d = Instance.dim inst in
@@ -39,8 +48,8 @@ let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
     let bounds = Candidates.remaining_bounds total_bounds !s_star in
     let budget_left = beta -. !spent in
     let candidates =
-      Candidates.collect ~evaluator ~cost ~bounds ~current ~s_star:!s_star
-        ~cap:candidate_cap ~max_step_cost:budget_left ()
+      Candidates.collect ?pool ~evaluator ~cost ~bounds ~current
+        ~s_star:!s_star ~cap:candidate_cap ~max_step_cost:budget_left ()
     in
     Log.debug (fun m ->
         m "max-hit iteration %d: %d candidates, spent %.4f of %.4f"
@@ -48,11 +57,7 @@ let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
     match candidates with
     | [] -> stop := true
     | cs -> (
-        let best =
-          List.fold_left
-            (fun acc c -> if ratio c < ratio acc then c else acc)
-            (List.hd cs) (List.tl cs)
-        in
+        let best = best_by ratio cs in
         if !spent +. best.Candidates.step_cost <= beta then begin
           s_star := Vec.add !s_star best.Candidates.step;
           spent := !spent +. best.Candidates.step_cost;

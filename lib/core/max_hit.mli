@@ -20,6 +20,7 @@ val search :
   ?limits:Strategy.limits ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?pool:Parallel.pool ->
   evaluator:Evaluator.t ->
   cost:Cost.t ->
   target:int ->
@@ -27,6 +28,9 @@ val search :
   unit ->
   outcome
 (** Always returns (the zero strategy is within any non-negative
-    budget). @raise Invalid_argument when [beta < 0]. *)
+    budget). [pool] parallelizes each iteration's candidate
+    evaluations with order preserved and lowest-index tie-breaking, so
+    outcomes are identical for any pool size.
+    @raise Invalid_argument when [beta < 0]. *)
 
 val per_hit_cost : outcome -> float

@@ -14,8 +14,18 @@ let ratio (c : Candidates.t) =
   if c.Candidates.hits <= 0 then infinity
   else c.Candidates.step_cost /. float_of_int c.Candidates.hits
 
-let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
-    ~(cost : Cost.t) ~target ~tau () =
+(* Deterministic argmin: strict improvement only, so ties keep the
+   lowest candidate index. Candidates.collect preserves candidate
+   order under a Parallel pool, hence parallel and sequential searches
+   apply the *same* step each iteration — not just an equal-score
+   one — and return identical strategies. *)
+let best_by score = function
+  | [] -> invalid_arg "Min_cost.best_by: no candidates"
+  | c :: cs ->
+      List.fold_left (fun acc c -> if score c < score acc then c else acc) c cs
+
+let search ?limits ?max_iterations ?candidate_cap ?pool
+    ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~target ~tau () =
   if tau <= 0 then invalid_arg "Min_cost.search: tau <= 0";
   let inst = evaluator.Evaluator.instance in
   let d = Instance.dim inst in
@@ -39,8 +49,8 @@ let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
     let current = Vec.add p0 !s_star in
     let bounds = Candidates.remaining_bounds total_bounds !s_star in
     let candidates =
-      Candidates.collect ~evaluator ~cost ~bounds ~current ~s_star:!s_star
-        ~cap:candidate_cap ()
+      Candidates.collect ?pool ~evaluator ~cost ~bounds ~current
+        ~s_star:!s_star ~cap:candidate_cap ()
     in
     Log.debug (fun m ->
         m "min-cost iteration %d: %d candidates, H=%d/%d" !iterations
@@ -48,11 +58,7 @@ let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
     match candidates with
     | [] -> failed := true
     | cs -> (
-        let best =
-          List.fold_left
-            (fun acc c -> if ratio c < ratio acc then c else acc)
-            (List.hd cs) (List.tl cs)
-        in
+        let best = best_by ratio cs in
         if best.Candidates.hits <= tau then begin
           s_star := Vec.add !s_star best.Candidates.step;
           spent := !spent +. best.Candidates.step_cost;
@@ -66,13 +72,9 @@ let search ?limits ?max_iterations ?candidate_cap ~(evaluator : Evaluator.t)
           in
           match reaching with
           | [] -> failed := true
-          | r :: rest ->
+          | _ :: _ ->
               let cheapest =
-                List.fold_left
-                  (fun acc c ->
-                    if c.Candidates.step_cost < acc.Candidates.step_cost then c
-                    else acc)
-                  r rest
+                best_by (fun c -> c.Candidates.step_cost) reaching
               in
               s_star := Vec.add !s_star cheapest.Candidates.step;
               spent := !spent +. cheapest.Candidates.step_cost;

@@ -22,6 +22,7 @@ val search :
   ?limits:Strategy.limits ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?pool:Parallel.pool ->
   evaluator:Evaluator.t ->
   cost:Cost.t ->
   target:int ->
@@ -30,9 +31,13 @@ val search :
   outcome option
 (** [None] when [tau] hits are unreachable (no feasible candidate
     remains or the iteration cap — default [4*tau + 16] — is hit).
-    [candidate_cap], when given, fully evaluates only the that many
+    [candidate_cap], when given, fully evaluates only that many
     cheapest candidate steps per iteration (a benchmark-scale knob; the
     default evaluates all, as the paper does).
+    [pool] parallelizes each iteration's candidate evaluations across
+    a {!Parallel} Domain pool. Candidate order is preserved and ties
+    break on the lowest candidate index, so the search returns the
+    {e same} strategy for any pool size (see [test/test_parallel.ml]).
     @raise Invalid_argument when [tau <= 0] or dimensions mismatch. *)
 
 val per_hit_cost : outcome -> float

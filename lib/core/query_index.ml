@@ -81,7 +81,7 @@ let refresh t prefixes =
   t.rivals <- rival_set groups;
   t.rtree <- build_rtree t.inst
 
-let build ?(depth_slack = 0) ?(method_ = Scan) inst =
+let build ?(depth_slack = 0) ?(method_ = Scan) ?pool inst =
   let t0 = Unix.gettimeofday () in
   let m = Instance.n_queries inst in
   let depth =
@@ -97,7 +97,19 @@ let build ?(depth_slack = 0) ?(method_ = Scan) inst =
              query weights";
         Some (Topk.Ta.build inst.Instance.features)
   in
-  let prefixes = Array.init m (compute_prefix ?ta inst depth) in
+  (* Each query's top-[depth] prefix is independent of every other
+     query's, and both build methods only read frozen structures (the
+     Instance feature array; TA's sorted per-dimension lists), so the
+     prefix computation shards across domains with no coordination. *)
+  let prefixes =
+    match pool with
+    | None -> Array.init m (compute_prefix ?ta inst depth)
+    | Some pool ->
+        let out = Array.make m [||] in
+        Parallel.parallel_for pool ~lo:0 ~hi:m (fun qi ->
+            out.(qi) <- compute_prefix ?ta inst depth qi);
+        out
+  in
   let groups, gid_of = group_prefixes prefixes in
   let t =
     {

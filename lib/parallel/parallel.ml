@@ -1,0 +1,180 @@
+type task = unit -> unit
+
+type pool = {
+  n_domains : int; (* total participants, caller included *)
+  mutex : Mutex.t;
+  wake : Condition.t;
+  tasks : task Queue.t;
+  mutable stopped : bool;
+  mutable workers : unit Domain.t array;
+}
+
+(* True while the current domain is executing inside a pool operation
+   (as a worker, or as a caller draining its own chunks). Nested
+   operations then run sequentially instead of re-entering the
+   scheduler, which is both deadlock-free and deterministic. *)
+let inside_pool = Domain.DLS.new_key (fun () -> false)
+
+let default_domains () =
+  let fallback = Int.max 1 (Domain.recommended_domain_count () - 1) in
+  match Sys.getenv_opt "IQ_DOMAINS" with
+  | None -> fallback
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 1 -> n
+      | Some _ | None -> fallback)
+
+let rec worker_loop pool =
+  Mutex.lock pool.mutex;
+  while Queue.is_empty pool.tasks && not pool.stopped do
+    Condition.wait pool.wake pool.mutex
+  done;
+  if Queue.is_empty pool.tasks then Mutex.unlock pool.mutex (* stopped *)
+  else begin
+    let task = Queue.pop pool.tasks in
+    Mutex.unlock pool.mutex;
+    task ();
+    worker_loop pool
+  end
+
+let create ?domains () =
+  let n = match domains with Some n -> n | None -> default_domains () in
+  if n < 1 then invalid_arg "Parallel.create: domains < 1";
+  let pool =
+    {
+      n_domains = n;
+      mutex = Mutex.create ();
+      wake = Condition.create ();
+      tasks = Queue.create ();
+      stopped = false;
+      workers = [||];
+    }
+  in
+  pool.workers <-
+    Array.init (n - 1) (fun _ ->
+        Domain.spawn (fun () ->
+            Domain.DLS.set inside_pool true;
+            worker_loop pool));
+  pool
+
+let domains pool = pool.n_domains
+
+let shutdown pool =
+  Mutex.lock pool.mutex;
+  pool.stopped <- true;
+  Condition.broadcast pool.wake;
+  Mutex.unlock pool.mutex;
+  Array.iter Domain.join pool.workers;
+  pool.workers <- [||]
+
+let shared = ref None
+
+let default () =
+  match !shared with
+  | Some pool -> pool
+  | None ->
+      let pool = create () in
+      shared := Some pool;
+      at_exit (fun () -> shutdown pool);
+      pool
+
+(* A fork-join job: chunks are claimed off [cursor]; [completed]
+   counts chunks fully processed by whoever ran them. The caller
+   participates, then blocks on [done_cond] until the last in-flight
+   chunk lands. The first exception is kept and the cursor exhausted
+   so remaining chunks are abandoned fast. *)
+type job = {
+  lo : int;
+  chunk : int;
+  n_chunks : int;
+  body : int -> unit;
+  cursor : int Atomic.t;
+  completed : int Atomic.t;
+  failure : exn option Atomic.t;
+  done_mutex : Mutex.t;
+  done_cond : Condition.t;
+}
+
+let run_chunks job hi =
+  let continue = ref true in
+  while !continue do
+    let c = Atomic.fetch_and_add job.cursor 1 in
+    if c >= job.n_chunks then continue := false
+    else begin
+      let start = job.lo + (c * job.chunk) in
+      let stop = Int.min hi (start + job.chunk) in
+      (* After a failure the remaining chunks are still claimed (so the
+         completion count converges) but their bodies are skipped. *)
+      if Atomic.get job.failure = None then begin
+        try
+          for i = start to stop - 1 do
+            job.body i
+          done
+        with e -> ignore (Atomic.compare_and_set job.failure None (Some e))
+      end;
+      let finished = 1 + Atomic.fetch_and_add job.completed 1 in
+      if finished = job.n_chunks then begin
+        Mutex.lock job.done_mutex;
+        Condition.broadcast job.done_cond;
+        Mutex.unlock job.done_mutex
+      end
+    end
+  done
+
+let sequential_for ~lo ~hi f =
+  for i = lo to hi - 1 do
+    f i
+  done
+
+let parallel_for pool ~lo ~hi f =
+  let len = hi - lo in
+  if len <= 0 then ()
+  else if
+    pool.n_domains = 1 || pool.stopped || len = 1
+    || Domain.DLS.get inside_pool
+  then sequential_for ~lo ~hi f
+  else begin
+    (* Over-decompose (4 chunks per domain) so the atomic cursor
+       load-balances uneven per-index costs. *)
+    let n_chunks = Int.min len (pool.n_domains * 4) in
+    let chunk = (len + n_chunks - 1) / n_chunks in
+    let job =
+      {
+        lo;
+        chunk;
+        n_chunks;
+        body = f;
+        cursor = Atomic.make 0;
+        completed = Atomic.make 0;
+        failure = Atomic.make None;
+        done_mutex = Mutex.create ();
+        done_cond = Condition.create ();
+      }
+    in
+    let helpers = Int.min (Array.length pool.workers) (n_chunks - 1) in
+    Mutex.lock pool.mutex;
+    for _ = 1 to helpers do
+      Queue.add (fun () -> run_chunks job hi) pool.tasks
+    done;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex;
+    Domain.DLS.set inside_pool true;
+    Fun.protect
+      ~finally:(fun () -> Domain.DLS.set inside_pool false)
+      (fun () -> run_chunks job hi);
+    Mutex.lock job.done_mutex;
+    while Atomic.get job.completed < job.n_chunks do
+      Condition.wait job.done_cond job.done_mutex
+    done;
+    Mutex.unlock job.done_mutex;
+    match Atomic.get job.failure with None -> () | Some e -> raise e
+  end
+
+let map_array pool f arr =
+  let n = Array.length arr in
+  if n = 0 then [||]
+  else begin
+    let out = Array.make n (f arr.(0)) in
+    parallel_for pool ~lo:1 ~hi:n (fun i -> out.(i) <- f arr.(i));
+    out
+  end

@@ -1,0 +1,65 @@
+(** A hand-rolled fixed-size [Domain] work pool (OCaml 5 stdlib only —
+    no domainslib).
+
+    The pool owns [domains - 1] worker domains; the caller of
+    {!parallel_for} / {!map_array} is the remaining participant, so a
+    pool of size [n] computes with [n] domains total. Work is split
+    into chunks claimed dynamically off a shared atomic cursor, which
+    load-balances uneven per-item costs (candidate evaluations vary
+    wildly in how much of the affected subspace they touch).
+
+    {b Sequential bypass.} A pool created with [~domains:1] spawns no
+    domains at all: every operation degrades to a plain [for] loop on
+    the calling domain, so results — including evaluation-order
+    effects — are byte-identical to code that never heard of this
+    module. The same bypass applies to nested calls: a task already
+    running inside a pool operation executes nested pool operations
+    sequentially (no re-entrant scheduling, no deadlock).
+
+    {b Sharing discipline.} Tasks receive no isolation: they run
+    against whatever state the closures capture. Callers must only
+    share immutable data (or disjoint mutable slots, e.g. distinct
+    indices of a result array) across tasks. The IQ hot paths satisfy
+    this by construction: the TA/Eval scorers and the ESE slab search
+    read immutable [Instance] arrays and a frozen index. *)
+
+type pool
+
+val default_domains : unit -> int
+(** Pool size knob: the [IQ_DOMAINS] environment variable when set to
+    a positive integer, otherwise
+    [max 1 (Domain.recommended_domain_count () - 1)] (leaving one core
+    for the OS / the main program on big machines, and degrading to
+    the sequential bypass on single-core containers). *)
+
+val create : ?domains:int -> unit -> pool
+(** [create ()] builds a pool of [default_domains ()] total domains
+    ([domains - 1] spawned workers). [~domains:1] spawns nothing and
+    makes every operation a sequential loop.
+    @raise Invalid_argument when [domains < 1]. *)
+
+val default : unit -> pool
+(** The shared process-wide pool, created lazily from
+    {!default_domains} on first use and shut down at exit. Library
+    entry points that take [?pool] use [None] = "stay sequential";
+    pass [Parallel.default ()] to opt into the shared pool. *)
+
+val domains : pool -> int
+(** Total participating domains (workers + caller), [>= 1]. *)
+
+val parallel_for : pool -> lo:int -> hi:int -> (int -> unit) -> unit
+(** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi]
+    across the pool (caller included). Iteration order is unspecified
+    across domains; any exception raised by some [f i] is re-raised in
+    the caller after all in-flight chunks drain (first one wins,
+    remaining chunks are abandoned). *)
+
+val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+(** Chunked, order-preserving parallel map: [map_array pool f arr]
+    returns an array [r] with [r.(i) = f arr.(i)] — same length, same
+    positions, regardless of which domain computed which element.
+    Exceptions propagate as in {!parallel_for}. *)
+
+val shutdown : pool -> unit
+(** Join the worker domains. Idempotent. Using the pool afterwards
+    falls back to sequential execution. *)

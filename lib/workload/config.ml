@@ -25,6 +25,8 @@ let scale () =
       | Some f when f > 0. -> Float.min 1. f
       | _ -> 0.05)
 
+let domains () = Parallel.default_domains ()
+
 let scaled ?scale:(s = scale ()) t =
   let scale_int min_v v =
     Int.max min_v (int_of_float (float_of_int v *. s))

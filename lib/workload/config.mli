@@ -28,6 +28,13 @@ val default : t
 val scale : unit -> float
 (** [REPRO_SCALE] env var, default 0.05; clamped to (0, 1]. *)
 
+val domains : unit -> int
+(** Domain-pool size for the parallel layer: the [IQ_DOMAINS] env var
+    when set to a positive integer, otherwise
+    [Domain.recommended_domain_count () - 1] (min 1). A value of [1]
+    bypasses domain spawning entirely — execution is byte-identical to
+    the sequential code path. Alias of {!Parallel.default_domains}. *)
+
 val scaled : ?scale:float -> t -> t
 (** Scale object/query counts and tau (budget and dimension are
     scale-free). Counts are kept >= 100 (objects), >= 50 (queries). *)

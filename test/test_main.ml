@@ -26,5 +26,6 @@ let () =
       ("core.search", Test_search.suite);
       ("core.extensions", Test_extensions.suite);
       ("core.properties", Test_properties.suite);
+      ("parallel", Test_parallel.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

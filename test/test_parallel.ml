@@ -1,0 +1,232 @@
+(* The Parallel Domain pool: pool semantics (order preservation,
+   exception propagation, nesting, sequential bypass) plus the
+   determinism contract of the parallel search paths — Min-Cost /
+   Max-Hit outcomes and built indexes must be identical under
+   IQ_DOMAINS=1 and IQ_DOMAINS=4. *)
+
+open Iq
+
+(* One shared multi-domain pool for the whole suite; created eagerly
+   so every test (and the QCheck properties) reuses the same workers
+   rather than respawning domains per case. *)
+let pool4 = Parallel.create ~domains:4 ()
+let pool1 = Parallel.create ~domains:1 ()
+
+let test_default_domains () =
+  Alcotest.(check bool)
+    "default_domains >= 1" true
+    (Parallel.default_domains () >= 1);
+  Alcotest.(check int) "config alias" (Parallel.default_domains ())
+    (Workload.Config.domains ())
+
+let test_map_array_order () =
+  List.iter
+    (fun n ->
+      let arr = Array.init n (fun i -> i) in
+      let got = Parallel.map_array pool4 (fun x -> (3 * x) + 1) arr in
+      Alcotest.(check int) "length" n (Array.length got);
+      Array.iteri
+        (fun i v ->
+          if v <> (3 * i) + 1 then
+            Alcotest.failf "map_array order broken at %d (n=%d)" i n)
+        got)
+    [ 0; 1; 2; 7; 64; 1000 ]
+
+let test_map_array_matches_sequential () =
+  let arr = Array.init 500 (fun i -> float_of_int i /. 7.) in
+  let f x = sin x +. (x *. x) in
+  Alcotest.(check bool)
+    "pool result = Array.map" true
+    (Parallel.map_array pool4 f arr = Array.map f arr)
+
+let test_parallel_for_covers () =
+  let n = 2048 in
+  let marks = Array.make n 0 in
+  (* Distinct slots per index: no two domains touch the same cell. *)
+  Parallel.parallel_for pool4 ~lo:0 ~hi:n (fun i -> marks.(i) <- marks.(i) + 1);
+  Alcotest.(check bool)
+    "every index exactly once" true
+    (Array.for_all (fun c -> c = 1) marks);
+  Parallel.parallel_for pool4 ~lo:5 ~hi:5 (fun _ -> Alcotest.fail "empty range")
+
+exception Boom of int
+
+let test_exception_propagation () =
+  let raised =
+    try
+      ignore
+        (Parallel.map_array pool4
+           (fun x -> if x = 321 then raise (Boom x) else x)
+           (Array.init 1000 (fun i -> i)));
+      None
+    with Boom x -> Some x
+  in
+  Alcotest.(check (option int)) "map_array re-raises" (Some 321) raised;
+  let raised_for =
+    try
+      Parallel.parallel_for pool4 ~lo:0 ~hi:1000 (fun i ->
+          if i = 7 then failwith "for-boom");
+      false
+    with Failure m -> m = "for-boom"
+  in
+  Alcotest.(check bool) "parallel_for re-raises" true raised_for;
+  (* The pool survives a failed job. *)
+  let ok = Parallel.map_array pool4 (fun x -> x + 1) [| 1; 2; 3 |] in
+  Alcotest.(check bool) "pool usable after failure" true (ok = [| 2; 3; 4 |])
+
+let test_nested () =
+  let outer = Array.init 40 (fun i -> i) in
+  let got =
+    Parallel.map_array pool4
+      (fun x ->
+        Array.fold_left ( + ) 0
+          (Parallel.map_array pool4 (fun y -> x + y) (Array.init 10 Fun.id)))
+      outer
+  in
+  Array.iteri
+    (fun i v ->
+      if v <> (10 * i) + 45 then Alcotest.failf "nested map wrong at %d" i)
+    got
+
+let test_sequential_bypass () =
+  Alcotest.(check int) "domains pool1" 1 (Parallel.domains pool1);
+  (* A domains=1 pool runs everything on the caller: side-effect order
+     is exactly the sequential one. *)
+  let seen = ref [] in
+  Parallel.parallel_for pool1 ~lo:0 ~hi:5 (fun i -> seen := i :: !seen);
+  Alcotest.(check (list int)) "caller-order iteration" [ 4; 3; 2; 1; 0 ] !seen
+
+let test_shutdown_idempotent () =
+  let p = Parallel.create ~domains:3 () in
+  let r = Parallel.map_array p string_of_int (Array.init 10 Fun.id) in
+  Alcotest.(check string) "works before shutdown" "9" r.(9);
+  Parallel.shutdown p;
+  Parallel.shutdown p;
+  (* After shutdown the pool degrades to sequential execution. *)
+  let r = Parallel.map_array p (fun i -> i * i) (Array.init 10 Fun.id) in
+  Alcotest.(check int) "sequential after shutdown" 81 r.(9)
+
+(* --- determinism across IQ_DOMAINS settings ------------------------- *)
+
+let instance_gen =
+  QCheck.Gen.(
+    let* seed = int_range 1 10_000 in
+    let* n = int_range 20 80 in
+    let* m = int_range 10 50 in
+    let* d = int_range 2 4 in
+    return (seed, n, m, d))
+
+let make_instance (seed, n, m, d) =
+  let rng = Workload.Rng.make seed in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 5) ~m
+      ~d ()
+  in
+  Instance.create ~data ~queries ()
+
+let arb_instance =
+  QCheck.make
+    ~print:(fun (seed, n, m, d) ->
+      Printf.sprintf "seed=%d n=%d m=%d d=%d" seed n m d)
+    instance_gen
+
+let same_min_cost_outcome (a : Min_cost.outcome option) b =
+  match (a, b) with
+  | None, None -> true
+  | Some a, Some b ->
+      a.Min_cost.strategy = b.Min_cost.strategy
+      && a.Min_cost.total_cost = b.Min_cost.total_cost
+      && a.Min_cost.incremental_cost = b.Min_cost.incremental_cost
+      && a.Min_cost.hits_after = b.Min_cost.hits_after
+  | _ -> false
+
+let prop_search_deterministic_across_domains =
+  QCheck.Test.make
+    ~name:"Min-Cost/Max-Hit identical under IQ_DOMAINS=1 and IQ_DOMAINS=4"
+    ~count:12 arb_instance (fun params ->
+      let inst = make_instance params in
+      let d = Instance.dim inst in
+      let cost = Cost.euclidean d in
+      (* Index build must shard identically. *)
+      let idx1 = Query_index.build ~pool:pool1 inst in
+      let idx4 = Query_index.build ~pool:pool4 inst in
+      if Query_index.n_groups idx1 <> Query_index.n_groups idx4 then false
+      else begin
+        let prefixes_equal = ref true in
+        for qi = 0 to Instance.n_queries inst - 1 do
+          if
+            (Query_index.group_of idx1 qi).Query_index.prefix
+            <> (Query_index.group_of idx4 qi).Query_index.prefix
+          then prefixes_equal := false
+        done;
+        !prefixes_equal
+        && begin
+             let target = 0 in
+             let tau = 3 and beta = 0.25 in
+             let mc pool idx =
+               Min_cost.search ~pool
+                 ~evaluator:(Evaluator.ese idx ~target)
+                 ~cost ~target ~tau ()
+             in
+             let mh pool idx =
+               Max_hit.search ~pool
+                 ~evaluator:(Evaluator.ese idx ~target)
+                 ~cost ~target ~beta ()
+             in
+             let mc1 = mc pool1 idx1 and mc4 = mc pool4 idx4 in
+             let mh1 = mh pool1 idx1 and mh4 = mh pool4 idx4 in
+             same_min_cost_outcome mc1 mc4
+             && mh1.Max_hit.strategy = mh4.Max_hit.strategy
+             && mh1.Max_hit.incremental_cost = mh4.Max_hit.incremental_cost
+             && mh1.Max_hit.hits_after = mh4.Max_hit.hits_after
+           end
+      end)
+
+let prop_parallel_evaluators_agree =
+  QCheck.Test.make
+    ~name:"naive/rta hit counts identical with and without a pool" ~count:10
+    arb_instance (fun params ->
+      let inst = make_instance params in
+      let d = Instance.dim inst in
+      let seed, _, _, _ = params in
+      let rng = Workload.Rng.make (seed + 13) in
+      let ok = ref true in
+      let target = 0 in
+      let seq_naive = Evaluator.naive inst ~target in
+      let par_naive = Evaluator.naive ~pool:pool4 inst ~target in
+      let seq_rta = Evaluator.rta inst ~target in
+      let par_rta = Evaluator.rta ~pool:pool4 inst ~target in
+      if seq_naive.Evaluator.base_hits <> par_naive.Evaluator.base_hits then
+        ok := false;
+      if seq_rta.Evaluator.base_hits <> par_rta.Evaluator.base_hits then
+        ok := false;
+      for _ = 1 to 5 do
+        let s =
+          Array.init d (fun _ -> (Workload.Rng.uniform rng -. 0.5) *. 0.5)
+        in
+        if
+          seq_naive.Evaluator.hit_count s <> par_naive.Evaluator.hit_count s
+          || seq_rta.Evaluator.hit_count s <> par_rta.Evaluator.hit_count s
+        then ok := false
+      done;
+      !ok)
+
+let suite =
+  [
+    Alcotest.test_case "IQ_DOMAINS default" `Quick test_default_domains;
+    Alcotest.test_case "map_array preserves order" `Quick test_map_array_order;
+    Alcotest.test_case "map_array = Array.map" `Quick
+      test_map_array_matches_sequential;
+    Alcotest.test_case "parallel_for covers range" `Quick
+      test_parallel_for_covers;
+    Alcotest.test_case "exception propagation" `Quick
+      test_exception_propagation;
+    Alcotest.test_case "nested parallelism" `Quick test_nested;
+    Alcotest.test_case "domains=1 sequential bypass" `Quick
+      test_sequential_bypass;
+    Alcotest.test_case "shutdown idempotent + degrade" `Quick
+      test_shutdown_idempotent;
+    QCheck_alcotest.to_alcotest prop_search_deterministic_across_domains;
+    QCheck_alcotest.to_alcotest prop_parallel_evaluators_agree;
+  ]
