@@ -78,8 +78,10 @@ let run () =
   let names = Hashtbl.fold (fun k _ acc -> k :: acc) results [] in
   List.iter
     (fun name ->
-      let r = Hashtbl.find results name in
-      match Analyze.OLS.estimates r with
-      | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
-      | _ -> Printf.printf "  %-28s (no estimate)\n" name)
+      match Hashtbl.find_opt results name with
+      | None -> Printf.printf "  %-28s (no result)\n" name
+      | Some r -> (
+          match Analyze.OLS.estimates r with
+          | Some [ est ] -> Printf.printf "  %-28s %12.0f ns/run\n" name est
+          | _ -> Printf.printf "  %-28s (no estimate)\n" name))
     (List.sort String.compare names)

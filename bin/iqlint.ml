@@ -1,0 +1,3 @@
+let () =
+  let args = match Array.to_list Sys.argv with _ :: rest -> rest | [] -> [] in
+  exit (Lint.main args)

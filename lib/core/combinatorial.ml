@@ -181,11 +181,11 @@ let min_cost ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~tau
     in
     match candidates with
     | [] -> failed := true
-    | cs ->
+    | c :: cs ->
         let best =
           List.fold_left
-            (fun acc c -> if ratio c < ratio acc then c else acc)
-            (List.hd cs) (List.tl cs)
+            (fun acc cand -> if ratio cand < ratio acc then cand else acc)
+            c cs
         in
         if best.union_gain <= 0 then failed := true
         else begin
@@ -220,11 +220,11 @@ let max_hit ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~beta
     in
     match candidates with
     | [] -> stop := true
-    | cs ->
+    | c :: cs ->
         let best =
           List.fold_left
-            (fun acc c -> if ratio c < ratio acc then c else acc)
-            (List.hd cs) (List.tl cs)
+            (fun acc cand -> if ratio cand < ratio acc then cand else acc)
+            c cs
         in
         if best.union_gain <= 0 || best.step_cost > budget_left then
           stop := true

@@ -122,10 +122,10 @@ let polish ~eval ~a ~bounds s0 =
     Float.min bounds.Lp.Projection.hi.(j) (Float.max bounds.Lp.Projection.lo.(j) x)
   in
   let try_pair ji jk step =
-    if a.(jk) <> 0. then begin
+    if Fp.nonzero a.(jk) then begin
       let sji = within ji (s.(ji) +. step) in
       let delta = sji -. s.(ji) in
-      if delta <> 0. then begin
+      if Fp.nonzero delta then begin
         let sjk = within jk (s.(jk) -. (a.(ji) *. delta /. a.(jk))) in
         (* Only keep if the constraint value did not increase. *)
         let old_dot = (a.(ji) *. s.(ji)) +. (a.(jk) *. s.(jk)) in
@@ -192,6 +192,6 @@ let custom ~name ~dim eval =
 let scale_invariant_check t =
   let probe = Array.make t.dim 0.25 in
   let zero = Array.make t.dim 0. in
-  t.eval zero = 0.
+  Fp.is_zero (t.eval zero)
   && t.eval probe >= 0.
   && t.eval (Array.map (fun x -> 2. *. x) probe) >= t.eval probe

@@ -120,8 +120,13 @@ let min_cost ?limits ~inst ~weights ~target ~tau () =
   in
   let lps = ref 0 in
   let best = ref None in
+  let nth_conditional i =
+    match List.nth_opt conditional i with
+    | Some c -> c
+    | None -> invalid_arg "Exhaustive: subset index out of range"
+  in
   let consider subset =
-    let cs = List.map (fun i -> List.nth conditional i) (Array.to_list subset) in
+    let cs = List.map nth_conditional (Array.to_list subset) in
     incr lps;
     match solve_subset ~weights ~bounds ~constraints:cs with
     | None -> ()
@@ -159,6 +164,11 @@ let max_hit ?limits ~inst ~weights ~target ~beta () =
       (List.init m (fun q -> constraints.(q)))
   in
   let n_cond = List.length conditional in
+  let nth_conditional i =
+    match List.nth_opt conditional i with
+    | Some c -> c
+    | None -> invalid_arg "Exhaustive: subset index out of range"
+  in
   let lps = ref 0 in
   let found = ref None in
   (* Try subset sizes from largest down; first feasible size is optimal
@@ -168,9 +178,7 @@ let max_hit ?limits ~inst ~weights ~target ~beta () =
     let best_at_size = ref None in
     iter_subsets n_cond !size (fun subset ->
         if !best_at_size = None then begin
-          let cs =
-            List.map (fun i -> List.nth conditional i) (Array.to_list subset)
-          in
+          let cs = List.map nth_conditional (Array.to_list subset) in
           incr lps;
           match solve_subset ~weights ~bounds ~constraints:cs with
           | Some (s, v) when v <= beta +. 1e-9 -> best_at_size := Some s

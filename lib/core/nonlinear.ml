@@ -18,7 +18,8 @@ let nth_root v degree =
   if degree = 1 then Some v
   else if degree mod 2 = 1 then
     (* Odd roots exist for negatives. *)
-    Some (Float.of_int (compare v 0.) *. (abs_float v ** (1. /. float_of_int degree)))
+    let mag = abs_float v ** (1. /. float_of_int degree) in
+    Some (if v < 0. then -.mag else mag)
   else if v < 0. then None
   else Some (v ** (1. /. float_of_int degree))
 
@@ -57,7 +58,11 @@ let embed_query ~families ~family (q : Topk.Query.t) =
   let n = List.length families in
   if family < 0 || family >= n then
     invalid_arg "Nonlinear.embed_query: family index out of range";
-  let fam = List.nth families family in
+  let fam =
+    match List.nth_opt families family with
+    | Some f -> f
+    | None -> invalid_arg "Nonlinear.embed_query: family index out of range"
+  in
   if Vec.dim q.Topk.Query.weights <> fam.Topk.Utility.dim_out then
     invalid_arg "Nonlinear.embed_query: query weight arity mismatch";
   let before =

@@ -41,8 +41,9 @@ let group_prefixes prefixes =
     match Hashtbl.find_opt signature key with
     | Some gid ->
         gid_of.(qi) <- gid;
-        let _, members = Hashtbl.find by_gid gid in
-        members := qi :: !members
+        (match Hashtbl.find_opt by_gid gid with
+        | Some (_, members) -> members := qi :: !members
+        | None -> invalid_arg "Query_index.group_prefixes: stale group id")
     | None ->
         let gid = !n_groups in
         incr n_groups;
@@ -52,8 +53,10 @@ let group_prefixes prefixes =
   done;
   let groups =
     Array.init !n_groups (fun gid ->
-        let prefix, members = Hashtbl.find by_gid gid in
-        { gid; prefix; members = Array.of_list (List.rev !members) })
+        match Hashtbl.find_opt by_gid gid with
+        | Some (prefix, members) ->
+            { gid; prefix; members = Array.of_list (List.rev !members) }
+        | None -> invalid_arg "Query_index.group_prefixes: stale group id")
   in
   (groups, gid_of)
 
@@ -107,6 +110,7 @@ let build ?(depth_slack = 0) ?(method_ = Scan) ?pool inst =
     | Some pool ->
         let out = Array.make m [||] in
         Parallel.parallel_for pool ~lo:0 ~hi:m (fun qi ->
+            (* iqlint: allow domain-unsafe-capture — each query writes its own slot *)
             out.(qi) <- compute_prefix ?ta inst depth qi);
         out
   in

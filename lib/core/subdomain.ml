@@ -65,7 +65,12 @@ let find_subdomains ~intersections ~points =
         { cell with sid = fresh_sid })
       cells
   in
-  Array.iteri (fun qi sid -> cell_of.(qi) <- Hashtbl.find renumber sid) cell_of;
+  Array.iteri
+    (fun qi sid ->
+      match Hashtbl.find_opt renumber sid with
+      | Some fresh -> cell_of.(qi) <- fresh
+      | None -> invalid_arg "Subdomain: cell id missing from renumbering")
+    cell_of;
   { cells; cell_of }
 
 let pairwise_intersections ?domain features =

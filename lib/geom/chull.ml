@@ -25,8 +25,8 @@ let hull pts =
       let push p =
         let rec pop () =
           match !stack with
-          | b :: a :: _ when cross a b p <= 0. ->
-              stack := List.tl !stack;
+          | b :: (a :: _ as rest) when cross a b p <= 0. ->
+              stack := rest;
               pop ()
           | _ -> ()
         in

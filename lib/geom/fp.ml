@@ -1,0 +1,13 @@
+(* Scalar epsilon comparisons, the float-robustness counterpart of
+   [Vec.equal]/[Vec.is_zero]. The hyperplane/subdomain geometry breaks
+   down when exact [=]/[compare] is used on computed floats (the
+   `float-exact-compare` lint rule); route scalar comparisons through
+   these instead. Default tolerance matches [Hyperplane.side]. *)
+
+let default_eps = 1e-12
+let equal ?(eps = default_eps) a b = abs_float (a -. b) <= eps
+let is_zero ?(eps = default_eps) x = abs_float x <= eps
+let nonzero ?eps x = not (is_zero ?eps x)
+
+(* -1 / 0 / 1 with an epsilon-wide zero band. *)
+let sign ?(eps = default_eps) x = if x > eps then 1 else if x < -.eps then -1 else 0

@@ -64,11 +64,11 @@ let line_segment_in_box normal offset (box : Box.t) =
   let x0 = box.Box.lo.(0) and x1 = box.Box.hi.(0) in
   let y0 = box.Box.lo.(1) and y1 = box.Box.hi.(1) in
   (* Crossings with the four box edges. *)
-  if ny <> 0. then begin
+  if Fp.nonzero ny then begin
     add [| x0; (offset -. (nx *. x0)) /. ny |];
     add [| x1; (offset -. (nx *. x1)) /. ny |]
   end;
-  if nx <> 0. then begin
+  if Fp.nonzero nx then begin
     add [| (offset -. (ny *. y0)) /. nx; y0 |];
     add [| (offset -. (ny *. y1)) /. nx; y1 |]
   end;

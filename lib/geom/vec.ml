@@ -45,10 +45,12 @@ let dist a b = sqrt (dist2 a b)
 
 let normalize v =
   let n = norm v in
+  (* iqlint: allow float-exact-compare — exact: any nonzero norm is normalisable *)
   if n = 0. then v else scale (1. /. n) v
 
 let normalize_l1 v =
   let s = Array.fold_left ( +. ) 0. v in
+  (* iqlint: allow float-exact-compare — exact: any nonzero sum is normalisable *)
   if s = 0. then v else scale (1. /. s) v
 
 let lerp a b t = add a (scale t (sub b a))

@@ -1,0 +1,582 @@
+(* iqlint — static analysis for the improvement-queries tree.
+
+   Parses every .ml file with the compiler's own parser
+   (compiler-libs.common, no opam deps beyond the toolchain) and walks
+   the untyped AST with an [Ast_iterator]. Each rule reports findings
+   as [file:line:col [rule-id] message]; a finding is suppressed by a
+   pragma comment [(* iqlint: allow <rule-id> *)] on the same line or
+   the line directly above. See DESIGN.md "Static analysis" for the
+   invariant each rule protects. *)
+
+open Parsetree
+open Longident
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+(* ------------------------------------------------------------------ *)
+(* Rules                                                              *)
+(* ------------------------------------------------------------------ *)
+
+let rule_domain = "domain-unsafe-capture"
+let rule_float = "float-exact-compare"
+let rule_partial = "partial-function"
+let rule_catch_all = "catch-all-handler"
+let rule_escape = "forbidden-escape"
+let rule_parse_error = "parse-error"
+
+let all_rules =
+  [
+    ( rule_domain,
+      "mutation of state bound outside a closure passed to \
+       Parallel.parallel_for/map_array without Atomic or Mutex" );
+    ( rule_float,
+      "exact =/<>/compare/min/max where an operand is a float literal or a \
+       known float-returning primitive" );
+    ( rule_partial,
+      "partial stdlib function (List.hd, List.nth, Option.get, Hashtbl.find, \
+       Array.unsafe_get); use the _opt/checked variant" );
+    (rule_catch_all, "try ... with _ -> swallowing all exceptions (non-test code)");
+    (rule_escape, "Obj.magic or assert false in non-test code");
+  ]
+
+type ctx = {
+  file : string;
+  in_test : bool;
+  enabled : string -> bool;
+  mutable findings : finding list;
+}
+
+let report ctx (loc : Location.t) rule message =
+  if ctx.enabled rule then begin
+    let p = loc.Location.loc_start in
+    ctx.findings <-
+      {
+        file = ctx.file;
+        line = p.Lexing.pos_lnum;
+        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+        rule;
+        message;
+      }
+      :: ctx.findings
+  end
+
+(* ---------------------- small AST helpers ------------------------- *)
+
+let rec strip e =
+  match e.pexp_desc with
+  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) | Pexp_newtype (_, e') ->
+      strip e'
+  | _ -> e
+
+let pattern_vars pat =
+  let acc = ref [] in
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      pat =
+        (fun self p ->
+          (match p.ppat_desc with
+          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
+              acc := txt :: !acc
+          | _ -> ());
+          Ast_iterator.default_iterator.pat self p);
+    }
+  in
+  it.pat it pat;
+  !acc
+
+let rec flatten_lid = function
+  | Lident s -> s
+  | Ldot (p, s) -> flatten_lid p ^ "." ^ s
+  | Lapply (a, b) -> flatten_lid a ^ "(" ^ flatten_lid b ^ ")"
+
+(* ---------------------- float-exact-compare ----------------------- *)
+
+let is_op_char c = String.contains "!$%&*+-./:<=>?@^|~" c
+
+(* Operators spelled with a '.' ([+.], [-.], [*.], [/.], [~-.]) plus
+   [**] are the float arithmetic primitives. *)
+let is_float_op op =
+  op = "**"
+  || (String.length op > 1
+     && String.contains op '.'
+     && String.for_all is_op_char op)
+
+let float_prims =
+  [
+    "sqrt"; "exp"; "log"; "log10"; "log1p"; "expm1"; "abs_float";
+    "float_of_int"; "float_of_string"; "atan"; "atan2"; "acos"; "asin";
+    "cos"; "sin"; "tan"; "cosh"; "sinh"; "tanh"; "ceil"; "floor";
+    "mod_float"; "copysign"; "hypot"; "ldexp";
+  ]
+
+let float_consts =
+  [ "nan"; "infinity"; "neg_infinity"; "epsilon_float"; "max_float"; "min_float" ]
+
+let float_module_fns =
+  [
+    "of_int"; "of_string"; "abs"; "neg"; "add"; "sub"; "mul"; "div"; "rem";
+    "pow"; "sqrt"; "cbrt"; "exp"; "exp2"; "log"; "log2"; "log10"; "log1p";
+    "expm1"; "min"; "max"; "round"; "trunc"; "succ"; "pred"; "copy_sign";
+    "fma"; "hypot"; "atan2"; "ldexp"; "pi"; "nan"; "infinity";
+  ]
+
+(* Project-local float-returning primitives worth recognising. *)
+let vec_float_fns =
+  [ "norm"; "norm2"; "dot"; "l1_norm"; "linf_norm"; "dist"; "dist2"; "get" ]
+
+let is_float_returning_fn fn =
+  match fn.pexp_desc with
+  | Pexp_ident { txt = Lident op; _ } when is_float_op op -> true
+  | Pexp_ident { txt = Lident name; _ } -> List.mem name float_prims
+  | Pexp_ident { txt = Ldot (Lident "Float", name); _ } ->
+      List.mem name float_module_fns
+  | Pexp_ident { txt = Ldot (Lident "Vec", name); _ }
+  | Pexp_ident { txt = Ldot (Ldot (Lident "Geom", "Vec"), name); _ } ->
+      List.mem name vec_float_fns
+  | _ -> false
+
+let is_floaty e =
+  let e = strip e in
+  match e.pexp_desc with
+  | Pexp_constant (Pconst_float _) -> true
+  | Pexp_ident { txt = Lident name; _ } -> List.mem name float_consts
+  | Pexp_ident { txt = Ldot (Lident "Float", ("pi" | "nan" | "infinity")); _ }
+    ->
+      true
+  | Pexp_apply (fn, _) -> is_float_returning_fn fn
+  | _ -> false
+
+let check_float_compare ctx fn_txt fn_loc args =
+  let op =
+    match fn_txt with
+    | Lident (("=" | "<>" | "compare" | "min" | "max") as op) -> Some op
+    | Ldot (Lident "Stdlib", (("compare" | "min" | "max") as op)) -> Some op
+    | _ -> None
+  in
+  match op with
+  | Some op when List.exists (fun (_, a) -> is_floaty a) args ->
+      let hint =
+        match op with
+        | "=" | "<>" | "compare" ->
+            "use an epsilon comparison (Geom.Fp.equal / Geom.Fp.is_zero or \
+             Vec.equal)"
+        | _ -> "use Float.min / Float.max (NaN-aware, monomorphic)"
+      in
+      report ctx fn_loc rule_float
+        (Printf.sprintf
+           "exact float comparison `%s` on a float operand is \
+            precision-fragile; %s"
+           op hint)
+  | _ -> ()
+
+(* ---------------------- partial-function -------------------------- *)
+
+let partial_fns =
+  [
+    (("List", "hd"), "match on the list or keep a non-empty invariant nearby");
+    (("List", "tl"), "match on the list or keep a non-empty invariant nearby");
+    (("List", "nth"), "use List.nth_opt");
+    (("Option", "get"), "match on the option or use Option.value");
+    (("Hashtbl", "find"), "use Hashtbl.find_opt");
+    (("Array", "unsafe_get"), "use Array.get / a.(i) (bounds-checked)");
+  ]
+
+let check_partial ctx loc txt =
+  match txt with
+  | Ldot (Lident m, f) -> (
+      match List.assoc_opt (m, f) partial_fns with
+      | Some hint ->
+          report ctx loc rule_partial
+            (Printf.sprintf "%s.%s raises on missing input; %s" m f hint)
+      | None -> ())
+  | _ -> ()
+
+(* ---------------------- forbidden-escape -------------------------- *)
+
+let check_escape_ident ctx loc txt =
+  if not ctx.in_test then
+    match txt with
+    | Ldot (Lident "Obj", "magic") ->
+        report ctx loc rule_escape
+          "Obj.magic defeats the type system; restructure the types instead"
+    | _ -> ()
+
+let check_assert_false ctx e =
+  if not ctx.in_test then
+    match e.pexp_desc with
+    | Pexp_assert
+        { pexp_desc = Pexp_construct ({ txt = Lident "false"; _ }, None); _ }
+      ->
+        report ctx e.pexp_loc rule_escape
+          "assert false in library code; raise a descriptive exception or \
+           make the state unrepresentable"
+    | _ -> ()
+
+(* ---------------------- catch-all-handler ------------------------- *)
+
+let check_try ctx e =
+  if not ctx.in_test then
+    match e.pexp_desc with
+    | Pexp_try (_, cases) ->
+        List.iter
+          (fun c ->
+            match (c.pc_lhs.ppat_desc, c.pc_guard) with
+            | Ppat_any, None ->
+                report ctx c.pc_lhs.ppat_loc rule_catch_all
+                  "`with _ ->` swallows every exception (including \
+                   Out_of_memory and Stack_overflow); match the specific \
+                   exceptions expected here"
+            | _ -> ())
+          cases
+    | _ -> ()
+
+(* ---------------------- domain-unsafe-capture --------------------- *)
+
+module SSet = Set.Make (String)
+
+type cenv = { bound : SSet.t; protected : bool }
+
+let bind env vars =
+  { env with bound = List.fold_left (fun s v -> SSet.add v s) env.bound vars }
+
+let is_apply_of names e =
+  match (strip e).pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
+      List.exists
+        (fun (m, f) ->
+          match txt with Ldot (Lident m', f') -> m = m' && f = f' | _ -> false)
+        names
+  | _ -> false
+
+let is_mutex_lock = is_apply_of [ ("Mutex", "lock") ]
+
+let is_mutex_protect fn =
+  match fn.pexp_desc with
+  | Pexp_ident { txt = Ldot (Lident "Mutex", "protect"); _ } -> true
+  | _ -> false
+
+let check_mut_target ctx env loc lhs kind =
+  if not env.protected then
+    match (strip lhs).pexp_desc with
+    | Pexp_ident { txt = Lident x; _ } when not (SSet.mem x env.bound) ->
+        report ctx loc rule_domain
+          (Printf.sprintf
+             "%s targets `%s`, bound outside this closure, from inside a \
+              Parallel pool body; route it through Atomic (or guard with a \
+              Mutex) — concurrent domains race on it"
+             kind x)
+    | Pexp_ident { txt = Ldot _ as p; _ } ->
+        report ctx loc rule_domain
+          (Printf.sprintf
+             "%s targets module-level state `%s` from inside a Parallel pool \
+              body; route it through Atomic (or guard with a Mutex)"
+             kind (flatten_lid p))
+    | _ -> ()
+
+(* Walk a closure body tracking which identifiers the closure itself
+   binds; any mutation whose target is bound outside is a finding. A
+   [Mutex.lock ...; e] sequence or a [Mutex.protect] argument marks the
+   rest of that scope as protected. *)
+let rec walk_closure ctx env e =
+  match e.pexp_desc with
+  | Pexp_let (rf, vbs, body) ->
+      let vars = List.concat_map (fun vb -> pattern_vars vb.pvb_pat) vbs in
+      let env' = bind env vars in
+      let benv = match rf with Asttypes.Recursive -> env' | _ -> env in
+      List.iter (fun vb -> walk_closure ctx benv vb.pvb_expr) vbs;
+      walk_closure ctx env' body
+  | Pexp_fun (_, dflt, pat, body) ->
+      Option.iter (walk_closure ctx env) dflt;
+      walk_closure ctx (bind env (pattern_vars pat)) body
+  | Pexp_function cases -> walk_cases ctx env cases
+  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
+      walk_closure ctx env scrut;
+      walk_cases ctx env cases
+  | Pexp_for (pat, a, b, _, body) ->
+      walk_closure ctx env a;
+      walk_closure ctx env b;
+      walk_closure ctx (bind env (pattern_vars pat)) body
+  | Pexp_sequence (e1, e2) ->
+      walk_closure ctx env e1;
+      let env2 = if is_mutex_lock e1 then { env with protected = true } else env in
+      walk_closure ctx env2 e2
+  | Pexp_setfield (tgt, _, v) ->
+      check_mut_target ctx env e.pexp_loc tgt "record-field assignment `<-`";
+      walk_closure ctx env tgt;
+      walk_closure ctx env v
+  | Pexp_apply (fn, args) ->
+      (match (fn.pexp_desc, args) with
+      | Pexp_ident { txt = Lident ":="; _ }, (_, lhs) :: _ ->
+          check_mut_target ctx env e.pexp_loc lhs "assignment `:=`"
+      | Pexp_ident { txt = Lident (("incr" | "decr") as op); _ }, (_, lhs) :: _
+        ->
+          check_mut_target ctx env e.pexp_loc lhs ("`" ^ op ^ "` on a ref")
+      | ( Pexp_ident
+            { txt = Ldot (Lident ("Array" | "Bytes"), ("set" | "unsafe_set")); _ },
+          (_, lhs) :: _ ) ->
+          check_mut_target ctx env e.pexp_loc lhs "array-element assignment"
+      | _ -> ());
+      let env' = if is_mutex_protect fn then { env with protected = true } else env in
+      walk_closure ctx env' fn;
+      List.iter (fun (_, a) -> walk_closure ctx env' a) args
+  | _ -> descend ctx env e
+
+and walk_cases ctx env cases =
+  List.iter
+    (fun c ->
+      let env' = bind env (pattern_vars c.pc_lhs) in
+      Option.iter (walk_closure ctx env') c.pc_guard;
+      walk_closure ctx env' c.pc_rhs)
+    cases
+
+and descend ctx env e =
+  let it =
+    {
+      Ast_iterator.default_iterator with
+      expr = (fun _ child -> walk_closure ctx env child);
+    }
+  in
+  Ast_iterator.default_iterator.expr it e
+
+let pool_entry_points = [ "parallel_for"; "map_array" ]
+
+let check_pool_apply ctx fn_txt args =
+  let is_entry =
+    match fn_txt with
+    | Lident f | Ldot (_, f) -> List.mem f pool_entry_points
+    | Lapply _ -> false
+  in
+  if is_entry then
+    List.iter
+      (fun (_, a) ->
+        match (strip a).pexp_desc with
+        | Pexp_fun _ | Pexp_function _ ->
+            walk_closure ctx { bound = SSet.empty; protected = false } (strip a)
+        | _ -> ())
+      args
+
+(* ---------------------- per-file driver --------------------------- *)
+
+let check_expr ctx e =
+  (match e.pexp_desc with
+  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args) ->
+      check_float_compare ctx txt pexp_loc args;
+      check_pool_apply ctx txt args
+  | Pexp_ident { txt; loc } ->
+      check_partial ctx loc txt;
+      check_escape_ident ctx loc txt
+  | _ -> ());
+  check_try ctx e;
+  check_assert_false ctx e
+
+let iterator ctx =
+  {
+    Ast_iterator.default_iterator with
+    expr =
+      (fun self e ->
+        check_expr ctx e;
+        Ast_iterator.default_iterator.expr self e);
+  }
+
+(* ---------------------- pragma suppression ------------------------ *)
+
+let find_sub s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i =
+    if i + m > n then None
+    else if String.sub s i m = sub then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let pragma_marker = "iqlint: allow"
+
+(* Maps line number (1-based) -> rule ids allowed on that line. *)
+let pragmas_of_source src =
+  let tbl = Hashtbl.create 8 in
+  List.iteri
+    (fun i line ->
+      match find_sub line pragma_marker with
+      | None -> ()
+      | Some j ->
+          let start = j + String.length pragma_marker in
+          let rest = String.sub line start (String.length line - start) in
+          let rest =
+            match find_sub rest "*)" with
+            | Some k -> String.sub rest 0 k
+            | None -> rest
+          in
+          let ids =
+            String.split_on_char ' ' rest
+            |> List.concat_map (String.split_on_char ',')
+            |> List.filter (fun s -> s <> "")
+          in
+          Hashtbl.replace tbl (i + 1) ids)
+    (String.split_on_char '\n' src);
+  tbl
+
+let suppressed pragmas f =
+  let allows line =
+    match Hashtbl.find_opt pragmas line with
+    | None -> false
+    | Some ids -> List.mem f.rule ids || List.mem "all" ids
+  in
+  allows f.line || allows (f.line - 1)
+
+(* ---------------------- entry points ------------------------------ *)
+
+let path_is_test file =
+  let segments = String.split_on_char '/' file in
+  List.exists (fun s -> s = "test" || s = "tests") segments
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let lint_source ?(enabled = fun _ -> true) ~file src =
+  let ctx = { file; in_test = path_is_test file; enabled; findings = [] } in
+  (try
+     let lexbuf = Lexing.from_string src in
+     Location.init lexbuf file;
+     let ast = Parse.implementation lexbuf in
+     let it = iterator ctx in
+     it.structure it ast
+   with Syntaxerr.Error _ | Lexer.Error _ ->
+     ctx.findings <-
+       {
+         file;
+         line = 1;
+         col = 0;
+         rule = rule_parse_error;
+         message = "file does not parse; run the compiler for details";
+       }
+       :: ctx.findings);
+  let pragmas = pragmas_of_source src in
+  ctx.findings
+  |> List.filter (fun f -> not (suppressed pragmas f))
+  |> List.sort_uniq compare_finding
+
+let lint_file ?enabled path = lint_source ?enabled ~file:path (read_file path)
+
+let rec collect_ml path acc =
+  if not (Sys.file_exists path) then acc
+  else if Sys.is_directory path then
+    Sys.readdir path |> Array.to_list
+    |> List.sort String.compare
+    |> List.fold_left
+         (fun acc name ->
+           if String.length name = 0 || name.[0] = '.' || name = "_build" then
+             acc
+           else collect_ml (Filename.concat path name) acc)
+         acc
+  else if Filename.check_suffix path ".ml" then path :: acc
+  else acc
+
+let lint_paths ?enabled paths =
+  let files = List.fold_left (fun acc p -> collect_ml p acc) [] paths in
+  files
+  |> List.sort String.compare
+  |> List.concat_map (fun f -> lint_file ?enabled f)
+
+(* ---------------------- CLI ---------------------------------------- *)
+
+let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
+
+let usage =
+  "usage: iqlint [--rules id,id] [--disable id,id] [--list-rules] [path ...]\n\
+   Paths may be .ml files or directories (scanned recursively); default is\n\
+   `lib bin bench`. Exit 1 when any unsuppressed finding is reported.\n\
+   Suppress a finding with `(* iqlint: allow <rule-id> *)` on the same line\n\
+   or the line directly above it."
+
+let main ?(out = Format.std_formatter) args =
+  let only = ref None and disabled = ref [] and paths = ref [] in
+  let bad = ref None in
+  let rec parse = function
+    | [] -> ()
+    | "--list-rules" :: _ ->
+        List.iter
+          (fun (id, doc) -> Format.fprintf out "%-22s %s@." id doc)
+          all_rules;
+        raise Exit
+    | "--rules" :: v :: rest ->
+        only := Some (split_ids v);
+        parse rest
+    | "--disable" :: v :: rest ->
+        disabled := !disabled @ split_ids v;
+        parse rest
+    | ("--help" | "-h") :: _ ->
+        Format.fprintf out "%s@." usage;
+        raise Exit
+    | arg :: _ when String.length arg > 0 && arg.[0] = '-' ->
+        bad := Some (Printf.sprintf "unknown option %s" arg)
+    | path :: rest ->
+        paths := !paths @ [ path ];
+        parse rest
+  in
+  match
+    (try parse args with Exit -> bad := Some "");
+    !bad
+  with
+  | Some "" -> 0
+  | Some msg ->
+      Format.fprintf out "iqlint: %s@.%s@." msg usage;
+      2
+  | None -> (
+      let known = List.map fst all_rules in
+      let unknown =
+        List.filter
+          (fun r -> not (List.mem r known))
+          (Option.value !only ~default:[] @ !disabled)
+      in
+      match unknown with
+      | r :: _ ->
+          Format.fprintf out
+            "iqlint: unknown rule id `%s` (try --list-rules)@." r;
+          2
+      | [] ->
+          let enabled r =
+            r = rule_parse_error
+            || (match !only with None -> true | Some l -> List.mem r l)
+               && not (List.mem r !disabled)
+          in
+          let paths =
+            match !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+          in
+          let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
+          if missing <> [] then begin
+            Format.fprintf out "iqlint: no such path: %s@."
+              (String.concat ", " missing);
+            2
+          end
+          else begin
+            let findings = lint_paths ~enabled paths in
+            List.iter (fun f -> Format.fprintf out "%a@." pp_finding f) findings;
+            match findings with
+            | [] -> 0
+            | fs ->
+                Format.fprintf out "iqlint: %d finding(s)@." (List.length fs);
+                1
+          end)

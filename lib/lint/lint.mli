@@ -1,0 +1,52 @@
+(** iqlint — static analysis over the improvement-queries sources.
+
+    Five rules, each individually toggleable and suppressible with a
+    [(* iqlint: allow <rule-id> *)] comment on the finding's line or
+    the line directly above:
+
+    - [domain-unsafe-capture]: a closure passed to
+      [Parallel.parallel_for]/[map_array] mutates ([:=], [<-],
+      [Array.set] sugar, [incr]/[decr]) an identifier bound outside the
+      closure without routing through [Atomic] or a [Mutex].
+    - [float-exact-compare]: polymorphic [=], [<>], [compare], [min],
+      [max] where an operand is a float literal or an application of a
+      known float-returning primitive.
+    - [partial-function]: [List.hd], [List.tl], [List.nth],
+      [Option.get], [Hashtbl.find], [Array.unsafe_get].
+    - [catch-all-handler]: [try ... with _ ->] outside test code.
+    - [forbidden-escape]: [Obj.magic] or [assert false] outside test
+      code. *)
+
+type finding = {
+  file : string;
+  line : int;  (** 1-based *)
+  col : int;  (** 0-based *)
+  rule : string;  (** rule id, e.g. ["float-exact-compare"] *)
+  message : string;
+}
+
+val all_rules : (string * string) list
+(** [(rule-id, one-line description)] for every rule. *)
+
+val pp_finding : Format.formatter -> finding -> unit
+(** Renders as [file:line:col [rule-id] message]. *)
+
+val lint_source :
+  ?enabled:(string -> bool) -> file:string -> string -> finding list
+(** Lint source text [src] attributed to [file]. [enabled] filters rule
+    ids (default: all on). Unsuppressed findings, sorted by position. A
+    file whose path contains a [test] directory segment skips the
+    [catch-all-handler] and [forbidden-escape] rules. *)
+
+val lint_file : ?enabled:(string -> bool) -> string -> finding list
+(** [lint_source] over a file's contents. *)
+
+val lint_paths : ?enabled:(string -> bool) -> string list -> finding list
+(** Lint every [.ml] file under the given files/directories
+    (recursively; skips [_build] and dot-directories). *)
+
+val main : ?out:Format.formatter -> string list -> int
+(** CLI driver: [main args] (argv without the program name) prints
+    findings to [out] and returns the exit code — 0 clean, 1 findings,
+    2 usage error. Supports [--rules], [--disable], [--list-rules],
+    [--help]; default paths are [lib bin bench]. *)

@@ -14,7 +14,7 @@ let l2 ~a ~b =
   if b >= 0. then Array.make d 0.
   else begin
     let n2 = Array.fold_left (fun acc x -> acc +. (x *. x)) 0. a in
-    if n2 = 0. then Array.make d 0.
+    if Geom.Fp.is_zero n2 then Array.make d 0.
     else Array.map (fun aj -> b *. aj /. n2) a
   end
 
@@ -30,7 +30,7 @@ let weighted_l2 ~w ~a ~b =
     for j = 0 to d - 1 do
       denom := !denom +. (a.(j) *. a.(j) /. w.(j))
     done;
-    if !denom = 0. then None
+    if Geom.Fp.is_zero !denom then None
     else begin
       let lambda = b /. !denom in
       Some (Array.init d (fun j -> lambda *. a.(j) /. w.(j)))
@@ -96,7 +96,7 @@ let l2_boxed ?bounds ~a ~b () =
           let s =
             if !b' >= 0. then
               Array.init d (fun j -> if active.(j) then fixed.(j) else 0.)
-            else if !n2 = 0. then [||]
+            else if Geom.Fp.is_zero !n2 then [||]
             else
               Array.init d (fun j ->
                   if active.(j) then fixed.(j) else !b' *. a.(j) /. !n2)
@@ -156,7 +156,7 @@ let l1_boxed ?bounds ~a ~b () =
           (List.init d Fun.id)
       in
       let step j =
-        if !need > 0. && a.(j) <> 0. then begin
+        if !need > 0. && Geom.Fp.nonzero a.(j) then begin
           let target_dir = if a.(j) > 0. then bounds.lo.(j) else bounds.hi.(j) in
           let room = target_dir -. s.(j) in
           (* room has the sign that decreases a.s *)

@@ -46,6 +46,7 @@ let optimize t ~obj ~allowed =
     let cbTa = ref 0. in
     for i = 0 to m - 1 do
       let cb = obj.(t.basis.(i)) in
+      (* iqlint: allow float-exact-compare — exact: skip-zero fast path, any nonzero cb must contribute *)
       if cb <> 0. then cbTa := !cbTa +. (cb *. t.a.(i).(j))
     done;
     obj.(j) -. !cbTa
@@ -149,7 +150,9 @@ let minimize ~objective ~constraints =
     phase1_obj.(j) <- 1.
   done;
   (match optimize t ~obj:phase1_obj ~allowed:(fun _ -> true) with
-  | `Unbounded -> assert false (* phase-1 objective is bounded below by 0 *)
+  | `Unbounded ->
+      (* iqlint: allow forbidden-escape — phase-1 objective is bounded below by 0 *)
+      assert false
   | `Optimal -> ());
   if objective_value t ~obj:phase1_obj > 1e-7 then Infeasible
   else begin

@@ -175,6 +175,8 @@ let map_array pool f arr =
   if n = 0 then [||]
   else begin
     let out = Array.make n (f arr.(0)) in
+    (* Each iteration writes a distinct cell, so no two domains touch
+       the same slot. iqlint: allow domain-unsafe-capture *)
     parallel_for pool ~lo:1 ~hi:n (fun i -> out.(i) <- f arr.(i));
     out
   end

@@ -102,8 +102,10 @@ let table_of_string ?(header = true) s =
               (fun j ty ->
                 match List.nth_opt row j with
                 | Some cell -> (
+                    (* of_string_typed only fails via Failure
+                       (int/float/bool conversions). *)
                     try Value.of_string_typed ty cell
-                    with _ -> Value.infer_of_string cell)
+                    with Failure _ -> Value.infer_of_string cell)
                 | None -> Value.Null)
               tys
           in

@@ -34,7 +34,10 @@ let build table column =
       end);
   let keys = Hashtbl.fold (fun k _ acc -> k :: acc) buckets [] in
   List.iter
-    (fun k -> Hashtbl.replace buckets k (List.rev (Hashtbl.find buckets k)))
+    (fun k ->
+      match Hashtbl.find_opt buckets k with
+      | Some rows -> Hashtbl.replace buckets k (List.rev rows)
+      | None -> ())
     keys;
   {
     column;

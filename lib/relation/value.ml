@@ -54,6 +54,7 @@ let to_int = function
 let to_bool = function
   | Bool b -> Some b
   | Int i -> Some (i <> 0)
+  (* iqlint: allow float-exact-compare — SQL truthiness of a float is exact non-zero by definition *)
   | Float f -> Some (f <> 0.)
   | Null | Text _ -> None
 

@@ -60,9 +60,12 @@ let pop h =
     h.vals.(0) <- h.vals.(h.len);
     h.vals.(h.len) <- None;
     if h.len > 0 then sift_down h 0;
+    (* iqlint: allow forbidden-escape — heap invariant: vals.(i) is Some for i < len *)
     match v with Some v -> Some (k, v) | None -> assert false
   end
 
 let peek h =
   if h.len = 0 then None
-  else match h.vals.(0) with Some v -> Some (h.keys.(0), v) | None -> assert false
+  else
+    (* iqlint: allow forbidden-escape — heap invariant: vals.(i) is Some for i < len *)
+    match h.vals.(0) with Some v -> Some (h.keys.(0), v) | None -> assert false

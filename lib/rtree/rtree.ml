@@ -104,20 +104,23 @@ let quadratic_split ~min_entries boxes_of items =
   ((!ga, !ba), (!gb, !bb))
 
 let choose_subtree children b =
-  let best = ref (List.hd children) in
-  let best_enl = ref (Box.enlargement !best.mbr b) in
-  let consider c =
-    let enl = Box.enlargement c.mbr b in
-    if
-      enl < !best_enl
-      || (enl = !best_enl && Box.area c.mbr < Box.area !best.mbr)
-    then begin
-      best := c;
-      best_enl := enl
-    end
-  in
-  List.iter consider (List.tl children);
-  !best
+  match children with
+  | [] -> invalid_arg "Rtree.choose_subtree: empty internal node"
+  | first :: rest ->
+      let best = ref first in
+      let best_enl = ref (Box.enlargement !best.mbr b) in
+      let consider c =
+        let enl = Box.enlargement c.mbr b in
+        if
+          enl < !best_enl
+          || (enl = !best_enl && Box.area c.mbr < Box.area !best.mbr)
+        then begin
+          best := c;
+          best_enl := enl
+        end
+      in
+      List.iter consider rest;
+      !best
 
 (* Insert [b, v] under [n]; returns a new sibling when [n] was split. *)
 let rec insert_node t n b v =
@@ -394,6 +397,7 @@ let bulk_load ?min_entries ?(max_entries = 16) ~dim entries =
             let es =
               List.map
                 (fun (b, _, v) ->
+                  (* iqlint: allow forbidden-escape — leaf items always carry a value *)
                   match v with Some v -> (b, v) | None -> assert false)
                 g
             in
@@ -412,6 +416,7 @@ let bulk_load ?min_entries ?(max_entries = 16) ~dim entries =
                   let cs =
                     List.map
                       (fun (_, n, _) ->
+                        (* iqlint: allow forbidden-escape — internal items always carry a node *)
                         match n with Some n -> n | None -> assert false)
                       g
                   in

@@ -84,7 +84,9 @@ let axis_split ~dims boxes_of items =
   done;
   match !best with
   | Some (ratio, _, left, bl, right, br) -> (ratio, (left, bl), (right, br))
-  | None -> assert false
+  | None ->
+      (* iqlint: allow forbidden-escape — the split loop always runs at least once *)
+      assert false
 
 (* Insert, returning a new sibling when the node split. A node whose
    split would overlap too much becomes a supernode instead. *)
@@ -117,7 +119,12 @@ let rec insert_node t n b v =
       end
   | Internal children -> (
       (* Choose the child needing least enlargement (ties: least area). *)
-      let best = ref (List.hd children) in
+      let first, rest =
+        match children with
+        | [] -> invalid_arg "Xtree.insert_node: empty internal node"
+        | first :: rest -> (first, rest)
+      in
+      let best = ref first in
       let best_enl = ref (Box.enlargement !best.mbr b) in
       List.iter
         (fun c ->
@@ -129,7 +136,7 @@ let rec insert_node t n b v =
             best := c;
             best_enl := enl
           end)
-        (List.tl children);
+        rest;
       match insert_node t !best b v with
       | None -> None
       | Some sibling ->

@@ -43,7 +43,10 @@ let top_k_stats t ~weights ~k =
     in
     let kth_score () =
       if List.length !best < cap then infinity
-      else fst (List.nth !best (cap - 1))
+      else
+        match List.nth_opt !best (cap - 1) with
+        | Some (score, _) -> score
+        | None -> infinity
     in
     let depth = ref 0 in
     (try

@@ -57,7 +57,11 @@ let top_k_stats t ~weights ~k =
         else merged
     in
     let kth () =
-      if List.length !best < cap then infinity else fst (List.nth !best (cap - 1))
+      if List.length !best < cap then infinity
+      else
+        match List.nth_opt !best (cap - 1) with
+        | Some (score, _) -> score
+        | None -> infinity
     in
     let scanned = ref 0 in
     (try

@@ -1,0 +1,350 @@
+(* iqlint rule coverage: every rule firing on a seeded violation,
+   suppressed by the pragma, quiet on clean/idiomatic code. Fixtures
+   are written to temp files so the linter exercises its real
+   file-driven path. *)
+
+let write_fixture src =
+  let path = Filename.temp_file "iqlint_fixture" ".ml" in
+  let oc = open_out path in
+  output_string oc src;
+  close_out oc;
+  path
+
+let lint_src ?enabled src =
+  let path = write_fixture src in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () -> Lint.lint_file ?enabled path)
+
+let rules fs = List.map (fun (f : Lint.finding) -> f.Lint.rule) fs
+let rules_t = Alcotest.(list string)
+
+(* ------------------------- domain-unsafe-capture ----------------- *)
+
+let test_domain_fires () =
+  let fs =
+    lint_src
+      {|let total = ref 0
+let sum pool n =
+  Parallel.parallel_for pool ~lo:0 ~hi:n (fun i -> total := !total + i);
+  !total
+|}
+  in
+  Alcotest.check rules_t "ref := in pool closure" [ "domain-unsafe-capture" ]
+    (rules fs);
+  match fs with
+  | [ f ] -> Alcotest.(check int) "finding line" 3 f.Lint.line
+  | _ -> Alcotest.fail "expected exactly one finding"
+
+let test_domain_incr_fires () =
+  let fs =
+    lint_src
+      {|let hits = ref 0
+let count pool n =
+  Parallel.parallel_for pool ~lo:0 ~hi:n (fun _ -> incr hits)
+|}
+  in
+  Alcotest.check rules_t "bare incr in pool closure"
+    [ "domain-unsafe-capture" ] (rules fs)
+
+let test_domain_array_set_fires () =
+  let fs =
+    lint_src
+      {|let fill pool out =
+  Parallel.map_array pool (fun i -> out.(i) <- i; i) (Array.init 4 Fun.id)
+|}
+  in
+  Alcotest.check rules_t "outer array set in pool closure"
+    [ "domain-unsafe-capture" ] (rules fs)
+
+let test_domain_pragma () =
+  let fs =
+    lint_src
+      {|let fill pool out =
+  Parallel.parallel_for pool ~lo:0 ~hi:4 (fun i ->
+    (* iqlint: allow domain-unsafe-capture — distinct slot per index *)
+    out.(i) <- i)
+|}
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+let test_domain_atomic_ok () =
+  (* The PR-1 idiom: instrumentation counters inside pool closures go
+     through Atomic and must NOT be flagged. *)
+  let fs =
+    lint_src
+      {|let count = Atomic.make 0
+let eval pool xs =
+  Parallel.map_array pool
+    (fun x ->
+      Atomic.incr count;
+      Atomic.set count (Atomic.get count);
+      x + 1)
+    xs
+|}
+  in
+  Alcotest.check rules_t "Atomic.incr/set in pool closure is clean" []
+    (rules fs)
+
+let test_domain_local_mutation_ok () =
+  let fs =
+    lint_src
+      {|let sums pool xs =
+  Parallel.map_array pool
+    (fun (lo, hi) ->
+      let acc = ref 0 in
+      for i = lo to hi - 1 do
+        acc := !acc + i
+      done;
+      !acc)
+    xs
+|}
+  in
+  Alcotest.check rules_t "closure-local ref is clean" [] (rules fs)
+
+let test_domain_mutex_ok () =
+  let fs =
+    lint_src
+      {|let total = ref 0
+let m = Mutex.create ()
+let sum pool n =
+  Parallel.parallel_for pool ~lo:0 ~hi:n (fun i ->
+    Mutex.lock m;
+    total := !total + i;
+    Mutex.unlock m)
+|}
+  in
+  Alcotest.check rules_t "Mutex.lock-guarded mutation is clean" [] (rules fs)
+
+(* ------------------------- float-exact-compare ------------------- *)
+
+let test_float_fires () =
+  let fs =
+    lint_src
+      {|let a x = x = 0.0
+let b y = y <> 1e-9
+let c v = compare v 0. = 0
+let d z = min z 2.5
+let e w u = w = sqrt u
+|}
+  in
+  Alcotest.(check int) "five findings" 5 (List.length fs);
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check string) "rule id" "float-exact-compare" f.Lint.rule)
+    fs
+
+let test_float_int_compare_clean () =
+  let fs = lint_src {|let a x = x = 0
+let b y = min y 3
+let c s = s = "x"
+|} in
+  Alcotest.check rules_t "int/string compares are clean" [] (rules fs)
+
+let test_float_pragma () =
+  let fs =
+    lint_src
+      {|(* iqlint: allow float-exact-compare — exact truthiness by definition *)
+let truthy f = f <> 0.
+|}
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+(* ------------------------- partial-function ---------------------- *)
+
+let test_partial_fires () =
+  let fs =
+    lint_src
+      {|let a l = List.hd l
+let b l = List.nth l 3
+let c o = Option.get o
+let d h = Hashtbl.find h "k"
+let e arr = Array.unsafe_get arr 0
+|}
+  in
+  Alcotest.(check int) "five findings" 5 (List.length fs);
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check string) "rule id" "partial-function" f.Lint.rule)
+    fs
+
+let test_partial_opt_clean () =
+  let fs =
+    lint_src
+      {|let a l = List.nth_opt l 3
+let b h = Hashtbl.find_opt h "k"
+let c o = Option.value o ~default:0
+|}
+  in
+  Alcotest.check rules_t "_opt variants are clean" [] (rules fs)
+
+let test_partial_pragma () =
+  let fs =
+    lint_src
+      {|let a l =
+  (* iqlint: allow partial-function — caller guarantees non-empty *)
+  List.hd l
+|}
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+(* ------------------------- catch-all-handler --------------------- *)
+
+let test_catch_all_fires () =
+  let fs = lint_src {|let safe f = try f () with _ -> 0
+|} in
+  Alcotest.check rules_t "with _ -> flagged" [ "catch-all-handler" ] (rules fs)
+
+let test_catch_all_specific_clean () =
+  let fs =
+    lint_src {|let safe f = try f () with Failure _ | Not_found -> 0
+|}
+  in
+  Alcotest.check rules_t "specific handler clean" [] (rules fs)
+
+let test_catch_all_pragma () =
+  let fs =
+    lint_src
+      {|let safe f =
+  (* iqlint: allow catch-all-handler — top-level isolation barrier *)
+  try f () with _ -> 0
+|}
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+let test_catch_all_skipped_in_test_paths () =
+  let fs =
+    Lint.lint_source ~file:"test/test_fixture.ml"
+      "let safe f = try f () with _ -> 0\nlet g () = assert false\n"
+  in
+  Alcotest.check rules_t "test/ paths skip catch-all and escape rules" []
+    (rules fs)
+
+(* ------------------------- forbidden-escape ---------------------- *)
+
+let test_escape_fires () =
+  let fs = lint_src {|let coerce x = Obj.magic x
+let unreachable () = assert false
+|} in
+  Alcotest.check rules_t "Obj.magic and assert false flagged"
+    [ "forbidden-escape"; "forbidden-escape" ]
+    (rules fs)
+
+let test_escape_pragma () =
+  let fs =
+    lint_src
+      {|let unreachable () =
+  (* iqlint: allow forbidden-escape — invariant: never reached *)
+  assert false
+|}
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+let test_assert_condition_clean () =
+  let fs = lint_src {|let check x = assert (x > 0)
+|} in
+  Alcotest.check rules_t "assert <cond> is clean" [] (rules fs)
+
+(* ------------------------- CLI driver ---------------------------- *)
+
+let run_main args =
+  let buf = Buffer.create 256 in
+  let out = Format.formatter_of_buffer buf in
+  let code = Lint.main ~out args in
+  Format.pp_print_flush out ();
+  (code, Buffer.contents buf)
+
+let test_exit_clean () =
+  let path = write_fixture "let id x = x\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, output = run_main [ path ] in
+      Alcotest.(check int) "clean file exits 0" 0 code;
+      Alcotest.(check string) "no output" "" output)
+
+let test_exit_finding () =
+  let path = write_fixture "let bad x = x = 0.0\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, output = run_main [ path ] in
+      Alcotest.(check int) "finding exits 1" 1 code;
+      let expected_prefix = Printf.sprintf "%s:1:" path in
+      Alcotest.(check bool)
+        "report carries file:line" true
+        (String.length output >= String.length expected_prefix
+        && String.sub output 0 (String.length expected_prefix)
+           = expected_prefix);
+      let has_rule_tag =
+        let tag = "[float-exact-compare]" in
+        let rec find i =
+          i + String.length tag <= String.length output
+          && (String.sub output i (String.length tag) = tag || find (i + 1))
+        in
+        find 0
+      in
+      Alcotest.(check bool) "report carries [rule-id]" true has_rule_tag)
+
+let test_rule_toggle () =
+  let path = write_fixture "let bad x = x = 0.0\nlet worse l = List.hd l\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, _ = run_main [ "--rules"; "partial-function"; path ] in
+      Alcotest.(check int) "other rules off still finds partial" 1 code;
+      let code, output =
+        run_main [ "--disable"; "float-exact-compare,partial-function"; path ]
+      in
+      Alcotest.(check int) "both rules disabled exits 0" 0 code;
+      Alcotest.(check string) "no output when disabled" "" output)
+
+let test_unknown_rule () =
+  let code, _ = run_main [ "--rules"; "no-such-rule"; "." ] in
+  Alcotest.(check int) "unknown rule id exits 2" 2 code
+
+let suite =
+  [
+    Alcotest.test_case "domain-unsafe-capture fires on := capture" `Quick
+      test_domain_fires;
+    Alcotest.test_case "domain-unsafe-capture fires on bare incr" `Quick
+      test_domain_incr_fires;
+    Alcotest.test_case "domain-unsafe-capture fires on outer array set" `Quick
+      test_domain_array_set_fires;
+    Alcotest.test_case "domain-unsafe-capture pragma suppresses" `Quick
+      test_domain_pragma;
+    Alcotest.test_case "domain-unsafe-capture: Atomic pool idiom clean" `Quick
+      test_domain_atomic_ok;
+    Alcotest.test_case "domain-unsafe-capture: local mutation clean" `Quick
+      test_domain_local_mutation_ok;
+    Alcotest.test_case "domain-unsafe-capture: Mutex-guarded clean" `Quick
+      test_domain_mutex_ok;
+    Alcotest.test_case "float-exact-compare fires" `Quick test_float_fires;
+    Alcotest.test_case "float-exact-compare: non-float compares clean" `Quick
+      test_float_int_compare_clean;
+    Alcotest.test_case "float-exact-compare pragma suppresses" `Quick
+      test_float_pragma;
+    Alcotest.test_case "partial-function fires on all five" `Quick
+      test_partial_fires;
+    Alcotest.test_case "partial-function: _opt variants clean" `Quick
+      test_partial_opt_clean;
+    Alcotest.test_case "partial-function pragma suppresses" `Quick
+      test_partial_pragma;
+    Alcotest.test_case "catch-all-handler fires" `Quick test_catch_all_fires;
+    Alcotest.test_case "catch-all-handler: specific handler clean" `Quick
+      test_catch_all_specific_clean;
+    Alcotest.test_case "catch-all-handler pragma suppresses" `Quick
+      test_catch_all_pragma;
+    Alcotest.test_case "test/ paths skip non-library rules" `Quick
+      test_catch_all_skipped_in_test_paths;
+    Alcotest.test_case "forbidden-escape fires" `Quick test_escape_fires;
+    Alcotest.test_case "forbidden-escape pragma suppresses" `Quick
+      test_escape_pragma;
+    Alcotest.test_case "assert <condition> is clean" `Quick
+      test_assert_condition_clean;
+    Alcotest.test_case "CLI: clean file exits 0" `Quick test_exit_clean;
+    Alcotest.test_case "CLI: finding exits 1 with file:line [rule]" `Quick
+      test_exit_finding;
+    Alcotest.test_case "CLI: --rules/--disable toggle" `Quick test_rule_toggle;
+    Alcotest.test_case "CLI: unknown rule id exits 2" `Quick test_unknown_rule;
+  ]

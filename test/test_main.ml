@@ -27,5 +27,6 @@ let () =
       ("core.extensions", Test_extensions.suite);
       ("core.properties", Test_properties.suite);
       ("parallel", Test_parallel.suite);
+      ("lint", Test_lint.suite);
       ("edge-cases", Test_edge_cases.suite);
     ]

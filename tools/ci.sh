@@ -1,0 +1,20 @@
+#!/usr/bin/env sh
+# Full CI gate: build, tier-1 tests, the iqlint static-analysis pass
+# (`dune build @lint`, see DESIGN.md "Static analysis"), and the
+# parallel-path bench smoke check. Any stage failing fails the run.
+set -eu
+cd "$(dirname "$0")/.."
+
+echo "== dune build =="
+dune build
+
+echo "== dune runtest =="
+dune runtest
+
+echo "== dune build @lint =="
+dune build @lint
+
+echo "== bench smoke =="
+tools/bench_smoke.sh
+
+echo "== ci: all stages green =="
