@@ -2,44 +2,60 @@
    - the candidate-evaluation cap in the greedy searches;
    - ESE's affected-subspace evaluation vs full re-evaluation;
    - top-k evaluator choices (scan / TA / dominance / onion / views);
-   - Section 4.3 incremental maintenance vs index rebuild. *)
+   - Section 4.3 incremental maintenance vs index rebuild.
 
-let make_index ~seed ~n ~m ~d =
+   Everything runs through [Iq.Engine]; the evaluation-substrate
+   ablation swaps engine backends rather than wiring evaluators by
+   hand. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+let make_engine ~seed ~n ~m ~d =
   let rng = Harness.rng seed in
   let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
   let queries =
     Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 20) ~m
       ~d ()
   in
-  let inst = Iq.Instance.create ~data ~queries () in
-  Iq.Query_index.build ~pool:(Harness.default_pool ()) inst
+  Harness.engine (Iq.Instance.create ~data ~queries ())
+
+(* A sibling engine over the same built index with another evaluation
+   backend (read-only sharing, same pool). *)
+let with_backend engine backend =
+  ok
+    (Iq.Engine.of_index ~backend
+       ~pool:(Iq.Engine.pool engine)
+       (Iq.Engine.index engine))
 
 (* --- candidate cap: time/quality trade-off of Algorithm 3 ----------- *)
 
 let cap_sweep () =
   Harness.header
     "Ablation: candidate-evaluation cap in the greedy ratio search";
-  let index = make_index ~seed:9001 ~n:4000 ~m:400 ~d:3 in
+  let engine = make_engine ~seed:9001 ~n:4000 ~m:400 ~d:3 in
   let cost = Iq.Cost.euclidean 3 in
   let targets = [ 3; 17; 99; 240 ] in
+  List.iter (fun target -> ignore (ok (Iq.Engine.evaluator engine ~target))) targets;
   Harness.row [ "      cap"; "   time(ms)"; "  avg cost"; " avg hits" ];
   List.iter
     (fun cap ->
       let times = ref [] and costs = ref [] and hits = ref [] in
       List.iter
         (fun target ->
-          let evaluator = Iq.Evaluator.ese index ~target in
           let r, seconds =
             Harness.time (fun () ->
-                Iq.Min_cost.search ?candidate_cap:cap ~evaluator ~cost ~target
-                  ~tau:15 ())
+                Iq.Engine.min_cost ?candidate_cap:cap engine ~cost ~target
+                  ~tau:15)
           in
           match r with
-          | Some o ->
+          | Ok o ->
               times := seconds :: !times;
               costs := o.Iq.Min_cost.total_cost :: !costs;
               hits := float_of_int o.Iq.Min_cost.hits_after :: !hits
-          | None -> ())
+          | Error Iq.Engine.Error.Infeasible -> ()
+          | Error e -> failwith (Iq.Engine.Error.to_string e))
         targets;
       Harness.row
         [
@@ -58,22 +74,26 @@ let cap_sweep () =
 let ese_vs_naive () =
   Harness.header
     "Ablation: ESE affected-subspace evaluation vs full re-evaluation";
-  let index = make_index ~seed:9002 ~n:6000 ~m:800 ~d:3 in
-  let inst = Iq.Query_index.instance index in
+  let engine = make_engine ~seed:9002 ~n:6000 ~m:800 ~d:3 in
   let target = 42 in
   (* Per-target setup: ESE reuses the shared index (cheap); the
-     scan-based evaluators each pay an O(|Q| * |D|) threshold pass. *)
-  let ese, t_ese_setup = Harness.time (fun () -> Iq.Evaluator.ese index ~target) in
-  let naive, t_naive_setup =
-    Harness.time (fun () -> Iq.Evaluator.naive inst ~target)
+     scan-based backends each pay an O(|Q| * |D|) threshold pass. *)
+  let scan_engine = with_backend engine (module Iq.Engine.Scan_backend) in
+  let rta_engine = with_backend engine (module Iq.Engine.Rta_backend) in
+  let ese, t_ese_setup =
+    Harness.time (fun () -> ok (Iq.Engine.evaluator engine ~target))
   in
-  let rta, t_rta_setup = Harness.time (fun () -> Iq.Evaluator.rta inst ~target) in
+  let naive, t_naive_setup =
+    Harness.time (fun () -> ok (Iq.Engine.evaluator scan_engine ~target))
+  in
+  let rta, t_rta_setup =
+    Harness.time (fun () -> ok (Iq.Engine.evaluator rta_engine ~target))
+  in
   Printf.printf
     "    per-target setup: ese %.1f ms | naive %.1f ms | rta %.1f ms\n"
     (1000. *. t_ese_setup) (1000. *. t_naive_setup) (1000. *. t_rta_setup);
   Harness.row
     [ " step size"; "   ese(ms)"; " naive(ms)"; "   rta(ms)"; " dirty-qs" ];
-  let state = Iq.Ese.prepare index ~target in
   List.iter
     (fun magnitude ->
       let s = [| -.magnitude; -.magnitude /. 2.; -.magnitude /. 4. |] in
@@ -98,7 +118,7 @@ let ese_vs_naive () =
             done)
       in
       assert (!h_ese = !h_naive && !h_naive = !h_rta);
-      let dirty = List.length (Iq.Ese.dirty_queries state ~s) in
+      let dirty = List.length (ok (Iq.Engine.dirty_queries engine ~target ~s)) in
       Harness.row
         [
           Printf.sprintf "%10.3f" magnitude;
@@ -168,49 +188,66 @@ let topk_evaluators () =
 
 let updates () =
   Harness.header "Ablation: incremental maintenance (Section 4.3) vs rebuild";
-  let index = make_index ~seed:9004 ~n:4000 ~m:600 ~d:3 in
+  let engine = make_engine ~seed:9004 ~n:4000 ~m:600 ~d:3 in
   let rng = Harness.rng 90041 in
   let ops = 50 in
   let t_addq =
     Harness.time_only (fun () ->
         for _ = 1 to ops do
           ignore
-            (Iq.Query_index.add_query index
-               (Topk.Query.make
-                  ~k:(1 + Workload.Rng.int rng 19)
-                  (Array.init 3 (fun _ -> Workload.Rng.uniform rng))))
+            (ok
+               (Iq.Engine.add_query engine
+                  (Topk.Query.make
+                     ~k:(1 + Workload.Rng.int rng 19)
+                     (Array.init 3 (fun _ -> Workload.Rng.uniform rng)))))
         done)
   in
   let t_addo =
     Harness.time_only (fun () ->
         for _ = 1 to ops do
           ignore
-            (Iq.Query_index.add_object index
+            (ok
+               (Iq.Engine.add_object engine
+                  (Array.init 3 (fun _ -> Workload.Rng.uniform rng))))
+        done)
+  in
+  let t_updo =
+    Harness.time_only (fun () ->
+        for _ = 1 to ops do
+          let id =
+            Workload.Rng.int rng
+              (Iq.Instance.n_objects (Iq.Engine.instance engine))
+          in
+          ok
+            (Iq.Engine.update_object engine id
                (Array.init 3 (fun _ -> Workload.Rng.uniform rng)))
         done)
   in
   let t_remo =
     Harness.time_only (fun () ->
         for _ = 1 to ops do
-          Iq.Query_index.remove_object index
-            (Workload.Rng.int rng
-               (Iq.Instance.n_objects (Iq.Query_index.instance index)))
+          ok
+            (Iq.Engine.remove_object engine
+               (Workload.Rng.int rng
+                  (Iq.Instance.n_objects (Iq.Engine.instance engine))))
         done)
   in
   let t_remq =
     Harness.time_only (fun () ->
         for _ = 1 to ops do
-          Iq.Query_index.remove_query index
-            (Workload.Rng.int rng
-               (Iq.Instance.n_queries (Iq.Query_index.instance index)))
+          ok
+            (Iq.Engine.remove_query engine
+               (Workload.Rng.int rng
+                  (Iq.Instance.n_queries (Iq.Engine.instance engine))))
         done)
   in
   let t_rebuild =
     Harness.time_only (fun () ->
-        ignore (Iq.Query_index.build ~pool:(Harness.default_pool ())
-                  (Iq.Query_index.instance index)))
+        ignore (Harness.engine (Iq.Engine.instance engine)))
   in
-  let hint_hits, hint_misses = Iq.Query_index.hint_stats index in
+  let hint_hits, hint_misses =
+    Iq.Query_index.hint_stats (Iq.Engine.index engine)
+  in
   Harness.row [ "          op"; "   ms/op" ];
   List.iter
     (fun (name, t) ->
@@ -222,12 +259,15 @@ let updates () =
     [
       ("add-query", t_addq);
       ("add-object", t_addo);
+      ("upd-object", t_updo);
       ("rem-object", t_remo);
       ("rem-query", t_remq);
     ];
   Harness.row
     [ Printf.sprintf "%12s" "full-rebuild"; Printf.sprintf "%8.2f" (1000. *. t_rebuild) ];
-  Harness.note "kNN subdomain hint: %d hits / %d misses" hint_hits hint_misses
+  Harness.note "kNN subdomain hint: %d hits / %d misses" hint_hits hint_misses;
+  Harness.note "engine generation after the update storm: %d"
+    (Iq.Engine.generation engine)
 
 (* --- combinatorial vs independent allocation (Section 5.1) ---------- *)
 
@@ -235,17 +275,20 @@ let combinatorial () =
   Harness.header
     "Ablation: combinatorial multi-target improvement vs independent \
      per-target allocation (Section 5.1)";
-  let index = make_index ~seed:9005 ~n:3000 ~m:400 ~d:3 in
+  let engine = make_engine ~seed:9005 ~n:3000 ~m:400 ~d:3 in
   let cost3 = Iq.Cost.euclidean 3 in
   let targets = [ 5; 77; 199 ] in
   let tau = 30 in
+  (* Warm every target's evaluator so both timings below measure pure
+     search work. *)
+  List.iter (fun target -> ignore (ok (Iq.Engine.evaluator engine ~target))) targets;
   (* Combinatorial: one shared goal, strategy mass goes to whichever
      target covers queries cheapest. *)
   let comb, t_comb =
     Harness.time (fun () ->
-        Iq.Combinatorial.min_cost ~index
+        Iq.Engine.min_cost_multi engine
           ~costs:(List.map (fun t -> (t, cost3)) targets)
-          ~tau ~candidate_cap:24 ())
+          ~tau ~candidate_cap:24)
   in
   (* Independent: split tau evenly, each target fends for itself. *)
   let share = (tau + List.length targets - 1) / List.length targets in
@@ -253,32 +296,39 @@ let combinatorial () =
     Harness.time (fun () ->
         List.filter_map
           (fun target ->
-            Iq.Min_cost.search ~candidate_cap:24
-              ~evaluator:(Iq.Evaluator.ese index ~target)
-              ~cost:cost3 ~target ~tau:share ())
+            match
+              Iq.Engine.min_cost ~candidate_cap:24 engine ~cost:cost3 ~target
+                ~tau:share
+            with
+            | Ok o -> Some (target, o)
+            | Error Iq.Engine.Error.Infeasible -> None
+            | Error e -> failwith (Iq.Engine.Error.to_string e))
           targets)
   in
   (match comb with
-  | Some o ->
+  | Ok o ->
       Printf.printf
         "  combinatorial: union hits %d, total cost %.4f (%.0f ms)\n"
         o.Iq.Combinatorial.union_hits_after o.Iq.Combinatorial.total_cost
         (1000. *. t_comb)
-  | None -> print_endline "  combinatorial: infeasible");
+  | Error Iq.Engine.Error.Infeasible ->
+      print_endline "  combinatorial: infeasible"
+  | Error e -> failwith (Iq.Engine.Error.to_string e));
   let indep_cost =
-    List.fold_left (fun acc o -> acc +. o.Iq.Min_cost.total_cost) 0. indep
+    List.fold_left (fun acc (_, o) -> acc +. o.Iq.Min_cost.total_cost) 0. indep
   in
-  (* Union hits of the independent strategies, counted once per query. *)
-  let inst = Iq.Query_index.instance index in
+  (* Union hits of the independent strategies, counted once per query
+     against the ground-truth scan backend. *)
+  let inst = Iq.Engine.instance engine in
+  let scan_engine = with_backend engine (module Iq.Engine.Scan_backend) in
   let covered = Array.make (Iq.Instance.n_queries inst) false in
-  List.iter2
-    (fun target o ->
-      let naive = Iq.Evaluator.naive inst ~target in
+  List.iter
+    (fun (target, o) ->
+      let naive = ok (Iq.Engine.evaluator scan_engine ~target) in
       for q = 0 to Iq.Instance.n_queries inst - 1 do
         if naive.Iq.Evaluator.member ~q o.Iq.Min_cost.strategy then
           covered.(q) <- true
       done)
-    (List.filteri (fun i _ -> i < List.length indep) targets)
     indep;
   let union =
     Array.fold_left (fun acc b -> if b then acc + 1 else acc) 0 covered
@@ -295,7 +345,7 @@ let combinatorial () =
 let tau_sensitivity () =
   Harness.header
     "Ablation: Efficient-IQ vs simple Greedy as tau grows (quality gap)";
-  let index = make_index ~seed:9006 ~n:2500 ~m:500 ~d:3 in
+  let engine = make_engine ~seed:9006 ~n:2500 ~m:500 ~d:3 in
   let cost = Iq.Cost.euclidean 3 in
   let targets = [ 11; 402; 1200 ] in
   Harness.row [ "      tau"; "  eff-cost"; " greedy-cost"; "  gap(%)" ];
@@ -305,15 +355,14 @@ let tau_sensitivity () =
       List.iter
         (fun target ->
           (match
-             Iq.Min_cost.search ~candidate_cap:16
-               ~evaluator:(Iq.Evaluator.ese index ~target)
-               ~cost ~target ~tau ()
+             Iq.Engine.min_cost ~candidate_cap:16 engine ~cost ~target ~tau
            with
-          | Some o -> eff := o.Iq.Min_cost.total_cost :: !eff
-          | None -> ());
+          | Ok o -> eff := o.Iq.Min_cost.total_cost :: !eff
+          | Error Iq.Engine.Error.Infeasible -> ()
+          | Error e -> failwith (Iq.Engine.Error.to_string e));
           match
             Iq.Baselines.greedy_min_cost
-              ~evaluator:(Iq.Evaluator.ese index ~target)
+              ~evaluator:(ok (Iq.Engine.evaluator engine ~target))
               ~cost ~target ~tau ()
           with
           | Some o -> greedy := o.Iq.Baselines.total_cost :: !greedy

@@ -1,0 +1,111 @@
+(* Facade overhead: Iq.Engine.min_cost/max_hit vs calling the search
+   layer directly with the engine's own cached evaluator. The delta is
+   exactly what the facade adds per call — input validation, the cache
+   lookup under the engine lock, and the per-call evaluations
+   accounting — so it should be noise against the search itself.
+
+   Results land in BENCH_engine.json so future facade changes have a
+   perf trajectory to regress against. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+let n_targets = 4
+let rounds = 5
+let candidate_cap = Some 16
+
+let run () =
+  Harness.header "Engine: serving-facade overhead vs direct search calls";
+  let cfg = Harness.defaults in
+  let n = cfg.Workload.Config.n_objects in
+  let m = cfg.Workload.Config.n_queries in
+  let d = cfg.Workload.Config.dimension in
+  let rng = Harness.rng 6006 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 50) ~m
+      ~d ()
+  in
+  let inst = Iq.Instance.create ~data ~queries () in
+  let engine = Harness.engine inst in
+  let pool = Iq.Engine.pool engine in
+  let cost = Iq.Cost.euclidean d in
+  let tau = cfg.Workload.Config.tau in
+  let beta = Harness.beta_eff cfg.Workload.Config.beta in
+  let targets = List.init n_targets (fun i -> i * (n / n_targets)) in
+  (* Warm the cache so both paths below run against prepared
+     evaluators — the overhead measured is per-call, not first-use
+     preparation. *)
+  List.iter
+    (fun target -> ignore (ok (Iq.Engine.evaluator engine ~target)))
+    targets;
+
+  let t_direct = ref 0. and t_engine = ref 0. in
+  let identical = ref true in
+  for _ = 1 to rounds do
+    List.iter
+      (fun target ->
+        let evaluator = ok (Iq.Engine.evaluator engine ~target) in
+        let direct_mc, dt =
+          Harness.time (fun () ->
+              Iq.Min_cost.search ?candidate_cap ~pool ~evaluator ~cost ~target
+                ~tau ())
+        in
+        let direct_mh, dt' =
+          Harness.time (fun () ->
+              Iq.Max_hit.search ?candidate_cap ~pool ~evaluator ~cost ~target
+                ~beta ())
+        in
+        t_direct := !t_direct +. dt +. dt';
+        let engine_mc, et =
+          Harness.time (fun () ->
+              Iq.Engine.min_cost ?candidate_cap engine ~cost ~target ~tau)
+        in
+        let engine_mh, et' =
+          Harness.time (fun () ->
+              Iq.Engine.max_hit ?candidate_cap engine ~cost ~target ~beta)
+        in
+        t_engine := !t_engine +. et +. et';
+        (match (direct_mc, engine_mc) with
+        | Some a, Ok b ->
+            if a.Iq.Min_cost.strategy <> b.Iq.Min_cost.strategy then
+              identical := false
+        | None, Error Iq.Engine.Error.Infeasible -> ()
+        | _ -> identical := false);
+        if
+          direct_mh.Iq.Max_hit.strategy <> (ok engine_mh).Iq.Max_hit.strategy
+        then identical := false)
+      targets
+  done;
+
+  let calls = float_of_int (2 * rounds * n_targets) in
+  let direct_ms = 1000. *. !t_direct /. calls in
+  let engine_ms = 1000. *. !t_engine /. calls in
+  let overhead_pct = 100. *. ((engine_ms /. direct_ms) -. 1.) in
+  Harness.row [ "        path"; "  ms/call" ];
+  Harness.row [ Printf.sprintf "%12s" "direct"; Printf.sprintf "%9.3f" direct_ms ];
+  Harness.row [ Printf.sprintf "%12s" "engine"; Printf.sprintf "%9.3f" engine_ms ];
+  Printf.printf "  facade overhead: %+.1f%% per call, outcomes identical: %b\n"
+    overhead_pct !identical;
+  if not !identical then
+    failwith "engine bench: facade and direct outcomes diverged";
+  Harness.write_json ~name:"engine"
+    (Harness.Obj
+       [
+         ("bench", Harness.String "engine");
+         ("scale", Harness.Float Harness.scale);
+         ("n_objects", Harness.Int n);
+         ("n_queries", Harness.Int m);
+         ("tau", Harness.Int tau);
+         ("beta", Harness.Float beta);
+         ("n_targets", Harness.Int n_targets);
+         ("rounds", Harness.Int rounds);
+         ("direct_ms_per_call", Harness.Float direct_ms);
+         ("engine_ms_per_call", Harness.Float engine_ms);
+         ("overhead_pct", Harness.Float overhead_pct);
+         ("identical_outcomes", Harness.Bool !identical);
+       ]);
+  Harness.note
+    "direct path reuses the engine's cached evaluator, so the delta \
+     isolates validation + cache lookup + accounting"

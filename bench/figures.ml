@@ -39,7 +39,8 @@ let f4 () =
       List.iteri
         (fun i kind ->
           let inst = make_instance ~kind ~seed:(n_paper + i) ~n ~m () in
-          let index, t_eff = Harness.time (fun () -> Iq.Query_index.build ~pool:(Harness.default_pool ()) inst) in
+          let engine, t_eff = Harness.time (fun () -> Harness.engine inst) in
+          let index = Iq.Engine.index engine in
           eff_times := t_eff :: !eff_times;
           eff_sizes :=
             size_pct ~words:(Iq.Query_index.size_words index) ~n ~d:dim
@@ -86,7 +87,8 @@ let f5 () =
           ~k_range:(1, 50) ~m ~d:dim ()
       in
       let inst = Iq.Instance.create ~utility ~data ~queries () in
-      let index, t_eff = Harness.time (fun () -> Iq.Query_index.build ~pool:(Harness.default_pool ()) inst) in
+      let engine, t_eff = Harness.time (fun () -> Harness.engine inst) in
+      let index = Iq.Engine.index engine in
       let rtree, t_rtree =
         Harness.time (fun () ->
             Rtree.bulk_load ~dim:(Iq.Instance.dim inst)
@@ -137,7 +139,8 @@ let f6 () =
           ~m ~d ()
       in
       let inst = Iq.Instance.create ~data ~queries () in
-      let index, t_eff = Harness.time (fun () -> Iq.Query_index.build ~pool:(Harness.default_pool ()) inst) in
+      let engine, t_eff = Harness.time (fun () -> Harness.engine inst) in
+      let index = Iq.Engine.index engine in
       let rtree, t_rtree =
         Harness.time (fun () ->
             Rtree.bulk_load ~dim:d
@@ -166,17 +169,17 @@ let f6 () =
 
 (* --- Figures 7-9: query processing vs |D| on IN / CO / AC --- *)
 
-let query_processing_table ~instances ~label ~xs ~n_iqs =
+let query_processing_table ~engines ~label ~xs ~n_iqs =
   Harness.row
     [
       Harness.cell_s 13 label; "scheme        "; "   time(ms)"; " cost/hit";
     ];
   List.iter2
-    (fun x index ->
+    (fun x engine ->
       let tau = Harness.defaults.Workload.Config.tau in
       let beta = Harness.beta_eff Harness.defaults.Workload.Config.beta in
       let results =
-        Schemes.run_suite ~index ~tau ~beta ~n_iqs ~seed:x (Schemes.all x)
+        Schemes.run_suite ~engine ~tau ~beta ~n_iqs ~seed:x (Schemes.all x)
       in
       List.iter
         (fun (name, ms, cph) ->
@@ -188,7 +191,7 @@ let query_processing_table ~instances ~label ~xs ~n_iqs =
               Printf.sprintf "%9.3f" cph;
             ])
         results)
-    xs instances
+    xs engines
 
 let f7_9 ~kind ~figure () =
   Harness.header
@@ -196,17 +199,15 @@ let f7_9 ~kind ~figure () =
        figure
        (Workload.Datagen.kind_name kind));
   let n_iqs = 2 in
-  let instances =
+  let engines =
     List.map
       (fun n_paper ->
         let n = Harness.scaled_int n_paper in
         let m = Harness.defaults.Workload.Config.n_queries in
-        let inst = make_instance ~kind ~seed:(figure + n_paper) ~n ~m () in
-        Iq.Query_index.build ~pool:(Harness.default_pool ()) inst)
+        Harness.engine (make_instance ~kind ~seed:(figure + n_paper) ~n ~m ()))
       object_sweep
   in
-  query_processing_table ~instances ~label:"|D|(paper)" ~xs:object_sweep
-    ~n_iqs;
+  query_processing_table ~engines ~label:"|D|(paper)" ~xs:object_sweep ~n_iqs;
   Harness.note
     "paper: Random fastest/worst, Greedy poor quality, Efficient-IQ best \
      quality and much faster than RTA-IQ (same quality as RTA-IQ)"
@@ -223,16 +224,15 @@ let f10_11 ~qkind ~figure () =
        figure
        (Workload.Querygen.kind_name qkind));
   let n_iqs = 2 in
-  let instances =
+  let engines =
     List.map
       (fun m_paper ->
         let m = Harness.scaled_int m_paper in
         let n = Harness.defaults.Workload.Config.n_objects in
-        let inst = make_instance ~qkind ~seed:(figure + m_paper) ~n ~m () in
-        Iq.Query_index.build ~pool:(Harness.default_pool ()) inst)
+        Harness.engine (make_instance ~qkind ~seed:(figure + m_paper) ~n ~m ()))
       query_sweep
   in
-  query_processing_table ~instances ~label:"|Q|(paper)" ~xs:query_sweep ~n_iqs;
+  query_processing_table ~engines ~label:"|Q|(paper)" ~xs:query_sweep ~n_iqs;
   Harness.note "same ordering as Figures 7-9; time grows with |Q|"
 
 let f10 = f10_11 ~qkind:Workload.Querygen.Uniform ~figure:10
@@ -264,11 +264,11 @@ let f12 () =
           ~m ~d ()
       in
       let inst = Iq.Instance.create ~data ~queries () in
-      let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
+      let engine = Harness.engine inst in
       let tau = Harness.defaults.Workload.Config.tau in
       let beta = Harness.beta_eff Harness.defaults.Workload.Config.beta in
       let results =
-        Schemes.run_suite ~index ~tau ~beta ~n_iqs ~seed:(Hashtbl.hash name)
+        Schemes.run_suite ~engine ~tau ~beta ~n_iqs ~seed:(Hashtbl.hash name)
           (Schemes.all 12)
       in
       List.iter
@@ -295,11 +295,11 @@ let f13 () =
       let n = Harness.defaults.Workload.Config.n_objects in
       let m = Harness.defaults.Workload.Config.n_queries in
       let inst = make_instance ~d ~seed:(1300 + d) ~n ~m () in
-      let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
+      let engine = Harness.engine inst in
       let tau = Harness.defaults.Workload.Config.tau in
       let beta = Harness.beta_eff Harness.defaults.Workload.Config.beta in
       let results =
-        Schemes.run_suite ~index ~tau ~beta ~n_iqs:2 ~seed:d
+        Schemes.run_suite ~engine ~tau ~beta ~n_iqs:2 ~seed:d
           [ Schemes.efficient_iq ]
       in
       List.iter
@@ -338,16 +338,14 @@ let exhaustive () =
         Harness.time (fun () ->
             Iq.Exhaustive.min_cost ~inst ~weights:[| 1.; 1. |] ~target:0 ~tau ())
       in
-      let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
+      let engine = Harness.engine inst in
+      ignore (Iq.Engine.evaluator engine ~target:0);
       let eff, t_eff =
         Harness.time (fun () ->
-            Iq.Min_cost.search
-              ~pool:(Harness.default_pool ())
-              ~evaluator:(Iq.Evaluator.ese index ~target:0)
-              ~cost:(Iq.Cost.l1 2) ~target:0 ~tau ())
+            Iq.Engine.min_cost engine ~cost:(Iq.Cost.l1 2) ~target:0 ~tau)
       in
       match (exh, eff) with
-      | Some e, Some h ->
+      | Some e, Ok h ->
           Harness.row
             [
               Printf.sprintf "%9d" m;

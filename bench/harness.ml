@@ -8,6 +8,10 @@ let scaled_int v = Int.max 1 (int_of_float (float_of_int v *. scale))
    sized by IQ_DOMAINS (sequential bypass when that resolves to 1). *)
 let default_pool () = Parallel.default ()
 
+(* The serving facade every bench runs its searches through, on the
+   shared pool. *)
+let engine inst = Iq.Engine.create_exn ~pool:(default_pool ()) inst
+
 let time f =
   let t0 = Unix.gettimeofday () in
   let r = f () in

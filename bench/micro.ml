@@ -15,8 +15,13 @@ let prepared =
          ~m:400 ~d:3 ()
      in
      let inst = Iq.Instance.create ~data ~queries () in
-     let index = Iq.Query_index.build ~pool:(Harness.default_pool ()) inst in
-     let state = Iq.Ese.prepare index ~target:0 in
+     let engine = Harness.engine inst in
+     let index = Iq.Engine.index engine in
+     let ese =
+       match Iq.Engine.evaluator engine ~target:0 with
+       | Ok e -> e
+       | Error e -> failwith (Iq.Engine.Error.to_string e)
+     in
      let ta = Topk.Ta.build data in
      let dominance = Topk.Dominance.build data in
      let rtree =
@@ -24,10 +29,10 @@ let prepared =
          (List.init (Array.length data) (fun i ->
               (Geom.Box.of_point data.(i), i)))
      in
-     (data, inst, index, state, ta, dominance, rtree))
+     (data, inst, index, ese, ta, dominance, rtree))
 
 let tests () =
-  let data, inst, index, state, ta, dominance, rtree = Lazy.force prepared in
+  let data, inst, index, ese, ta, dominance, rtree = Lazy.force prepared in
   ignore inst;
   let w = [| 0.4; 0.3; 0.3 |] in
   let s = [| -0.05; -0.02; -0.01 |] in
@@ -40,7 +45,7 @@ let tests () =
       (Staged.stage (fun () ->
            Topk.Dominance.top_k dominance ~data ~weights:w ~k:10));
     Test.make ~name:"ese/evaluate"
-      (Staged.stage (fun () -> Iq.Ese.evaluate state ~s));
+      (Staged.stage (fun () -> ese.Iq.Evaluator.hit_count s));
     Test.make ~name:"rtree/range-search"
       (Staged.stage (fun () ->
            Rtree.search rtree

@@ -32,13 +32,15 @@ let make_workload () =
 let n_targets = 3
 let candidate_cap = Some 24
 
-let search_session ?pool index ~tau =
-  let inst = Iq.Query_index.instance index in
+let search_session engine ~tau =
+  let inst = Iq.Engine.instance engine in
   let d = Iq.Instance.dim inst in
   let cost = Iq.Cost.euclidean d in
   List.init n_targets (fun target ->
-      let evaluator = Iq.Evaluator.ese index ~target in
-      Iq.Min_cost.search ?candidate_cap ?pool ~evaluator ~cost ~target ~tau ())
+      match Iq.Engine.min_cost ?candidate_cap engine ~cost ~target ~tau with
+      | Ok o -> Some o
+      | Error Iq.Engine.Error.Infeasible -> None
+      | Error e -> failwith (Iq.Engine.Error.to_string e))
 
 let strategies_equal a b =
   List.for_all2
@@ -70,16 +72,20 @@ let run () =
   let rows =
     List.map
       (fun dc ->
-        let pool =
-          if dc = 1 then None else Some (Parallel.create ~domains:dc ())
-        in
-        let index, build_s =
-          Harness.time (fun () -> Iq.Query_index.build ?pool inst)
+        (* domains=1 creates the sequential-bypass pool: no domains are
+           spawned and every task runs inline, so that column is the
+           exact pre-parallel-layer behaviour. *)
+        let pool = Parallel.create ~domains:dc () in
+        let engine, build_s =
+          Harness.time (fun () ->
+              match Iq.Engine.create ~pool inst with
+              | Ok e -> e
+              | Error e -> failwith (Iq.Engine.Error.to_string e))
         in
         let outcomes, search_s =
-          Harness.time (fun () -> search_session ?pool index ~tau)
+          Harness.time (fun () -> search_session engine ~tau)
         in
-        (match pool with Some p -> Parallel.shutdown p | None -> ());
+        Parallel.shutdown pool;
         let build_ref, search_ref, outcomes_ref =
           match !baseline with
           | None ->

@@ -1,104 +1,92 @@
 (* The four IQ processing schemes of Section 6.1, wrapped behind one
    interface so the figure benches can sweep them uniformly.
 
-   Efficient-IQ and RTA-IQ share the greedy ratio search (so their
-   strategy quality coincides, as the paper notes); Greedy and Random
-   are the quality baselines. *)
+   Every scheme runs against an [Iq.Engine.t] (Efficient-IQ's serving
+   facade); RTA-IQ wraps the same built index in a sibling engine with
+   the RTA backend. Efficient-IQ and RTA-IQ share the greedy ratio
+   search (so their strategy quality coincides, as the paper notes);
+   Greedy and Random are the quality baselines. *)
 
 type outcome = { seconds : float; cost : float; hits : int }
 
 type scheme = {
   name : string;
-  min_cost :
-    Iq.Query_index.t -> target:int -> tau:int -> outcome option;
-  max_hit : Iq.Query_index.t -> target:int -> beta:float -> outcome option;
+  min_cost : Iq.Engine.t -> target:int -> tau:int -> outcome option;
+  max_hit : Iq.Engine.t -> target:int -> beta:float -> outcome option;
 }
 
 let cap = Some 6 (* candidate evaluations per iteration, all schemes *)
 let mh_iters = Some 6 (* Max-Hit greedy iterations per IQ, all schemes *)
 
-let cost_for index =
-  Iq.Cost.euclidean (Iq.Instance.dim (Iq.Query_index.instance index))
+let cost_for engine =
+  Iq.Cost.euclidean (Iq.Instance.dim (Iq.Engine.instance engine))
 
-let efficient_iq =
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+(* Prepare the target's evaluator outside the timed section, as the
+   pre-engine benches did — the figures measure search time, not
+   preparation. *)
+let warm engine ~target = ignore (ok (Iq.Engine.evaluator engine ~target))
+
+let mc_outcome (o : Iq.Min_cost.outcome) seconds =
+  { seconds; cost = o.Iq.Min_cost.total_cost; hits = o.Iq.Min_cost.hits_after }
+
+let mh_outcome (o : Iq.Max_hit.outcome) seconds =
   {
-    name = "Efficient-IQ";
-    min_cost =
-      (fun index ~target ~tau ->
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.ese index ~target in
-        let r, seconds =
-          Harness.time (fun () ->
-              Iq.Min_cost.search ?candidate_cap:cap
-                ~pool:(Harness.default_pool ()) ~evaluator ~cost ~target
-                ~tau ())
-        in
-        Option.map
-          (fun (o : Iq.Min_cost.outcome) ->
-            { seconds; cost = o.Iq.Min_cost.total_cost; hits = o.Iq.Min_cost.hits_after })
-          r);
-    max_hit =
-      (fun index ~target ~beta ->
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.ese index ~target in
-        let o, seconds =
-          Harness.time (fun () ->
-              Iq.Max_hit.search ?candidate_cap:cap ?max_iterations:mh_iters
-                ~pool:(Harness.default_pool ())
-                ~evaluator ~cost ~target ~beta ())
-        in
-        Some
-          {
-            seconds;
-            cost = o.Iq.Max_hit.incremental_cost;
-            hits = o.Iq.Max_hit.hits_after;
-          });
+    seconds;
+    cost = o.Iq.Max_hit.incremental_cost;
+    hits = o.Iq.Max_hit.hits_after;
   }
 
+let searches name prep =
+  {
+    name;
+    min_cost =
+      (fun engine ~target ~tau ->
+        let engine = prep engine in
+        let cost = cost_for engine in
+        warm engine ~target;
+        let r, seconds =
+          Harness.time (fun () ->
+              Iq.Engine.min_cost ?candidate_cap:cap engine ~cost ~target ~tau)
+        in
+        match r with
+        | Ok o -> Some (mc_outcome o seconds)
+        | Error Iq.Engine.Error.Infeasible -> None
+        | Error e -> failwith (Iq.Engine.Error.to_string e));
+    max_hit =
+      (fun engine ~target ~beta ->
+        let engine = prep engine in
+        let cost = cost_for engine in
+        warm engine ~target;
+        let r, seconds =
+          Harness.time (fun () ->
+              Iq.Engine.max_hit ?candidate_cap:cap ?max_iterations:mh_iters
+                engine ~cost ~target ~beta)
+        in
+        Some (mh_outcome (ok r) seconds));
+  }
+
+let efficient_iq = searches "Efficient-IQ" Fun.id
+
+(* Same index, RTA evaluation: a sibling engine adopting the built
+   index with the RTA backend (read-only, so sharing is safe). *)
 let rta_iq =
-  {
-    name = "RTA-IQ";
-    min_cost =
-      (fun index ~target ~tau ->
-        let inst = Iq.Query_index.instance index in
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.rta ~pool:(Harness.default_pool ()) inst ~target in
-        let r, seconds =
-          Harness.time (fun () ->
-              Iq.Min_cost.search ?candidate_cap:cap
-                ~pool:(Harness.default_pool ()) ~evaluator ~cost ~target
-                ~tau ())
-        in
-        Option.map
-          (fun (o : Iq.Min_cost.outcome) ->
-            { seconds; cost = o.Iq.Min_cost.total_cost; hits = o.Iq.Min_cost.hits_after })
-          r);
-    max_hit =
-      (fun index ~target ~beta ->
-        let inst = Iq.Query_index.instance index in
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.rta ~pool:(Harness.default_pool ()) inst ~target in
-        let o, seconds =
-          Harness.time (fun () ->
-              Iq.Max_hit.search ?candidate_cap:cap ?max_iterations:mh_iters
-                ~pool:(Harness.default_pool ())
-                ~evaluator ~cost ~target ~beta ())
-        in
-        Some
-          {
-            seconds;
-            cost = o.Iq.Max_hit.incremental_cost;
-            hits = o.Iq.Max_hit.hits_after;
-          });
-  }
+  searches "RTA-IQ" (fun engine ->
+      ok
+        (Iq.Engine.of_index
+           ~backend:(module Iq.Engine.Rta_backend)
+           ~pool:(Iq.Engine.pool engine) (Iq.Engine.index engine)))
 
 let greedy =
   {
     name = "Greedy";
     min_cost =
-      (fun index ~target ~tau ->
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.ese index ~target in
+      (fun engine ~target ~tau ->
+        let cost = cost_for engine in
+        let evaluator = ok (Iq.Engine.evaluator engine ~target) in
         let r, seconds =
           Harness.time (fun () ->
               Iq.Baselines.greedy_min_cost ~evaluator ~cost ~target ~tau ())
@@ -108,9 +96,9 @@ let greedy =
             { seconds; cost = o.Iq.Baselines.total_cost; hits = o.Iq.Baselines.hits_after })
           r);
     max_hit =
-      (fun index ~target ~beta ->
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.ese index ~target in
+      (fun engine ~target ~beta ->
+        let cost = cost_for engine in
+        let evaluator = ok (Iq.Engine.evaluator engine ~target) in
         let o, seconds =
           Harness.time (fun () ->
               Iq.Baselines.greedy_max_hit ~evaluator ~cost ~target ~beta ())
@@ -129,9 +117,9 @@ let random_scheme seed =
   {
     name = "Random";
     min_cost =
-      (fun index ~target ~tau ->
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.ese index ~target in
+      (fun engine ~target ~tau ->
+        let cost = cost_for engine in
+        let evaluator = ok (Iq.Engine.evaluator engine ~target) in
         let r, seconds =
           Harness.time (fun () ->
               Iq.Baselines.random_min_cost ~attempts:200 ~rng:draw ~evaluator
@@ -142,9 +130,9 @@ let random_scheme seed =
             { seconds; cost = o.Iq.Baselines.total_cost; hits = o.Iq.Baselines.hits_after })
           r);
     max_hit =
-      (fun index ~target ~beta ->
-        let cost = cost_for index in
-        let evaluator = Iq.Evaluator.ese index ~target in
+      (fun engine ~target ~beta ->
+        let cost = cost_for engine in
+        let evaluator = ok (Iq.Engine.evaluator engine ~target) in
         let o, seconds =
           Harness.time (fun () ->
               Iq.Baselines.random_max_hit ~attempts:200 ~rng:draw ~evaluator
@@ -169,8 +157,8 @@ let all seed = [ efficient_iq; rta_iq; greedy; random_scheme seed ]
    tau goal hits — otherwise a baseline that blows past tau by mass
    domination would be rewarded for imprecision. Max-Hit IQs use spent
    budget per achieved hit, as in the paper. *)
-let run_suite ~index ~tau ~beta ~n_iqs ~seed schemes =
-  let inst = Iq.Query_index.instance index in
+let run_suite ~engine ~tau ~beta ~n_iqs ~seed schemes =
+  let inst = Iq.Engine.instance engine in
   let n = Iq.Instance.n_objects inst in
   let rng = Harness.rng (seed * 31) in
   let targets = List.init n_iqs (fun _ -> Workload.Rng.int rng n) in
@@ -179,13 +167,13 @@ let run_suite ~index ~tau ~beta ~n_iqs ~seed schemes =
       let times = ref [] and cphs = ref [] in
       List.iter
         (fun target ->
-          (match scheme.min_cost index ~target ~tau with
+          (match scheme.min_cost engine ~target ~tau with
           | Some o ->
               times := o.seconds :: !times;
               if o.hits > 0 then
                 cphs := (o.cost /. float_of_int (Int.min tau o.hits)) :: !cphs
           | None -> ());
-          match scheme.max_hit index ~target ~beta with
+          match scheme.max_hit engine ~target ~beta with
           | Some o ->
               times := o.seconds :: !times;
               if o.hits > 0 then

@@ -30,11 +30,20 @@ let order_of_name = function
   | "desc" -> Topk.Utility.Desc
   | other -> failwith ("unknown order: " ^ other)
 
-let build_index ~order data queries =
+let ok_or_die = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+let build_engine ~order data queries =
   let inst =
     Iq.Instance.create ~order:(order_of_name order) ~data ~queries ()
   in
-  (inst, Iq.Query_index.build ~pool:(Parallel.default ()) inst)
+  let engine = ok_or_die (Iq.Engine.create inst) in
+  (* Everything in this process serves off the one shared pool the
+     engine borrowed from Parallel.default — creating another would
+     oversubscribe the cores. *)
+  assert (Parallel.live () = 1);
+  engine
 
 (* --- common options -------------------------------------------------- *)
 
@@ -186,15 +195,20 @@ let sql_cmd =
 let run_stats data_path queries_path order =
   let _, data = load_objects data_path in
   let queries = load_queries queries_path in
-  let _, index = build_index ~order data queries in
-  Printf.printf "objects:           %d\n" (Array.length data);
-  Printf.printf "queries:           %d\n" (List.length queries);
-  Printf.printf "subdomain groups:  %d\n" (Iq.Query_index.n_groups index);
+  let engine = build_engine ~order data queries in
+  let st = Iq.Engine.stats engine in
+  let index = Iq.Engine.index engine in
+  Printf.printf "objects:           %d\n" st.Iq.Engine.n_objects;
+  Printf.printf "queries:           %d\n" st.Iq.Engine.n_queries;
+  Printf.printf "subdomain groups:  %d\n" st.Iq.Engine.n_groups;
   Printf.printf "prefix depth:      %d\n" (Iq.Query_index.depth index);
   Printf.printf "candidate rivals:  %d\n"
     (Array.length (Iq.Query_index.candidate_rivals index));
-  Printf.printf "index size:        %d words\n" (Iq.Query_index.size_words index);
-  Printf.printf "build time:        %.3f s\n" (Iq.Query_index.build_seconds index)
+  Printf.printf "index size:        %d words\n" st.Iq.Engine.index_words;
+  Printf.printf "build time:        %.3f s\n"
+    (Iq.Query_index.build_seconds index);
+  Printf.printf "backend:           %s\n" st.Iq.Engine.backend;
+  Printf.printf "pool domains:      %d\n" st.Iq.Engine.domains
 
 let stats_cmd =
   Cmd.v
@@ -211,20 +225,18 @@ let print_strategy prefix s =
 let run_mincost data_path queries_path targets tau cost_name order cap =
   let _, data = load_objects data_path in
   let queries = load_queries queries_path in
-  let inst, index = build_index ~order data queries in
-  let d = Iq.Instance.dim inst in
+  let engine = build_engine ~order data queries in
+  let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   let cost = cost_of_name cost_name d in
   let cap = normalize_cap cap in
   match targets with
   | [ target ] -> (
-      let evaluator = Iq.Evaluator.ese index ~target in
-      Printf.printf "target %d: H = %d\n" target evaluator.Iq.Evaluator.base_hits;
-      match
-        Iq.Min_cost.search ?candidate_cap:cap ~pool:(Parallel.default ())
-          ~evaluator ~cost ~target ~tau ()
-      with
-      | None -> Printf.printf "tau = %d is unreachable\n" tau
-      | Some o ->
+      match Iq.Engine.min_cost ?candidate_cap:cap engine ~cost ~target ~tau with
+      | Error Iq.Engine.Error.Infeasible ->
+          Printf.printf "tau = %d is unreachable\n" tau
+      | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
+      | Ok o ->
+          Printf.printf "target %d: H = %d\n" target o.Iq.Min_cost.hits_before;
           Printf.printf "hits: %d -> %d, cost %.6f (%d iterations, %d evals)\n"
             o.Iq.Min_cost.hits_before o.Iq.Min_cost.hits_after
             o.Iq.Min_cost.total_cost o.Iq.Min_cost.iterations
@@ -232,9 +244,11 @@ let run_mincost data_path queries_path targets tau cost_name order cap =
           print_strategy "strategy: " o.Iq.Min_cost.strategy)
   | targets -> (
       let costs = List.map (fun t -> (t, cost)) targets in
-      match Iq.Combinatorial.min_cost ?candidate_cap:cap ~index ~costs ~tau () with
-      | None -> Printf.printf "tau = %d is unreachable\n" tau
-      | Some o ->
+      match Iq.Engine.min_cost_multi ?candidate_cap:cap engine ~costs ~tau with
+      | Error Iq.Engine.Error.Infeasible ->
+          Printf.printf "tau = %d is unreachable\n" tau
+      | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
+      | Ok o ->
           Printf.printf "union hits: %d -> %d, total cost %.6f\n"
             o.Iq.Combinatorial.union_hits_before
             o.Iq.Combinatorial.union_hits_after o.Iq.Combinatorial.total_cost;
@@ -258,30 +272,31 @@ let mincost_cmd =
 let run_maxhit data_path queries_path targets beta cost_name order cap =
   let _, data = load_objects data_path in
   let queries = load_queries queries_path in
-  let inst, index = build_index ~order data queries in
-  let d = Iq.Instance.dim inst in
+  let engine = build_engine ~order data queries in
+  let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   let cost = cost_of_name cost_name d in
   let cap = normalize_cap cap in
   match targets with
-  | [ target ] ->
-      let evaluator = Iq.Evaluator.ese index ~target in
-      let o =
-        Iq.Max_hit.search ?candidate_cap:cap ~pool:(Parallel.default ())
-          ~evaluator ~cost ~target ~beta ()
-      in
-      Printf.printf "hits: %d -> %d, spent %.6f of %.6f\n"
-        o.Iq.Max_hit.hits_before o.Iq.Max_hit.hits_after
-        o.Iq.Max_hit.incremental_cost beta;
-      print_strategy "strategy: " o.Iq.Max_hit.strategy
-  | targets ->
+  | [ target ] -> (
+      match Iq.Engine.max_hit ?candidate_cap:cap engine ~cost ~target ~beta with
+      | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
+      | Ok o ->
+          Printf.printf "hits: %d -> %d, spent %.6f of %.6f\n"
+            o.Iq.Max_hit.hits_before o.Iq.Max_hit.hits_after
+            o.Iq.Max_hit.incremental_cost beta;
+          print_strategy "strategy: " o.Iq.Max_hit.strategy)
+  | targets -> (
       let costs = List.map (fun t -> (t, cost)) targets in
-      let o = Iq.Combinatorial.max_hit ?candidate_cap:cap ~index ~costs ~beta () in
-      Printf.printf "union hits: %d -> %d, total cost %.6f of %.6f\n"
-        o.Iq.Combinatorial.union_hits_before o.Iq.Combinatorial.union_hits_after
-        o.Iq.Combinatorial.total_cost beta;
-      List.iter
-        (fun (t, s) -> print_strategy (Printf.sprintf "target %d: " t) s)
-        o.Iq.Combinatorial.strategies
+      match Iq.Engine.max_hit_multi ?candidate_cap:cap engine ~costs ~beta with
+      | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
+      | Ok o ->
+          Printf.printf "union hits: %d -> %d, total cost %.6f of %.6f\n"
+            o.Iq.Combinatorial.union_hits_before
+            o.Iq.Combinatorial.union_hits_after o.Iq.Combinatorial.total_cost
+            beta;
+          List.iter
+            (fun (t, s) -> print_strategy (Printf.sprintf "target %d: " t) s)
+            o.Iq.Combinatorial.strategies)
 
 let maxhit_cmd =
   let beta =

@@ -72,28 +72,28 @@ let () =
           Iq.Nonlinear.embed_query ~families:[ family_u; family_v ] ~family:1 q)
   in
   let inst = Iq.Instance.create ~utility:generic ~data:cars ~queries () in
-  let index = Iq.Query_index.build inst in
+  let engine = Iq.Engine.create_exn inst in
+  let st = Iq.Engine.stats engine in
   Printf.printf
     "unified weight space: %d dims, %d subdomain groups for %d queries\n"
-    (Iq.Instance.dim inst)
-    (Iq.Query_index.n_groups index)
-    (List.length queries);
+    (Iq.Instance.dim inst) st.Iq.Engine.n_groups (List.length queries);
 
   let target = 42 in
   let car = cars.(target) in
   Printf.printf "car #%d: price %.2f, mpg %.2f, capacity %.2f\n" target car.(0)
     car.(1) car.(2);
-  let evaluator = Iq.Evaluator.ese index ~target in
-  Printf.printf "hits %d of %d mixed-utility queries\n"
-    evaluator.Iq.Evaluator.base_hits (List.length queries);
+  (match Iq.Engine.hits engine ~target with
+  | Ok h ->
+      Printf.printf "hits %d of %d mixed-utility queries\n" h
+        (List.length queries)
+  | Error e -> failwith (Iq.Engine.Error.to_string e));
 
   (* Min-Cost IQ in the unified feature space. *)
   let cost = Iq.Cost.euclidean (Iq.Instance.dim inst) in
-  match
-    Iq.Min_cost.search ~evaluator ~cost ~target ~tau:120 ~candidate_cap:256 ()
-  with
-  | None -> print_endline "tau unreachable"
-  | Some o ->
+  match Iq.Engine.min_cost ~candidate_cap:256 engine ~cost ~target ~tau:120 with
+  | Error Iq.Engine.Error.Infeasible -> print_endline "tau unreachable"
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+  | Ok o ->
       Printf.printf
         "min-cost IQ: %d -> %d hits, feature-space strategy cost %.4f\n"
         o.Iq.Min_cost.hits_before o.Iq.Min_cost.hits_after

@@ -5,32 +5,41 @@
    - a competitor launches an aggressive new product (add object);
    - new customers sign up (add queries, via the kNN subdomain
      shortcut);
-   - an obsolete product is withdrawn (remove object).
+   - the competitor reprices mid-cycle (update object, id stable);
+   - the competitor's product is recalled (remove object).
 
-   After each change the index is maintained in place — no rebuild —
-   and the Min-Cost IQ is re-run to get the updated playbook.
+   The engine maintains the index in place — no rebuild — and bumps
+   its generation on every change, so cached evaluator state is
+   re-prepared transparently before the Min-Cost IQ is re-run. A
+   prepared handle, by contrast, is pinned to its generation and
+   reports staleness instead of answering from outdated state.
 
    Run with: dune exec examples/dynamic_market.exe *)
 
-let report label index target =
-  let evaluator = Iq.Evaluator.ese index ~target in
-  Printf.printf "%-34s H(flagship) = %3d   (groups %d, rivals %d)\n" label
-    evaluator.Iq.Evaluator.base_hits
-    (Iq.Query_index.n_groups index)
-    (Array.length (Iq.Query_index.candidate_rivals index));
-  evaluator
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
 
-let replan index target =
-  let d = Iq.Instance.dim (Iq.Query_index.instance index) in
-  let evaluator = Iq.Evaluator.ese index ~target in
+let report label engine target =
+  let st = Iq.Engine.stats engine in
+  Printf.printf "%-34s H(flagship) = %3d   (gen %d, groups %d, rivals %d)\n"
+    label
+    (ok (Iq.Engine.hits engine ~target))
+    st.Iq.Engine.generation st.Iq.Engine.n_groups
+    (Array.length (Iq.Query_index.candidate_rivals (Iq.Engine.index engine)))
+
+let replan engine target =
+  let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   match
-    Iq.Min_cost.search ~evaluator ~cost:(Iq.Cost.euclidean d) ~target ~tau:30
-      ~candidate_cap:64 ()
+    Iq.Engine.min_cost ~candidate_cap:64 engine ~cost:(Iq.Cost.euclidean d)
+      ~target ~tau:30
   with
-  | Some o ->
+  | Ok o ->
       Printf.printf "    plan: reach 30 hits at cost %.4f (%d iterations)\n"
         o.Iq.Min_cost.total_cost o.Iq.Min_cost.iterations
-  | None -> print_endline "    plan: 30 hits currently unreachable"
+  | Error Iq.Engine.Error.Infeasible ->
+      print_endline "    plan: 30 hits currently unreachable"
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
 
 let () =
   let rng = Workload.Rng.make 808 in
@@ -42,52 +51,66 @@ let () =
       ~m:600 ~d:3 ()
   in
   let inst = Iq.Instance.create ~data ~queries () in
-  let index = Iq.Query_index.build inst in
+  let engine = Iq.Engine.create_exn inst in
   (* Flagship: a product currently winning a decent share of customers
      (any member of some cached prefix qualifies; take a mid-pack
      rival). *)
-  let rivals = Iq.Query_index.candidate_rivals index in
+  let rivals = Iq.Query_index.candidate_rivals (Iq.Engine.index engine) in
   let target = rivals.(Array.length rivals / 2) in
 
-  ignore (report "initial market:" index target);
-  replan index target;
+  report "initial market:" engine target;
+  replan engine target;
+
+  (* Pin an evaluator snapshot to the current generation; every market
+     event below will invalidate it. *)
+  let snapshot = ok (Iq.Engine.prepare engine ~target) in
 
   (* 1. A competitor launches a strong product near the top corner. *)
   let launch = [| 0.005; 0.008; 0.006 |] in
-  let competitor = Iq.Query_index.add_object index launch in
-  ignore
-    (report
-       (Printf.sprintf "competitor #%d launches:" competitor)
-       index target);
-  replan index target;
+  let competitor = ok (Iq.Engine.add_object engine launch) in
+  report (Printf.sprintf "competitor #%d launches:" competitor) engine target;
+  replan engine target;
+
+  (* The pinned snapshot refuses to answer for the changed market. *)
+  (match Iq.Engine.evaluate engine snapshot ~s:(Geom.Vec.zero 3) with
+  | Error (Iq.Engine.Error.Stale_state { held; current }) ->
+      Printf.printf
+        "    pinned snapshot correctly stale (generation %d vs %d)\n" held
+        current
+  | Ok _ | Error _ -> failwith "snapshot should have gone stale");
 
   (* 2. 50 new customers arrive; most resolve through the kNN
      subdomain shortcut instead of a full evaluation. *)
   for _ = 1 to 50 do
     ignore
-      (Iq.Query_index.add_query index
-         (Topk.Query.make
-            ~k:(1 + Workload.Rng.int rng 14)
-            (Array.init 3 (fun _ -> Workload.Rng.uniform rng))))
+      (ok
+         (Iq.Engine.add_query engine
+            (Topk.Query.make
+               ~k:(1 + Workload.Rng.int rng 14)
+               (Array.init 3 (fun _ -> Workload.Rng.uniform rng)))))
   done;
-  let hits, misses = Iq.Query_index.hint_stats index in
+  let hits, misses = Iq.Query_index.hint_stats (Iq.Engine.index engine) in
   Printf.printf "50 customers joined (kNN shortcut: %d hits, %d misses)\n" hits
     misses;
-  ignore (report "after signups:" index target);
+  report "after signups:" engine target;
 
-  (* 3. The competitor's product is recalled. *)
-  Iq.Query_index.remove_object index competitor;
-  ignore (report "competitor recalled:" index target);
-  replan index target;
+  (* 3. The competitor reprices mid-cycle: same product id, weaker
+     spec. Only subdomains whose prefix involves it are recomputed. *)
+  ignore (ok (Iq.Engine.update_object engine competitor [| 0.3; 0.4; 0.35 |]));
+  report "competitor reprices:" engine target;
+  replan engine target;
 
-  (* Consistency spot-check against a fresh rebuild. *)
-  let fresh = Iq.Query_index.build (Iq.Query_index.instance index) in
-  let inst' = Iq.Query_index.instance index in
-  let ok = ref true in
-  for q = 0 to Iq.Instance.n_queries inst' - 1 do
-    if
-      Iq.Query_index.member index ~q target
-      <> Iq.Query_index.member fresh ~q target
-    then ok := false
+  (* 4. The competitor's product is recalled. *)
+  ignore (ok (Iq.Engine.remove_object engine competitor));
+  report "competitor recalled:" engine target;
+  replan engine target;
+
+  (* Consistency spot-check: a fresh engine built from the final
+     instance must agree on every membership. *)
+  let fresh = Iq.Engine.create_exn (Iq.Engine.instance engine) in
+  let consistent = ref true in
+  for q = 0 to Iq.Instance.n_queries (Iq.Engine.instance engine) - 1 do
+    if ok (Iq.Engine.member engine ~target ~q) <> ok (Iq.Engine.member fresh ~target ~q)
+    then consistent := false
   done;
-  Printf.printf "maintained index consistent with rebuild: %b\n" !ok
+  Printf.printf "maintained index consistent with rebuild: %b\n" !consistent

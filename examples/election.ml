@@ -41,6 +41,10 @@ let voter_query rng id =
   in
   Topk.Query.make ~id ~k:1 weights
 
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
 let () =
   let rng = Workload.Rng.make 1789 in
   let candidates =
@@ -51,21 +55,20 @@ let () =
     Iq.Instance.create ~utility:platform_utility ~data:candidates
       ~queries:voters ()
   in
-  let index = Iq.Query_index.build inst in
+  let engine = Iq.Engine.create_exn inst in
 
   (* Current vote counts. *)
   Printf.printf "current first-choice support (3000 voters):\n";
   Array.iteri
     (fun c _ ->
-      let ev = Iq.Evaluator.ese index ~target:c in
-      Printf.printf "  candidate %2d: %4d votes\n" c ev.Iq.Evaluator.base_hits)
+      Printf.printf "  candidate %2d: %4d votes\n" c
+        (ok (Iq.Engine.hits engine ~target:c)))
     candidates;
 
   (* Our candidate: the one currently in the middle of the pack. *)
   let target = 7 in
-  let evaluator = Iq.Evaluator.ese index ~target in
   Printf.printf "\nmanaging candidate %d (%d votes)\n" target
-    evaluator.Iq.Evaluator.base_hits;
+    (ok (Iq.Engine.hits engine ~target));
 
   (* Political capital limits movement in feature space; platform
      positions must stay in [0,1] and their squares consistent — we
@@ -77,8 +80,9 @@ let () =
   let cost = Iq.Cost.euclidean (2 * d) in
 
   let o =
-    Iq.Max_hit.search ~limits ~evaluator ~cost ~target ~beta:0.35
-      ~candidate_cap:256 ()
+    ok
+      (Iq.Engine.max_hit ~limits ~candidate_cap:256 engine ~cost ~target
+         ~beta:0.35)
   in
   Printf.printf "max-hit IQ with budget 0.35: %d -> %d votes (spent %.3f)\n"
     o.Iq.Max_hit.hits_before o.Iq.Max_hit.hits_after
@@ -95,9 +99,10 @@ let () =
   Printf.printf "\ncombinatorial max-hit for the ticket {%d, %d}:\n" target
     running_mate;
   let co =
-    Iq.Combinatorial.max_hit ~index
-      ~costs:[ (target, cost); (running_mate, cost) ]
-      ~beta:0.35 ~candidate_cap:128 ()
+    ok
+      (Iq.Engine.max_hit_multi ~candidate_cap:128 engine
+         ~costs:[ (target, cost); (running_mate, cost) ]
+         ~beta:0.35)
   in
   Printf.printf "  combined electorate: %d -> %d voters (total cost %.3f)\n"
     co.Iq.Combinatorial.union_hits_before co.Iq.Combinatorial.union_hits_after

@@ -1,8 +1,8 @@
 (* Quickstart: the smallest end-to-end Improvement Query session.
 
    Build a synthetic market of 2,000 products with 3 normalized
-   attributes and 500 customer preferences (top-k queries), index it,
-   and ask the two questions of the paper:
+   attributes and 500 customer preferences (top-k queries), hand it to
+   the serving engine, and ask the two questions of the paper:
 
    - Min-Cost IQ: what is the cheapest way for product #17 to appear in
      at least 25 customers' top-k lists?
@@ -11,6 +11,10 @@
      reach?
 
    Run with: dune exec examples/quickstart.exe *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
 
 let () =
   let rng = Workload.Rng.make 2024 in
@@ -22,28 +26,25 @@ let () =
       ~m:500 ~d:3 ()
   in
 
-  (* Objects become functions, queries become points (Section 3.2). *)
+  (* Objects become functions, queries become points (Section 3.2); the
+     engine builds the Efficient-IQ index (subdomain grouping + query
+     R-tree) and owns evaluator state from here on. *)
   let inst = Iq.Instance.create ~data ~queries () in
-
-  (* The Efficient-IQ index: subdomain grouping + query R-tree. *)
-  let index = Iq.Query_index.build inst in
+  let engine = Iq.Engine.create_exn inst in
+  let st = Iq.Engine.stats engine in
   Printf.printf "index: %d queries in %d subdomain groups, %d rival objects\n"
-    (Iq.Instance.n_queries inst)
-    (Iq.Query_index.n_groups index)
-    (Array.length (Iq.Query_index.candidate_rivals index));
+    st.Iq.Engine.n_queries st.Iq.Engine.n_groups
+    (Array.length (Iq.Query_index.candidate_rivals (Iq.Engine.index engine)));
 
   let target = 17 in
   let cost = Iq.Cost.euclidean 3 in
-  let evaluator = Iq.Evaluator.ese index ~target in
   Printf.printf "product #%d currently hits %d of %d queries\n" target
-    evaluator.Iq.Evaluator.base_hits
-    (Iq.Instance.n_queries inst);
+    (ok (Iq.Engine.hits engine ~target))
+    st.Iq.Engine.n_queries;
 
   (* Min-Cost IQ. *)
-  (match
-     Iq.Min_cost.search ~evaluator ~cost ~target ~tau:25 ()
-   with
-  | Some o ->
+  (match Iq.Engine.min_cost engine ~cost ~target ~tau:25 with
+  | Ok o ->
       Printf.printf
         "min-cost IQ: reach 25 hits with cost %.4f (achieved %d hits in %d \
          iterations)\n"
@@ -53,12 +54,13 @@ let () =
         (String.concat ", "
            (Array.to_list
               (Array.map (Printf.sprintf "%+.4f") o.Iq.Min_cost.strategy)))
-  | None -> print_endline "min-cost IQ: goal unreachable");
+  | Error Iq.Engine.Error.Infeasible ->
+      print_endline "min-cost IQ: goal unreachable"
+  | Error e -> failwith (Iq.Engine.Error.to_string e));
 
-  (* Max-Hit IQ (fresh evaluator: the previous search shares its
-     instrumentation counters). *)
-  let evaluator = Iq.Evaluator.ese index ~target in
-  let o = Iq.Max_hit.search ~evaluator ~cost ~target ~beta:0.8 () in
+  (* Max-Hit IQ — the engine reuses the evaluator it cached for the
+     Min-Cost search and reports this call's work only. *)
+  let o = ok (Iq.Engine.max_hit engine ~cost ~target ~beta:0.8) in
   Printf.printf
     "max-hit IQ: budget 0.80 buys %d hits (up from %d), spending %.4f\n"
     o.Iq.Max_hit.hits_after o.Iq.Max_hit.hits_before

@@ -83,7 +83,7 @@ let () =
   let inst =
     Iq.Instance.create ~order:Topk.Utility.Desc ~data ~queries:buyers ()
   in
-  let index = Iq.Query_index.build inst in
+  let engine = Iq.Engine.create_exn inst in
 
   (* 4. Min-Cost IQ per target: the facelift program may only change
      horsepower, mpg and annual cost. *)
@@ -97,13 +97,14 @@ let () =
   print_endline "\nimprovement strategies:";
   List.iter
     (fun target ->
-      let evaluator = Iq.Evaluator.ese index ~target in
       match
-        Iq.Min_cost.search ~limits ~evaluator ~cost ~target ~tau:40
-          ~candidate_cap:128 ()
+        Iq.Engine.min_cost ~limits ~candidate_cap:128 engine ~cost ~target
+          ~tau:40
       with
-      | None -> Printf.printf "  vehicle %d: 40 hits unreachable\n" target
-      | Some o ->
+      | Error Iq.Engine.Error.Infeasible ->
+          Printf.printf "  vehicle %d: 40 hits unreachable\n" target
+      | Error e -> failwith (Iq.Engine.Error.to_string e)
+      | Ok o ->
           Printf.printf
             "  vehicle %d: %d -> %d buyer hits at cost %.4f (dHP %+0.3f, \
              dMPG %+0.3f, dCost %+0.3f)\n"

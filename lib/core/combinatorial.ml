@@ -25,10 +25,14 @@ type candidate = {
   union_gain : int; (* change in union hit count if applied *)
 }
 
-let make_ctx index limits (target, cost) =
+let make_ctx index limits states (target, cost) =
   let inst = Query_index.instance index in
   let d = Instance.dim inst in
-  let state = Ese.prepare index ~target in
+  let state =
+    match List.assoc_opt target states with
+    | Some s -> s
+    | None -> Ese.prepare index ~target
+  in
   let lims =
     match List.assoc_opt target limits with
     | Some l -> l
@@ -158,16 +162,15 @@ let finish ctxs cover ~before ~iterations =
     iterations;
   }
 
-let min_cost ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~tau
-    () =
-  if tau <= 0 then invalid_arg "Combinatorial.min_cost: tau <= 0";
+let min_cost ?(limits = []) ?max_iterations ?candidate_cap ?(states = [])
+    ~index ~costs ~tau () =
   if costs = [] then invalid_arg "Combinatorial.min_cost: no targets";
   let inst = Query_index.instance index in
   let m = Instance.n_queries inst in
   let max_iterations =
     match max_iterations with Some n -> n | None -> (4 * tau) + 32
   in
-  let ctxs = List.map (make_ctx index limits) costs in
+  let ctxs = List.map (make_ctx index limits states) costs in
   let cover = ref (build_cover ctxs m) in
   let before = union_count !cover in
   let iterations = ref 0 in
@@ -196,16 +199,15 @@ let min_cost ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~tau
   if union_count !cover < tau then None
   else Some (finish ctxs !cover ~before ~iterations:!iterations)
 
-let max_hit ?(limits = []) ?max_iterations ?candidate_cap ~index ~costs ~beta
-    () =
-  if beta < 0. then invalid_arg "Combinatorial.max_hit: beta < 0";
+let max_hit ?(limits = []) ?max_iterations ?candidate_cap ?(states = [])
+    ~index ~costs ~beta () =
   if costs = [] then invalid_arg "Combinatorial.max_hit: no targets";
   let inst = Query_index.instance index in
   let m = Instance.n_queries inst in
   let max_iterations =
     match max_iterations with Some n -> n | None -> 256
   in
-  let ctxs = List.map (make_ctx index limits) costs in
+  let ctxs = List.map (make_ctx index limits states) costs in
   let cover = ref (build_cover ctxs m) in
   let before = union_count !cover in
   let spent () = List.fold_left (fun acc ctx -> acc +. ctx.spent) 0. ctxs in

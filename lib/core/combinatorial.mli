@@ -20,21 +20,29 @@ val min_cost :
   ?limits:(int * Strategy.limits) list ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?states:(int * Ese.state) list ->
   index:Query_index.t ->
   costs:(int * Cost.t) list ->
   tau:int ->
   unit ->
   outcome option
 (** [costs] maps each target id to its cost function (the target set is
-    its domain). [None] when [tau] union hits are unreachable. *)
+    its domain). [states] supplies pre-built {!Ese} states per target
+    (e.g. from {!Engine}'s cache); targets without one prepare their
+    own. [None] when [tau] union hits are unreachable; a [tau] the
+    union already meets — including [tau <= 0] — is trivially
+    satisfied with zero strategies.
+    @raise Invalid_argument when [costs] is empty. *)
 
 val max_hit :
   ?limits:(int * Strategy.limits) list ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?states:(int * Ese.state) list ->
   index:Query_index.t ->
   costs:(int * Cost.t) list ->
   beta:float ->
   unit ->
   outcome
-(** Shared budget [beta] across all targets. *)
+(** Shared budget [beta] across all targets; [states] as in
+    {!min_cost}. *)

@@ -1,0 +1,385 @@
+open Geom
+
+module Error = struct
+  type t =
+    | Dim_mismatch of { expected : int; got : int }
+    | Unknown_target of { id : int; n_objects : int }
+    | Unknown_query of { q : int; n_queries : int }
+    | Depth_exceeded of { k : int; depth : int }
+    | Budget_exhausted of float
+    | Infeasible
+    | Stale_state of { held : int; current : int }
+    | Unknown_backend of string
+    | Empty_targets
+
+  let to_string = function
+    | Dim_mismatch { expected; got } ->
+        Printf.sprintf "dimension mismatch: expected %d, got %d" expected got
+    | Unknown_target { id; n_objects } ->
+        Printf.sprintf "unknown target %d (instance has %d objects)" id
+          n_objects
+    | Unknown_query { q; n_queries } ->
+        Printf.sprintf "unknown query %d (workload has %d queries)" q
+          n_queries
+    | Depth_exceeded { k; depth } ->
+        Printf.sprintf
+          "query k=%d exceeds index depth %d (rebuild with depth_slack)" k
+          depth
+    | Budget_exhausted beta -> Printf.sprintf "budget %g is negative" beta
+    | Infeasible -> "goal unreachable: no feasible strategy"
+    | Stale_state { held; current } ->
+        Printf.sprintf "stale state: prepared at generation %d, engine at %d"
+          held current
+    | Unknown_backend name ->
+        Printf.sprintf "unknown backend %S (expected ese, scan or rta)" name
+    | Empty_targets -> "no targets given"
+
+  let pp ppf e = Format.pp_print_string ppf (to_string e)
+end
+
+let ( let* ) = Result.bind
+
+module type BACKEND = sig
+  val name : string
+
+  val prepare :
+    index:Query_index.t ->
+    pool:Parallel.pool ->
+    target:int ->
+    Evaluator.t * Ese.state option
+end
+
+type backend = (module BACKEND)
+
+module Ese_backend = struct
+  let name = "ese"
+
+  let prepare ~index ~pool:_ ~target =
+    let state = Ese.prepare index ~target in
+    (Evaluator.of_state index state, Some state)
+end
+
+module Scan_backend = struct
+  let name = "scan"
+
+  let prepare ~index ~pool ~target =
+    (Evaluator.naive ~pool (Query_index.instance index) ~target, None)
+end
+
+module Rta_backend = struct
+  let name = "rta"
+
+  let prepare ~index ~pool ~target =
+    (Evaluator.rta ~pool (Query_index.instance index) ~target, None)
+end
+
+let backend_of_name name =
+  match String.lowercase_ascii (String.trim name) with
+  | "ese" | "efficient" | "efficient-iq" -> Ok (module Ese_backend : BACKEND)
+  | "scan" | "naive" -> Ok (module Scan_backend : BACKEND)
+  | "rta" | "rta-iq" -> Ok (module Rta_backend : BACKEND)
+  | other -> Error (Error.Unknown_backend other)
+
+let default_backend () = backend_of_name (Workload.Config.backend ())
+
+(* A cached per-target evaluator, pinned to the generation it was
+   prepared at. The ESE state rides along (when the backend has one)
+   so combinatorial searches reuse it instead of re-preparing. *)
+type centry = { c_gen : int; c_eval : Evaluator.t; c_state : Ese.state option }
+
+type t = {
+  index : Query_index.t;
+  pool : Parallel.pool;
+  backend : backend;
+  lock : Mutex.t;
+  cache : (int, centry) Hashtbl.t;
+  mutable gen : int;
+  mutable repreps : int;
+  mutable retired_evals : int;
+      (* evaluation counts of cache entries already replaced, so
+         [stats] stays monotonic across re-preparations *)
+}
+
+let with_lock t f =
+  Mutex.lock t.lock;
+  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+
+let resolve_backend = function Some b -> Ok b | None -> default_backend ()
+
+let of_index ?backend ?pool index =
+  let* b = resolve_backend backend in
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
+  Ok
+    {
+      index;
+      pool;
+      backend = b;
+      lock = Mutex.create ();
+      cache = Hashtbl.create 16;
+      gen = 0;
+      repreps = 0;
+      retired_evals = 0;
+    }
+
+let create ?backend ?depth_slack ?method_ ?pool inst =
+  let* b = resolve_backend backend in
+  let pool = match pool with Some p -> p | None -> Parallel.default () in
+  let index = Query_index.build ?depth_slack ?method_ ~pool inst in
+  of_index ~backend:b ~pool index
+
+let create_exn ?backend ?depth_slack ?method_ ?pool inst =
+  match create ?backend ?depth_slack ?method_ ?pool inst with
+  | Ok t -> t
+  | Error e -> invalid_arg ("Engine.create: " ^ Error.to_string e)
+
+let instance t = Query_index.instance t.index
+
+let index t = t.index
+
+let pool t = t.pool
+
+let generation t = t.gen
+
+let backend_name t =
+  let (module B : BACKEND) = t.backend in
+  B.name
+
+(* {2 Validation} *)
+
+let check_target t id =
+  let n = Instance.n_objects (instance t) in
+  if id < 0 || id >= n then Error (Error.Unknown_target { id; n_objects = n })
+  else Ok ()
+
+let check_query t q =
+  let m = Instance.n_queries (instance t) in
+  if q < 0 || q >= m then Error (Error.Unknown_query { q; n_queries = m })
+  else Ok ()
+
+let check_dim ~expected ~got =
+  if expected <> got then Error (Error.Dim_mismatch { expected; got })
+  else Ok ()
+
+(* {2 Evaluator cache} *)
+
+let entry t ~target =
+  with_lock t (fun () ->
+      let fresh () =
+        let (module B : BACKEND) = t.backend in
+        let eval, state = B.prepare ~index:t.index ~pool:t.pool ~target in
+        let e = { c_gen = t.gen; c_eval = eval; c_state = state } in
+        Hashtbl.replace t.cache target e;
+        e
+      in
+      match Hashtbl.find_opt t.cache target with
+      | Some e when e.c_gen = t.gen -> e
+      | Some stale ->
+          (* Transparent re-preparation: a mutation moved the engine
+             past this entry's generation. *)
+          t.repreps <- t.repreps + 1;
+          t.retired_evals <-
+            t.retired_evals + stale.c_eval.Evaluator.evaluations ();
+          fresh ()
+      | None -> fresh ())
+
+let evaluator t ~target =
+  let* () = check_target t target in
+  Ok (entry t ~target).c_eval
+
+let hits t ~target =
+  let* ev = evaluator t ~target in
+  Ok ev.Evaluator.base_hits
+
+let member t ~target ~q =
+  let* () = check_target t target in
+  let* () = check_query t q in
+  let e = entry t ~target in
+  match e.c_state with
+  | Some state -> Ok (Ese.member state ~q)
+  | None ->
+      Ok (e.c_eval.Evaluator.member ~q (Strategy.zero (Instance.dim (instance t))))
+
+let dirty_queries t ~target ~s =
+  let* () = check_target t target in
+  let* () = check_dim ~expected:(Instance.dim (instance t)) ~got:(Vec.dim s) in
+  match (entry t ~target).c_state with
+  | Some state -> Ok (Ese.dirty_queries state ~s)
+  | None -> Ok (List.init (Instance.n_queries (instance t)) Fun.id)
+
+(* {2 Prepared handles} *)
+
+type prepared = { p_target : int; p_gen : int; p_entry : centry }
+
+let prepare t ~target =
+  let* () = check_target t target in
+  let e = entry t ~target in
+  Ok { p_target = target; p_gen = e.c_gen; p_entry = e }
+
+let prepared_target p = p.p_target
+
+let prepared_generation p = p.p_gen
+
+let evaluate t p ~s =
+  let* () =
+    check_dim ~expected:(Instance.dim (instance t)) ~got:(Vec.dim s)
+  in
+  let current = t.gen in
+  if p.p_gen <> current then
+    Error (Error.Stale_state { held = p.p_gen; current })
+  else Ok (p.p_entry.c_eval.Evaluator.hit_count s)
+
+let refresh t p = prepare t ~target:p.p_target
+
+(* {2 Improvement queries} *)
+
+let min_cost ?limits ?max_iterations ?candidate_cap t ~cost ~target ~tau =
+  let* () = check_target t target in
+  let* () =
+    check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
+  in
+  let e = entry t ~target in
+  let before = e.c_eval.Evaluator.evaluations () in
+  match
+    Min_cost.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
+      ~evaluator:e.c_eval ~cost ~target ~tau ()
+  with
+  | None -> Error Error.Infeasible
+  | Some o ->
+      (* The cached evaluator accumulates across calls; report only
+         this call's work, as a fresh evaluator would. *)
+      Ok { o with Min_cost.evaluations = o.Min_cost.evaluations - before }
+
+let max_hit ?limits ?max_iterations ?candidate_cap t ~cost ~target ~beta =
+  if beta < 0. then Error (Error.Budget_exhausted beta)
+  else
+    let* () = check_target t target in
+    let* () =
+      check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
+    in
+    let e = entry t ~target in
+    let before = e.c_eval.Evaluator.evaluations () in
+    let o =
+      Max_hit.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
+        ~evaluator:e.c_eval ~cost ~target ~beta ()
+    in
+    Ok { o with Max_hit.evaluations = o.Max_hit.evaluations - before }
+
+let check_costs t costs =
+  if costs = [] then Error Error.Empty_targets
+  else
+    let d = Instance.dim (instance t) in
+    List.fold_left
+      (fun acc (target, cost) ->
+        let* () = acc in
+        let* () = check_target t target in
+        check_dim ~expected:d ~got:cost.Cost.dim)
+      (Ok ()) costs
+
+let cached_states t costs =
+  List.filter_map
+    (fun (target, _) ->
+      match (entry t ~target).c_state with
+      | Some state -> Some (target, state)
+      | None -> None)
+    costs
+
+let min_cost_multi ?limits ?max_iterations ?candidate_cap t ~costs ~tau =
+  let* () = check_costs t costs in
+  let states = cached_states t costs in
+  match
+    Combinatorial.min_cost ?limits ?max_iterations ?candidate_cap ~states
+      ~index:t.index ~costs ~tau ()
+  with
+  | None -> Error Error.Infeasible
+  | Some o -> Ok o
+
+let max_hit_multi ?limits ?max_iterations ?candidate_cap t ~costs ~beta =
+  if beta < 0. then Error (Error.Budget_exhausted beta)
+  else
+    let* () = check_costs t costs in
+    let states = cached_states t costs in
+    Ok
+      (Combinatorial.max_hit ?limits ?max_iterations ?candidate_cap ~states
+         ~index:t.index ~costs ~beta ())
+
+(* {2 Dataset maintenance} *)
+
+let mutate t f =
+  with_lock t (fun () ->
+      let r = f () in
+      t.gen <- t.gen + 1;
+      r)
+
+let add_query t q =
+  let* () =
+    check_dim ~expected:(Instance.dim (instance t))
+      ~got:(Vec.dim q.Topk.Query.weights)
+  in
+  let depth = Query_index.depth t.index in
+  if q.Topk.Query.k + 1 > depth then
+    Error (Error.Depth_exceeded { k = q.Topk.Query.k; depth })
+  else Ok (mutate t (fun () -> Query_index.add_query t.index q))
+
+let remove_query t q =
+  let* () = check_query t q in
+  Ok (mutate t (fun () -> Query_index.remove_query t.index q))
+
+let add_object t raw =
+  let* () =
+    check_dim ~expected:(Instance.dim_raw (instance t)) ~got:(Vec.dim raw)
+  in
+  Ok (mutate t (fun () -> Query_index.add_object t.index raw))
+
+let update_object t id raw =
+  let* () = check_target t id in
+  let* () =
+    check_dim ~expected:(Instance.dim_raw (instance t)) ~got:(Vec.dim raw)
+  in
+  Ok (mutate t (fun () -> Query_index.update_object t.index id raw))
+
+let remove_object t id =
+  let* () = check_target t id in
+  Ok (mutate t (fun () -> Query_index.remove_object t.index id))
+
+(* {2 Stats} *)
+
+type stats = {
+  generation : int;
+  backend : string;
+  domains : int;
+  n_objects : int;
+  n_queries : int;
+  n_groups : int;
+  index_words : int;
+  cached_targets : int;
+  stale_cached : int;
+  repreparations : int;
+  evaluations : int;
+}
+
+let stats t =
+  with_lock t (fun () ->
+      let inst = Query_index.instance t.index in
+      let stale =
+        Hashtbl.fold
+          (fun _ e acc -> if e.c_gen <> t.gen then acc + 1 else acc)
+          t.cache 0
+      in
+      let live_evals =
+        Hashtbl.fold
+          (fun _ e acc -> acc + e.c_eval.Evaluator.evaluations ())
+          t.cache 0
+      in
+      {
+        generation = t.gen;
+        backend = backend_name t;
+        domains = Parallel.domains t.pool;
+        n_objects = Instance.n_objects inst;
+        n_queries = Instance.n_queries inst;
+        n_groups = Query_index.n_groups t.index;
+        index_words = Query_index.size_words t.index;
+        cached_targets = Hashtbl.length t.cache;
+        stale_cached = stale;
+        repreparations = t.repreps;
+        evaluations = t.retired_evals + live_evals;
+      })

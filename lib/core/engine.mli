@@ -1,0 +1,261 @@
+(** The serving facade: one value that owns the whole IQ pipeline.
+
+    [Engine.create] takes an {!Instance}, builds the {!Query_index},
+    borrows the process-wide {!Parallel} pool, and from then on every
+    improvement query, evaluation and dataset update goes through the
+    engine — callers never wire [build]/[prepare]/[search] by hand (and
+    nothing outside [lib/core] should).
+
+    {b Generations.} The engine stamps every prepared evaluator with a
+    generation counter that each mutation ({!add_query},
+    {!add_object}, {!update_object}, …) bumps. Cached evaluators from
+    an older generation are re-prepared transparently on next use, so
+    a search after an update always sees current data. Only explicit
+    {!prepared} handles can observe staleness: evaluating one whose
+    generation is behind yields [Error (Stale_state _)] rather than a
+    silently wrong count.
+
+    {b Errors.} Entry points validate their inputs and return typed
+    [result]s instead of raising — the [invalid_arg]s of the inner
+    layers remain only for wiring bugs the engine has already ruled
+    out.
+
+    {b Backends.} Evaluation is pluggable via first-class modules:
+    Efficient-IQ's subdomain index ({!Ese_backend}, the default), a
+    full rescan ({!Scan_backend}) and reverse-top-k ({!Rta_backend}).
+    [IQ_BACKEND] selects one at {!create} time (see
+    [Workload.Config.backend]). *)
+
+open Geom
+
+(** Typed failure taxonomy of the serving boundary. *)
+module Error : sig
+  type t =
+    | Dim_mismatch of { expected : int; got : int }
+        (** vector arity differs from the engine's space *)
+    | Unknown_target of { id : int; n_objects : int }
+        (** object id out of range *)
+    | Unknown_query of { q : int; n_queries : int }
+        (** query index out of range *)
+    | Depth_exceeded of { k : int; depth : int }
+        (** an added query's [k] needs a deeper prefix than the index
+            keeps — rebuild with [depth_slack] *)
+    | Budget_exhausted of float  (** negative Max-Hit budget *)
+    | Infeasible  (** Min-Cost: [tau] hits unreachable *)
+    | Stale_state of { held : int; current : int }
+        (** a {!prepared} handle outlived a mutation *)
+    | Unknown_backend of string  (** unrecognized [IQ_BACKEND] name *)
+    | Empty_targets  (** a combinatorial call with no targets *)
+
+  val to_string : t -> string
+
+  val pp : Format.formatter -> t -> unit
+end
+
+(** An evaluation backend. [prepare] builds the per-target evaluator
+    (and, when the backend has one, the underlying {!Ese} state so
+    multi-target searches can reuse it instead of re-preparing). *)
+module type BACKEND = sig
+  val name : string
+
+  val prepare :
+    index:Query_index.t ->
+    pool:Parallel.pool ->
+    target:int ->
+    Evaluator.t * Ese.state option
+end
+
+type backend = (module BACKEND)
+
+module Ese_backend : BACKEND
+(** Efficient-IQ: Algorithm 2 over the subdomain index (default). *)
+
+module Scan_backend : BACKEND
+(** Ground-truth full rescan ({!Evaluator.naive}). *)
+
+module Rta_backend : BACKEND
+(** Reverse top-k recomputation ({!Evaluator.rta}). *)
+
+val backend_of_name : string -> (backend, Error.t) result
+(** ["ese"]/["efficient-iq"], ["scan"]/["naive"], ["rta"]/["rta-iq"]
+    (case-insensitive); anything else is [Unknown_backend]. *)
+
+val default_backend : unit -> (backend, Error.t) result
+(** [backend_of_name (Workload.Config.backend ())] — the [IQ_BACKEND]
+    environment knob. *)
+
+type t
+
+val create :
+  ?backend:backend ->
+  ?depth_slack:int ->
+  ?method_:Query_index.build_method ->
+  ?pool:Parallel.pool ->
+  Instance.t ->
+  (t, Error.t) result
+(** Build the index (sharded over [pool], default the shared
+    {!Parallel.default} pool — engines never create pools of their
+    own) and start at generation 0. Without [?backend] the [IQ_BACKEND]
+    environment selects one; [Error (Unknown_backend _)] when it names
+    nothing. *)
+
+val of_index :
+  ?backend:backend -> ?pool:Parallel.pool -> Query_index.t -> (t, Error.t) result
+(** Adopt an already-built index (e.g. one loaded with
+    {!Query_index.load}). The engine becomes its owner: mutating the
+    index behind the engine's back voids the generation guarantee. *)
+
+val create_exn :
+  ?backend:backend ->
+  ?depth_slack:int ->
+  ?method_:Query_index.build_method ->
+  ?pool:Parallel.pool ->
+  Instance.t ->
+  t
+(** {!create}, raising [Invalid_argument] on error — for programs whose
+    only sensible reaction to a config error is to die (benchmarks,
+    examples). *)
+
+(** {2 Inspection} *)
+
+val instance : t -> Instance.t
+(** The current instance (follows mutations). *)
+
+val index : t -> Query_index.t
+(** Read-only access for diagnostics ([size_words], [build_seconds],
+    …). Mutate only through the engine. *)
+
+val pool : t -> Parallel.pool
+
+val generation : t -> int
+(** Bumped by every successful mutation. *)
+
+val backend_name : t -> string
+
+type stats = {
+  generation : int;
+  backend : string;
+  domains : int;  (** pool size *)
+  n_objects : int;
+  n_queries : int;
+  n_groups : int;  (** index subdomain groups *)
+  index_words : int;  (** approximate index footprint *)
+  cached_targets : int;  (** evaluators held, any generation *)
+  stale_cached : int;  (** of those, behind the current generation *)
+  repreparations : int;  (** cache entries rebuilt after mutations *)
+  evaluations : int;  (** candidate evaluations served, process total *)
+}
+
+val stats : t -> stats
+
+(** {2 Evaluation} *)
+
+val evaluator : t -> target:int -> (Evaluator.t, Error.t) result
+(** The cached (current-generation) evaluator for a target — prepared
+    on first use, re-prepared transparently after mutations. *)
+
+val hits : t -> target:int -> (int, Error.t) result
+(** [H(p_target)]: how many workload queries the target hits now. *)
+
+val member : t -> target:int -> q:int -> (bool, Error.t) result
+(** Whether [target] is in query [q]'s top-k. *)
+
+val dirty_queries :
+  t -> target:int -> s:Strategy.t -> (int list, Error.t) result
+(** The queries whose membership the move [s] can affect — ESE's
+    affected subdomains. Backends without ESE state conservatively
+    report every query. *)
+
+(** {3 Prepared handles}
+
+    A {!prepared} pins a target's evaluator to the generation it was
+    made at. Unlike the implicit cache — which silently re-prepares —
+    a handle is a promise of {e that} snapshot: evaluating it after a
+    mutation reports [Stale_state] instead of answering from data the
+    caller no longer holds. *)
+
+type prepared
+
+val prepare : t -> target:int -> (prepared, Error.t) result
+
+val prepared_target : prepared -> int
+
+val prepared_generation : prepared -> int
+
+val evaluate : t -> prepared -> s:Strategy.t -> (int, Error.t) result
+(** [H(p_target + s)] under the handle's snapshot.
+    [Error (Stale_state _)] when the engine has moved on;
+    [Dim_mismatch] when [s] has the wrong arity. *)
+
+val refresh : t -> prepared -> (prepared, Error.t) result
+(** A current-generation handle for the same target (the stale-handle
+    recovery path). *)
+
+(** {2 Improvement queries} *)
+
+val min_cost :
+  ?limits:Strategy.limits ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  t ->
+  cost:Cost.t ->
+  target:int ->
+  tau:int ->
+  (Min_cost.outcome, Error.t) result
+(** Algorithm 3 through the cached evaluator and shared pool.
+    [Error Infeasible] when [tau] hits are unreachable. The outcome's
+    [evaluations] counts this call only (the cache accumulates across
+    calls; the engine reports the delta). *)
+
+val max_hit :
+  ?limits:Strategy.limits ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  t ->
+  cost:Cost.t ->
+  target:int ->
+  beta:float ->
+  (Max_hit.outcome, Error.t) result
+(** Algorithm 4. [Error (Budget_exhausted beta)] when [beta < 0]. *)
+
+val min_cost_multi :
+  ?limits:(int * Strategy.limits) list ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  t ->
+  costs:(int * Cost.t) list ->
+  tau:int ->
+  (Combinatorial.outcome, Error.t) result
+(** Section 5.1 multi-target Min-Cost. Cached ESE states are passed
+    through, so repeated combinatorial queries over the same targets
+    prepare each state once. *)
+
+val max_hit_multi :
+  ?limits:(int * Strategy.limits) list ->
+  ?max_iterations:int ->
+  ?candidate_cap:int ->
+  t ->
+  costs:(int * Cost.t) list ->
+  beta:float ->
+  (Combinatorial.outcome, Error.t) result
+
+(** {2 Dataset maintenance — Section 4.3}
+
+    All maintenance goes through the in-place index updates; the
+    engine bumps its generation so cached evaluators re-prepare on
+    next use. *)
+
+val add_query : t -> Topk.Query.t -> (int, Error.t) result
+(** Returns the new query's index. *)
+
+val remove_query : t -> int -> (unit, Error.t) result
+(** Later query indices shift down by one. *)
+
+val add_object : t -> Vec.t -> (int, Error.t) result
+(** Raw attributes; returns the new object's id. *)
+
+val update_object : t -> int -> Vec.t -> (unit, Error.t) result
+(** Replace object [id]'s raw attributes; its id is stable. *)
+
+val remove_object : t -> int -> (unit, Error.t) result
+(** Later object ids shift down by one. *)

@@ -10,8 +10,7 @@ type t = {
   evaluations : unit -> int;
 }
 
-let ese index ~target =
-  let state = Ese.prepare index ~target in
+let of_state index state =
   {
     name = "efficient-iq";
     instance = Query_index.instance index;
@@ -21,6 +20,8 @@ let ese index ~target =
     hit_constraint = (fun ~q ~current -> Ese.hit_constraint state ~q ~current);
     evaluations = (fun () -> Ese.evaluations state);
   }
+
+let ese index ~target = of_state index (Ese.prepare index ~target)
 
 let better (s1, i1) (s2, i2) = s1 < s2 || (s1 = s2 && i1 < i2)
 

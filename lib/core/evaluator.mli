@@ -25,7 +25,13 @@ type t = {
 }
 
 val ese : Query_index.t -> target:int -> t
-(** Efficient-IQ's evaluator: Algorithm 2 over the subdomain index. *)
+(** Efficient-IQ's evaluator: Algorithm 2 over the subdomain index.
+    Equivalent to [of_state index (Ese.prepare index ~target)]. *)
+
+val of_state : Query_index.t -> Ese.state -> t
+(** Wrap an already-prepared {!Ese} state. Lets a caller that needs
+    the state itself (e.g. {!Engine}'s cache feeding
+    {!Combinatorial}'s [?states]) prepare it exactly once. *)
 
 val naive : ?pool:Parallel.pool -> Instance.t -> target:int -> t
 (** Ground truth: rescan the full dataset per query (O(n·m·d) per

@@ -95,6 +95,17 @@ let add_object t raw_attrs =
       Array.append t.features [| t.utility.Topk.Utility.features raw_attrs |];
   }
 
+let update_object t id raw_attrs =
+  let n = Array.length t.features in
+  if id < 0 || id >= n then invalid_arg "Instance.update_object: bad id";
+  if Vec.dim raw_attrs <> t.utility.Topk.Utility.dim_in then
+    invalid_arg "Instance.update_object: attribute arity mismatch";
+  let raw = Array.copy t.raw in
+  let features = Array.copy t.features in
+  raw.(id) <- raw_attrs;
+  features.(id) <- t.utility.Topk.Utility.features raw_attrs;
+  { t with raw; features }
+
 let remove_object t id =
   let n = Array.length t.features in
   if n <= 1 then invalid_arg "Instance.remove_object: last object";

@@ -74,5 +74,9 @@ val remove_query : t -> int -> t
 val add_object : t -> Vec.t -> t
 (** Append an object given by raw attributes; it gets id [n_objects]. *)
 
+val update_object : t -> int -> Vec.t -> t
+(** Replace object [id]'s raw attributes in place (its feature image is
+    recomputed); the id and every other object are unchanged. *)
+
 val remove_object : t -> int -> t
 (** Remove an object id; later ids shift down by one. *)

@@ -25,7 +25,6 @@ let best_by score = function
 
 let search ?limits ?max_iterations ?candidate_cap ?pool
     ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~target ~beta () =
-  if beta < 0. then invalid_arg "Max_hit.search: beta < 0";
   let inst = evaluator.Evaluator.instance in
   let d = Instance.dim inst in
   if cost.Cost.dim <> d then invalid_arg "Max_hit.search: cost arity";

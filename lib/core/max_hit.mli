@@ -27,10 +27,14 @@ val search :
   beta:float ->
   unit ->
   outcome
-(** Always returns (the zero strategy is within any non-negative
-    budget). [pool] parallelizes each iteration's candidate
-    evaluations with order preserved and lowest-index tie-breaking, so
-    outcomes are identical for any pool size.
-    @raise Invalid_argument when [beta < 0]. *)
+(** Always returns: a budget that buys nothing — including [beta <= 0]
+    — yields the zero strategy with nothing spent. Budget validation
+    lives in {!Engine}, which reports a typed [Budget_exhausted] error
+    for negative budgets instead of raising.
+    [pool] parallelizes each iteration's candidate evaluations with
+    order preserved and lowest-index tie-breaking, so outcomes are
+    identical for any pool size.
+    @raise Invalid_argument when the cost arity differs from the
+    instance's feature dimension (a wiring bug, not an input error). *)
 
 val per_hit_cost : outcome -> float

@@ -26,7 +26,6 @@ let best_by score = function
 
 let search ?limits ?max_iterations ?candidate_cap ?pool
     ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~target ~tau () =
-  if tau <= 0 then invalid_arg "Min_cost.search: tau <= 0";
   let inst = evaluator.Evaluator.instance in
   let d = Instance.dim inst in
   if cost.Cost.dim <> d then invalid_arg "Min_cost.search: cost arity";

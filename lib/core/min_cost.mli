@@ -31,6 +31,10 @@ val search :
   outcome option
 (** [None] when [tau] hits are unreachable (no feasible candidate
     remains or the iteration cap — default [4*tau + 16] — is hit).
+    A [tau] the target already meets — including [tau <= 0] — is
+    trivially satisfied: the zero strategy comes back after zero
+    iterations. Goal validation lives in {!Engine}, which reports
+    typed errors instead of raising.
     [candidate_cap], when given, fully evaluates only that many
     cheapest candidate steps per iteration (a benchmark-scale knob; the
     default evaluates all, as the paper does).
@@ -38,7 +42,8 @@ val search :
     a {!Parallel} Domain pool. Candidate order is preserved and ties
     break on the lowest candidate index, so the search returns the
     {e same} strategy for any pool size (see [test/test_parallel.ml]).
-    @raise Invalid_argument when [tau <= 0] or dimensions mismatch. *)
+    @raise Invalid_argument when the cost arity differs from the
+    instance's feature dimension (a wiring bug, not an input error). *)
 
 val per_hit_cost : outcome -> float
 (** The experiments' quality metric: total cost / hits achieved. *)

@@ -424,6 +424,39 @@ let prefix_filter t =
   Array.iter (fun id -> Bloom.add filter id) t.rivals;
   filter
 
+let update_object t id raw_attrs =
+  let filter = prefix_filter t in
+  let inst' = Instance.update_object t.inst id raw_attrs in
+  let feat = inst'.Instance.features.(id) in
+  let might_contain = Bloom.mem filter id in
+  let prefixes = current_prefixes t in
+  let updated =
+    Array.mapi
+      (fun qi prefix ->
+        let w = inst'.Instance.queries.(qi).Topk.Query.weights in
+        let depth = Array.length prefix in
+        let contains =
+          might_contain && Array.exists (fun p -> p = id) prefix
+        in
+        let cuts =
+          (not contains) && depth > 0
+          &&
+          let s_new = Vec.dot w feat in
+          let last = prefix.(depth - 1) in
+          let s_last = Vec.dot w inst'.Instance.features.(last) in
+          better (s_new, id) (s_last, last)
+        in
+        if contains || cuts || depth < t.depth then
+          (* The moved object bounds (or now cuts into) this query's
+             subdomain: recompute its prefix against the new features. *)
+          Array.of_list
+            (Topk.Eval.top_k inst'.Instance.features ~weights:w ~k:t.depth)
+        else prefix)
+      prefixes
+  in
+  t.inst <- inst';
+  refresh t updated
+
 let remove_object t id =
   let filter = prefix_filter t in
   let inst' = Instance.remove_object t.inst id in

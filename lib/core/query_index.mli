@@ -106,6 +106,12 @@ val add_object : t -> Vec.t -> int
     prefix; those prefixes are updated by sorted insertion, everything
     else is untouched. *)
 
+val update_object : t -> int -> Vec.t -> unit
+(** Replace object [id]'s raw attributes in place, keeping its id.
+    Only subdomains whose cached prefix contains [id] (found via the
+    {!prefix_filter} Bloom filter) or that the moved object now cuts
+    into recompute their prefixes; everything else is untouched. *)
+
 val remove_object : t -> int -> unit
 (** Remove an object id (later ids shift down). The Bloom filter over
     prefix membership ({!prefix_filter}) short-circuits the search for

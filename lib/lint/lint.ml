@@ -507,7 +507,8 @@ let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 let usage =
   "usage: iqlint [--rules id,id] [--disable id,id] [--list-rules] [path ...]\n\
    Paths may be .ml files or directories (scanned recursively); default is\n\
-   `lib bin bench`. Exit 1 when any unsuppressed finding is reported.\n\
+   `lib bin bench examples`. Exit 1 when any unsuppressed finding is\n\
+   reported.\n\
    Suppress a finding with `(* iqlint: allow <rule-id> *)` on the same line\n\
    or the line directly above it."
 
@@ -563,7 +564,9 @@ let main ?(out = Format.std_formatter) args =
                && not (List.mem r !disabled)
           in
           let paths =
-            match !paths with [] -> [ "lib"; "bin"; "bench" ] | ps -> ps
+            match !paths with
+            | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+            | ps -> ps
           in
           let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
           if missing <> [] then begin

@@ -37,9 +37,16 @@ let rec worker_loop pool =
     worker_loop pool
   end
 
+(* Pools created and not yet shut down — the serving layer asserts
+   exactly one per process (see bin/iq_tool.ml). *)
+let live_pools = Atomic.make 0
+
+let live () = Atomic.get live_pools
+
 let create ?domains () =
   let n = match domains with Some n -> n | None -> default_domains () in
   if n < 1 then invalid_arg "Parallel.create: domains < 1";
+  Atomic.incr live_pools;
   let pool =
     {
       n_domains = n;
@@ -61,9 +68,11 @@ let domains pool = pool.n_domains
 
 let shutdown pool =
   Mutex.lock pool.mutex;
+  let first = not pool.stopped in
   pool.stopped <- true;
   Condition.broadcast pool.wake;
   Mutex.unlock pool.mutex;
+  if first then Atomic.decr live_pools;
   Array.iter Domain.join pool.workers;
   pool.workers <- [||]
 

@@ -47,6 +47,11 @@ val default : unit -> pool
 val domains : pool -> int
 (** Total participating domains (workers + caller), [>= 1]. *)
 
+val live : unit -> int
+(** Number of pools created and not yet shut down, process-wide. A
+    well-behaved server routes everything through one shared pool —
+    [bin/iq_tool] asserts [live () = 1] after engine construction. *)
+
 val parallel_for : pool -> lo:int -> hi:int -> (int -> unit) -> unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi]
     across the pool (caller included). Iteration order is unspecified

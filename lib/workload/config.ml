@@ -27,6 +27,11 @@ let scale () =
 
 let domains () = Parallel.default_domains ()
 
+let backend () =
+  match Sys.getenv_opt "IQ_BACKEND" with
+  | None | Some "" -> "ese"
+  | Some s -> String.lowercase_ascii s
+
 let scaled ?scale:(s = scale ()) t =
   let scale_int min_v v =
     Int.max min_v (int_of_float (float_of_int v *. s))

@@ -35,6 +35,12 @@ val domains : unit -> int
     bypasses domain spawning entirely — execution is byte-identical to
     the sequential code path. Alias of {!Parallel.default_domains}. *)
 
+val backend : unit -> string
+(** Evaluation backend for the serving engine: the [IQ_BACKEND] env var
+    lowercased ("ese", "scan" or "rta"), default ["ese"]. Resolved to a
+    backend module by [Iq.Engine.backend_of_name]; unknown names are
+    rejected there, not here. *)
+
 val scaled : ?scale:float -> t -> t
 (** Scale object/query counts and tau (budget and dimension are
     scale-free). Counts are kept >= 100 (objects), >= 50 (queries). *)

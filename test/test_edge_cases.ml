@@ -55,27 +55,38 @@ let test_identical_queries () =
   (* All ten queries share one subdomain group. *)
   Alcotest.(check int) "one group" 1 (Query_index.n_groups idx)
 
-let test_min_cost_negative_tau_rejected () =
+let test_min_cost_trivial_tau () =
+  (* tau <= 0 is trivially satisfied: zero strategy, zero iterations.
+     (Goal validation with typed errors lives in Engine.) *)
   let data = [| [| 0.5 |]; [| 0.6 |] |] in
   let queries = [ Topk.Query.make ~k:1 [| 1. |] ] in
   let inst = Instance.create ~data ~queries () in
   let idx = Query_index.build inst in
   let ev = Evaluator.ese idx ~target:0 in
-  Alcotest.check_raises "tau <= 0"
-    (Invalid_argument "Min_cost.search: tau <= 0") (fun () ->
-      ignore (Min_cost.search ~evaluator:ev ~cost:(Cost.euclidean 1) ~target:0 ~tau:0 ()))
+  match Min_cost.search ~evaluator:ev ~cost:(Cost.euclidean 1) ~target:0 ~tau:0 () with
+  | None -> Alcotest.fail "tau=0 must be satisfiable"
+  | Some o ->
+      Alcotest.(check int) "no iterations" 0 o.Min_cost.iterations;
+      Alcotest.(check (float 0.)) "zero cost" 0. o.Min_cost.total_cost;
+      Alcotest.(check int) "hits unchanged" o.Min_cost.hits_before
+        o.Min_cost.hits_after
 
-let test_max_hit_negative_budget_rejected () =
+let test_max_hit_negative_budget_buys_nothing () =
+  (* beta < 0 buys nothing: the zero strategy comes back untouched.
+     (Engine reports Budget_exhausted for negative budgets.) *)
   let data = [| [| 0.5 |]; [| 0.6 |] |] in
   let queries = [ Topk.Query.make ~k:1 [| 1. |] ] in
   let inst = Instance.create ~data ~queries () in
   let idx = Query_index.build inst in
   let ev = Evaluator.ese idx ~target:0 in
-  Alcotest.check_raises "beta < 0"
-    (Invalid_argument "Max_hit.search: beta < 0") (fun () ->
-      ignore
-        (Max_hit.search ~evaluator:ev ~cost:(Cost.euclidean 1) ~target:0
-           ~beta:(-1.) ()))
+  let o =
+    Max_hit.search ~evaluator:ev ~cost:(Cost.euclidean 1) ~target:0
+      ~beta:(-1.) ()
+  in
+  Alcotest.(check int) "no iterations" 0 o.Max_hit.iterations;
+  Alcotest.(check (float 0.)) "nothing spent" 0. o.Max_hit.incremental_cost;
+  Alcotest.(check int) "hits unchanged" o.Max_hit.hits_before
+    o.Max_hit.hits_after
 
 (* --- cost function edge cases --- *)
 
@@ -184,8 +195,9 @@ let suite =
     Alcotest.test_case "single object" `Quick test_single_object;
     Alcotest.test_case "zero-weight query ties" `Quick test_zero_weight_query;
     Alcotest.test_case "identical queries share group" `Quick test_identical_queries;
-    Alcotest.test_case "tau guard" `Quick test_min_cost_negative_tau_rejected;
-    Alcotest.test_case "beta guard" `Quick test_max_hit_negative_budget_rejected;
+    Alcotest.test_case "tau trivial" `Quick test_min_cost_trivial_tau;
+    Alcotest.test_case "beta buys nothing" `Quick
+      test_max_hit_negative_budget_buys_nothing;
     Alcotest.test_case "weighted cost steers" `Quick test_weighted_cost_end_to_end;
     Alcotest.test_case "Desc order end-to-end" `Quick test_desc_order_end_to_end;
     Alcotest.test_case "csv ragged rows" `Quick test_csv_ragged_rows;

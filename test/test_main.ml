@@ -26,6 +26,7 @@ let () =
       ("core.search", Test_search.suite);
       ("core.extensions", Test_extensions.suite);
       ("core.properties", Test_properties.suite);
+      ("core.engine", Test_engine.suite);
       ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);
       ("edge-cases", Test_edge_cases.suite);

@@ -1,11 +1,18 @@
 #!/usr/bin/env sh
-# Parallel-path smoke check: run the Domain-pool bench at a tiny scale
-# with a 2-domain pool. Exercises the pool, the sharded index build,
-# the parallel candidate fan-out, and the cross-domain determinism
-# check (the bench exits non-zero if outcomes diverge across domain
-# counts). Also available as a dune alias: `dune build @bench-smoke`.
+# Bench smoke checks at a tiny scale.
+#
+# 1. Domain-pool bench with a 2-domain pool: exercises the pool, the
+#    sharded index build, the parallel candidate fan-out, and the
+#    cross-domain determinism check (the bench exits non-zero if
+#    outcomes diverge across domain counts).
+# 2. Engine bench: the serving facade vs direct search calls — exits
+#    non-zero if their outcomes diverge, and records the facade
+#    overhead in BENCH_engine.json.
+#
+# Also available as a dune alias: `dune build @bench-smoke`.
 set -eu
 cd "$(dirname "$0")/.."
 export REPRO_SCALE="${REPRO_SCALE:-0.02}"
 export IQ_DOMAINS="${IQ_DOMAINS:-2}"
-exec dune exec bench/main.exe -- --bench parallel
+dune exec bench/main.exe -- --bench parallel
+dune exec bench/main.exe -- --bench engine

@@ -1,7 +1,8 @@
 #!/usr/bin/env sh
 # Full CI gate: build, tier-1 tests, the iqlint static-analysis pass
-# (`dune build @lint`, see DESIGN.md "Static analysis"), and the
-# parallel-path bench smoke check. Any stage failing fails the run.
+# (`dune build @lint`, see DESIGN.md "Static analysis"), and the bench
+# smoke checks (parallel determinism + engine facade overhead, which
+# also emits BENCH_engine.json). Any stage failing fails the run.
 set -eu
 cd "$(dirname "$0")/.."
 
