@@ -11,6 +11,7 @@ module Error = struct
     | Stale_state of { held : int; current : int }
     | Unknown_backend of string
     | Empty_targets
+    | Internal of string
 
   let to_string = function
     | Dim_mismatch { expected; got } ->
@@ -33,11 +34,22 @@ module Error = struct
     | Unknown_backend name ->
         Printf.sprintf "unknown backend %S (expected ese, scan or rta)" name
     | Empty_targets -> "no targets given"
+    | Internal msg -> "internal error: " ^ msg
 
   let pp ppf e = Format.pp_print_string ppf (to_string e)
 end
 
 let ( let* ) = Result.bind
+
+(* Last-resort boundary conversion. The inner layers guard their
+   invariants with [invalid_arg]/[assert] and the pool re-raises
+   worker exceptions; the serving boundary promises typed results, so
+   anything that still escapes becomes [Error (Internal _)] here
+   rather than a raw exception in the caller's lap. The handler is
+   deliberately total — at a serving boundary even Out_of_memory is
+   better reported than leaked. *)
+let guard f =
+  try f () with e -> Error (Error.Internal (Printexc.to_string e))
 
 module type BACKEND = sig
   val name : string
@@ -107,6 +119,7 @@ let with_lock t f =
 let resolve_backend = function Some b -> Ok b | None -> default_backend ()
 
 let of_index ?backend ?pool index =
+  guard @@ fun () ->
   let* b = resolve_backend backend in
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   Ok
@@ -122,6 +135,7 @@ let of_index ?backend ?pool index =
     }
 
 let create ?backend ?depth_slack ?method_ ?pool inst =
+  guard @@ fun () ->
   let* b = resolve_backend backend in
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   let index = Query_index.build ?depth_slack ?method_ ~pool inst in
@@ -200,6 +214,7 @@ let member t ~target ~q =
       Ok (e.c_eval.Evaluator.member ~q (Strategy.zero (Instance.dim (instance t))))
 
 let dirty_queries t ~target ~s =
+  guard @@ fun () ->
   let* () = check_target t target in
   let* () = check_dim ~expected:(Instance.dim (instance t)) ~got:(Vec.dim s) in
   match (entry t ~target).c_state with
@@ -233,6 +248,7 @@ let refresh t p = prepare t ~target:p.p_target
 (* {2 Improvement queries} *)
 
 let min_cost ?limits ?max_iterations ?candidate_cap t ~cost ~target ~tau =
+  guard @@ fun () ->
   let* () = check_target t target in
   let* () =
     check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
@@ -250,6 +266,7 @@ let min_cost ?limits ?max_iterations ?candidate_cap t ~cost ~target ~tau =
       Ok { o with Min_cost.evaluations = o.Min_cost.evaluations - before }
 
 let max_hit ?limits ?max_iterations ?candidate_cap t ~cost ~target ~beta =
+  guard @@ fun () ->
   if beta < 0. then Error (Error.Budget_exhausted beta)
   else
     let* () = check_target t target in
@@ -284,6 +301,7 @@ let cached_states t costs =
     costs
 
 let min_cost_multi ?limits ?max_iterations ?candidate_cap t ~costs ~tau =
+  guard @@ fun () ->
   let* () = check_costs t costs in
   let states = cached_states t costs in
   match
@@ -294,6 +312,7 @@ let min_cost_multi ?limits ?max_iterations ?candidate_cap t ~costs ~tau =
   | Some o -> Ok o
 
 let max_hit_multi ?limits ?max_iterations ?candidate_cap t ~costs ~beta =
+  guard @@ fun () ->
   if beta < 0. then Error (Error.Budget_exhausted beta)
   else
     let* () = check_costs t costs in
@@ -311,6 +330,7 @@ let mutate t f =
       r)
 
 let add_query t q =
+  guard @@ fun () ->
   let* () =
     check_dim ~expected:(Instance.dim (instance t))
       ~got:(Vec.dim q.Topk.Query.weights)
@@ -321,16 +341,19 @@ let add_query t q =
   else Ok (mutate t (fun () -> Query_index.add_query t.index q))
 
 let remove_query t q =
+  guard @@ fun () ->
   let* () = check_query t q in
   Ok (mutate t (fun () -> Query_index.remove_query t.index q))
 
 let add_object t raw =
+  guard @@ fun () ->
   let* () =
     check_dim ~expected:(Instance.dim_raw (instance t)) ~got:(Vec.dim raw)
   in
   Ok (mutate t (fun () -> Query_index.add_object t.index raw))
 
 let update_object t id raw =
+  guard @@ fun () ->
   let* () = check_target t id in
   let* () =
     check_dim ~expected:(Instance.dim_raw (instance t)) ~got:(Vec.dim raw)
@@ -338,6 +361,7 @@ let update_object t id raw =
   Ok (mutate t (fun () -> Query_index.update_object t.index id raw))
 
 let remove_object t id =
+  guard @@ fun () ->
   let* () = check_target t id in
   Ok (mutate t (fun () -> Query_index.remove_object t.index id))
 

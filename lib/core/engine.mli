@@ -46,6 +46,10 @@ module Error : sig
         (** a {!prepared} handle outlived a mutation *)
     | Unknown_backend of string  (** unrecognized [IQ_BACKEND] name *)
     | Empty_targets  (** a combinatorial call with no targets *)
+    | Internal of string
+        (** an unexpected exception escaped an internal layer; carries
+            [Printexc.to_string]. Entry points catch-and-wrap rather
+            than leak raw exceptions across the serving boundary. *)
 
   val to_string : t -> string
 

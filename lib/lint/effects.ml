@@ -1,0 +1,107 @@
+(* Interprocedural effect/purity classification.
+
+   Every call-graph node is classified [Pure], [Local_mut] (writes
+   only to state it created or received — invisible to callers), or
+   [Shared_mut] (writes to module-level/captured state without
+   [Atomic]/[Mutex] protection). Only [Shared_mut] propagates through
+   call edges: calling a local mutator is observationally pure from
+   the caller's side, while calling a shared mutator makes the caller
+   a shared mutator too.
+
+   The classification powers the [domain-unsafe-call] rule: a
+   reference *inside a pool closure* ([Parallel.parallel_for] /
+   [map_array]) to a [Shared_mut] node is a data race the per-file
+   [domain-unsafe-capture] rule cannot see, because the mutation lives
+   in the callee. *)
+
+type cls = Pure | Local_mut | Shared_mut of string  (* witness *)
+
+let rank = function Pure -> 0 | Local_mut -> 1 | Shared_mut _ -> 2
+
+type t = (Callgraph.node, cls) Hashtbl.t
+
+let classify t node =
+  Option.value (Hashtbl.find_opt t node) ~default:Pure
+
+let build (cg : Callgraph.t) : t =
+  let tbl : t = Hashtbl.create 256 in
+  let set node c =
+    match Hashtbl.find_opt tbl node with
+    | Some prev when rank prev >= rank c -> ()
+    | _ -> Hashtbl.replace tbl node c
+  in
+  (* Seed from each node's own body facts. *)
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      (match fn.Callgraph.f_shared with
+      | Some (_, what) -> set fn.Callgraph.f_node (Shared_mut what)
+      | None -> ());
+      if fn.Callgraph.f_local then set fn.Callgraph.f_node Local_mut)
+    cg.Callgraph.cg_fns;
+  (* Propagate Shared_mut along call edges to a fixpoint. Handles
+     mutual recursion: the loop only re-runs while something changed,
+     and ranks only increase, so it terminates. *)
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    List.iter
+      (fun (fn : Callgraph.fn) ->
+        let self = classify tbl fn.Callgraph.f_node in
+        if rank self < 2 then
+          List.iter
+            (fun (x : Callgraph.xref) ->
+              if not x.Callgraph.x_usage_only then
+                match classify tbl x.Callgraph.x_target with
+                | Shared_mut _ ->
+                    let witness =
+                      Printf.sprintf "calls `%s`, which mutates shared state"
+                        (Callgraph.node_str x.Callgraph.x_target)
+                    in
+                    if rank (classify tbl fn.Callgraph.f_node) < 2 then begin
+                      set fn.Callgraph.f_node (Shared_mut witness);
+                      changed := true
+                    end
+                | _ -> ())
+            fn.Callgraph.f_refs)
+      cg.Callgraph.cg_fns
+  done;
+  tbl
+
+(* [domain-unsafe-call] findings: pool-closure references to shared
+   mutators (resolved project calls), plus known mutating externals
+   applied to non-local state directly inside a pool closure. *)
+let findings (cg : Callgraph.t) (t : t) =
+  let acc = ref [] in
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      List.iter
+        (fun (x : Callgraph.xref) ->
+          if x.Callgraph.x_in_pool && not x.Callgraph.x_usage_only then
+            match classify t x.Callgraph.x_target with
+            | Shared_mut witness ->
+                acc :=
+                  Report.mk ~file:fn.Callgraph.f_file x.Callgraph.x_loc
+                    "domain-unsafe-call"
+                    (Printf.sprintf
+                       "`%s` is called from a Parallel pool closure but %s \
+                        (unsynchronized shared mutation; use Atomic/Mutex or \
+                        keep state closure-local)"
+                       (Callgraph.node_str x.Callgraph.x_target)
+                       witness)
+                  :: !acc
+            | _ -> ())
+        fn.Callgraph.f_refs;
+      List.iter
+        (fun (e : Callgraph.ext) ->
+          if e.Callgraph.e_in_pool && e.Callgraph.e_mut_free then
+            acc :=
+              Report.mk ~file:fn.Callgraph.f_file e.Callgraph.e_loc
+                "domain-unsafe-call"
+                (Printf.sprintf
+                   "`%s` mutates captured state inside a Parallel pool \
+                    closure (unsynchronized shared mutation)"
+                   e.Callgraph.e_path)
+              :: !acc)
+        fn.Callgraph.f_exts)
+    cg.Callgraph.cg_fns;
+  !acc

@@ -1,17 +1,25 @@
 (* iqlint — static analysis for the improvement-queries tree.
 
-   Parses every .ml file with the compiler's own parser
-   (compiler-libs.common, no opam deps beyond the toolchain) and walks
-   the untyped AST with an [Ast_iterator]. Each rule reports findings
-   as [file:line:col [rule-id] message]; a finding is suppressed by a
-   pragma comment [(* iqlint: allow <rule-id> *)] on the same line or
-   the line directly above. See DESIGN.md "Static analysis" for the
-   invariant each rule protects. *)
+   Two layers share one finding type ({!Report.finding}):
+
+   - per-file rules: parse one .ml with the compiler's own parser
+     (compiler-libs.common, no opam deps beyond the toolchain) and walk
+     the untyped AST with an [Ast_iterator];
+   - whole-program rules: load every source under the given paths into
+     a {!Project}, build a cross-module {!Callgraph}, and run the
+     {!Effects} and {!Exn_escape} interprocedural passes.
+
+   Findings print as [file:line:col [rule-id] message] (or JSON/SARIF
+   via [--format]); a finding is suppressed by a pragma comment
+   [(* iqlint: allow <rule-id> *)] on the same line or the line
+   directly above. See DESIGN.md "Whole-program lint" for the
+   invariant each rule protects and the approximations the call graph
+   makes. *)
 
 open Parsetree
 open Longident
 
-type finding = {
+type finding = Report.finding = {
   file : string;
   line : int;
   col : int;
@@ -19,18 +27,10 @@ type finding = {
   message : string;
 }
 
-let compare_finding a b =
-  let c = String.compare a.file b.file in
-  if c <> 0 then c
-  else
-    let c = Int.compare a.line b.line in
-    if c <> 0 then c
-    else
-      let c = Int.compare a.col b.col in
-      if c <> 0 then c else String.compare a.rule b.rule
+let compare_finding = Report.compare_finding
+let pp_finding = Report.pp_finding
 
-let pp_finding ppf f =
-  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+type format = Report.format = Text | Json | Sarif
 
 (* ------------------------------------------------------------------ *)
 (* Rules                                                              *)
@@ -42,12 +42,18 @@ let rule_partial = "partial-function"
 let rule_catch_all = "catch-all-handler"
 let rule_escape = "forbidden-escape"
 let rule_parse_error = "parse-error"
+let rule_domain_call = "domain-unsafe-call"
+let rule_engine_boundary = "engine-boundary-raise"
+let rule_dead_export = "dead-export"
 
 let all_rules =
   [
     ( rule_domain,
       "mutation of state bound outside a closure passed to \
        Parallel.parallel_for/map_array without Atomic or Mutex" );
+    ( rule_domain_call,
+      "call from a Parallel pool closure to a function that (transitively) \
+       mutates shared state without Atomic or Mutex" );
     ( rule_float,
       "exact =/<>/compare/min/max where an operand is a float literal or a \
        known float-returning primitive" );
@@ -56,6 +62,11 @@ let all_rules =
        Array.unsafe_get); use the _opt/checked variant" );
     (rule_catch_all, "try ... with _ -> swallowing all exceptions (non-test code)");
     (rule_escape, "Obj.magic or assert false in non-test code");
+    ( rule_engine_boundary,
+      "Engine .mli entry point whose implementation can raise instead of \
+       returning an Error.t result (values named *_exn are exempt)" );
+    ( rule_dead_export,
+      ".mli value of a dune library never referenced outside its own module" );
   ]
 
 type ctx = {
@@ -66,48 +77,14 @@ type ctx = {
 }
 
 let report ctx (loc : Location.t) rule message =
-  if ctx.enabled rule then begin
-    let p = loc.Location.loc_start in
-    ctx.findings <-
-      {
-        file = ctx.file;
-        line = p.Lexing.pos_lnum;
-        col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
-        rule;
-        message;
-      }
-      :: ctx.findings
-  end
+  if ctx.enabled rule then
+    ctx.findings <- Report.mk ~file:ctx.file loc rule message :: ctx.findings
 
 (* ---------------------- small AST helpers ------------------------- *)
 
-let rec strip e =
-  match e.pexp_desc with
-  | Pexp_constraint (e', _) | Pexp_coerce (e', _, _) | Pexp_newtype (_, e') ->
-      strip e'
-  | _ -> e
-
-let pattern_vars pat =
-  let acc = ref [] in
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      pat =
-        (fun self p ->
-          (match p.ppat_desc with
-          | Ppat_var { txt; _ } | Ppat_alias (_, { txt; _ }) ->
-              acc := txt :: !acc
-          | _ -> ());
-          Ast_iterator.default_iterator.pat self p);
-    }
-  in
-  it.pat it pat;
-  !acc
-
-let rec flatten_lid = function
-  | Lident s -> s
-  | Ldot (p, s) -> flatten_lid p ^ "." ^ s
-  | Lapply (a, b) -> flatten_lid a ^ "(" ^ flatten_lid b ^ ")"
+let strip = Ast_util.strip
+let pattern_vars = Ast_util.pattern_vars
+let flatten_lid = Ast_util.flatten_lid
 
 (* ---------------------- float-exact-compare ----------------------- *)
 
@@ -398,6 +375,27 @@ let iterator ctx =
         Ast_iterator.default_iterator.expr self e);
   }
 
+let path_is_test file =
+  let segments = String.split_on_char '/' file in
+  List.exists (fun s -> s = "test" || s = "tests") segments
+
+(* Per-file rules over an already-parsed structure; no pragma
+   filtering here — the caller owns suppression. *)
+let run_rules ~enabled ~file ast =
+  let ctx = { file; in_test = path_is_test file; enabled; findings = [] } in
+  let it = iterator ctx in
+  it.structure it ast;
+  ctx.findings
+
+let parse_error_finding file =
+  {
+    file;
+    line = 1;
+    col = 0;
+    rule = rule_parse_error;
+    message = "file does not parse; run the compiler for details";
+  }
+
 (* ---------------------- pragma suppression ------------------------ *)
 
 let find_sub s sub =
@@ -411,7 +409,13 @@ let find_sub s sub =
 
 let pragma_marker = "iqlint: allow"
 
-(* Maps line number (1-based) -> rule ids allowed on that line. *)
+let known_rule_ids = rule_parse_error :: List.map fst all_rules
+
+(* Maps line number (1-based) -> rule ids allowed on that line. Only
+   tokens that are actual rule ids (or "all") count, and scanning
+   stops at the first non-rule token — so trailing commentary in the
+   same comment ([(* iqlint: allow foo — because ... *)]) can mention
+   another rule's name without suppressing it. *)
 let pragmas_of_source src =
   let tbl = Hashtbl.create 8 in
   List.iteri
@@ -426,12 +430,18 @@ let pragmas_of_source src =
             | Some k -> String.sub rest 0 k
             | None -> rest
           in
-          let ids =
+          let tokens =
             String.split_on_char ' ' rest
             |> List.concat_map (String.split_on_char ',')
             |> List.filter (fun s -> s <> "")
           in
-          Hashtbl.replace tbl (i + 1) ids)
+          let rec take acc = function
+            | tok :: rest when tok = "all" || List.mem tok known_rule_ids ->
+                take (tok :: acc) rest
+            | _ -> List.rev acc
+          in
+          let ids = take [] tokens in
+          if ids <> [] then Hashtbl.replace tbl (i + 1) ids)
     (String.split_on_char '\n' src);
   tbl
 
@@ -443,11 +453,7 @@ let suppressed pragmas f =
   in
   allows f.line || allows (f.line - 1)
 
-(* ---------------------- entry points ------------------------------ *)
-
-let path_is_test file =
-  let segments = String.split_on_char '/' file in
-  List.exists (fun s -> s = "test" || s = "tests") segments
+(* ---------------------- per-file entry points --------------------- *)
 
 let read_file path =
   let ic = open_in_bin path in
@@ -456,64 +462,109 @@ let read_file path =
     (fun () -> really_input_string ic (in_channel_length ic))
 
 let lint_source ?(enabled = fun _ -> true) ~file src =
-  let ctx = { file; in_test = path_is_test file; enabled; findings = [] } in
-  (try
-     let lexbuf = Lexing.from_string src in
-     Location.init lexbuf file;
-     let ast = Parse.implementation lexbuf in
-     let it = iterator ctx in
-     it.structure it ast
-   with Syntaxerr.Error _ | Lexer.Error _ ->
-     ctx.findings <-
-       {
-         file;
-         line = 1;
-         col = 0;
-         rule = rule_parse_error;
-         message = "file does not parse; run the compiler for details";
-       }
-       :: ctx.findings);
+  let findings =
+    match Project.parse_impl ~file src with
+    | ast -> run_rules ~enabled ~file ast
+    | exception (Syntaxerr.Error _ | Lexer.Error _) -> [ parse_error_finding file ]
+  in
   let pragmas = pragmas_of_source src in
-  ctx.findings
+  findings
   |> List.filter (fun f -> not (suppressed pragmas f))
   |> List.sort_uniq compare_finding
 
 let lint_file ?enabled path = lint_source ?enabled ~file:path (read_file path)
 
-let rec collect_ml path acc =
-  if not (Sys.file_exists path) then acc
-  else if Sys.is_directory path then
-    Sys.readdir path |> Array.to_list
-    |> List.sort String.compare
-    |> List.fold_left
-         (fun acc name ->
-           if String.length name = 0 || name.[0] = '.' || name = "_build" then
-             acc
-           else collect_ml (Filename.concat path name) acc)
-         acc
-  else if Filename.check_suffix path ".ml" then path :: acc
-  else acc
+(* ---------------------- whole-program driver ---------------------- *)
 
-let lint_paths ?enabled paths =
-  let files = List.fold_left (fun acc p -> collect_ml p acc) [] paths in
-  files
-  |> List.sort String.compare
-  |> List.concat_map (fun f -> lint_file ?enabled f)
+let lint_paths ?(enabled = fun _ -> true) ?jobs ?(pragmas = true) paths =
+  let domains =
+    match jobs with Some j -> max 1 j | None -> Parallel.default_domains ()
+  in
+  let pool = Parallel.create ~domains () in
+  Fun.protect
+    ~finally:(fun () -> Parallel.shutdown pool)
+    (fun () ->
+      let proj = Project.load ~pool paths in
+      (* Per-file rules over the already-parsed implementations. *)
+      let per_file =
+        Parallel.map_array pool
+          (fun (f : Project.file) ->
+            match (f.Project.kind, f.Project.str) with
+            | Project.Impl, Some ast ->
+                run_rules ~enabled ~file:f.Project.path ast
+            | _ ->
+                if f.Project.parse_failed then
+                  [ parse_error_finding f.Project.path ]
+                else [])
+          (Array.of_list proj.Project.files)
+        |> Array.to_list |> List.concat
+      in
+      (* Whole-program rules. *)
+      let cg = Callgraph.build ~pool proj in
+      let eff_findings =
+        if enabled rule_domain_call then
+          Effects.findings cg (Effects.build cg)
+        else []
+      in
+      let exn_findings =
+        if enabled rule_engine_boundary then
+          Exn_escape.engine_boundary_findings cg (Exn_escape.build cg)
+        else []
+      in
+      let dead_findings =
+        if enabled rule_dead_export then Exn_escape.dead_export_findings cg
+        else []
+      in
+      let all = per_file @ eff_findings @ exn_findings @ dead_findings in
+      let all =
+        if not pragmas then all
+        else begin
+          let tables = Hashtbl.create 32 in
+          List.iter
+            (fun f ->
+              if not (Hashtbl.mem tables f.Project.path) then
+                Hashtbl.replace tables f.Project.path
+                  (pragmas_of_source f.Project.source))
+            proj.Project.files;
+          List.filter
+            (fun (fd : finding) ->
+              match Hashtbl.find_opt tables fd.file with
+              | Some tbl -> not (suppressed tbl fd)
+              | None -> true)
+            all
+        end
+      in
+      List.sort_uniq compare_finding all)
+
+let render format findings = Report.render ~rules:all_rules format findings
 
 (* ---------------------- CLI ---------------------------------------- *)
 
 let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let usage =
-  "usage: iqlint [--rules id,id] [--disable id,id] [--list-rules] [path ...]\n\
-   Paths may be .ml files or directories (scanned recursively); default is\n\
-   `lib bin bench examples`. Exit 1 when any unsuppressed finding is\n\
-   reported.\n\
+  "usage: iqlint [--rules id,id] [--disable id,id] [--list-rules]\n\
+  \              [--format text|json|sarif] [--baseline file.json]\n\
+  \              [--write-baseline file.json] [--jobs N] [--no-pragmas]\n\
+  \              [path ...]\n\
+   Paths may be .ml/.mli files or directories (scanned recursively); default\n\
+   is `lib bin bench examples test`. Exit 1 when any unsuppressed,\n\
+   non-baselined finding is reported.\n\
    Suppress a finding with `(* iqlint: allow <rule-id> *)` on the same line\n\
-   or the line directly above it."
+   or the line directly above it; `--no-pragmas` ignores pragmas for audit\n\
+   runs. `--baseline` tolerates checked-in legacy findings (per-file,\n\
+   per-rule counts); `--write-baseline` records the current findings as the\n\
+   new baseline."
 
 let main ?(out = Format.std_formatter) args =
-  let only = ref None and disabled = ref [] and paths = ref [] in
+  let only = ref None
+  and disabled = ref []
+  and paths = ref []
+  and format = ref Report.Text
+  and baseline = ref None
+  and write_baseline = ref None
+  and jobs = ref None
+  and pragmas = ref true in
   let bad = ref None in
   let rec parse = function
     | [] -> ()
@@ -527,6 +578,27 @@ let main ?(out = Format.std_formatter) args =
         parse rest
     | "--disable" :: v :: rest ->
         disabled := !disabled @ split_ids v;
+        parse rest
+    | "--format" :: v :: rest -> (
+        match Report.format_of_string v with
+        | Some f ->
+            format := f;
+            parse rest
+        | None -> bad := Some (Printf.sprintf "unknown format `%s`" v))
+    | "--baseline" :: v :: rest ->
+        baseline := Some v;
+        parse rest
+    | "--write-baseline" :: v :: rest ->
+        write_baseline := Some v;
+        parse rest
+    | "--jobs" :: v :: rest -> (
+        match int_of_string_opt v with
+        | Some n when n >= 1 ->
+            jobs := Some n;
+            parse rest
+        | _ -> bad := Some (Printf.sprintf "bad --jobs value `%s`" v))
+    | "--no-pragmas" :: rest ->
+        pragmas := false;
         parse rest
     | ("--help" | "-h") :: _ ->
         Format.fprintf out "%s@." usage;
@@ -557,7 +629,7 @@ let main ?(out = Format.std_formatter) args =
           Format.fprintf out
             "iqlint: unknown rule id `%s` (try --list-rules)@." r;
           2
-      | [] ->
+      | [] -> (
           let enabled r =
             r = rule_parse_error
             || (match !only with None -> true | Some l -> List.mem r l)
@@ -565,7 +637,7 @@ let main ?(out = Format.std_formatter) args =
           in
           let paths =
             match !paths with
-            | [] -> [ "lib"; "bin"; "bench"; "examples" ]
+            | [] -> [ "lib"; "bin"; "bench"; "examples"; "test" ]
             | ps -> ps
           in
           let missing = List.filter (fun p -> not (Sys.file_exists p)) paths in
@@ -574,12 +646,60 @@ let main ?(out = Format.std_formatter) args =
               (String.concat ", " missing);
             2
           end
-          else begin
-            let findings = lint_paths ~enabled paths in
-            List.iter (fun f -> Format.fprintf out "%a@." pp_finding f) findings;
-            match findings with
-            | [] -> 0
-            | fs ->
-                Format.fprintf out "iqlint: %d finding(s)@." (List.length fs);
-                1
-          end)
+          else
+            let findings =
+              lint_paths ~enabled ?jobs:!jobs ~pragmas:!pragmas paths
+            in
+            match !write_baseline with
+            | Some file ->
+                let doc =
+                  Report.baseline_json
+                    ~note:"accepted legacy findings; regenerate with iqlint \
+                           --write-baseline"
+                    findings
+                in
+                let oc = open_out_bin file in
+                Fun.protect
+                  ~finally:(fun () -> close_out_noerr oc)
+                  (fun () -> output_string oc doc);
+                Format.fprintf out "iqlint: wrote baseline (%d finding(s)) to %s@."
+                  (List.length findings) file;
+                0
+            | None -> (
+                let applied =
+                  match !baseline with
+                  | None -> Ok (0, findings)
+                  | Some file -> (
+                      match Report.load_baseline file with
+                      | Error msg -> Error msg
+                      | Ok entries ->
+                          let kept = Report.apply_baseline entries findings in
+                          Ok (List.length findings - List.length kept, kept))
+                in
+                match applied with
+                | Error msg ->
+                    Format.fprintf out "iqlint: %s@." msg;
+                    2
+                | Ok (baselined, findings) -> (
+                    match !format with
+                    | Report.Text -> (
+                        List.iter
+                          (fun f -> Format.fprintf out "%a@." pp_finding f)
+                          findings;
+                        match findings with
+                        | [] ->
+                            if baselined > 0 then
+                              Format.fprintf out
+                                "iqlint: clean (%d baselined finding(s))@."
+                                baselined;
+                            0
+                        | fs ->
+                            Format.fprintf out "iqlint: %d finding(s)%s@."
+                              (List.length fs)
+                              (if baselined > 0 then
+                                 Printf.sprintf " (+%d baselined)" baselined
+                               else "");
+                            1)
+                    | Report.Json | Report.Sarif ->
+                        Format.fprintf out "%s" (render !format findings);
+                        if findings = [] then 0 else 1))))

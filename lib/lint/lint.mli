@@ -1,8 +1,11 @@
 (** iqlint — static analysis over the improvement-queries sources.
 
-    Five rules, each individually toggleable and suppressible with a
-    [(* iqlint: allow <rule-id> *)] comment on the finding's line or
-    the line directly above:
+    Two layers of rules, each individually toggleable and suppressible
+    with a [(* iqlint: allow <rule-id> *)] comment on the finding's
+    line or the line directly above (only tokens that are actual rule
+    ids count; trailing commentary is ignored).
+
+    Per-file rules:
 
     - [domain-unsafe-capture]: a closure passed to
       [Parallel.parallel_for]/[map_array] mutates ([:=], [<-],
@@ -15,9 +18,22 @@
       [Option.get], [Hashtbl.find], [Array.unsafe_get].
     - [catch-all-handler]: [try ... with _ ->] outside test code.
     - [forbidden-escape]: [Obj.magic] or [assert false] outside test
-      code. *)
+      code.
 
-type finding = {
+    Whole-program rules (computed over a cross-module call graph; see
+    DESIGN.md "Whole-program lint" for the conservative
+    approximations):
+
+    - [domain-unsafe-call]: a call from a Parallel pool closure to a
+      function that (transitively) mutates shared state without
+      [Atomic]/[Mutex].
+    - [engine-boundary-raise]: a value exported by an [Engine] [.mli]
+      whose implementation can raise instead of returning an
+      [Error.t] result ([*_exn] values are exempt by convention).
+    - [dead-export]: a [.mli] value of a dune library never referenced
+      outside its own module. *)
+
+type finding = Report.finding = {
   file : string;
   line : int;  (** 1-based *)
   col : int;  (** 0-based *)
@@ -28,25 +44,48 @@ type finding = {
 val all_rules : (string * string) list
 (** [(rule-id, one-line description)] for every rule. *)
 
+val compare_finding : finding -> finding -> int
+(** Position order: file, line, col, rule. *)
+
 val pp_finding : Format.formatter -> finding -> unit
 (** Renders as [file:line:col [rule-id] message]. *)
 
+type format = Report.format = Text | Json | Sarif
+
+val render : format -> finding list -> string
+(** Render a finding list as the given output document: plain text
+    lines, an iqlint JSON report, or SARIF 2.1.0. *)
+
 val lint_source :
   ?enabled:(string -> bool) -> file:string -> string -> finding list
-(** Lint source text [src] attributed to [file]. [enabled] filters rule
-    ids (default: all on). Unsuppressed findings, sorted by position. A
-    file whose path contains a [test] directory segment skips the
-    [catch-all-handler] and [forbidden-escape] rules. *)
+(** Per-file rules over source text [src] attributed to [file].
+    [enabled] filters rule ids (default: all on). Unsuppressed
+    findings, sorted by position. A file whose path contains a [test]
+    directory segment skips the [catch-all-handler] and
+    [forbidden-escape] rules. *)
 
 val lint_file : ?enabled:(string -> bool) -> string -> finding list
 (** [lint_source] over a file's contents. *)
 
-val lint_paths : ?enabled:(string -> bool) -> string list -> finding list
-(** Lint every [.ml] file under the given files/directories
-    (recursively; skips [_build] and dot-directories). *)
+val lint_paths :
+  ?enabled:(string -> bool) ->
+  ?jobs:int ->
+  ?pragmas:bool ->
+  string list ->
+  finding list
+(** Whole-program lint: loads every [.ml]/[.mli] under the given
+    files/directories (recursively; skips [_build] and
+    dot-directories) into a project, runs the per-file rules on each
+    implementation and the whole-program rules on the cross-module
+    call graph. [jobs] sizes the worker pool (default
+    [Parallel.default_domains ()], which honours [IQ_DOMAINS]); output
+    is deterministic regardless of job count. [pragmas:false] ignores
+    suppression comments (audit mode). *)
 
 val main : ?out:Format.formatter -> string list -> int
 (** CLI driver: [main args] (argv without the program name) prints
     findings to [out] and returns the exit code — 0 clean, 1 findings,
     2 usage error. Supports [--rules], [--disable], [--list-rules],
-    [--help]; default paths are [lib bin bench]. *)
+    [--format text|json|sarif], [--baseline file], [--write-baseline
+    file], [--jobs N], [--no-pragmas], [--help]; default paths are
+    [lib bin bench examples test]. *)

@@ -1,0 +1,401 @@
+(* Findings, output formats and the CI baseline.
+
+   One finding type is shared by the per-file rules and the
+   whole-program analyses. Three renderings: the classic
+   [file:line:col [rule] message] text lines, a machine-readable JSON
+   document, and SARIF 2.1.0 for CI annotation upload. The baseline is
+   a checked-in JSON file of per-(file, rule) finding counts: a run
+   with [--baseline] suppresses groups that are at-or-under their
+   budget, so legacy findings are tolerated but any new finding (or a
+   regression pushing a group over budget) fails the gate. Counts
+   rather than line numbers keep the baseline stable under unrelated
+   edits to the same file. *)
+
+type finding = {
+  file : string;
+  line : int;
+  col : int;
+  rule : string;
+  message : string;
+}
+
+let compare_finding a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Int.compare a.line b.line in
+    if c <> 0 then c
+    else
+      let c = Int.compare a.col b.col in
+      if c <> 0 then c else String.compare a.rule b.rule
+
+let pp_finding ppf f =
+  Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
+
+let mk ~file (loc : Location.t) rule message =
+  let p = loc.Location.loc_start in
+  {
+    file;
+    line = p.Lexing.pos_lnum;
+    col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rule;
+    message;
+  }
+
+(* ------------------------------------------------------------------ *)
+(* JSON emission (stdlib-only; the toolchain has no JSON package)      *)
+(* ------------------------------------------------------------------ *)
+
+let json_escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let add_str buf s =
+  Buffer.add_char buf '"';
+  json_escape buf s;
+  Buffer.add_char buf '"'
+
+type format = Text | Json | Sarif
+
+let format_of_string = function
+  | "text" -> Some Text
+  | "json" -> Some Json
+  | "sarif" -> Some Sarif
+  | _ -> None
+
+let render_text findings =
+  let buf = Buffer.create 256 in
+  List.iter
+    (fun f ->
+      Buffer.add_string buf
+        (Format.asprintf "%a" pp_finding f);
+      Buffer.add_char buf '\n')
+    findings;
+  Buffer.contents buf
+
+let add_finding_json buf f =
+  Buffer.add_string buf "    { \"file\": ";
+  add_str buf f.file;
+  Buffer.add_string buf (Printf.sprintf ", \"line\": %d, \"col\": %d, \"rule\": " f.line f.col);
+  add_str buf f.rule;
+  Buffer.add_string buf ", \"message\": ";
+  add_str buf f.message;
+  Buffer.add_string buf " }"
+
+let render_json findings =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "{\n  \"tool\": \"iqlint\",\n  \"schema\": 1,\n";
+  Buffer.add_string buf
+    (Printf.sprintf "  \"count\": %d,\n  \"findings\": [\n" (List.length findings));
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      add_finding_json buf f)
+    findings;
+  if findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf
+
+(* SARIF 2.1.0 — the minimal subset GitHub code scanning accepts:
+   tool.driver with rule metadata, plus one result per finding.
+   Columns are 1-based in SARIF; our [col] is 0-based. *)
+let render_sarif ~rules findings =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf
+    "{\n\
+    \  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n\
+    \  \"version\": \"2.1.0\",\n\
+    \  \"runs\": [\n\
+    \    {\n\
+    \      \"tool\": {\n\
+    \        \"driver\": {\n\
+    \          \"name\": \"iqlint\",\n\
+    \          \"rules\": [\n";
+  let rules = List.sort (fun (a, _) (b, _) -> String.compare a b) rules in
+  List.iteri
+    (fun i (id, doc) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "            { \"id\": ";
+      add_str buf id;
+      Buffer.add_string buf ", \"shortDescription\": { \"text\": ";
+      add_str buf doc;
+      Buffer.add_string buf " } }")
+    rules;
+  Buffer.add_string buf
+    "\n          ]\n        }\n      },\n      \"results\": [\n";
+  List.iteri
+    (fun i f ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "        { \"ruleId\": ";
+      add_str buf f.rule;
+      Buffer.add_string buf ", \"level\": \"error\", \"message\": { \"text\": ";
+      add_str buf f.message;
+      Buffer.add_string buf
+        " }, \"locations\": [ { \"physicalLocation\": { \"artifactLocation\": { \"uri\": ";
+      add_str buf f.file;
+      Buffer.add_string buf
+        (Printf.sprintf
+           " }, \"region\": { \"startLine\": %d, \"startColumn\": %d } } } ] }"
+           f.line (f.col + 1)))
+    findings;
+  if findings <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "      ]\n    }\n  ]\n}\n";
+  Buffer.contents buf
+
+let render ~rules format findings =
+  match format with
+  | Text -> render_text findings
+  | Json -> render_json findings
+  | Sarif -> render_sarif ~rules findings
+
+(* ------------------------------------------------------------------ *)
+(* Minimal JSON parser (for the baseline file only)                    *)
+(* ------------------------------------------------------------------ *)
+
+type json =
+  | J_obj of (string * json) list
+  | J_arr of json list
+  | J_str of string
+  | J_num of float
+  | J_bool of bool
+  | J_null
+
+exception Bad_json of string
+
+let parse_json src =
+  let n = String.length src in
+  let pos = ref 0 in
+  let peek () = if !pos < n then Some src.[!pos] else None in
+  let advance () = incr pos in
+  let fail msg = raise (Bad_json (Printf.sprintf "%s at offset %d" msg !pos)) in
+  let rec skip_ws () =
+    match peek () with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+        advance ();
+        skip_ws ()
+    | _ -> ()
+  in
+  let expect c =
+    match peek () with
+    | Some c' when c' = c -> advance ()
+    | _ -> fail (Printf.sprintf "expected '%c'" c)
+  in
+  let parse_string () =
+    expect '"';
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek () with
+      | None -> fail "unterminated string"
+      | Some '"' -> advance ()
+      | Some '\\' -> (
+          advance ();
+          match peek () with
+          | Some '"' -> Buffer.add_char buf '"'; advance (); go ()
+          | Some '\\' -> Buffer.add_char buf '\\'; advance (); go ()
+          | Some '/' -> Buffer.add_char buf '/'; advance (); go ()
+          | Some 'n' -> Buffer.add_char buf '\n'; advance (); go ()
+          | Some 't' -> Buffer.add_char buf '\t'; advance (); go ()
+          | Some 'r' -> Buffer.add_char buf '\r'; advance (); go ()
+          | Some 'u' ->
+              (* \uXXXX: keep ASCII, replace the rest — the baseline
+                 schema never needs non-ASCII escapes. *)
+              advance ();
+              if !pos + 4 > n then fail "bad \\u escape";
+              let hex = String.sub src !pos 4 in
+              pos := !pos + 4;
+              (match int_of_string_opt ("0x" ^ hex) with
+              | Some code when code < 0x80 -> Buffer.add_char buf (Char.chr code)
+              | Some _ -> Buffer.add_char buf '?'
+              | None -> fail "bad \\u escape");
+              go ()
+          | _ -> fail "bad escape")
+      | Some c ->
+          Buffer.add_char buf c;
+          advance ();
+          go ()
+    in
+    go ();
+    Buffer.contents buf
+  in
+  let rec parse_value () =
+    skip_ws ();
+    match peek () with
+    | Some '"' -> J_str (parse_string ())
+    | Some '{' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some '}' then (advance (); J_obj [])
+        else
+          let rec members acc =
+            skip_ws ();
+            let key = parse_string () in
+            skip_ws ();
+            expect ':';
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); members ((key, v) :: acc)
+            | Some '}' -> advance (); List.rev ((key, v) :: acc)
+            | _ -> fail "expected ',' or '}'"
+          in
+          J_obj (members [])
+    | Some '[' ->
+        advance ();
+        skip_ws ();
+        if peek () = Some ']' then (advance (); J_arr [])
+        else
+          let rec elems acc =
+            let v = parse_value () in
+            skip_ws ();
+            match peek () with
+            | Some ',' -> advance (); elems (v :: acc)
+            | Some ']' -> advance (); List.rev (v :: acc)
+            | _ -> fail "expected ',' or ']'"
+          in
+          J_arr (elems [])
+    | Some 't' ->
+        if !pos + 4 <= n && String.sub src !pos 4 = "true" then (
+          pos := !pos + 4;
+          J_bool true)
+        else fail "bad literal"
+    | Some 'f' ->
+        if !pos + 5 <= n && String.sub src !pos 5 = "false" then (
+          pos := !pos + 5;
+          J_bool false)
+        else fail "bad literal"
+    | Some 'n' ->
+        if !pos + 4 <= n && String.sub src !pos 4 = "null" then (
+          pos := !pos + 4;
+          J_null)
+        else fail "bad literal"
+    | Some c when c = '-' || (c >= '0' && c <= '9') ->
+        let start = !pos in
+        let num_char c =
+          (c >= '0' && c <= '9')
+          || c = '-' || c = '+' || c = '.' || c = 'e' || c = 'E'
+        in
+        while (match peek () with Some c when num_char c -> true | _ -> false) do
+          advance ()
+        done;
+        (match float_of_string_opt (String.sub src start (!pos - start)) with
+        | Some f -> J_num f
+        | None -> fail "bad number")
+    | _ -> fail "unexpected character"
+  in
+  match
+    let v = parse_value () in
+    skip_ws ();
+    if !pos <> n then fail "trailing garbage";
+    v
+  with
+  | v -> Ok v
+  | exception Bad_json msg -> Error msg
+
+(* ------------------------------------------------------------------ *)
+(* Baseline                                                            *)
+(* ------------------------------------------------------------------ *)
+
+type baseline_entry = { b_file : string; b_rule : string; b_count : int }
+
+let load_baseline path =
+  match
+    let ic = open_in_bin path in
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  with
+  | exception Sys_error msg -> Error msg
+  | src -> (
+      match parse_json src with
+      | Error msg -> Error (Printf.sprintf "%s: invalid JSON (%s)" path msg)
+      | Ok (J_obj fields) -> (
+          match List.assoc_opt "entries" fields with
+          | Some (J_arr entries) -> (
+              let entry = function
+                | J_obj ef -> (
+                    match
+                      ( List.assoc_opt "file" ef,
+                        List.assoc_opt "rule" ef,
+                        List.assoc_opt "count" ef )
+                    with
+                    | Some (J_str f), Some (J_str r), Some (J_num c) ->
+                        Some { b_file = f; b_rule = r; b_count = int_of_float c }
+                    | _ -> None)
+                | _ -> None
+              in
+              match List.map entry entries with
+              | parsed when List.for_all Option.is_some parsed ->
+                  Ok (List.filter_map Fun.id parsed)
+              | _ ->
+                  Error
+                    (path
+                   ^ ": every entry needs \"file\", \"rule\" and \"count\""))
+          | _ -> Error (path ^ ": missing \"entries\" array"))
+      | Ok _ -> Error (path ^ ": expected a JSON object"))
+
+(* Group budget semantics: a (file, rule) group at or under its
+   baselined count is suppressed entirely; a group over budget is
+   reported entirely (we cannot tell which member is the new one). *)
+let apply_baseline entries findings =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      let key = (f.file, f.rule) in
+      Hashtbl.replace counts key
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+    findings;
+  let budget file rule =
+    List.fold_left
+      (fun acc e ->
+        if e.b_file = file && e.b_rule = rule then acc + e.b_count else acc)
+      0 entries
+  in
+  List.filter
+    (fun f ->
+      Option.value (Hashtbl.find_opt counts (f.file, f.rule)) ~default:0
+      > budget f.file f.rule)
+    findings
+
+let baseline_json ?(note = "") findings =
+  let counts = Hashtbl.create 32 in
+  List.iter
+    (fun f ->
+      let key = (f.file, f.rule) in
+      Hashtbl.replace counts key
+        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
+    findings;
+  let entries =
+    Hashtbl.fold (fun (file, rule) count acc -> (file, rule, count) :: acc)
+      counts []
+    |> List.sort compare
+  in
+  let buf = Buffer.create 512 in
+  Buffer.add_string buf "{\n  \"version\": 1,\n";
+  if note <> "" then begin
+    Buffer.add_string buf "  \"note\": ";
+    add_str buf note;
+    Buffer.add_string buf ",\n"
+  end;
+  Buffer.add_string buf "  \"entries\": [\n";
+  List.iteri
+    (fun i (file, rule, count) ->
+      if i > 0 then Buffer.add_string buf ",\n";
+      Buffer.add_string buf "    { \"file\": ";
+      add_str buf file;
+      Buffer.add_string buf ", \"rule\": ";
+      add_str buf rule;
+      Buffer.add_string buf (Printf.sprintf ", \"count\": %d }" count))
+    entries;
+  if entries <> [] then Buffer.add_char buf '\n';
+  Buffer.add_string buf "  ]\n}\n";
+  Buffer.contents buf

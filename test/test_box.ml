@@ -71,6 +71,8 @@ let prop_min_dist_zero_inside =
   QCheck.Test.make ~name:"min_dist2 zero iff inside" ~count:200 arb_point
     (fun p ->
       let box = Box.make ~lo:(Vec.make 3 (-1.)) ~hi:(Vec.make 3 1.) in
+      (* The property under test IS exact zero-ness of min_dist2 inside
+         the box. iqlint: allow float-exact-compare *)
       Box.contains_point box p = (Box.min_dist2 box p = 0.))
 
 let suite =

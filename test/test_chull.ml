@@ -28,6 +28,8 @@ let test_layers () =
   let inner = [ [| 0.4; 0.4 |]; [| 0.6; 0.6 |]; [| 0.4; 0.6 |]; [| 0.6; 0.4 |] ] in
   let layers = Chull.layers (square @ inner) in
   Alcotest.(check int) "two layers" 2 (List.length layers);
+  (* The check above pins layers to length 2, so List.hd cannot raise
+     here. iqlint: allow partial-function *)
   Alcotest.(check int) "outer is the square" 4 (List.length (List.hd layers))
 
 let cross o a b =

@@ -303,6 +303,390 @@ let test_unknown_rule () =
   let code, _ = run_main [ "--rules"; "no-such-rule"; "." ] in
   Alcotest.(check int) "unknown rule id exits 2" 2 code
 
+(* ------------------------- whole-program fixtures ---------------- *)
+
+let contains s sub =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  go 0
+
+(* A throwaway project directory: a dune file plus sources, so the
+   linter exercises its real Project.load / Callgraph.build path. *)
+let write_project files =
+  let dir = Filename.temp_file "iqlint_proj" "" in
+  Sys.remove dir;
+  Sys.mkdir dir 0o755;
+  List.iter
+    (fun (name, src) ->
+      let oc = open_out (Filename.concat dir name) in
+      output_string oc src;
+      close_out oc)
+    files;
+  dir
+
+let rm_project dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Sys.rmdir dir
+
+let lint_project ?jobs ?pragmas files =
+  let dir = write_project files in
+  Fun.protect
+    ~finally:(fun () -> rm_project dir)
+    (fun () -> Lint.lint_paths ?jobs ?pragmas [ dir ])
+
+let by_rule rule fs =
+  List.filter (fun (f : Lint.finding) -> f.Lint.rule = rule) fs
+
+(* ------------------------- domain-unsafe-call -------------------- *)
+
+let shared_counter_ml = "let count = ref 0\nlet bump () = count := !count + 1\n"
+
+let test_cg_cross_module_call () =
+  let fs =
+    lint_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ("a.ml", shared_counter_ml);
+        ( "b.ml",
+          "let run pool n =\n\
+          \  Parallel.parallel_for pool ~lo:0 ~hi:n (fun _ -> A.bump ())\n" );
+      ]
+  in
+  match by_rule "domain-unsafe-call" fs with
+  | [ f ] ->
+      Alcotest.(check bool) "flagged in b.ml" true
+        (Filename.basename f.Lint.file = "b.ml");
+      Alcotest.(check int) "at the call line" 2 f.Lint.line;
+      Alcotest.(check bool) "names the callee" true (contains f.Lint.message "A.bump")
+  | fs' ->
+      Alcotest.failf "expected one domain-unsafe-call, got %d" (List.length fs')
+
+let test_cg_ext_mutator_call () =
+  let fs =
+    lint_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ( "a.ml",
+          "let tbl = Hashtbl.create 16\n\
+           let remember k v = Hashtbl.replace tbl k v\n" );
+        ( "b.ml",
+          "let fill pool n =\n\
+          \  Parallel.parallel_for pool ~lo:0 ~hi:n (fun i -> A.remember i i)\n"
+        );
+      ]
+  in
+  Alcotest.(check int) "Hashtbl.replace on module state propagates" 1
+    (List.length (by_rule "domain-unsafe-call" fs))
+
+let test_cg_shadowing_no_edge () =
+  let fs =
+    lint_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ( "a.ml",
+          shared_counter_ml
+          ^ "let run pool n =\n\
+            \  let bump _ = 0 in\n\
+            \  Parallel.parallel_for pool ~lo:0 ~hi:n (fun i -> bump i)\n" );
+      ]
+  in
+  Alcotest.check rules_t "local binding shadows the shared mutator" []
+    (rules (by_rule "domain-unsafe-call" fs))
+
+let test_cg_alias_resolves () =
+  let fs =
+    lint_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ("a.ml", shared_counter_ml);
+        ( "c.ml",
+          "module M = A\n\
+           let go pool n =\n\
+          \  Parallel.parallel_for pool ~lo:0 ~hi:n (fun _ -> M.bump ())\n" );
+      ]
+  in
+  Alcotest.(check int) "module alias resolves to the mutator" 1
+    (List.length (by_rule "domain-unsafe-call" fs))
+
+(* ------------------------- dead-export --------------------------- *)
+
+let test_dead_export_and_functor_usage () =
+  let fs =
+    lint_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ("a.ml", "let used x = x + 1\nlet unused x = x - 1\n");
+        ("a.mli", "val used : int -> int\nval unused : int -> int\n");
+        ( "b.ml",
+          "module Make (X : sig\n\
+          \  val v : int\n\
+           end) =\n\
+           struct\n\
+          \  let go () = A.used X.v\n\
+           end\n" );
+      ]
+  in
+  match by_rule "dead-export" fs with
+  | [ f ] ->
+      Alcotest.(check bool) "flagged in a.mli" true
+        (Filename.basename f.Lint.file = "a.mli");
+      Alcotest.(check int) "the unused export" 2 f.Lint.line;
+      Alcotest.(check bool) "usage from a functor body counts" true
+        (contains f.Lint.message "`unused`")
+  | fs' -> Alcotest.failf "expected one dead-export, got %d" (List.length fs')
+
+(* ------------------------- engine-boundary-raise ----------------- *)
+
+let engine_fixture =
+  [
+    ("dune", "(library (name fixeng))\n");
+    ( "engine.ml",
+      "let helper n = if n < 0 then invalid_arg \"n\" else n\n\n\
+       let rec even n =\n\
+      \  if n < 0 then failwith \"neg\"\n\
+      \  else if n = 0 then true\n\
+      \  else odd (n - 1)\n\n\
+       and odd n = if n = 0 then false else even (n - 1)\n\n\
+       let lookup t k = Hashtbl.find t k\n\
+       let create n = helper n\n\
+       let parity n = odd n\n\
+       let find t k = lookup t k\n\
+       let pick_exn l = List.hd l\n\
+       let safe n = try create n with Invalid_argument _ -> 0\n\
+       let double n = n * 2\n" );
+    ( "engine.mli",
+      "val create : int -> int\n\
+       val parity : int -> bool\n\
+       val find : (string, int) Hashtbl.t -> string -> int\n\
+       val pick_exn : int list -> int\n\
+       val safe : int -> int\n\
+       val double : int -> int\n" );
+  ]
+
+let test_engine_boundary_fires () =
+  let fs = by_rule "engine-boundary-raise" (lint_project engine_fixture) in
+  (* create (Invalid_argument via helper), parity (Failure via the
+     odd/even mutual recursion) and find (Not_found via lookup ->
+     Hashtbl.find) leak; pick_exn is name-exempt, safe's handler masks
+     the raise, double is pure. Findings land on the .mli lines. *)
+  Alcotest.(check (list int))
+    "exactly create/parity/find" [ 1; 2; 3 ]
+    (List.map (fun (f : Lint.finding) -> f.Lint.line) fs);
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check bool) "reported on engine.mli" true
+        (Filename.basename f.Lint.file = "engine.mli"))
+    fs;
+  match fs with
+  | [ c; p; f ] ->
+      Alcotest.(check bool) "witness chain down to the raise site" true
+        (contains c.Lint.message "Engine.helper (raises Invalid_argument at");
+      Alcotest.(check bool) "witness through mutual recursion" true
+        (contains p.Lint.message "Engine.odd -> Engine.even (raises Failure at");
+      Alcotest.(check bool) "known-raising stdlib propagates" true
+        (contains f.Lint.message "Engine.lookup (raises Not_found at")
+  | _ -> Alcotest.fail "expected three findings"
+
+let test_engine_boundary_fixed_by_guard () =
+  (* The sweep idiom: route every entry point through a run-wrapper
+     that catches everything and returns a result. Both the direct
+     [guard (fun () -> ...)] and the sugared [guard @@ fun () -> ...]
+     application must be recognized. *)
+  let fs =
+    lint_project
+      [
+        ("dune", "(library (name fixeng))\n");
+        ( "engine.ml",
+          "let helper n = if n < 0 then invalid_arg \"n\" else n\n\
+           let guard f = try f () with e -> Error e\n\
+           let create n = guard @@ fun () -> Ok (helper n)\n\
+           let find t k = guard (fun () -> Ok (Hashtbl.find t k))\n" );
+        ( "engine.mli",
+          "val create : int -> (int, exn) result\n\
+           val find : (string, int) Hashtbl.t -> string -> (int, exn) result\n"
+        );
+      ]
+  in
+  Alcotest.check rules_t "result-wrapper entry points are clean" []
+    (rules (by_rule "engine-boundary-raise" fs))
+
+(* ------------------------- output formats ------------------------ *)
+
+let one_finding =
+  {
+    Lint.file = "lib/a.ml";
+    line = 3;
+    col = 4;
+    rule = "dead-export";
+    message = "msg with \"quotes\"";
+  }
+
+let test_finding_pp_and_order () =
+  Alcotest.(check string) "pp_finding format"
+    "lib/a.ml:3:4 [dead-export] msg with \"quotes\""
+    (Format.asprintf "%a" Lint.pp_finding one_finding);
+  let earlier = { one_finding with Lint.line = 1 } in
+  Alcotest.(check bool) "compare_finding orders by line" true
+    (Lint.compare_finding earlier one_finding < 0);
+  Alcotest.(check int) "compare_finding is reflexive" 0
+    (Lint.compare_finding one_finding one_finding)
+
+let test_json_golden () =
+  let expected =
+    String.concat ""
+      [
+        "{\n  \"tool\": \"iqlint\",\n  \"schema\": 1,\n";
+        "  \"count\": 1,\n  \"findings\": [\n";
+        "    { \"file\": \"lib/a.ml\", \"line\": 3, \"col\": 4, ";
+        "\"rule\": \"dead-export\", ";
+        "\"message\": \"msg with \\\"quotes\\\"\" }\n";
+        "  ]\n}\n";
+      ]
+  in
+  Alcotest.(check string) "json golden" expected
+    (Lint.render Lint.Json [ one_finding ])
+
+let test_sarif_golden () =
+  let rules_block =
+    Lint.all_rules
+    |> List.sort (fun (a, _) (b, _) -> String.compare a b)
+    |> List.map (fun (id, doc) ->
+           Printf.sprintf
+             "            { \"id\": \"%s\", \"shortDescription\": { \"text\": \
+              \"%s\" } }"
+             id doc)
+    |> String.concat ",\n"
+  in
+  let result_line =
+    String.concat ""
+      [
+        "        { \"ruleId\": \"dead-export\", \"level\": \"error\", ";
+        "\"message\": { \"text\": \"msg with \\\"quotes\\\"\" }, ";
+        "\"locations\": [ { \"physicalLocation\": { ";
+        "\"artifactLocation\": { \"uri\": \"lib/a.ml\" }, ";
+        "\"region\": { \"startLine\": 3, \"startColumn\": 5 } } } ] }";
+      ]
+  in
+  let expected =
+    String.concat ""
+      [
+        "{\n";
+        "  \"$schema\": \"https://json.schemastore.org/sarif-2.1.0.json\",\n";
+        "  \"version\": \"2.1.0\",\n";
+        "  \"runs\": [\n    {\n      \"tool\": {\n        \"driver\": {\n";
+        "          \"name\": \"iqlint\",\n          \"rules\": [\n";
+        rules_block;
+        "\n          ]\n        }\n      },\n      \"results\": [\n";
+        result_line;
+        "\n      ]\n    }\n  ]\n}\n";
+      ]
+  in
+  Alcotest.(check string) "sarif golden (1-based startColumn)" expected
+    (Lint.render Lint.Sarif [ one_finding ])
+
+let test_jobs_deterministic () =
+  let dir =
+    write_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ("a.ml", "let bad x = x = 0.0\nlet worse l = List.hd l\n");
+        ("b.ml", "let also y = y = 1.5\n");
+        ("c.ml", "let third o = Option.get o\n");
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_project dir)
+    (fun () ->
+      let c1, o1 = run_main [ "--jobs"; "1"; "--format"; "json"; dir ] in
+      let c4, o4 = run_main [ "--jobs"; "4"; "--format"; "json"; dir ] in
+      Alcotest.(check int) "same exit code" c1 c4;
+      Alcotest.(check bool) "found something" true (c1 = 1);
+      Alcotest.(check string) "--jobs 4 output byte-identical to --jobs 1" o1 o4)
+
+(* ------------------------- pragma granularity -------------------- *)
+
+let test_pragma_granularity () =
+  let fs =
+    lint_src
+      {|(* iqlint: allow partial-function — the float compare is the bug *)
+let mixed l = List.hd l = 0.0
+|}
+  in
+  Alcotest.check rules_t "only the named rule is suppressed"
+    [ "float-exact-compare" ] (rules fs)
+
+let test_pragma_all () =
+  let fs =
+    lint_src {|(* iqlint: allow all *)
+let mixed l = List.hd l = 0.0
+|}
+  in
+  Alcotest.check rules_t "allow all suppresses every rule" [] (rules fs)
+
+let test_pragma_unknown_token_stops () =
+  let fs =
+    lint_src
+      {|(* iqlint: allow everything partial-function *)
+let a l = List.hd l
+|}
+  in
+  Alcotest.check rules_t "scan stops at the first non-rule token"
+    [ "partial-function" ] (rules fs)
+
+let test_no_pragmas_flag () =
+  let path =
+    write_fixture "(* iqlint: allow partial-function *)\nlet a l = List.hd l\n"
+  in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let code, _ = run_main [ path ] in
+      Alcotest.(check int) "pragma honored by default" 0 code;
+      let code, output = run_main [ "--no-pragmas"; path ] in
+      Alcotest.(check int) "--no-pragmas audits through it" 1 code;
+      Alcotest.(check bool) "and reports the finding" true
+        (contains output "[partial-function]"))
+
+(* ------------------------- baseline ------------------------------ *)
+
+let test_baseline_gate () =
+  let path = write_fixture "let bad x = x = 0.0\n" in
+  let bl = Filename.temp_file "iqlint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove bl)
+    (fun () ->
+      let code, output = run_main [ "--write-baseline"; bl; path ] in
+      Alcotest.(check int) "--write-baseline exits 0" 0 code;
+      Alcotest.(check bool) "acknowledges the write" true
+        (contains output "wrote baseline");
+      let code, output = run_main [ "--baseline"; bl; path ] in
+      Alcotest.(check int) "baselined finding tolerated" 0 code;
+      Alcotest.(check bool) "reported as clean-with-baseline" true
+        (contains output "baselined");
+      (* A regression in the same (file, rule) group blows the budget
+         and reports the whole group. *)
+      let oc = open_out path in
+      output_string oc "let bad x = x = 0.0\nlet worse y = y = 1.0\n";
+      close_out oc;
+      let code, _ = run_main [ "--baseline"; bl; path ] in
+      Alcotest.(check int) "over-budget group exits 1" 1 code)
+
+let test_baseline_malformed () =
+  let path = write_fixture "let id x = x\n" in
+  let bl = Filename.temp_file "iqlint_baseline" ".json" in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove bl)
+    (fun () ->
+      let oc = open_out bl in
+      output_string oc "{ not json";
+      close_out oc;
+      let code, _ = run_main [ "--baseline"; bl; path ] in
+      Alcotest.(check int) "malformed baseline exits 2" 2 code)
+
 let suite =
   [
     Alcotest.test_case "domain-unsafe-capture fires on := capture" `Quick
@@ -347,4 +731,36 @@ let suite =
       test_exit_finding;
     Alcotest.test_case "CLI: --rules/--disable toggle" `Quick test_rule_toggle;
     Alcotest.test_case "CLI: unknown rule id exits 2" `Quick test_unknown_rule;
+    Alcotest.test_case "callgraph: cross-module shared mutation in pool" `Quick
+      test_cg_cross_module_call;
+    Alcotest.test_case "callgraph: ext mutator on module state propagates"
+      `Quick test_cg_ext_mutator_call;
+    Alcotest.test_case "callgraph: shadowed name resolves to the binder" `Quick
+      test_cg_shadowing_no_edge;
+    Alcotest.test_case "callgraph: module alias resolves" `Quick
+      test_cg_alias_resolves;
+    Alcotest.test_case "dead-export fires; functor usage counts" `Quick
+      test_dead_export_and_functor_usage;
+    Alcotest.test_case "engine-boundary-raise fires on seeded fixture" `Quick
+      test_engine_boundary_fires;
+    Alcotest.test_case "engine-boundary-raise fixed by result wrapper" `Quick
+      test_engine_boundary_fixed_by_guard;
+    Alcotest.test_case "pp_finding / compare_finding" `Quick
+      test_finding_pp_and_order;
+    Alcotest.test_case "JSON golden" `Quick test_json_golden;
+    Alcotest.test_case "SARIF golden" `Quick test_sarif_golden;
+    Alcotest.test_case "--jobs 4 output identical to --jobs 1" `Quick
+      test_jobs_deterministic;
+    Alcotest.test_case "pragma suppresses only the named rule" `Quick
+      test_pragma_granularity;
+    Alcotest.test_case "pragma 'allow all' suppresses the line" `Quick
+      test_pragma_all;
+    Alcotest.test_case "pragma scan stops at unknown token" `Quick
+      test_pragma_unknown_token_stops;
+    Alcotest.test_case "--no-pragmas audits suppressed findings" `Quick
+      test_no_pragmas_flag;
+    Alcotest.test_case "baseline: write, tolerate, gate regressions" `Quick
+      test_baseline_gate;
+    Alcotest.test_case "baseline: malformed file exits 2" `Quick
+      test_baseline_malformed;
   ]

@@ -44,6 +44,7 @@ let test_parse_select () =
       Alcotest.(check int) "order" 1 (List.length s.Sql.Ast.order_by);
       Alcotest.(check bool)
         "desc" true
+        (* iqlint: allow partial-function — order_by length checked = 1. *)
         (not (List.hd s.Sql.Ast.order_by).Sql.Ast.asc);
       Alcotest.(check (option int)) "limit" (Some 5) s.Sql.Ast.limit
   | _ -> Alcotest.fail "expected SELECT"

@@ -1,8 +1,9 @@
 #!/usr/bin/env sh
-# Full CI gate: build, tier-1 tests, the iqlint static-analysis pass
-# (`dune build @lint`, see DESIGN.md "Static analysis"), and the bench
-# smoke checks (parallel determinism + engine facade overhead, which
-# also emits BENCH_engine.json). Any stage failing fails the run.
+# Full CI gate: build, tier-1 tests, the iqlint whole-program pass
+# (`dune build @lint` baseline gate plus a SARIF emission for CI
+# annotation upload; see DESIGN.md "Whole-program lint"), and the
+# bench smoke checks (parallel determinism + engine facade overhead,
+# which also emits BENCH_engine.json). Any stage failing fails the run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -12,8 +13,15 @@ dune build
 echo "== dune runtest =="
 dune runtest
 
-echo "== dune build @lint =="
+echo "== dune build @lint (baseline gate) =="
 dune build @lint
+
+echo "== iqlint SARIF report =="
+# Emit machine-readable findings for CI upload; the gate above already
+# failed on anything non-baselined, so this only records them.
+./_build/default/bin/iqlint.exe --format sarif \
+  lib bin bench examples test > _build/iqlint.sarif || true
+echo "wrote _build/iqlint.sarif"
 
 echo "== bench smoke =="
 tools/bench_smoke.sh
