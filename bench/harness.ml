@@ -117,8 +117,18 @@ let write_json ~name json =
   let buf = Buffer.create 1024 in
   buf_json buf json;
   Buffer.add_char buf '\n';
-  let oc = open_out path in
-  Fun.protect
-    ~finally:(fun () -> close_out oc)
-    (fun () -> Buffer.output_buffer oc buf);
+  (* Atomic publish: write a sibling temp file, then rename over the
+     target, so a reader (or a crashed bench) never sees a truncated
+     JSON document. Same directory, so the rename cannot cross a
+     filesystem boundary. *)
+  let tmp = Filename.temp_file ~temp_dir:dir ("BENCH_" ^ name) ".tmp" in
+  (try
+     let oc = open_out tmp in
+     Fun.protect
+       ~finally:(fun () -> close_out oc)
+       (fun () -> Buffer.output_buffer oc buf);
+     Sys.rename tmp path
+   with e ->
+     (try Sys.remove tmp with Sys_error _ -> ());
+     raise e);
   note "machine-readable results: %s" path

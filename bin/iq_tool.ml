@@ -16,8 +16,22 @@ open Cmdliner
 
 (* --- shared loading helpers ----------------------------------------- *)
 
-let load_objects = Workload.Loader.load_objects
-let load_queries = Workload.Loader.load_queries
+(* Malformed input is a user error, not a crash: print the offending
+   file:line and exit 2 (1 is cmdliner's own usage-error code). *)
+let parse_error_exit e =
+  prerr_endline
+    ("iq_tool: parse error: " ^ Workload.Loader.parse_error_to_string e);
+  exit 2
+
+let load_objects path =
+  match Workload.Loader.load_objects path with
+  | Ok v -> v
+  | Error (`Parse_error e) -> parse_error_exit e
+
+let load_queries path =
+  match Workload.Loader.load_queries path with
+  | Ok v -> v
+  | Error (`Parse_error e) -> parse_error_exit e
 
 let cost_of_name name d =
   match name with
@@ -34,11 +48,28 @@ let ok_or_die = function
   | Ok v -> v
   | Error e -> failwith (Iq.Engine.Error.to_string e)
 
-let build_engine ~order data queries =
+(* The resilience policy is resolved here, not left to Engine.create:
+   a malformed IQ_FAULT is a user config error (stderr + exit 2, like
+   a parse error), and an explicit --retries must override IQ_RETRIES
+   without silently dropping the IQ_FAULT schedule. *)
+let resilience_of_retries retries =
+  match Resilience.Fault.of_env () with
+  | Error msg ->
+      prerr_endline ("iq_tool: bad IQ_FAULT: " ^ msg);
+      exit 2
+  | Ok fault ->
+      let base = { (Iq.Engine.default_resilience ()) with Iq.Engine.fault } in
+      Some
+        (match retries with
+        | None -> base
+        | Some r -> { base with Iq.Engine.retries = r })
+
+let build_engine ~order ?retries data queries =
   let inst =
     Iq.Instance.create ~order:(order_of_name order) ~data ~queries ()
   in
-  let engine = ok_or_die (Iq.Engine.create inst) in
+  let resilience = resilience_of_retries retries in
+  let engine = ok_or_die (Iq.Engine.create ?resilience inst) in
   (* Everything in this process serves off the one shared pool the
      engine borrowed from Parallel.default — creating another would
      oversubscribe the cores. *)
@@ -87,6 +118,25 @@ let cap_arg =
 
 let seed_arg =
   Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let deadline_arg =
+  Arg.(
+    value
+    & opt (some float) None
+    & info [ "deadline-ms" ] ~docv:"MS"
+        ~doc:
+          "Wall-clock deadline for the search; on expiry the best \
+           strategy found so far is reported as a degraded partial \
+           result. Overrides IQ_DEADLINE_MS.")
+
+let retries_arg =
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "retries" ] ~docv:"N"
+        ~doc:
+          "Retries per backend for transient (injected) faults before \
+           falling back down the backend chain. Overrides IQ_RETRIES.")
 
 let normalize_cap = function Some 0 -> None | c -> c
 
@@ -222,18 +272,37 @@ let print_strategy prefix s =
     (String.concat "; "
        (Array.to_list (Array.map (Printf.sprintf "%+.6f") s)))
 
-let run_mincost data_path queries_path targets tau cost_name order cap =
+let print_partial = function
+  | None -> Printf.printf "no partial result\n"
+  | Some p ->
+      Printf.printf "degraded partial: %d hits at cost %.6f (%d iterations)\n"
+        p.Iq.Engine.p_hits p.Iq.Engine.p_total_cost p.Iq.Engine.p_iterations;
+      List.iter
+        (fun (t, s) -> print_strategy (Printf.sprintf "target %d: " t) s)
+        p.Iq.Engine.p_strategies
+
+let run_mincost data_path queries_path targets tau cost_name order cap deadline
+    retries =
   let _, data = load_objects data_path in
   let queries = load_queries queries_path in
-  let engine = build_engine ~order data queries in
+  let engine = build_engine ~order ?retries data queries in
   let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   let cost = cost_of_name cost_name d in
   let cap = normalize_cap cap in
   match targets with
   | [ target ] -> (
-      match Iq.Engine.min_cost ?candidate_cap:cap engine ~cost ~target ~tau with
+      match
+        Iq.Engine.min_cost ?candidate_cap:cap ?deadline_ms:deadline engine
+          ~cost ~target ~tau
+      with
       | Error Iq.Engine.Error.Infeasible ->
           Printf.printf "tau = %d is unreachable\n" tau
+      | Error (Iq.Engine.Error.Deadline_exceeded { elapsed_ms; partial }) ->
+          Printf.printf "deadline exceeded after %.1f ms\n" elapsed_ms;
+          print_partial partial
+      | Error (Iq.Engine.Error.Cancelled { partial }) ->
+          Printf.printf "cancelled\n";
+          print_partial partial
       | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
       | Ok o ->
           Printf.printf "target %d: H = %d\n" target o.Iq.Min_cost.hits_before;
@@ -244,9 +313,18 @@ let run_mincost data_path queries_path targets tau cost_name order cap =
           print_strategy "strategy: " o.Iq.Min_cost.strategy)
   | targets -> (
       let costs = List.map (fun t -> (t, cost)) targets in
-      match Iq.Engine.min_cost_multi ?candidate_cap:cap engine ~costs ~tau with
+      match
+        Iq.Engine.min_cost_multi ?candidate_cap:cap ?deadline_ms:deadline
+          engine ~costs ~tau
+      with
       | Error Iq.Engine.Error.Infeasible ->
           Printf.printf "tau = %d is unreachable\n" tau
+      | Error (Iq.Engine.Error.Deadline_exceeded { elapsed_ms; partial }) ->
+          Printf.printf "deadline exceeded after %.1f ms\n" elapsed_ms;
+          print_partial partial
+      | Error (Iq.Engine.Error.Cancelled { partial }) ->
+          Printf.printf "cancelled\n";
+          print_partial partial
       | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
       | Ok o ->
           Printf.printf "union hits: %d -> %d, total cost %.6f\n"
@@ -267,18 +345,28 @@ let mincost_cmd =
     (Cmd.info "mincost" ~doc:"Min-Cost Improvement Query (Algorithm 3)")
     Term.(
       const run_mincost $ data_arg $ queries_arg $ targets_arg $ tau $ cost_arg
-      $ order_arg $ cap_arg)
+      $ order_arg $ cap_arg $ deadline_arg $ retries_arg)
 
-let run_maxhit data_path queries_path targets beta cost_name order cap =
+let run_maxhit data_path queries_path targets beta cost_name order cap deadline
+    retries =
   let _, data = load_objects data_path in
   let queries = load_queries queries_path in
-  let engine = build_engine ~order data queries in
+  let engine = build_engine ~order ?retries data queries in
   let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   let cost = cost_of_name cost_name d in
   let cap = normalize_cap cap in
   match targets with
   | [ target ] -> (
-      match Iq.Engine.max_hit ?candidate_cap:cap engine ~cost ~target ~beta with
+      match
+        Iq.Engine.max_hit ?candidate_cap:cap ?deadline_ms:deadline engine
+          ~cost ~target ~beta
+      with
+      | Error (Iq.Engine.Error.Deadline_exceeded { elapsed_ms; partial }) ->
+          Printf.printf "deadline exceeded after %.1f ms\n" elapsed_ms;
+          print_partial partial
+      | Error (Iq.Engine.Error.Cancelled { partial }) ->
+          Printf.printf "cancelled\n";
+          print_partial partial
       | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
       | Ok o ->
           Printf.printf "hits: %d -> %d, spent %.6f of %.6f\n"
@@ -287,7 +375,16 @@ let run_maxhit data_path queries_path targets beta cost_name order cap =
           print_strategy "strategy: " o.Iq.Max_hit.strategy)
   | targets -> (
       let costs = List.map (fun t -> (t, cost)) targets in
-      match Iq.Engine.max_hit_multi ?candidate_cap:cap engine ~costs ~beta with
+      match
+        Iq.Engine.max_hit_multi ?candidate_cap:cap ?deadline_ms:deadline engine
+          ~costs ~beta
+      with
+      | Error (Iq.Engine.Error.Deadline_exceeded { elapsed_ms; partial }) ->
+          Printf.printf "deadline exceeded after %.1f ms\n" elapsed_ms;
+          print_partial partial
+      | Error (Iq.Engine.Error.Cancelled { partial }) ->
+          Printf.printf "cancelled\n";
+          print_partial partial
       | Error e -> Printf.printf "error: %s\n" (Iq.Engine.Error.to_string e)
       | Ok o ->
           Printf.printf "union hits: %d -> %d, total cost %.6f of %.6f\n"
@@ -309,7 +406,7 @@ let maxhit_cmd =
     (Cmd.info "maxhit" ~doc:"Max-Hit Improvement Query (Algorithm 4)")
     Term.(
       const run_maxhit $ data_arg $ queries_arg $ targets_arg $ beta $ cost_arg
-      $ order_arg $ cap_arg)
+      $ order_arg $ cap_arg $ deadline_arg $ retries_arg)
 
 (* --- exhaustive --------------------------------------------------------- *)
 

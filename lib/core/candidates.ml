@@ -12,8 +12,11 @@ let step_key step =
   String.concat ","
     (List.map (fun x -> Printf.sprintf "%.12g" x) (Array.to_list step))
 
-let collect ?pool ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~bounds ~current
-    ~s_star ~cap ?max_step_cost () =
+let collect ?pool ?budget ?fault ~(evaluator : Evaluator.t) ~(cost : Cost.t)
+    ~bounds ~current ~s_star ~cap ?max_step_cost () =
+  let budget =
+    match budget with Some b -> b | None -> Resilience.Budget.unlimited
+  in
   let m = Instance.n_queries evaluator.Evaluator.instance in
   let seen = Hashtbl.create 64 in
   let steps = ref [] in
@@ -53,10 +56,30 @@ let collect ?pool ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~bounds ~current
      hence every downstream index-based tie-break) identical to the
      sequential path. *)
   let evaluate (step, step_cost) =
+    Resilience.Budget.step budget 1;
     let hits = evaluator.Evaluator.hit_count (Vec.add s_star step) in
     { step; step_cost; hits }
   in
+  (* Budget discipline: each evaluation books a step; once the budget
+     trips, remaining evaluations are skipped (hits = 0 placeholders).
+     The searches re-check the budget right after [collect] and
+     discard the whole list on a trip, so a partially evaluated batch
+     is never acted on. *)
   match pool with
-  | None -> List.map evaluate capped
+  | None ->
+      List.map
+        (fun ((step, step_cost) as c) ->
+          if Resilience.Budget.live budget then evaluate c
+          else { step; step_cost; hits = 0 })
+        capped
   | Some pool ->
-      Array.to_list (Parallel.map_array pool evaluate (Array.of_list capped))
+      let stop () = not (Resilience.Budget.live budget) in
+      let on_chunk =
+        match fault with
+        | None -> None
+        | Some _ ->
+            Some (fun () -> Resilience.Fault.point fault ~site:"pool.task")
+      in
+      Array.to_list
+        (Parallel.map_array ~stop ?on_chunk pool evaluate
+           (Array.of_list capped))

@@ -10,6 +10,8 @@ type t = { step : Vec.t; step_cost : float; hits : int }
 
 val collect :
   ?pool:Parallel.pool ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.t ->
   evaluator:Evaluator.t ->
   cost:Cost.t ->
   bounds:Lp.Projection.bounds ->
@@ -28,7 +30,14 @@ val collect :
     {!Parallel} pool; collection order, dedup and the cheapest-first
     sort are unchanged, so the returned list is identical to the
     sequential one (the evaluator's [hit_count] must be safe to call
-    concurrently — all built-in evaluators are). *)
+    concurrently — all built-in evaluators are).
+
+    [budget] books one {!Resilience.Budget.step} per evaluation and
+    stops evaluating (sequentially per candidate, in a pool at chunk
+    boundaries) once the budget trips; the remaining entries carry
+    [hits = 0] placeholders, so callers must re-check the budget after
+    [collect] and discard the list when it tripped. [fault] consults
+    the [pool.task] injection site at every pool chunk boundary. *)
 
 val remaining_bounds :
   Lp.Projection.bounds -> Vec.t -> Lp.Projection.bounds

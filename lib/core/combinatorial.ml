@@ -1,11 +1,14 @@
 open Geom
 
+type status = [ `Complete | `Degraded of Resilience.Budget.trip ]
+
 type outcome = {
   strategies : (int * Strategy.t) list;
   total_cost : float;
   union_hits_before : int;
   union_hits_after : int;
   iterations : int;
+  status : status;
 }
 
 type target_ctx = {
@@ -89,7 +92,7 @@ let apply_step ctx step =
   ctx.members <- members;
   ctx.spent <- ctx.spent +. Cost.(ctx.cost.eval) step
 
-let collect_candidates index ctxs ~cover ~cap ~budget_left =
+let collect_candidates index ctxs ~cover ~cap ~budget_left ~budget =
   let inst = Query_index.instance index in
   let m = Instance.n_queries inst in
   let raw = ref [] in
@@ -141,16 +144,24 @@ let collect_candidates index ctxs ~cover ~cap ~budget_left =
     | None -> dedup
     | Some n -> List.filteri (fun i _ -> i < n) dedup
   in
+  (* [union_gain] walks the dirty slab per candidate — the expensive
+     part, so it books budget steps and stops once tripped (gain 0
+     placeholders; the search re-checks and discards the batch). *)
   List.map
     (fun (ctx, step, step_cost) ->
-      { ctx; step; step_cost; union_gain = union_gain ~cover ctx step })
+      Resilience.Budget.step budget 1;
+      let union_gain =
+        if Resilience.Budget.live budget then union_gain ~cover ctx step
+        else 0
+      in
+      { ctx; step; step_cost; union_gain })
     capped
 
 let ratio c =
   if c.union_gain <= 0 then infinity
   else c.step_cost /. float_of_int c.union_gain
 
-let finish ctxs cover ~before ~iterations =
+let finish ctxs cover ~before ~iterations ~status =
   {
     strategies = List.map (fun ctx -> (ctx.target, ctx.s_star)) ctxs;
     total_cost =
@@ -160,11 +171,17 @@ let finish ctxs cover ~before ~iterations =
     union_hits_before = before;
     union_hits_after = union_count cover;
     iterations;
+    status;
   }
 
+let resolve_budget = function
+  | Some b -> b
+  | None -> Resilience.Budget.unlimited
+
 let min_cost ?(limits = []) ?max_iterations ?candidate_cap ?(states = [])
-    ~index ~costs ~tau () =
+    ?budget ?fault ~index ~costs ~tau () =
   if costs = [] then invalid_arg "Combinatorial.min_cost: no targets";
+  let budget = resolve_budget budget in
   let inst = Query_index.instance index in
   let m = Instance.n_queries inst in
   let max_iterations =
@@ -175,33 +192,56 @@ let min_cost ?(limits = []) ?max_iterations ?candidate_cap ?(states = [])
   let before = union_count !cover in
   let iterations = ref 0 in
   let failed = ref false in
-  while (not !failed) && union_count !cover < tau && !iterations < max_iterations
+  let degraded = ref None in
+  while
+    Option.is_none !degraded
+    && (not !failed)
+    && union_count !cover < tau
+    && !iterations < max_iterations
   do
-    incr iterations;
-    let candidates =
-      collect_candidates index ctxs ~cover:!cover ~cap:candidate_cap
-        ~budget_left:None
-    in
-    match candidates with
-    | [] -> failed := true
-    | c :: cs ->
-        let best =
-          List.fold_left
-            (fun acc cand -> if ratio cand < ratio acc then cand else acc)
-            c cs
+    (* Same anytime discipline as the single-target searches: an
+       iteration interrupted mid-collection is discarded whole, so
+       per-target strategies and the union count stay exact. *)
+    match Resilience.Budget.check budget with
+    | Some trip -> degraded := Some trip
+    | None -> (
+        Resilience.Fault.point fault ~site:"search.iteration";
+        incr iterations;
+        let candidates =
+          collect_candidates index ctxs ~cover:!cover ~cap:candidate_cap
+            ~budget_left:None ~budget
         in
-        if best.union_gain <= 0 then failed := true
-        else begin
-          apply_step best.ctx best.step;
-          cover := build_cover ctxs m
-        end
+        match Resilience.Budget.check budget with
+        | Some trip -> degraded := Some trip
+        | None -> (
+            match candidates with
+            | [] -> failed := true
+            | c :: cs ->
+                let best =
+                  List.fold_left
+                    (fun acc cand ->
+                      if ratio cand < ratio acc then cand else acc)
+                    c cs
+                in
+                if best.union_gain <= 0 then failed := true
+                else begin
+                  apply_step best.ctx best.step;
+                  cover := build_cover ctxs m
+                end))
   done;
-  if union_count !cover < tau then None
-  else Some (finish ctxs !cover ~before ~iterations:!iterations)
+  match !degraded with
+  | Some trip ->
+      Some
+        (finish ctxs !cover ~before ~iterations:!iterations
+           ~status:(`Degraded trip))
+  | None ->
+      if union_count !cover < tau then None
+      else Some (finish ctxs !cover ~before ~iterations:!iterations ~status:`Complete)
 
 let max_hit ?(limits = []) ?max_iterations ?candidate_cap ?(states = [])
-    ~index ~costs ~beta () =
+    ?budget ?fault ~index ~costs ~beta () =
   if costs = [] then invalid_arg "Combinatorial.max_hit: no targets";
+  let budget = resolve_budget budget in
   let inst = Query_index.instance index in
   let m = Instance.n_queries inst in
   let max_iterations =
@@ -213,26 +253,43 @@ let max_hit ?(limits = []) ?max_iterations ?candidate_cap ?(states = [])
   let spent () = List.fold_left (fun acc ctx -> acc +. ctx.spent) 0. ctxs in
   let iterations = ref 0 in
   let stop = ref false in
-  while (not !stop) && !iterations < max_iterations && spent () < beta do
-    incr iterations;
-    let budget_left = beta -. spent () in
-    let candidates =
-      collect_candidates index ctxs ~cover:!cover ~cap:candidate_cap
-        ~budget_left:(Some budget_left)
-    in
-    match candidates with
-    | [] -> stop := true
-    | c :: cs ->
-        let best =
-          List.fold_left
-            (fun acc cand -> if ratio cand < ratio acc then cand else acc)
-            c cs
+  let degraded = ref None in
+  while
+    Option.is_none !degraded
+    && (not !stop)
+    && !iterations < max_iterations
+    && spent () < beta
+  do
+    match Resilience.Budget.check budget with
+    | Some trip -> degraded := Some trip
+    | None -> (
+        Resilience.Fault.point fault ~site:"search.iteration";
+        incr iterations;
+        let budget_left = beta -. spent () in
+        let candidates =
+          collect_candidates index ctxs ~cover:!cover ~cap:candidate_cap
+            ~budget_left:(Some budget_left) ~budget
         in
-        if best.union_gain <= 0 || best.step_cost > budget_left then
-          stop := true
-        else begin
-          apply_step best.ctx best.step;
-          cover := build_cover ctxs m
-        end
+        match Resilience.Budget.check budget with
+        | Some trip -> degraded := Some trip
+        | None -> (
+            match candidates with
+            | [] -> stop := true
+            | c :: cs ->
+                let best =
+                  List.fold_left
+                    (fun acc cand ->
+                      if ratio cand < ratio acc then cand else acc)
+                    c cs
+                in
+                if best.union_gain <= 0 || best.step_cost > budget_left then
+                  stop := true
+                else begin
+                  apply_step best.ctx best.step;
+                  cover := build_cover ctxs m
+                end))
   done;
-  finish ctxs !cover ~before ~iterations:!iterations
+  let status =
+    match !degraded with Some trip -> `Degraded trip | None -> `Complete
+  in
+  finish ctxs !cover ~before ~iterations:!iterations ~status

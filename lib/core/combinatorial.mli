@@ -7,6 +7,10 @@
     its own cost function. The search is the multi-target variant of
     the greedy ratio loop (steps 1–3 in Section 5.1). *)
 
+type status = [ `Complete | `Degraded of Resilience.Budget.trip ]
+(** As in {!Min_cost.status}: degraded outcomes carry the exact union
+    count of the strategies actually applied. *)
+
 type outcome = {
   strategies : (int * Strategy.t) list;
       (** one accumulated strategy per target id *)
@@ -14,6 +18,7 @@ type outcome = {
   union_hits_before : int;
   union_hits_after : int;
   iterations : int;
+  status : status;
 }
 
 val min_cost :
@@ -21,6 +26,8 @@ val min_cost :
   ?max_iterations:int ->
   ?candidate_cap:int ->
   ?states:(int * Ese.state) list ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.t ->
   index:Query_index.t ->
   costs:(int * Cost.t) list ->
   tau:int ->
@@ -32,6 +39,11 @@ val min_cost :
     own. [None] when [tau] union hits are unreachable; a [tau] the
     union already meets — including [tau <= 0] — is trivially
     satisfied with zero strategies.
+    [budget]/[fault] behave as in {!Min_cost.search}: a trip ends the
+    search with [status = `Degraded _] and the strategies applied so
+    far (the fault sites here are [search.iteration] and the
+    per-candidate step accounting — the multi-target candidate scan is
+    sequential, so there is no [pool.task] site).
     @raise Invalid_argument when [costs] is empty. *)
 
 val max_hit :
@@ -39,6 +51,8 @@ val max_hit :
   ?max_iterations:int ->
   ?candidate_cap:int ->
   ?states:(int * Ese.state) list ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.t ->
   index:Query_index.t ->
   costs:(int * Cost.t) list ->
   beta:float ->

@@ -1,5 +1,17 @@
 open Geom
 
+(* The anytime payload of a deadline/cancellation trip: the best
+   strategies found in fully completed iterations. [hits] is the exact
+   hit (or union-hit) count of those strategies — a degraded answer is
+   under-achieved, never silently wrong. *)
+type partial = {
+  p_strategies : (int * Strategy.t) list;
+  p_hits : int;
+  p_total_cost : float;
+  p_iterations : int;
+  p_flag : [ `Degraded ];
+}
+
 module Error = struct
   type t =
     | Dim_mismatch of { expected : int; got : int }
@@ -11,7 +23,16 @@ module Error = struct
     | Stale_state of { held : int; current : int }
     | Unknown_backend of string
     | Empty_targets
+    | Deadline_exceeded of { elapsed_ms : float; partial : partial option }
+    | Cancelled of { partial : partial option }
+    | Fault_spec of { spec : string; msg : string }
     | Internal of string
+
+  let partial_str = function
+    | None -> "no partial result"
+    | Some p ->
+        Printf.sprintf "degraded partial: %d hits at cost %g after %d iterations"
+          p.p_hits p.p_total_cost p.p_iterations
 
   let to_string = function
     | Dim_mismatch { expected; got } ->
@@ -34,6 +55,13 @@ module Error = struct
     | Unknown_backend name ->
         Printf.sprintf "unknown backend %S (expected ese, scan or rta)" name
     | Empty_targets -> "no targets given"
+    | Deadline_exceeded { elapsed_ms; partial } ->
+        Printf.sprintf "deadline exceeded after %.1f ms (%s)" elapsed_ms
+          (partial_str partial)
+    | Cancelled { partial } ->
+        Printf.sprintf "cancelled (%s)" (partial_str partial)
+    | Fault_spec { spec; msg } ->
+        Printf.sprintf "bad IQ_FAULT spec %S: %s" spec msg
     | Internal msg -> "internal error: " ^ msg
 
   let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -94,22 +122,84 @@ let backend_of_name name =
 
 let default_backend () = backend_of_name (Workload.Config.backend ())
 
+(* {2 Resilience configuration} *)
+
+type resilience = {
+  retries : int;
+  backoff_ms : float;
+  circuit_threshold : int;
+  circuit_cooldown_ms : float;
+  fault : Resilience.Fault.t option;
+}
+
+let default_resilience () =
+  {
+    retries = Workload.Config.retries ();
+    backoff_ms = 1.;
+    circuit_threshold = 3;
+    circuit_cooldown_ms = 100.;
+    fault = None;
+  }
+
+(* The degradation order: every engine falls back ese -> rta -> scan
+   from its primary onwards (a custom primary falls back to the full
+   built-in chain). The last link is the ground-truth scan — slowest,
+   least machinery, most likely to survive. *)
+let builtin_chain = [ (module Ese_backend : BACKEND); (module Rta_backend); (module Scan_backend) ]
+
+let chain_of (module B : BACKEND) =
+  let rec after = function
+    | [] -> []
+    | (module C : BACKEND) :: rest ->
+        if String.equal C.name B.name then rest else after rest
+  in
+  let is_builtin =
+    List.exists (fun (module C : BACKEND) -> String.equal C.name B.name) builtin_chain
+  in
+  let tail = if is_builtin then after builtin_chain else builtin_chain in
+  Array.of_list ((module B : BACKEND) :: tail)
+
+(* Per-backend health accounting, engine-lock protected. [open_until_ms]
+   is the circuit breaker: non-zero while the backend is skipped
+   outright; after the cooldown the next prepare half-opens it (one
+   trial attempt; failure re-opens, success closes). *)
+type bstat = {
+  mutable bs_attempts : int;
+  mutable bs_failures : int;
+  mutable bs_retries : int;
+  mutable bs_fallbacks : int;
+  mutable bs_consecutive : int;
+  mutable bs_open_until_ms : float;
+}
+
 (* A cached per-target evaluator, pinned to the generation it was
    prepared at. The ESE state rides along (when the backend has one)
-   so combinatorial searches reuse it instead of re-preparing. *)
-type centry = { c_gen : int; c_eval : Evaluator.t; c_state : Ese.state option }
+   so combinatorial searches reuse it instead of re-preparing.
+   [c_pos] records which link of the fallback chain served it. *)
+type centry = {
+  c_gen : int;
+  c_eval : Evaluator.t;
+  c_state : Ese.state option;
+  c_pos : int;
+  c_bname : string;
+}
 
 type t = {
   index : Query_index.t;
   pool : Parallel.pool;
   backend : backend;
+  chain : backend array;
+  res : resilience;
   lock : Mutex.t;
   cache : (int, centry) Hashtbl.t;
+  bstats : (string, bstat) Hashtbl.t;
   mutable gen : int;
   mutable repreps : int;
   mutable retired_evals : int;
       (* evaluation counts of cache entries already replaced, so
          [stats] stays monotonic across re-preparations *)
+  mutable deadline_trips : int;
+  mutable cancellations : int;
 }
 
 let with_lock t f =
@@ -118,31 +208,80 @@ let with_lock t f =
 
 let resolve_backend = function Some b -> Ok b | None -> default_backend ()
 
-let of_index ?backend ?pool index =
+(* Without an explicit config the environment decides: IQ_RETRIES for
+   the retry count and IQ_FAULT for an injection schedule. A malformed
+   spec is a typed error — silently running without the faults a chaos
+   run asked for would invalidate the run. *)
+let resolve_resilience = function
+  | Some r -> Ok r
+  | None -> (
+      match Resilience.Fault.of_env () with
+      | Ok fault -> Ok { (default_resilience ()) with fault }
+      | Error msg -> (
+          match Workload.Config.fault () with
+          | Some spec -> Error (Error.Fault_spec { spec; msg })
+          | None -> Error (Error.Fault_spec { spec = ""; msg })))
+
+let bstat t name =
+  match Hashtbl.find_opt t.bstats name with
+  | Some s -> s
+  | None ->
+      let s =
+        {
+          bs_attempts = 0;
+          bs_failures = 0;
+          bs_retries = 0;
+          bs_fallbacks = 0;
+          bs_consecutive = 0;
+          bs_open_until_ms = 0.;
+        }
+      in
+      Hashtbl.add t.bstats name s;
+      s
+
+let of_index ?backend ?resilience ?pool index =
   guard @@ fun () ->
   let* b = resolve_backend backend in
+  let* res = resolve_resilience resilience in
   let pool = match pool with Some p -> p | None -> Parallel.default () in
   Ok
     {
       index;
       pool;
       backend = b;
+      chain = chain_of b;
+      res;
       lock = Mutex.create ();
       cache = Hashtbl.create 16;
+      bstats = Hashtbl.create 4;
       gen = 0;
       repreps = 0;
       retired_evals = 0;
+      deadline_trips = 0;
+      cancellations = 0;
     }
 
-let create ?backend ?depth_slack ?method_ ?pool inst =
+let create ?backend ?resilience ?depth_slack ?method_ ?pool inst =
   guard @@ fun () ->
   let* b = resolve_backend backend in
+  let* res = resolve_resilience resilience in
   let pool = match pool with Some p -> p | None -> Parallel.default () in
-  let index = Query_index.build ?depth_slack ?method_ ~pool inst in
-  of_index ~backend:b ~pool index
+  (* The index build consults its own fault site; transient injections
+     are retried like a backend's, anything else escapes to [guard]. *)
+  let rec build tries =
+    match
+      Resilience.Fault.point res.fault ~site:"index.build";
+      Query_index.build ?depth_slack ?method_ ~pool inst
+    with
+    | index -> index
+    | exception e when Resilience.Fault.transient_exn e && tries > 0 ->
+        build (tries - 1)
+  in
+  let index = build res.retries in
+  of_index ~backend:b ~resilience:res ~pool index
 
-let create_exn ?backend ?depth_slack ?method_ ?pool inst =
-  match create ?backend ?depth_slack ?method_ ?pool inst with
+let create_exn ?backend ?resilience ?depth_slack ?method_ ?pool inst =
+  match create ?backend ?resilience ?depth_slack ?method_ ?pool inst with
   | Ok t -> t
   | Error e -> invalid_arg ("Engine.create: " ^ Error.to_string e)
 
@@ -174,29 +313,143 @@ let check_dim ~expected ~got =
   if expected <> got then Error (Error.Dim_mismatch { expected; got })
   else Ok ()
 
-(* {2 Evaluator cache} *)
+(* {2 Evaluator cache and failover} *)
 
-let entry t ~target =
-  with_lock t (fun () ->
-      let fresh () =
-        let (module B : BACKEND) = t.backend in
-        let eval, state = B.prepare ~index:t.index ~pool:t.pool ~target in
-        let e = { c_gen = t.gen; c_eval = eval; c_state = state } in
-        Hashtbl.replace t.cache target e;
-        e
-      in
-      match Hashtbl.find_opt t.cache target with
-      | Some e when e.c_gen = t.gen -> e
-      | Some stale ->
-          (* Transparent re-preparation: a mutation moved the engine
-             past this entry's generation. *)
-          t.repreps <- t.repreps + 1;
-          t.retired_evals <-
-            t.retired_evals + stale.c_eval.Evaluator.evaluations ();
-          fresh ()
-      | None -> fresh ())
+let sleep_ms ms = if ms > 0. then Unix.sleepf (ms /. 1000.)
+
+(* Instrument an evaluator's hit_count with the backend's eval fault
+   site. Only when a schedule is loaded — the clean path keeps the
+   original closure untouched. *)
+let wrap_eval t bname (eval : Evaluator.t) =
+  match t.res.fault with
+  | None -> eval
+  | Some _ ->
+      let site = "backend." ^ bname ^ ".eval" in
+      {
+        eval with
+        Evaluator.hit_count =
+          (fun s ->
+            Resilience.Fault.point t.res.fault ~site;
+            eval.Evaluator.hit_count s);
+      }
+
+(* Prepare [target] starting at chain link [from_pos]; engine lock
+   held. Circuit-open backends are skipped outright; an injected
+   transient retries the same backend with doubling backoff; a
+   persistent injection marks the failure and falls through to the
+   next link. Only {!Resilience.Fault.Injected} drives failover — any
+   other exception is a genuine bug and propagates to [guard]. *)
+let prepare_locked t ~target ~from_pos =
+  let n = Array.length t.chain in
+  let rec try_pos pos last =
+    if pos >= n then
+      match last with
+      | Some e -> raise e
+      | None -> invalid_arg "Engine: empty backend chain"
+    else
+      let (module B : BACKEND) = t.chain.(pos) in
+      let st = bstat t B.name in
+      if st.bs_open_until_ms > Resilience.now_ms () then begin
+        st.bs_fallbacks <- st.bs_fallbacks + 1;
+        try_pos (pos + 1) last
+      end
+      else
+        let site = "backend." ^ B.name ^ ".prepare" in
+        let rec attempt tries_left =
+          st.bs_attempts <- st.bs_attempts + 1;
+          match
+            Resilience.Fault.point t.res.fault ~site;
+            B.prepare ~index:t.index ~pool:t.pool ~target
+          with
+          | eval, state ->
+              st.bs_consecutive <- 0;
+              st.bs_open_until_ms <- 0.;
+              (pos, B.name, eval, state)
+          | exception Resilience.Fault.Injected { transient = true; _ }
+            when tries_left > 0 ->
+              st.bs_retries <- st.bs_retries + 1;
+              sleep_ms
+                (t.res.backoff_ms
+                *. (2. ** float_of_int (t.res.retries - tries_left)));
+              attempt (tries_left - 1)
+          | exception (Resilience.Fault.Injected _ as e) ->
+              st.bs_failures <- st.bs_failures + 1;
+              st.bs_consecutive <- st.bs_consecutive + 1;
+              if st.bs_consecutive >= t.res.circuit_threshold then
+                st.bs_open_until_ms <-
+                  Resilience.now_ms () +. t.res.circuit_cooldown_ms;
+              st.bs_fallbacks <- st.bs_fallbacks + 1;
+              try_pos (pos + 1) (Some e)
+        in
+        attempt t.res.retries
+  in
+  let pos, bname, eval, state = try_pos from_pos None in
+  let e =
+    {
+      c_gen = t.gen;
+      c_eval = wrap_eval t bname eval;
+      c_state = state;
+      c_pos = pos;
+      c_bname = bname;
+    }
+  in
+  Hashtbl.replace t.cache target e;
+  e
+
+(* Cache lookup honouring both the generation and a minimum chain
+   position: a search that just watched chain link [c_pos] fail asks
+   for [min_pos = c_pos + 1] so the retry skips the poisoned entry. *)
+let entry_locked t ~target ~min_pos =
+  match Hashtbl.find_opt t.cache target with
+  | Some e when e.c_gen = t.gen && e.c_pos >= min_pos -> e
+  | Some stale ->
+      if stale.c_gen <> t.gen then
+        (* Transparent re-preparation: a mutation moved the engine
+           past this entry's generation. *)
+        t.repreps <- t.repreps + 1;
+      t.retired_evals <-
+        t.retired_evals + stale.c_eval.Evaluator.evaluations ();
+      prepare_locked t ~target ~from_pos:min_pos
+  | None -> prepare_locked t ~target ~from_pos:min_pos
+
+let entry t ~target = with_lock t (fun () -> entry_locked t ~target ~min_pos:0)
+
+(* Run [f] over the target's cached entry, treating injected eval
+   faults like prepare faults: transients retry the same backend with
+   backoff; persistent injections advance down the chain (the cache
+   entry is replaced, so later calls start from the healthy backend).
+   Each retry restarts [f] from scratch — searches are pure over the
+   evaluator, so the restart is safe, merely slower. *)
+let with_failover t ~target f =
+  let n = Array.length t.chain in
+  let rec go ~min_pos tries_left =
+    let e = with_lock t (fun () -> entry_locked t ~target ~min_pos) in
+    match f e with
+    | r -> r
+    | exception Resilience.Fault.Injected { transient = true; _ }
+      when tries_left > 0 ->
+        with_lock t (fun () ->
+            let st = bstat t e.c_bname in
+            st.bs_retries <- st.bs_retries + 1);
+        sleep_ms
+          (t.res.backoff_ms *. (2. ** float_of_int (t.res.retries - tries_left)));
+        go ~min_pos (tries_left - 1)
+    | exception (Resilience.Fault.Injected _ as ex) ->
+        with_lock t (fun () ->
+            let st = bstat t e.c_bname in
+            st.bs_failures <- st.bs_failures + 1;
+            st.bs_consecutive <- st.bs_consecutive + 1;
+            if st.bs_consecutive >= t.res.circuit_threshold then
+              st.bs_open_until_ms <-
+                Resilience.now_ms () +. t.res.circuit_cooldown_ms;
+            st.bs_fallbacks <- st.bs_fallbacks + 1);
+        if e.c_pos + 1 >= n then raise ex
+        else go ~min_pos:(e.c_pos + 1) t.res.retries
+  in
+  go ~min_pos:0 t.res.retries
 
 let evaluator t ~target =
+  guard @@ fun () ->
   let* () = check_target t target in
   Ok (entry t ~target).c_eval
 
@@ -205,6 +458,7 @@ let hits t ~target =
   Ok ev.Evaluator.base_hits
 
 let member t ~target ~q =
+  guard @@ fun () ->
   let* () = check_target t target in
   let* () = check_query t q in
   let e = entry t ~target in
@@ -226,6 +480,7 @@ let dirty_queries t ~target ~s =
 type prepared = { p_target : int; p_gen : int; p_entry : centry }
 
 let prepare t ~target =
+  guard @@ fun () ->
   let* () = check_target t target in
   let e = entry t ~target in
   Ok { p_target = target; p_gen = e.c_gen; p_entry = e }
@@ -235,6 +490,7 @@ let prepared_target p = p.p_target
 let prepared_generation p = p.p_gen
 
 let evaluate t p ~s =
+  guard @@ fun () ->
   let* () =
     check_dim ~expected:(Instance.dim (instance t)) ~got:(Vec.dim s)
   in
@@ -247,25 +503,79 @@ let refresh t p = prepare t ~target:p.p_target
 
 (* {2 Improvement queries} *)
 
-let min_cost ?limits ?max_iterations ?candidate_cap t ~cost ~target ~tau =
+(* Budget precedence: an explicit budget wins, then an explicit
+   deadline argument, then the IQ_DEADLINE_MS environment knob, then
+   the shared unlimited budget (whose checks are a few atomic reads —
+   the clean path stays clean). *)
+let resolve_budget ?deadline_ms ?budget () =
+  match budget with
+  | Some b -> b
+  | None -> (
+      let dl =
+        match deadline_ms with
+        | Some _ -> deadline_ms
+        | None -> Workload.Config.deadline_ms ()
+      in
+      match dl with
+      | Some ms -> Resilience.Budget.create ~deadline_ms:ms ()
+      | None -> Resilience.Budget.unlimited)
+
+(* Convert a degraded search outcome into the typed anytime error,
+   bumping the engine's trip counters. A [Steps] trip is reported as
+   [Deadline_exceeded] too — both mean "the request's budget ran out";
+   the elapsed time is measured from the budget either way. *)
+let degraded_error t budget trip partial =
+  match (trip : Resilience.Budget.trip) with
+  | Resilience.Budget.Cancelled ->
+      with_lock t (fun () -> t.cancellations <- t.cancellations + 1);
+      Error (Error.Cancelled { partial = Some partial })
+  | Resilience.Budget.Deadline { elapsed_ms } ->
+      with_lock t (fun () -> t.deadline_trips <- t.deadline_trips + 1);
+      Error (Error.Deadline_exceeded { elapsed_ms; partial = Some partial })
+  | Resilience.Budget.Steps _ ->
+      with_lock t (fun () -> t.deadline_trips <- t.deadline_trips + 1);
+      Error
+        (Error.Deadline_exceeded
+           {
+             elapsed_ms = Resilience.Budget.elapsed_ms budget;
+             partial = Some partial;
+           })
+
+let min_cost ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget t
+    ~cost ~target ~tau =
   guard @@ fun () ->
   let* () = check_target t target in
   let* () =
     check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
   in
-  let e = entry t ~target in
-  let before = e.c_eval.Evaluator.evaluations () in
-  match
-    Min_cost.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
-      ~evaluator:e.c_eval ~cost ~target ~tau ()
-  with
-  | None -> Error Error.Infeasible
-  | Some o ->
-      (* The cached evaluator accumulates across calls; report only
-         this call's work, as a fresh evaluator would. *)
-      Ok { o with Min_cost.evaluations = o.Min_cost.evaluations - before }
+  let budget = resolve_budget ?deadline_ms ?budget () in
+  with_failover t ~target (fun e ->
+      let before = e.c_eval.Evaluator.evaluations () in
+      match
+        Min_cost.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
+          ~budget ?fault:t.res.fault ~evaluator:e.c_eval ~cost ~target ~tau ()
+      with
+      | None -> Error Error.Infeasible
+      | Some o -> (
+          (* The cached evaluator accumulates across calls; report only
+             this call's work, as a fresh evaluator would. *)
+          let o =
+            { o with Min_cost.evaluations = o.Min_cost.evaluations - before }
+          in
+          match o.Min_cost.status with
+          | `Complete -> Ok o
+          | `Degraded trip ->
+              degraded_error t budget trip
+                {
+                  p_strategies = [ (target, o.Min_cost.strategy) ];
+                  p_hits = o.Min_cost.hits_after;
+                  p_total_cost = o.Min_cost.total_cost;
+                  p_iterations = o.Min_cost.iterations;
+                  p_flag = `Degraded;
+                }))
 
-let max_hit ?limits ?max_iterations ?candidate_cap t ~cost ~target ~beta =
+let max_hit ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget t
+    ~cost ~target ~beta =
   guard @@ fun () ->
   if beta < 0. then Error (Error.Budget_exhausted beta)
   else
@@ -273,13 +583,28 @@ let max_hit ?limits ?max_iterations ?candidate_cap t ~cost ~target ~beta =
     let* () =
       check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
     in
-    let e = entry t ~target in
-    let before = e.c_eval.Evaluator.evaluations () in
-    let o =
-      Max_hit.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
-        ~evaluator:e.c_eval ~cost ~target ~beta ()
-    in
-    Ok { o with Max_hit.evaluations = o.Max_hit.evaluations - before }
+    let budget = resolve_budget ?deadline_ms ?budget () in
+    with_failover t ~target (fun e ->
+        let before = e.c_eval.Evaluator.evaluations () in
+        let o =
+          Max_hit.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
+            ~budget ?fault:t.res.fault ~evaluator:e.c_eval ~cost ~target ~beta
+            ()
+        in
+        let o =
+          { o with Max_hit.evaluations = o.Max_hit.evaluations - before }
+        in
+        match o.Max_hit.status with
+        | `Complete -> Ok o
+        | `Degraded trip ->
+            degraded_error t budget trip
+              {
+                p_strategies = [ (target, o.Max_hit.strategy) ];
+                p_hits = o.Max_hit.hits_after;
+                p_total_cost = o.Max_hit.total_cost;
+                p_iterations = o.Max_hit.iterations;
+                p_flag = `Degraded;
+              })
 
 let check_costs t costs =
   if costs = [] then Error Error.Empty_targets
@@ -300,26 +625,50 @@ let cached_states t costs =
       | None -> None)
     costs
 
-let min_cost_multi ?limits ?max_iterations ?candidate_cap t ~costs ~tau =
+let multi_partial o =
+  {
+    p_strategies = o.Combinatorial.strategies;
+    p_hits = o.Combinatorial.union_hits_after;
+    p_total_cost = o.Combinatorial.total_cost;
+    p_iterations = o.Combinatorial.iterations;
+    p_flag = `Degraded;
+  }
+
+(* The multi-target searches thread budget and faults through
+   {!Combinatorial} but have no per-eval failover: their candidate
+   scan runs on ESE states directly, not through a backend evaluator,
+   so an injected fault there surfaces via [guard] as [Internal]. *)
+let min_cost_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
+    t ~costs ~tau =
   guard @@ fun () ->
   let* () = check_costs t costs in
+  let budget = resolve_budget ?deadline_ms ?budget () in
   let states = cached_states t costs in
   match
     Combinatorial.min_cost ?limits ?max_iterations ?candidate_cap ~states
-      ~index:t.index ~costs ~tau ()
+      ~budget ?fault:t.res.fault ~index:t.index ~costs ~tau ()
   with
   | None -> Error Error.Infeasible
-  | Some o -> Ok o
+  | Some o -> (
+      match o.Combinatorial.status with
+      | `Complete -> Ok o
+      | `Degraded trip -> degraded_error t budget trip (multi_partial o))
 
-let max_hit_multi ?limits ?max_iterations ?candidate_cap t ~costs ~beta =
+let max_hit_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
+    t ~costs ~beta =
   guard @@ fun () ->
   if beta < 0. then Error (Error.Budget_exhausted beta)
   else
     let* () = check_costs t costs in
+    let budget = resolve_budget ?deadline_ms ?budget () in
     let states = cached_states t costs in
-    Ok
-      (Combinatorial.max_hit ?limits ?max_iterations ?candidate_cap ~states
-         ~index:t.index ~costs ~beta ())
+    let o =
+      Combinatorial.max_hit ?limits ?max_iterations ?candidate_cap ~states
+        ~budget ?fault:t.res.fault ~index:t.index ~costs ~beta ()
+    in
+    match o.Combinatorial.status with
+    | `Complete -> Ok o
+    | `Degraded trip -> degraded_error t budget trip (multi_partial o)
 
 (* {2 Dataset maintenance} *)
 
@@ -367,6 +716,15 @@ let remove_object t id =
 
 (* {2 Stats} *)
 
+type backend_stats = {
+  b_name : string;
+  b_attempts : int;
+  b_failures : int;
+  b_retries : int;
+  b_fallbacks : int;
+  b_circuit_open : bool;
+}
+
 type stats = {
   generation : int;
   backend : string;
@@ -379,6 +737,10 @@ type stats = {
   stale_cached : int;
   repreparations : int;
   evaluations : int;
+  backends : backend_stats list;
+  deadline_trips : int;
+  cancellations : int;
+  faults_injected : int;
 }
 
 let stats t =
@@ -394,6 +756,23 @@ let stats t =
           (fun _ e acc -> acc + e.c_eval.Evaluator.evaluations ())
           t.cache 0
       in
+      let backends =
+        Array.to_list t.chain
+        |> List.filter_map (fun (module B : BACKEND) ->
+               match Hashtbl.find_opt t.bstats B.name with
+               | None -> None
+               | Some st ->
+                   Some
+                     {
+                       b_name = B.name;
+                       b_attempts = st.bs_attempts;
+                       b_failures = st.bs_failures;
+                       b_retries = st.bs_retries;
+                       b_fallbacks = st.bs_fallbacks;
+                       b_circuit_open =
+                         st.bs_open_until_ms > Resilience.now_ms ();
+                     })
+      in
       {
         generation = t.gen;
         backend = backend_name t;
@@ -406,4 +785,11 @@ let stats t =
         stale_cached = stale;
         repreparations = t.repreps;
         evaluations = t.retired_evals + live_evals;
+        backends;
+        deadline_trips = t.deadline_trips;
+        cancellations = t.cancellations;
+        faults_injected =
+          (match t.res.fault with
+          | None -> 0
+          | Some f -> Resilience.Fault.injections f);
       })

@@ -24,9 +24,36 @@
     Efficient-IQ's subdomain index ({!Ese_backend}, the default), a
     full rescan ({!Scan_backend}) and reverse-top-k ({!Rta_backend}).
     [IQ_BACKEND] selects one at {!create} time (see
-    [Workload.Config.backend]). *)
+    [Workload.Config.backend]).
+
+    {b Resilience.} Every improvement query accepts an optional
+    deadline or {!Resilience.Budget}; a tripped budget returns the
+    best strategies from fully completed iterations as a typed
+    [Deadline_exceeded]/[Cancelled] error carrying a {!partial} —
+    anytime semantics, exact but possibly under-achieved, never
+    silently wrong. Backends form a degradation chain
+    (ese → rta → scan): injected faults ({!Resilience.Fault}, loaded
+    from [IQ_FAULT]) are retried with backoff when transient and
+    failed over down the chain when persistent, with a per-backend
+    circuit breaker; the accounting lands in {!stats}. *)
 
 open Geom
+
+(* The anytime payload of a deadline/cancellation trip: the best
+   strategies found in fully completed iterations. *)
+type partial = {
+  p_strategies : (int * Strategy.t) list;
+      (** per-target accumulated strategies (singleton for the
+          single-target searches) *)
+  p_hits : int;
+      (** the {e exact} hit (or union-hit) count of [p_strategies] —
+          never an estimate *)
+  p_total_cost : float;
+  p_iterations : int;  (** fully completed greedy iterations *)
+  p_flag : [ `Degraded ];
+      (** marks the value as an anytime answer, so it cannot be
+          confused with a complete outcome in downstream code *)
+}
 
 (** Typed failure taxonomy of the serving boundary. *)
 module Error : sig
@@ -46,6 +73,14 @@ module Error : sig
         (** a {!prepared} handle outlived a mutation *)
     | Unknown_backend of string  (** unrecognized [IQ_BACKEND] name *)
     | Empty_targets  (** a combinatorial call with no targets *)
+    | Deadline_exceeded of { elapsed_ms : float; partial : partial option }
+        (** the request's wall-clock deadline or step budget ran out;
+            [partial] is the anytime answer *)
+    | Cancelled of { partial : partial option }
+        (** the request's cancellation token fired *)
+    | Fault_spec of { spec : string; msg : string }
+        (** [IQ_FAULT] didn't parse — reported rather than silently
+            running a chaos experiment without its faults *)
     | Internal of string
         (** an unexpected exception escaped an internal layer; carries
             [Printexc.to_string]. Entry points catch-and-wrap rather
@@ -88,10 +123,32 @@ val default_backend : unit -> (backend, Error.t) result
 (** [backend_of_name (Workload.Config.backend ())] — the [IQ_BACKEND]
     environment knob. *)
 
+type resilience = {
+  retries : int;
+      (** bounded retries per backend for {e transient} injected
+          faults (default [Workload.Config.retries ()], i.e.
+          [IQ_RETRIES] or 2) *)
+  backoff_ms : float;
+      (** initial retry backoff, doubling per attempt (default 1ms) *)
+  circuit_threshold : int;
+      (** consecutive failures before a backend's circuit opens
+          (default 3) *)
+  circuit_cooldown_ms : float;
+      (** how long an open circuit skips its backend before the next
+          prepare half-opens it with one trial (default 100ms) *)
+  fault : Resilience.Fault.t option;
+      (** the injection schedule; [None] disables all fault sites *)
+}
+(** Failure-handling policy. {!create} without [?resilience] uses
+    {!default_resilience} with the schedule parsed from [IQ_FAULT]. *)
+
+val default_resilience : unit -> resilience
+
 type t
 
 val create :
   ?backend:backend ->
+  ?resilience:resilience ->
   ?depth_slack:int ->
   ?method_:Query_index.build_method ->
   ?pool:Parallel.pool ->
@@ -101,16 +158,24 @@ val create :
     {!Parallel.default} pool — engines never create pools of their
     own) and start at generation 0. Without [?backend] the [IQ_BACKEND]
     environment selects one; [Error (Unknown_backend _)] when it names
-    nothing. *)
+    nothing. Without [?resilience], [IQ_FAULT]/[IQ_RETRIES] configure
+    the policy; a malformed [IQ_FAULT] is [Error (Fault_spec _)]. The
+    index build consults the [index.build] fault site (transient
+    injections retry like a backend's). *)
 
 val of_index :
-  ?backend:backend -> ?pool:Parallel.pool -> Query_index.t -> (t, Error.t) result
+  ?backend:backend ->
+  ?resilience:resilience ->
+  ?pool:Parallel.pool ->
+  Query_index.t ->
+  (t, Error.t) result
 (** Adopt an already-built index (e.g. one loaded with
     {!Query_index.load}). The engine becomes its owner: mutating the
     index behind the engine's back voids the generation guarantee. *)
 
 val create_exn :
   ?backend:backend ->
+  ?resilience:resilience ->
   ?depth_slack:int ->
   ?method_:Query_index.build_method ->
   ?pool:Parallel.pool ->
@@ -136,6 +201,17 @@ val generation : t -> int
 
 val backend_name : t -> string
 
+type backend_stats = {
+  b_name : string;
+  b_attempts : int;  (** prepare attempts, including retries *)
+  b_failures : int;  (** persistent injected failures *)
+  b_retries : int;  (** transient-fault retries (prepare and eval) *)
+  b_fallbacks : int;  (** times the chain moved past this backend *)
+  b_circuit_open : bool;  (** currently skipped by the breaker *)
+}
+(** Per-backend health, reported for every chain link consulted at
+    least once. *)
+
 type stats = {
   generation : int;
   backend : string;
@@ -148,6 +224,10 @@ type stats = {
   stale_cached : int;  (** of those, behind the current generation *)
   repreparations : int;  (** cache entries rebuilt after mutations *)
   evaluations : int;  (** candidate evaluations served, process total *)
+  backends : backend_stats list;  (** in chain order *)
+  deadline_trips : int;  (** searches ended by deadline/step budget *)
+  cancellations : int;  (** searches ended by a cancelled token *)
+  faults_injected : int;  (** total injections from the loaded schedule *)
 }
 
 val stats : t -> stats
@@ -195,12 +275,23 @@ val refresh : t -> prepared -> (prepared, Error.t) result
 (** A current-generation handle for the same target (the stale-handle
     recovery path). *)
 
-(** {2 Improvement queries} *)
+(** {2 Improvement queries}
+
+    All four searches share the budget plumbing: an explicit [?budget]
+    wins, else [?deadline_ms] starts a fresh deadline, else the
+    [IQ_DEADLINE_MS] environment knob, else the request is unbounded.
+    A tripped budget yields [Error (Deadline_exceeded _)] (wall-clock
+    {e or} step budget) or [Error (Cancelled _)], each carrying the
+    anytime {!partial}. With no budget and no fault schedule the
+    results are byte-identical to an engine without resilience at any
+    pool size. *)
 
 val min_cost :
   ?limits:Strategy.limits ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?deadline_ms:float ->
+  ?budget:Resilience.Budget.t ->
   t ->
   cost:Cost.t ->
   target:int ->
@@ -215,6 +306,8 @@ val max_hit :
   ?limits:Strategy.limits ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?deadline_ms:float ->
+  ?budget:Resilience.Budget.t ->
   t ->
   cost:Cost.t ->
   target:int ->
@@ -226,18 +319,25 @@ val min_cost_multi :
   ?limits:(int * Strategy.limits) list ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?deadline_ms:float ->
+  ?budget:Resilience.Budget.t ->
   t ->
   costs:(int * Cost.t) list ->
   tau:int ->
   (Combinatorial.outcome, Error.t) result
 (** Section 5.1 multi-target Min-Cost. Cached ESE states are passed
     through, so repeated combinatorial queries over the same targets
-    prepare each state once. *)
+    prepare each state once. The multi-target candidate scan runs on
+    ESE states directly (not through a backend evaluator), so there is
+    no per-eval failover here: an injected fault inside the scan
+    surfaces as [Error (Internal _)]. *)
 
 val max_hit_multi :
   ?limits:(int * Strategy.limits) list ->
   ?max_iterations:int ->
   ?candidate_cap:int ->
+  ?deadline_ms:float ->
+  ?budget:Resilience.Budget.t ->
   t ->
   costs:(int * Cost.t) list ->
   beta:float ->

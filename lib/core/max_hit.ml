@@ -1,5 +1,7 @@
 open Geom
 
+type status = [ `Complete | `Degraded of Resilience.Budget.trip ]
+
 type outcome = {
   strategy : Strategy.t;
   total_cost : float;
@@ -8,6 +10,7 @@ type outcome = {
   hits_after : int;
   iterations : int;
   evaluations : int;
+  status : status;
 }
 
 let ratio (c : Candidates.t) =
@@ -23,11 +26,14 @@ let best_by score = function
   | c :: cs ->
       List.fold_left (fun acc c -> if score c < score acc then c else acc) c cs
 
-let search ?limits ?max_iterations ?candidate_cap ?pool
+let search ?limits ?max_iterations ?candidate_cap ?pool ?budget ?fault
     ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~target ~beta () =
   let inst = evaluator.Evaluator.instance in
   let d = Instance.dim inst in
   if cost.Cost.dim <> d then invalid_arg "Max_hit.search: cost arity";
+  let budget =
+    match budget with Some b -> b | None -> Resilience.Budget.unlimited
+  in
   let limits =
     match limits with Some l -> l | None -> Strategy.unrestricted d
   in
@@ -41,45 +47,64 @@ let search ?limits ?max_iterations ?candidate_cap ?pool
   let hits = ref evaluator.Evaluator.base_hits in
   let iterations = ref 0 in
   let stop = ref false in
-  while (not !stop) && !iterations < max_iterations && !spent < beta do
-    incr iterations;
-    let current = Vec.add p0 !s_star in
-    let bounds = Candidates.remaining_bounds total_bounds !s_star in
-    let budget_left = beta -. !spent in
-    let candidates =
-      Candidates.collect ?pool ~evaluator ~cost ~bounds ~current
-        ~s_star:!s_star ~cap:candidate_cap ~max_step_cost:budget_left ()
-    in
-    Log.debug (fun m ->
-        m "max-hit iteration %d: %d candidates, spent %.4f of %.4f"
-          !iterations (List.length candidates) !spent beta);
-    match candidates with
-    | [] -> stop := true
-    | cs -> (
-        let best = best_by ratio cs in
-        if !spent +. best.Candidates.step_cost <= beta then begin
-          s_star := Vec.add !s_star best.Candidates.step;
-          spent := !spent +. best.Candidates.step_cost;
-          hits := best.Candidates.hits
-        end
-        else begin
-          (* Final fill: cheapest-first, apply whatever still fits. *)
-          let by_cost =
-            List.sort
-              (fun (a : Candidates.t) b ->
-                Float.compare a.Candidates.step_cost b.Candidates.step_cost)
-              cs
-          in
-          List.iter
-            (fun (c : Candidates.t) ->
-              if !spent +. c.Candidates.step_cost <= beta then begin
-                s_star := Vec.add !s_star c.Candidates.step;
-                spent := !spent +. c.Candidates.step_cost
-              end)
-            by_cost;
-          hits := evaluator.Evaluator.hit_count !s_star;
-          stop := true
-        end)
+  let degraded = ref None in
+  while
+    Option.is_none !degraded
+    && (not !stop)
+    && !iterations < max_iterations
+    && !spent < beta
+  do
+    (* Same anytime discipline as Min_cost: a budget trip discards the
+       in-flight iteration whole, so the returned strategy and hit
+       count only reflect fully evaluated, fully applied steps. *)
+    match Resilience.Budget.check budget with
+    | Some trip -> degraded := Some trip
+    | None -> (
+        Resilience.Fault.point fault ~site:"search.iteration";
+        incr iterations;
+        let current = Vec.add p0 !s_star in
+        let bounds = Candidates.remaining_bounds total_bounds !s_star in
+        let budget_left = beta -. !spent in
+        let candidates =
+          Candidates.collect ?pool ~budget ?fault ~evaluator ~cost ~bounds
+            ~current ~s_star:!s_star ~cap:candidate_cap
+            ~max_step_cost:budget_left ()
+        in
+        Log.debug (fun m ->
+            m "max-hit iteration %d: %d candidates, spent %.4f of %.4f"
+              !iterations (List.length candidates) !spent beta);
+        match Resilience.Budget.check budget with
+        | Some trip -> degraded := Some trip
+        | None -> (
+            match candidates with
+            | [] -> stop := true
+            | cs -> (
+                let best = best_by ratio cs in
+                if !spent +. best.Candidates.step_cost <= beta then begin
+                  s_star := Vec.add !s_star best.Candidates.step;
+                  spent := !spent +. best.Candidates.step_cost;
+                  hits := best.Candidates.hits
+                end
+                else begin
+                  (* Final fill: cheapest-first, apply whatever still
+                     fits. *)
+                  let by_cost =
+                    List.sort
+                      (fun (a : Candidates.t) b ->
+                        Float.compare a.Candidates.step_cost
+                          b.Candidates.step_cost)
+                      cs
+                  in
+                  List.iter
+                    (fun (c : Candidates.t) ->
+                      if !spent +. c.Candidates.step_cost <= beta then begin
+                        s_star := Vec.add !s_star c.Candidates.step;
+                        spent := !spent +. c.Candidates.step_cost
+                      end)
+                    by_cost;
+                  hits := evaluator.Evaluator.hit_count !s_star;
+                  stop := true
+                end)))
   done;
   {
     strategy = !s_star;
@@ -89,6 +114,10 @@ let search ?limits ?max_iterations ?candidate_cap ?pool
     hits_after = !hits;
     iterations = !iterations;
     evaluations = evaluator.Evaluator.evaluations ();
+    status =
+      (match !degraded with
+      | Some trip -> `Degraded trip
+      | None -> `Complete);
   }
 
 let per_hit_cost o =

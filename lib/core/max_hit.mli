@@ -6,6 +6,10 @@
     and apply any that still fit, then stop. Budget accounting uses the
     per-step (incremental) costs, as the paper's pseudocode does. *)
 
+type status = [ `Complete | `Degraded of Resilience.Budget.trip ]
+(** As in {!Min_cost.status}: a degraded outcome is the anytime
+    answer, exact but possibly short of what a full run would buy. *)
+
 type outcome = {
   strategy : Strategy.t;
   total_cost : float;  (** [Cost(s)] of the accumulated strategy *)
@@ -14,6 +18,7 @@ type outcome = {
   hits_after : int;
   iterations : int;
   evaluations : int;
+  status : status;
 }
 
 val search :
@@ -21,6 +26,8 @@ val search :
   ?max_iterations:int ->
   ?candidate_cap:int ->
   ?pool:Parallel.pool ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.t ->
   evaluator:Evaluator.t ->
   cost:Cost.t ->
   target:int ->
@@ -34,6 +41,9 @@ val search :
     [pool] parallelizes each iteration's candidate evaluations with
     order preserved and lowest-index tie-breaking, so outcomes are
     identical for any pool size.
+    [budget]/[fault] behave as in {!Min_cost.search}: a tripped budget
+    returns the strategy accumulated so far with
+    [status = `Degraded _].
     @raise Invalid_argument when the cost arity differs from the
     instance's feature dimension (a wiring bug, not an input error). *)
 

@@ -1,5 +1,7 @@
 open Geom
 
+type status = [ `Complete | `Degraded of Resilience.Budget.trip ]
+
 type outcome = {
   strategy : Strategy.t;
   total_cost : float;
@@ -8,6 +10,7 @@ type outcome = {
   hits_after : int;
   iterations : int;
   evaluations : int;
+  status : status;
 }
 
 let ratio (c : Candidates.t) =
@@ -24,11 +27,14 @@ let best_by score = function
   | c :: cs ->
       List.fold_left (fun acc c -> if score c < score acc then c else acc) c cs
 
-let search ?limits ?max_iterations ?candidate_cap ?pool
+let search ?limits ?max_iterations ?candidate_cap ?pool ?budget ?fault
     ~(evaluator : Evaluator.t) ~(cost : Cost.t) ~target ~tau () =
   let inst = evaluator.Evaluator.instance in
   let d = Instance.dim inst in
   if cost.Cost.dim <> d then invalid_arg "Min_cost.search: cost arity";
+  let budget =
+    match budget with Some b -> b | None -> Resilience.Budget.unlimited
+  in
   let limits =
     match limits with Some l -> l | None -> Strategy.unrestricted d
   in
@@ -43,46 +49,64 @@ let search ?limits ?max_iterations ?candidate_cap ?pool
   let iterations = ref 0 in
   let finished = ref (!hits >= tau) in
   let failed = ref false in
-  while (not !finished) && (not !failed) && !iterations < max_iterations do
-    incr iterations;
-    let current = Vec.add p0 !s_star in
-    let bounds = Candidates.remaining_bounds total_bounds !s_star in
-    let candidates =
-      Candidates.collect ?pool ~evaluator ~cost ~bounds ~current
-        ~s_star:!s_star ~cap:candidate_cap ()
-    in
-    Log.debug (fun m ->
-        m "min-cost iteration %d: %d candidates, H=%d/%d" !iterations
-          (List.length candidates) !hits tau);
-    match candidates with
-    | [] -> failed := true
-    | cs -> (
-        let best = best_by ratio cs in
-        if best.Candidates.hits <= tau then begin
-          s_star := Vec.add !s_star best.Candidates.step;
-          spent := !spent +. best.Candidates.step_cost;
-          hits := best.Candidates.hits;
-          if !hits >= tau then finished := true
-        end
-        else begin
-          (* Overshoot: apply the cheapest candidate reaching tau. *)
-          let reaching =
-            List.filter (fun c -> c.Candidates.hits >= tau) cs
-          in
-          match reaching with
-          | [] -> failed := true
-          | _ :: _ ->
-              let cheapest =
-                best_by (fun c -> c.Candidates.step_cost) reaching
-              in
-              s_star := Vec.add !s_star cheapest.Candidates.step;
-              spent := !spent +. cheapest.Candidates.step_cost;
-              hits := cheapest.Candidates.hits;
-              finished := true
-        end)
+  let degraded = ref None in
+  while
+    Option.is_none !degraded
+    && (not !finished)
+    && (not !failed)
+    && !iterations < max_iterations
+  do
+    (* Anytime discipline: the budget is checked before starting an
+       iteration and again right after the candidate batch comes back.
+       An iteration interrupted mid-batch is discarded whole — the
+       strategy only ever reflects fully evaluated, fully applied
+       steps, so a degraded answer is under-achieved, never wrong. *)
+    match Resilience.Budget.check budget with
+    | Some trip -> degraded := Some trip
+    | None -> (
+        Resilience.Fault.point fault ~site:"search.iteration";
+        incr iterations;
+        let current = Vec.add p0 !s_star in
+        let bounds = Candidates.remaining_bounds total_bounds !s_star in
+        let candidates =
+          Candidates.collect ?pool ~budget ?fault ~evaluator ~cost ~bounds
+            ~current ~s_star:!s_star ~cap:candidate_cap ()
+        in
+        Log.debug (fun m ->
+            m "min-cost iteration %d: %d candidates, H=%d/%d" !iterations
+              (List.length candidates) !hits tau);
+        match Resilience.Budget.check budget with
+        | Some trip -> degraded := Some trip
+        | None -> (
+            match candidates with
+            | [] -> failed := true
+            | cs -> (
+                let best = best_by ratio cs in
+                if best.Candidates.hits <= tau then begin
+                  s_star := Vec.add !s_star best.Candidates.step;
+                  spent := !spent +. best.Candidates.step_cost;
+                  hits := best.Candidates.hits;
+                  if !hits >= tau then finished := true
+                end
+                else begin
+                  (* Overshoot: apply the cheapest candidate reaching
+                     tau. *)
+                  let reaching =
+                    List.filter (fun c -> c.Candidates.hits >= tau) cs
+                  in
+                  match reaching with
+                  | [] -> failed := true
+                  | _ :: _ ->
+                      let cheapest =
+                        best_by (fun c -> c.Candidates.step_cost) reaching
+                      in
+                      s_star := Vec.add !s_star cheapest.Candidates.step;
+                      spent := !spent +. cheapest.Candidates.step_cost;
+                      hits := cheapest.Candidates.hits;
+                      finished := true
+                end)))
   done;
-  if not !finished then None
-  else
+  let outcome status =
     Some
       {
         strategy = !s_star;
@@ -92,7 +116,12 @@ let search ?limits ?max_iterations ?candidate_cap ?pool
         hits_after = !hits;
         iterations = !iterations;
         evaluations = evaluator.Evaluator.evaluations ();
+        status;
       }
+  in
+  match !degraded with
+  | Some trip -> outcome (`Degraded trip)
+  | None -> if not !finished then None else outcome `Complete
 
 let per_hit_cost o =
   if o.hits_after <= 0 then infinity

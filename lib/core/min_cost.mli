@@ -8,6 +8,12 @@
     [tau] queries are hit — switching to the cheapest
     [tau]-reaching candidate when the ratio choice would overshoot. *)
 
+type status = [ `Complete | `Degraded of Resilience.Budget.trip ]
+(** [`Degraded trip]: the budget tripped mid-search and the outcome is
+    the anytime answer — the best strategy accumulated from fully
+    evaluated iterations, with exact (never over-reported) hit counts;
+    it just may not reach the goal. *)
+
 type outcome = {
   strategy : Strategy.t;  (** the accumulated strategy [s], feature space *)
   total_cost : float;  (** [Cost(s)] of the accumulated strategy *)
@@ -16,6 +22,7 @@ type outcome = {
   hits_after : int;
   iterations : int;
   evaluations : int;  (** candidate evaluations performed *)
+  status : status;
 }
 
 val search :
@@ -23,6 +30,8 @@ val search :
   ?max_iterations:int ->
   ?candidate_cap:int ->
   ?pool:Parallel.pool ->
+  ?budget:Resilience.Budget.t ->
+  ?fault:Resilience.Fault.t ->
   evaluator:Evaluator.t ->
   cost:Cost.t ->
   target:int ->
@@ -42,6 +51,13 @@ val search :
     a {!Parallel} Domain pool. Candidate order is preserved and ties
     break on the lowest candidate index, so the search returns the
     {e same} strategy for any pool size (see [test/test_parallel.ml]).
+    [budget] (default {!Resilience.Budget.unlimited}) is checked at
+    iteration boundaries and inside candidate evaluation; a trip ends
+    the search with [status = `Degraded _] — the iteration in flight
+    is discarded whole, so the partial strategy's hit count is exact.
+    [fault] consults the [search.iteration] site each iteration and
+    threads into {!Candidates.collect}; injected exceptions escape to
+    the caller ({!Engine} converts them to retries/fallbacks).
     @raise Invalid_argument when the cost arity differs from the
     instance's feature dimension (a wiring bug, not an input error). *)
 

@@ -139,14 +139,28 @@ let has_suffix ~suffix s =
   let ls = String.length suffix and l = String.length s in
   l >= ls && String.sub s (l - ls) ls = suffix
 
-(* [engine-boundary-raise]: every value exported from a module named
-   "Engine" must not raise — the PR-3 facade promises typed [Error.t]
-   results. Values spelled [*_exn] opt out by naming convention. *)
+(* [engine-boundary-raise]: every value exported from the serving
+   boundary — module "Engine" and its resilience substrate
+   "Resilience" — must not raise; the facade promises typed [Error.t]
+   (resp. [result]/[trip option]) returns. Values spelled [*_exn] opt
+   out by naming convention, as does [Fault.point], whose entire job
+   is raising the injected fault for the engine to catch. *)
+let boundary_modules = [ "Engine"; "Resilience" ]
+let boundary_exempt = [ "point" ]
+
 let engine_boundary_findings (cg : Callgraph.t) (t : t) =
   List.filter_map
     (fun (ex : Callgraph.export) ->
-      if ex.Callgraph.ex_node.Callgraph.n_mod <> "Engine" then None
-      else if has_suffix ~suffix:"_exn" ex.Callgraph.ex_node.Callgraph.n_val
+      if not (List.mem ex.Callgraph.ex_node.Callgraph.n_mod boundary_modules)
+      then None
+      else if
+        has_suffix ~suffix:"_exn" ex.Callgraph.ex_node.Callgraph.n_val
+        || List.exists
+             (fun exempt ->
+               ex.Callgraph.ex_node.Callgraph.n_val = exempt
+               || has_suffix ~suffix:("." ^ exempt)
+                    ex.Callgraph.ex_node.Callgraph.n_val)
+             boundary_exempt
       then None
       else
         let esc = escapes t ex.Callgraph.ex_node in
@@ -162,8 +176,9 @@ let engine_boundary_findings (cg : Callgraph.t) (t : t) =
               (Report.mk ~file:ex.Callgraph.ex_file ex.Callgraph.ex_loc
                  "engine-boundary-raise"
                  (Printf.sprintf
-                    "exported Engine entry point `%s` can raise %s instead of \
-                     returning an Error.t result: %s"
+                    "exported %s entry point `%s` can raise %s instead of \
+                     returning a typed result: %s"
+                    ex.Callgraph.ex_node.Callgraph.n_mod
                     ex.Callgraph.ex_node.Callgraph.n_val
                     (String.concat ", " shown)
                     (witness t ex.Callgraph.ex_node first))))

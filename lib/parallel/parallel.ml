@@ -97,6 +97,8 @@ type job = {
   chunk : int;
   n_chunks : int;
   body : int -> unit;
+  stop_req : unit -> bool;
+  on_chunk : unit -> unit;
   cursor : int Atomic.t;
   completed : int Atomic.t;
   failure : exn option Atomic.t;
@@ -112,13 +114,21 @@ let run_chunks job hi =
     else begin
       let start = job.lo + (c * job.chunk) in
       let stop = Int.min hi (start + job.chunk) in
-      (* After a failure the remaining chunks are still claimed (so the
-         completion count converges) but their bodies are skipped. *)
-      if Atomic.get job.failure = None then begin
+      (* After a failure — or once [stop_req] asks for cancellation —
+         the remaining chunks are still claimed (so the completion
+         count converges and the caller's wait can never wedge) but
+         their bodies are skipped: a tripped budget drains the job
+         without leaving a worker live on abandoned work. [stop_req]
+         and [on_chunk] are caller code, so their exceptions are
+         captured exactly like body ones. *)
+      begin
         try
-          for i = start to stop - 1 do
-            job.body i
-          done
+          if Atomic.get job.failure = None && not (job.stop_req ()) then begin
+            job.on_chunk ();
+            for i = start to stop - 1 do
+              job.body i
+            done
+          end
         with e -> ignore (Atomic.compare_and_set job.failure None (Some e))
       end;
       let finished = 1 + Atomic.fetch_and_add job.completed 1 in
@@ -130,18 +140,33 @@ let run_chunks job hi =
     end
   done
 
-let sequential_for ~lo ~hi f =
-  for i = lo to hi - 1 do
-    f i
-  done
+(* The sequential bypass mirrors the chunked semantics: with neither
+   hook supplied it is the plain loop (byte-identical to pre-pool
+   code); with hooks it checks [stop] before every index — finer
+   grained than the parallel path's chunk boundaries, which only
+   means cancellation lands sooner. *)
+let sequential_for ~stop ~on_chunk ~lo ~hi f =
+  match (stop, on_chunk) with
+  | None, None ->
+      for i = lo to hi - 1 do
+        f i
+      done
+  | _ ->
+      let stop = match stop with Some s -> s | None -> fun () -> false in
+      (match on_chunk with Some h -> h () | None -> ());
+      let i = ref lo in
+      while !i < hi && not (stop ()) do
+        f !i;
+        incr i
+      done
 
-let parallel_for pool ~lo ~hi f =
+let parallel_for ?stop ?on_chunk pool ~lo ~hi f =
   let len = hi - lo in
   if len <= 0 then ()
   else if
     pool.n_domains = 1 || pool.stopped || len = 1
     || Domain.DLS.get inside_pool
-  then sequential_for ~lo ~hi f
+  then sequential_for ~stop ~on_chunk ~lo ~hi f
   else begin
     (* Over-decompose (4 chunks per domain) so the atomic cursor
        load-balances uneven per-index costs. *)
@@ -153,6 +178,8 @@ let parallel_for pool ~lo ~hi f =
         chunk;
         n_chunks;
         body = f;
+        stop_req = (match stop with Some s -> s | None -> fun () -> false);
+        on_chunk = (match on_chunk with Some h -> h | None -> fun () -> ());
         cursor = Atomic.make 0;
         completed = Atomic.make 0;
         failure = Atomic.make None;
@@ -179,13 +206,14 @@ let parallel_for pool ~lo ~hi f =
     match Atomic.get job.failure with None -> () | Some e -> raise e
   end
 
-let map_array pool f arr =
+let map_array ?stop ?on_chunk pool f arr =
   let n = Array.length arr in
   if n = 0 then [||]
   else begin
     let out = Array.make n (f arr.(0)) in
-    (* Each iteration writes a distinct cell, so no two domains touch
-       the same slot. iqlint: allow domain-unsafe-capture *)
-    parallel_for pool ~lo:1 ~hi:n (fun i -> out.(i) <- f arr.(i));
+    parallel_for ?stop ?on_chunk pool ~lo:1 ~hi:n (fun i ->
+        (* Each iteration writes a distinct cell, so no two domains
+           touch the same slot. iqlint: allow domain-unsafe-capture *)
+        out.(i) <- f arr.(i));
     out
   end

@@ -52,18 +52,52 @@ val live : unit -> int
     well-behaved server routes everything through one shared pool —
     [bin/iq_tool] asserts [live () = 1] after engine construction. *)
 
-val parallel_for : pool -> lo:int -> hi:int -> (int -> unit) -> unit
+val parallel_for :
+  ?stop:(unit -> bool) ->
+  ?on_chunk:(unit -> unit) ->
+  pool ->
+  lo:int ->
+  hi:int ->
+  (int -> unit) ->
+  unit
 (** [parallel_for pool ~lo ~hi f] runs [f i] for every [lo <= i < hi]
     across the pool (caller included). Iteration order is unspecified
     across domains; any exception raised by some [f i] is re-raised in
     the caller after all in-flight chunks drain (first one wins,
-    remaining chunks are abandoned). *)
+    remaining chunks are abandoned).
 
-val map_array : pool -> ('a -> 'b) -> 'a array -> 'b array
+    [stop] is the cooperative-cancellation hook: each participant
+    consults it before claiming work on a chunk and skips the body
+    once it returns [true]. Skipped chunks still count as completed,
+    so the job drains cleanly — the caller returns (without raising)
+    and no worker stays busy on abandoned work. The serving layer
+    passes a budget check here; which indices ran is then undefined,
+    so callers must treat the results as discardable.
+
+    [on_chunk] runs at the start of every chunk a participant
+    actually executes (fault-injection sites hook in here). Exceptions
+    from [stop]/[on_chunk] propagate exactly like body exceptions.
+
+    The [domains = 1] bypass with neither hook supplied remains the
+    plain sequential loop; with hooks it checks [stop] before every
+    index (cancellation can only land sooner than the chunked
+    path). *)
+
+val map_array :
+  ?stop:(unit -> bool) ->
+  ?on_chunk:(unit -> unit) ->
+  pool ->
+  ('a -> 'b) ->
+  'a array ->
+  'b array
 (** Chunked, order-preserving parallel map: [map_array pool f arr]
     returns an array [r] with [r.(i) = f arr.(i)] — same length, same
     positions, regardless of which domain computed which element.
-    Exceptions propagate as in {!parallel_for}. *)
+    Exceptions propagate as in {!parallel_for}; [stop]/[on_chunk]
+    behave as there ([f arr.(0)] seeds the result array on the caller
+    before chunking, so it runs even when [stop] is already true, and
+    slots of skipped chunks are left holding that seed value —
+    discard the array when a stop was requested). *)
 
 val shutdown : pool -> unit
 (** Join the worker domains. Idempotent. Using the pool afterwards

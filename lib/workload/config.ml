@@ -32,6 +32,27 @@ let backend () =
   | None | Some "" -> "ese"
   | Some s -> String.lowercase_ascii s
 
+let deadline_ms () =
+  match Sys.getenv_opt "IQ_DEADLINE_MS" with
+  | None | Some "" -> None
+  | Some s -> (
+      match float_of_string_opt (String.trim s) with
+      | Some ms when ms > 0. -> Some ms
+      | Some _ | None -> None)
+
+let retries () =
+  match Sys.getenv_opt "IQ_RETRIES" with
+  | None | Some "" -> 2
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> 2)
+
+let fault () =
+  match Sys.getenv_opt "IQ_FAULT" with
+  | None | Some "" -> None
+  | Some s -> Some s
+
 let scaled ?scale:(s = scale ()) t =
   let scale_int min_v v =
     Int.max min_v (int_of_float (float_of_int v *. s))

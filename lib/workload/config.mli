@@ -41,6 +41,21 @@ val backend : unit -> string
     backend module by [Iq.Engine.backend_of_name]; unknown names are
     rejected there, not here. *)
 
+val deadline_ms : unit -> float option
+(** Default per-request deadline for engine searches: the
+    [IQ_DEADLINE_MS] env var when set to a positive float, otherwise
+    [None] (no deadline). Explicit [?deadline_ms]/[?budget] arguments
+    to [Iq.Engine] searches override it. *)
+
+val retries : unit -> int
+(** Per-backend retry count for transient faults: the [IQ_RETRIES] env
+    var when set to a non-negative integer, default [2]. *)
+
+val fault : unit -> string option
+(** The raw [IQ_FAULT] fault-injection spec, unparsed ([None] when
+    unset or empty). Parsed by [Resilience.Fault.of_spec]; the format
+    is documented there. *)
+
 val scaled : ?scale:float -> t -> t
 (** Scale object/query counts and tau (budget and dimension are
     scale-free). Counts are kept >= 100 (objects), >= 50 (queries). *)

@@ -1,5 +1,11 @@
 open Relation
 
+type parse_error = { file : string; line : int; msg : string }
+
+let parse_error_to_string { file; line; msg } =
+  if line > 0 then Printf.sprintf "%s:%d: %s" file line msg
+  else Printf.sprintf "%s: %s" file msg
+
 let numeric_columns table =
   Schema.columns (Table.schema table)
   |> List.filter (fun c ->
@@ -13,43 +19,80 @@ let objects_of_table table =
   | [] -> invalid_arg "Loader.objects_of_table: no numeric columns"
   | cols -> (cols, Table.to_points table cols)
 
-let load_objects path =
-  let table = Csv.load_file path in
-  let _, points = objects_of_table table in
-  (table, points)
+(* File-level failures: a missing file or a CSV the parser rejects
+   outright has no meaningful data line, so those report line 0; the
+   header is line 1 and data row [i] (0-based) is line [i + 2]. *)
+let load_table file =
+  match Csv.load_file file with
+  | table -> Ok table
+  | exception Sys_error msg -> Error (`Parse_error { file; line = 0; msg })
+  | exception Invalid_argument msg ->
+      Error (`Parse_error { file; line = 0; msg })
+  | exception Failure msg -> Error (`Parse_error { file; line = 0; msg })
+
+let ( let* ) = Result.bind
+
+let load_objects file =
+  let* table = load_table file in
+  match objects_of_table table with
+  | _, points -> Ok (table, points)
+  | exception Invalid_argument _ ->
+      Error
+        (`Parse_error
+           { file; line = 1; msg = "no numeric columns in header" })
+
+let query_of_row ~k_idx ~weight_cols id row =
+  match Value.to_int row.(k_idx) with
+  | Some k when k > 0 -> (
+      let rec weights acc = function
+        | [] -> Ok (Topk.Query.make ~id ~k (Array.of_list (List.rev acc)))
+        | i :: rest -> (
+            match Value.to_float row.(i) with
+            | Some f -> weights (f :: acc) rest
+            | None ->
+                Error (Printf.sprintf "non-numeric weight in column %d" i))
+      in
+      weights [] weight_cols)
+  | Some k -> Error (Printf.sprintf "bad k value %d (must be positive)" k)
+  | None -> Error "bad k value (not an integer)"
+
+let query_columns schema =
+  match Schema.index_of schema "k" with
+  | None -> Error "query table needs a 'k' column"
+  | Some k_idx ->
+      let weight_cols =
+        Schema.columns schema
+        |> List.mapi (fun i c -> (i, c))
+        |> List.filter (fun (i, _) -> i <> k_idx)
+        |> List.map fst
+      in
+      Ok (k_idx, weight_cols)
 
 let queries_of_table table =
-  let schema = Table.schema table in
-  let k_idx =
-    match Schema.index_of schema "k" with
-    | Some i -> i
-    | None -> failwith "query table needs a 'k' column"
-  in
-  let weight_cols =
-    Schema.columns schema
-    |> List.mapi (fun i c -> (i, c))
-    |> List.filter (fun (i, _) -> i <> k_idx)
-    |> List.map fst
+  let k_idx, weight_cols =
+    match query_columns (Table.schema table) with
+    | Ok cols -> cols
+    | Error msg -> failwith msg
   in
   Table.to_list table
   |> List.mapi (fun id row ->
-         let k =
-           match Value.to_int row.(k_idx) with
-           | Some k when k > 0 -> k
-           | Some _ | None -> failwith "bad k value"
-         in
-         let weights =
-           Array.of_list
-             (List.map
-                (fun i ->
-                  match Value.to_float row.(i) with
-                  | Some f -> f
-                  | None -> failwith "non-numeric weight")
-                weight_cols)
-         in
-         Topk.Query.make ~id ~k weights)
+         match query_of_row ~k_idx ~weight_cols id row with
+         | Ok q -> q
+         | Error msg -> failwith msg)
 
-let load_queries path = queries_of_table (Csv.load_file path)
+let load_queries file =
+  let* table = load_table file in
+  match query_columns (Table.schema table) with
+  | Error msg -> Error (`Parse_error { file; line = 1; msg })
+  | Ok (k_idx, weight_cols) ->
+      let rec rows id acc = function
+        | [] -> Ok (List.rev acc)
+        | row :: rest -> (
+            match query_of_row ~k_idx ~weight_cols id row with
+            | Ok q -> rows (id + 1) (q :: acc) rest
+            | Error msg -> Error (`Parse_error { file; line = id + 2; msg }))
+      in
+      rows 0 [] (Table.to_list table)
 
 let queries_to_table queries =
   let d =

@@ -75,6 +75,63 @@ let test_exception_propagation () =
   let ok = Parallel.map_array pool4 (fun x -> x + 1) [| 1; 2; 3 |] in
   Alcotest.(check bool) "pool usable after failure" true (ok = [| 2; 3; 4 |])
 
+(* Regression for the failure-drain audit: a raising task at ANY
+   position must propagate exactly once, leave the completion wait
+   un-wedged and leak nothing — the pool (and the process-wide live
+   count) must be immediately reusable. Sweeping every position covers
+   first-in-chunk, mid-chunk and last-chunk boundaries. *)
+let test_raise_at_every_position () =
+  let live_before = Parallel.live () in
+  let n = 97 in
+  for bad = 0 to n - 1 do
+    let raised =
+      try
+        Parallel.parallel_for pool4 ~lo:0 ~hi:n (fun i ->
+            if i = bad then raise (Boom i));
+        false
+      with Boom i -> i = bad
+    in
+    if not raised then Alcotest.failf "no propagation for position %d" bad;
+    let r = Parallel.map_array pool4 (fun x -> x * 2) [| 1; 2; 3 |] in
+    if r <> [| 2; 4; 6 |] then Alcotest.failf "pool wedged after %d" bad
+  done;
+  Alcotest.(check int) "live pools unchanged" live_before (Parallel.live ())
+
+(* The cooperative-stop contract: a tripped [stop] drains the job
+   cleanly (no exception, no busy workers), and hook exceptions
+   propagate exactly like body exceptions. *)
+let test_stop_drains_cleanly () =
+  let count = Atomic.make 0 in
+  let stop () = Atomic.get count >= 5 in
+  (* iqlint: allow domain-unsafe-capture — atomic counter. *)
+  Parallel.parallel_for ~stop pool4 ~lo:0 ~hi:10_000 (fun _ ->
+      Atomic.incr count);
+  Alcotest.(check bool)
+    "stop abandoned most of the range" true
+    (Atomic.get count < 10_000);
+  (* stop already true: map_array still seeds and returns a full-length
+     array (contents discardable by contract). *)
+  let r =
+    Parallel.map_array
+      ~stop:(fun () -> true)
+      pool4
+      (fun x -> x + 1)
+      (Array.init 100 Fun.id)
+  in
+  Alcotest.(check int) "length preserved under stop" 100 (Array.length r);
+  let raised =
+    try
+      Parallel.parallel_for
+        ~on_chunk:(fun () -> failwith "chunk-boom")
+        pool4 ~lo:0 ~hi:100
+        (fun _ -> ());
+      false
+    with Failure m -> m = "chunk-boom"
+  in
+  Alcotest.(check bool) "on_chunk exception propagates" true raised;
+  let ok = Parallel.map_array pool4 (fun x -> x + 1) [| 1 |] in
+  Alcotest.(check bool) "usable after hook failure" true (ok = [| 2 |])
+
 let test_nested () =
   let outer = Array.init 40 (fun i -> i) in
   let got =
@@ -225,6 +282,10 @@ let suite =
       test_parallel_for_covers;
     Alcotest.test_case "exception propagation" `Quick
       test_exception_propagation;
+    Alcotest.test_case "raise at every position drains" `Quick
+      test_raise_at_every_position;
+    Alcotest.test_case "cooperative stop drains" `Quick
+      test_stop_drains_cleanly;
     Alcotest.test_case "nested parallelism" `Quick test_nested;
     Alcotest.test_case "domains=1 sequential bypass" `Quick
       test_sequential_bypass;

@@ -211,6 +211,56 @@ let test_loader_guards () =
        false
      with Failure _ -> true)
 
+let test_loader_parse_errors () =
+  let write name contents =
+    let path = Filename.temp_file name ".csv" in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  let err load path =
+    let r = load path in
+    (try Sys.remove path with Sys_error _ -> ());
+    match r with
+    | Error (`Parse_error e) -> e
+    | Ok _ -> Alcotest.failf "%s should not parse" path
+  in
+  (* Missing file: no meaningful line. *)
+  let e = err Workload.Loader.load_queries "/nonexistent/queries.csv" in
+  Alcotest.(check int) "missing file -> line 0" 0 e.Workload.Loader.line;
+  Alcotest.(check bool)
+    "line 0 omitted from rendering" true
+    (not
+       (String.length (Workload.Loader.parse_error_to_string e) = 0
+       || String.length e.Workload.Loader.msg = 0));
+  (* Missing k column: the header (line 1) is at fault. *)
+  let e =
+    err Workload.Loader.load_queries (write "no_k" "w0,w1\n0.5,0.5\n")
+  in
+  Alcotest.(check int) "missing k -> header line" 1 e.Workload.Loader.line;
+  (* Bad k on data row 0 = CSV line 2. *)
+  let e =
+    err Workload.Loader.load_queries (write "bad_k" "k,w0\n0,0.5\n")
+  in
+  Alcotest.(check int) "bad k -> its row" 2 e.Workload.Loader.line;
+  (* A ragged row missing its weight (data row 1 = CSV line 3): the
+     Null cell is a non-numeric weight, and the rendering carries
+     file:line. *)
+  let path = write "bad_w" "k,w0\n1,0.5\n1\n" in
+  let e = err Workload.Loader.load_queries path in
+  Alcotest.(check int) "bad weight -> its row" 3 e.Workload.Loader.line;
+  Alcotest.(check bool)
+    "rendered as file:line: msg" true
+    (let s = Workload.Loader.parse_error_to_string e in
+     String.length s > String.length e.Workload.Loader.msg);
+  (* Objects: a table without numeric columns reports the file too. *)
+  let e =
+    err Workload.Loader.load_objects (write "no_num" "a,b\nx,y\n")
+  in
+  Alcotest.(check bool) "objects error has msg" true
+    (String.length e.Workload.Loader.msg > 0)
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -228,4 +278,5 @@ let suite =
     Alcotest.test_case "loader round trip" `Quick test_loader_roundtrip;
     Alcotest.test_case "loader objects" `Quick test_loader_objects;
     Alcotest.test_case "loader guards" `Quick test_loader_guards;
+    Alcotest.test_case "loader parse errors" `Quick test_loader_parse_errors;
   ]

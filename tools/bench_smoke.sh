@@ -8,6 +8,9 @@
 # 2. Engine bench: the serving facade vs direct search calls — exits
 #    non-zero if their outcomes diverge, and records the facade
 #    overhead in BENCH_engine.json.
+# 3. Resilience bench: armed-budget overhead vs the clean path (exits
+#    non-zero above the 2% budget) and the anytime degradation curve,
+#    recorded in BENCH_resilience.json.
 #
 # Also available as a dune alias: `dune build @bench-smoke`.
 set -eu
@@ -16,3 +19,4 @@ export REPRO_SCALE="${REPRO_SCALE:-0.02}"
 export IQ_DOMAINS="${IQ_DOMAINS:-2}"
 dune exec bench/main.exe -- --bench parallel
 dune exec bench/main.exe -- --bench engine
+dune exec bench/main.exe -- --bench resilience

@@ -1,9 +1,12 @@
 #!/usr/bin/env sh
 # Full CI gate: build, tier-1 tests, the iqlint whole-program pass
 # (`dune build @lint` baseline gate plus a SARIF emission for CI
-# annotation upload; see DESIGN.md "Whole-program lint"), and the
-# bench smoke checks (parallel determinism + engine facade overhead,
-# which also emits BENCH_engine.json). Any stage failing fails the run.
+# annotation upload; see DESIGN.md "Whole-program lint"), a chaos
+# stage (the resilience suites under a fixed IQ_FAULT schedule — same
+# seed every run, so a chaos failure is reproducible locally), and the
+# bench smoke checks (parallel determinism + engine facade overhead +
+# resilience overhead/anytime curve, which also emit BENCH_*.json).
+# Any stage failing fails the run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -22,6 +25,16 @@ echo "== iqlint SARIF report =="
 ./_build/default/bin/iqlint.exe --format sarif \
   lib bin bench examples test > _build/iqlint.sarif || true
 echo "wrote _build/iqlint.sarif"
+
+echo "== chaos: resilience + engine suites under a fixed IQ_FAULT =="
+# A latency-only schedule: every engine built from the environment
+# consults the fault sites and injects (so the schedule, counters and
+# injection paths all run), but no outcome changes — the suites'
+# exactness assertions still hold. The seed is fixed, so a chaos
+# failure here reproduces byte-for-byte locally.
+CHAOS_FAULT='seed=42;backend.*.prepare:latency(1)@0.4;index.build:latency(1)@0.5;search.iteration:latency(1)@0.1'
+IQ_FAULT="$CHAOS_FAULT" ./_build/default/test/test_main.exe test resilience
+IQ_FAULT="$CHAOS_FAULT" ./_build/default/test/test_main.exe test core.engine
 
 echo "== bench smoke =="
 tools/bench_smoke.sh
