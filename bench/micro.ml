@@ -29,11 +29,18 @@ let prepared =
          (List.init (Array.length data) (fun i ->
               (Geom.Box.of_point data.(i), i)))
      in
-     (data, inst, index, ese, ta, dominance, rtree))
+     let layers =
+       Topk.Onion.layer_of (Topk.Onion.build inst.Iq.Instance.features)
+     in
+     let ese_full = Iq.Ese.prepare index ~target:0 in
+     let ese_pruned = Iq.Ese.prepare ~layers index ~target:0 in
+     (data, inst, index, ese, ta, dominance, rtree, ese_full, ese_pruned))
 
 let tests () =
-  let data, inst, index, ese, ta, dominance, rtree = Lazy.force prepared in
-  ignore inst;
+  let data, inst, index, ese, ta, dominance, rtree, ese_full, ese_pruned =
+    Lazy.force prepared
+  in
+  let features = inst.Iq.Instance.features in
   let w = [| 0.4; 0.3; 0.3 |] in
   let s = [| -0.05; -0.02; -0.01 |] in
   [
@@ -46,6 +53,29 @@ let tests () =
            Topk.Dominance.top_k dominance ~data ~weights:w ~k:10));
     Test.make ~name:"ese/evaluate"
       (Staged.stage (fun () -> ese.Iq.Evaluator.hit_count s));
+    Test.make ~name:"ese/evaluate-unpruned"
+      (Staged.stage (fun () -> Iq.Ese.evaluate ese_full ~s));
+    Test.make ~name:"ese/evaluate-pruned"
+      (Staged.stage (fun () -> Iq.Ese.evaluate ese_pruned ~s));
+    Test.make ~name:"topk/dominance-build"
+      (Staged.stage (fun () -> Topk.Onion.build features));
+    Test.make ~name:"geom/flat-slab-classify"
+      (Staged.stage (fun () ->
+           let flat = inst.Iq.Instance.flat in
+           let fdata = Geom.Flat.data flat in
+           let d = Geom.Flat.dim flat in
+           (* One rival row against the whole slab: the inner loop of
+              the fused classification kernels. *)
+           let acc = ref 0 in
+           for i = 0 to Geom.Flat.rows flat - 1 do
+             let ioff = i * d in
+             let dot = ref 0. in
+             for j = 0 to d - 1 do
+               dot := !dot +. (w.(j) *. fdata.(ioff + j))
+             done;
+             if !dot >= 0.5 then incr acc
+           done;
+           !acc));
     Test.make ~name:"rtree/range-search"
       (Staged.stage (fun () ->
            Rtree.search rtree

@@ -112,6 +112,22 @@ let run () =
     (Domain.recommended_domain_count ());
   if List.exists (fun (_, _, _, ok) -> not ok) rows then
     failwith "parallel bench: outcomes diverged across domain counts";
+  (* Oversubscription gate: a 2-domain pool must never pay for a worker
+     the host cannot run — the pool caps active participants at the
+     core count, so on a 1-CPU host domains=2 stays within noise of
+     the sequential bypass (and on a real 2-core host it should be
+     faster, which also passes). *)
+  (match (List.assoc_opt 1 (List.map (fun (dc, b, s, _) -> (dc, b +. s)) rows),
+          List.assoc_opt 2 (List.map (fun (dc, b, s, _) -> (dc, b +. s)) rows))
+   with
+  | Some t1, Some t2 ->
+      if t2 > (t1 *. 1.10) +. 0.05 then
+        failwith
+          (Printf.sprintf
+             "parallel bench: domains=2 (%.3fs) slower than domains=1 \
+              (%.3fs) beyond noise — oversubscription cap regressed"
+             t2 t1)
+  | _ -> ());
   Harness.write_json ~name:"parallel"
     (Harness.Obj
        [

@@ -83,6 +83,7 @@ module type BACKEND = sig
   val name : string
 
   val prepare :
+    layers:(int -> int) option ->
     index:Query_index.t ->
     pool:Parallel.pool ->
     target:int ->
@@ -94,22 +95,22 @@ type backend = (module BACKEND)
 module Ese_backend = struct
   let name = "ese"
 
-  let prepare ~index ~pool:_ ~target =
-    let state = Ese.prepare index ~target in
+  let prepare ~layers ~index ~pool:_ ~target =
+    let state = Ese.prepare ?layers index ~target in
     (Evaluator.of_state index state, Some state)
 end
 
 module Scan_backend = struct
   let name = "scan"
 
-  let prepare ~index ~pool ~target =
+  let prepare ~layers:_ ~index ~pool ~target =
     (Evaluator.naive ~pool (Query_index.instance index) ~target, None)
 end
 
 module Rta_backend = struct
   let name = "rta"
 
-  let prepare ~index ~pool ~target =
+  let prepare ~layers:_ ~index ~pool ~target =
     (Evaluator.rta ~pool (Query_index.instance index) ~target, None)
 end
 
@@ -190,10 +191,15 @@ type t = {
   backend : backend;
   chain : backend array;
   res : resilience;
+  prune : bool;
   lock : Mutex.t;
   cache : (int, centry) Hashtbl.t;
   bstats : (string, bstat) Hashtbl.t;
   mutable gen : int;
+  mutable dom : (int * Topk.Onion.t) option;
+      (* lazily-built onion/dominance layer index over the current
+         features, stamped with the generation it was built at; a
+         mismatch on next prepare rebuilds it (mutations move objects) *)
   mutable repreps : int;
   mutable retired_evals : int;
       (* evaluation counts of cache entries already replaced, so
@@ -239,11 +245,14 @@ let bstat t name =
       Hashtbl.add t.bstats name s;
       s
 
-let of_index ?backend ?resilience ?pool index =
+let of_index ?backend ?resilience ?prune ?pool index =
   guard @@ fun () ->
   let* b = resolve_backend backend in
   let* res = resolve_resilience resilience in
   let pool = match pool with Some p -> p | None -> Parallel.default () in
+  let prune =
+    match prune with Some p -> p | None -> Workload.Config.prune ()
+  in
   Ok
     {
       index;
@@ -251,17 +260,19 @@ let of_index ?backend ?resilience ?pool index =
       backend = b;
       chain = chain_of b;
       res;
+      prune;
       lock = Mutex.create ();
       cache = Hashtbl.create 16;
       bstats = Hashtbl.create 4;
       gen = 0;
+      dom = None;
       repreps = 0;
       retired_evals = 0;
       deadline_trips = 0;
       cancellations = 0;
     }
 
-let create ?backend ?resilience ?depth_slack ?method_ ?pool inst =
+let create ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
   guard @@ fun () ->
   let* b = resolve_backend backend in
   let* res = resolve_resilience resilience in
@@ -278,10 +289,10 @@ let create ?backend ?resilience ?depth_slack ?method_ ?pool inst =
         build (tries - 1)
   in
   let index = build res.retries in
-  of_index ~backend:b ~resilience:res ~pool index
+  of_index ~backend:b ~resilience:res ?prune ~pool index
 
-let create_exn ?backend ?resilience ?depth_slack ?method_ ?pool inst =
-  match create ?backend ?resilience ?depth_slack ?method_ ?pool inst with
+let create_exn ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
+  match create ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst with
   | Ok t -> t
   | Error e -> invalid_arg ("Engine.create: " ^ Error.to_string e)
 
@@ -296,6 +307,12 @@ let generation t = t.gen
 let backend_name t =
   let (module B : BACKEND) = t.backend in
   B.name
+
+let pruning_enabled t = t.prune
+
+let dominance_stats t =
+  with_lock t (fun () ->
+      Option.map (fun (g, onion) -> (g, Topk.Onion.layer_count onion)) t.dom)
 
 (* {2 Validation} *)
 
@@ -333,6 +350,27 @@ let wrap_eval t bname (eval : Evaluator.t) =
             eval.Evaluator.hit_count s);
       }
 
+(* The layer map handed to backends when pruning is on; engine lock
+   held. The onion index is built lazily on first prepare and reused
+   until a mutation moves the generation past its stamp — every object
+   mutation can reshuffle layers, so a stale index is simply rebuilt
+   rather than patched. *)
+let layers_locked t =
+  if not t.prune then None
+  else begin
+    let onion =
+      match t.dom with
+      | Some (g, onion) when g = t.gen -> onion
+      | Some _ | None ->
+          let onion =
+            Topk.Onion.build (Query_index.instance t.index).Instance.features
+          in
+          t.dom <- Some (t.gen, onion);
+          onion
+    in
+    Some (Topk.Onion.layer_of onion)
+  end
+
 (* Prepare [target] starting at chain link [from_pos]; engine lock
    held. Circuit-open backends are skipped outright; an injected
    transient retries the same backend with doubling backoff; a
@@ -359,7 +397,8 @@ let prepare_locked t ~target ~from_pos =
           st.bs_attempts <- st.bs_attempts + 1;
           match
             Resilience.Fault.point t.res.fault ~site;
-            B.prepare ~index:t.index ~pool:t.pool ~target
+            B.prepare ~layers:(layers_locked t) ~index:t.index ~pool:t.pool
+              ~target
           with
           | eval, state ->
               st.bs_consecutive <- 0;
@@ -728,6 +767,7 @@ type backend_stats = {
 type stats = {
   generation : int;
   backend : string;
+  prune : bool;
   domains : int;
   n_objects : int;
   n_queries : int;
@@ -776,6 +816,7 @@ let stats t =
       {
         generation = t.gen;
         backend = backend_name t;
+        prune = t.prune;
         domains = Parallel.domains t.pool;
         n_objects = Instance.n_objects inst;
         n_queries = Instance.n_queries inst;

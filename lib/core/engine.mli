@@ -93,11 +93,15 @@ end
 
 (** An evaluation backend. [prepare] builds the per-target evaluator
     (and, when the backend has one, the underlying {!Ese} state so
-    multi-target searches can reuse it instead of re-preparing). *)
+    multi-target searches can reuse it instead of re-preparing).
+    [layers] is the engine's dominance-layer map (object id → 0-based
+    onion layer, [Some] when pruning is enabled); backends without a
+    geometric hot path ignore it. *)
 module type BACKEND = sig
   val name : string
 
   val prepare :
+    layers:(int -> int) option ->
     index:Query_index.t ->
     pool:Parallel.pool ->
     target:int ->
@@ -149,6 +153,7 @@ type t
 val create :
   ?backend:backend ->
   ?resilience:resilience ->
+  ?prune:bool ->
   ?depth_slack:int ->
   ?method_:Query_index.build_method ->
   ?pool:Parallel.pool ->
@@ -161,11 +166,15 @@ val create :
     nothing. Without [?resilience], [IQ_FAULT]/[IQ_RETRIES] configure
     the policy; a malformed [IQ_FAULT] is [Error (Fault_spec _)]. The
     index build consults the [index.build] fault site (transient
-    injections retry like a backend's). *)
+    injections retry like a backend's). [prune] (default
+    [Workload.Config.prune ()], the [IQ_PRUNE] knob) enables
+    dominance-layer rival pruning on the ESE hot path — results are
+    identical either way; see {!Ese.prepare}. *)
 
 val of_index :
   ?backend:backend ->
   ?resilience:resilience ->
+  ?prune:bool ->
   ?pool:Parallel.pool ->
   Query_index.t ->
   (t, Error.t) result
@@ -176,6 +185,7 @@ val of_index :
 val create_exn :
   ?backend:backend ->
   ?resilience:resilience ->
+  ?prune:bool ->
   ?depth_slack:int ->
   ?method_:Query_index.build_method ->
   ?pool:Parallel.pool ->
@@ -201,6 +211,19 @@ val generation : t -> int
 
 val backend_name : t -> string
 
+val pruning_enabled : t -> bool
+(** Whether this engine hands backends a dominance-layer map (the
+    [?prune] argument / [IQ_PRUNE] knob). Note a pruned engine still
+    evaluates unpruned when the per-instance layer certificate fails
+    (e.g. [Desc]-order workloads) — see {!Ese.prepare}. *)
+
+val dominance_stats : t -> (int * int) option
+(** [(built_generation, layer_count)] of the lazily-built onion layer
+    index, [None] while nothing has been prepared yet (or pruning is
+    off). A [built_generation] behind {!generation} means the index is
+    stale and will be rebuilt on the next prepare — exposed so tests
+    can observe the invalidation protocol. *)
+
 type backend_stats = {
   b_name : string;
   b_attempts : int;  (** prepare attempts, including retries *)
@@ -215,6 +238,7 @@ type backend_stats = {
 type stats = {
   generation : int;
   backend : string;
+  prune : bool;  (** dominance-layer pruning enabled *)
   domains : int;  (** pool size *)
   n_objects : int;
   n_queries : int;

@@ -12,8 +12,20 @@ open Geom
 
 type state
 
-val prepare : Query_index.t -> target:int -> state
-(** Compute the target's base memberships from the index cache. *)
+val prepare : ?layers:(int -> int) -> Query_index.t -> target:int -> state
+(** Compute the target's base memberships from the index cache, plus
+    the per-query rank-k rival and threshold (so {!member_after} and
+    {!hit_constraint} run in O(d) with no index walk).
+
+    [layers] enables geometric rival pruning: it maps an object id to
+    its 0-based onion/dominance layer (see [Topk.Onion.layer_of]).
+    When provided {e and} the layer certificate holds — all query
+    weights non-negative and every rank-k rival within its query's
+    first [k+1] layers — candidate evaluation iterates only the exact
+    kth-rival set instead of every cached prefix object, returning
+    bit-for-bit identical counts. A failed certificate (e.g. a
+    [Desc]-order instance, whose weights are negated) silently falls
+    back to the unpruned path. *)
 
 val target : state -> int
 
@@ -50,3 +62,12 @@ val dirty_between :
 
 val evaluations : state -> int
 (** Number of [evaluate] calls so far (benchmark instrumentation). *)
+
+val pruned : state -> bool
+(** Whether this state evaluates against the pruned kth-rival set
+    (the [layers] certificate held at {!prepare} time). *)
+
+val rival_count : state -> int
+(** Rivals the slab classification loop visits per evaluation: the
+    distinct rank-k rivals when pruned, the full cached prefix set
+    otherwise. *)

@@ -72,10 +72,23 @@ let naive ?pool inst ~target =
   let count = Atomic.make 0 in
   let m = Instance.n_queries inst in
   let threshold = threshold_cache inst ~target in
+  (* The range scan reads query weights out of the instance's SoA slab:
+     one contiguous stride per query instead of a boxed-vector chase.
+     The inlined dot matches [Vec.dot w v]'s accumulation exactly. *)
+  let d = Instance.dim inst in
+  let wdata = Flat.data inst.Instance.qflat in
   let count_range v (lo, hi) =
     let acc = ref 0 in
     for q = lo to hi - 1 do
-      if scan_member inst threshold ~target ~q v then incr acc
+      match threshold q with
+      | None -> incr acc
+      | Some (kth, thr) ->
+          let woff = q * d in
+          let s = ref 0. in
+          for j = 0 to d - 1 do
+            s := !s +. (wdata.(woff + j) *. v.(j))
+          done;
+          if better (!s, target) (thr, kth) then incr acc
     done;
     !acc
   in

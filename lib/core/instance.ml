@@ -3,10 +3,14 @@ open Geom
 type t = {
   raw : Vec.t array;
   features : Vec.t array;
+  flat : Flat.t; (* SoA view of [features]; patched in step with it *)
   utility : Topk.Utility.t;
   order : Topk.Utility.order;
   queries : Topk.Query.t array;
+  qflat : Flat.t; (* SoA view of the query weight vectors *)
 }
+
+let qweights queries = Array.map (fun q -> q.Topk.Query.weights) queries
 
 let create ?utility ?(order = Topk.Utility.Asc) ~data ~queries () =
   if Array.length data = 0 then invalid_arg "Instance.create: empty data";
@@ -35,7 +39,15 @@ let create ?utility ?(order = Topk.Utility.Asc) ~data ~queries () =
            })
          queries)
   in
-  { raw = data; features; utility; order; queries }
+  {
+    raw = data;
+    features;
+    flat = Flat.of_rows features;
+    utility;
+    order;
+    queries;
+    qflat = Flat.of_rows (qweights queries);
+  }
 
 let n_objects t = Array.length t.features
 let n_queries t = Array.length t.queries
@@ -61,7 +73,7 @@ let with_feature t ~target v =
     end
     else t.raw
   in
-  { t with raw; features }
+  { t with raw; features; flat = Flat.update_row t.flat target v }
 
 let query_points t = Array.map (fun q -> q.Topk.Query.weights) t.queries
 
@@ -75,7 +87,11 @@ let add_query t (q : Topk.Query.t) =
         Topk.Utility.effective_weights t.order q.Topk.Query.weights;
     }
   in
-  { t with queries = Array.append t.queries [| q |] }
+  {
+    t with
+    queries = Array.append t.queries [| q |];
+    qflat = Flat.append_row t.qflat q.Topk.Query.weights;
+  }
 
 let remove_query t i =
   let m = Array.length t.queries in
@@ -83,16 +99,17 @@ let remove_query t i =
   let queries =
     Array.init (m - 1) (fun j -> if j < i then t.queries.(j) else t.queries.(j + 1))
   in
-  { t with queries }
+  { t with queries; qflat = Flat.remove_row t.qflat i }
 
 let add_object t raw_attrs =
   if Vec.dim raw_attrs <> t.utility.Topk.Utility.dim_in then
     invalid_arg "Instance.add_object: attribute arity mismatch";
+  let feat = t.utility.Topk.Utility.features raw_attrs in
   {
     t with
     raw = Array.append t.raw [| raw_attrs |];
-    features =
-      Array.append t.features [| t.utility.Topk.Utility.features raw_attrs |];
+    features = Array.append t.features [| feat |];
+    flat = Flat.append_row t.flat feat;
   }
 
 let update_object t id raw_attrs =
@@ -104,7 +121,7 @@ let update_object t id raw_attrs =
   let features = Array.copy t.features in
   raw.(id) <- raw_attrs;
   features.(id) <- t.utility.Topk.Utility.features raw_attrs;
-  { t with raw; features }
+  { t with raw; features; flat = Flat.update_row t.flat id features.(id) }
 
 let remove_object t id =
   let n = Array.length t.features in
@@ -113,4 +130,9 @@ let remove_object t id =
   let drop arr =
     Array.init (n - 1) (fun j -> if j < id then arr.(j) else arr.(j + 1))
   in
-  { t with raw = drop t.raw; features = drop t.features }
+  {
+    t with
+    raw = drop t.raw;
+    features = drop t.features;
+    flat = Flat.remove_row t.flat id;
+  }

@@ -16,9 +16,13 @@ open Geom
 type t = private {
   raw : Vec.t array;  (** original object attributes *)
   features : Vec.t array;  (** [utility.features] image; the functions *)
+  flat : Flat.t;
+      (** SoA view of [features], kept in sync through every functional
+          update (mutations patch the slab rather than rebuild) *)
   utility : Topk.Utility.t;
   order : Topk.Utility.order;
   queries : Topk.Query.t array;  (** weights in feature space, minimizing *)
+  qflat : Flat.t;  (** SoA view of the query weight vectors *)
 }
 
 val create :

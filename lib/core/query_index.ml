@@ -180,14 +180,17 @@ let member t ~q id =
 
 let slab_queries t ~normal_before ~normal_after f =
   let inst = t.inst in
+  (* [box_min_max_n] ranges the bare normals directly — the previous
+     code constructed two offset-0 [Hyperplane.t] per R-tree node
+     visited, which dominated the slab search's allocation profile. *)
   let sign_flip_possible box =
-    let h_before = Hyperplane.make ~normal:normal_before ~offset:0. in
-    let h_after = Hyperplane.make ~normal:normal_after ~offset:0. in
     let bmin, bmax =
-      Hyperplane.box_min_max h_before ~lo:box.Box.lo ~hi:box.Box.hi
+      Hyperplane.box_min_max_n ~normal:normal_before ~lo:box.Box.lo
+        ~hi:box.Box.hi
     in
     let amin, amax =
-      Hyperplane.box_min_max h_after ~lo:box.Box.lo ~hi:box.Box.hi
+      Hyperplane.box_min_max_n ~normal:normal_after ~lo:box.Box.lo
+        ~hi:box.Box.hi
     in
     let down = bmax >= 0. && amin < 0. in
     let up = bmin < 0. && amax >= 0. in

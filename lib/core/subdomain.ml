@@ -73,25 +73,55 @@ let find_subdomains ~intersections ~points =
     cell_of;
   { cells; cell_of }
 
+(* O(n^2) pairs: the normal difference, the zero-plane test, and the
+   domain-crossing range are fused into one pass over an SoA slab of
+   the features, and a hyperplane is allocated only for pairs that
+   survive. (The direct form built a [Hyperplane.t] per pair before
+   filtering — for a pruning domain, most of them were thrown away.)
+   Values and order match [Hyperplane.of_points] + [box_min_max]
+   exactly: a hyperplane that keeps the whole query domain on one side
+   can never separate two query points, so it is dropped (the paper
+   notes empty subdomains are discarded; this prunes them before they
+   are even created). *)
 let pairwise_intersections ?domain features =
-  let crosses h =
-    match domain with
-    | None -> true
-    | Some (box : Box.t) ->
-        (* A hyperplane that keeps the whole query domain on one side
-           can never separate two query points: drop it (the paper
-           notes empty subdomains are discarded; this prunes them
-           before they are even created). *)
-        let mn, mx = Hyperplane.box_min_max h ~lo:box.Box.lo ~hi:box.Box.hi in
-        mn < 0. && mx >= 0.
-  in
   let n = Array.length features in
+  let d = if n = 0 then 0 else Vec.dim features.(0) in
+  let fdata = Flat.data (Flat.of_rows features) in
+  let scratch = Array.make d 0. in
   let out = ref [] in
+  let keep () =
+    out := Hyperplane.make ~normal:(Array.copy scratch) ~offset:0. :: !out
+  in
   for i = 0 to n - 1 do
+    let ioff = i * d in
     for l = i + 1 to n - 1 do
-      match Hyperplane.of_points features.(i) features.(l) with
-      | Some h -> if crosses h then out := h :: !out
-      | None -> ()
+      let loff = l * d in
+      let nonzero = ref false in
+      (match domain with
+      | None ->
+          for j = 0 to d - 1 do
+            let c = fdata.(ioff + j) -. fdata.(loff + j) in
+            scratch.(j) <- c;
+            if Fp.nonzero ~eps:0. c then nonzero := true
+          done;
+          if !nonzero then keep ()
+      | Some (box : Box.t) ->
+          let lo = box.Box.lo and hi = box.Box.hi in
+          let mn = ref (-.0.) and mx = ref (-.0.) in
+          for j = 0 to d - 1 do
+            let c = fdata.(ioff + j) -. fdata.(loff + j) in
+            scratch.(j) <- c;
+            if Fp.nonzero ~eps:0. c then nonzero := true;
+            if c >= 0. then begin
+              mn := !mn +. (c *. lo.(j));
+              mx := !mx +. (c *. hi.(j))
+            end
+            else begin
+              mn := !mn +. (c *. hi.(j));
+              mx := !mx +. (c *. lo.(j))
+            end
+          done;
+          if !nonzero && !mn < 0. && !mx >= 0. then keep ())
     done
   done;
   Array.of_list (List.rev !out)

@@ -52,5 +52,24 @@ let box_min_max h ~lo ~hi =
   done;
   (!mn, !mx)
 
+(* Same accumulation as [box_min_max] for an offset-0 plane given as a
+   bare normal — lets hot loops range hyperplanes over a box without
+   constructing a [t] per candidate. Accumulators start at [-. 0.] so
+   the rounding sequence matches [box_min_max] exactly. *)
+let box_min_max_n ~normal ~lo ~hi =
+  let mn = ref (-.0.) and mx = ref (-.0.) in
+  for j = 0 to Array.length normal - 1 do
+    let c = normal.(j) in
+    if c >= 0. then begin
+      mn := !mn +. (c *. lo.(j));
+      mx := !mx +. (c *. hi.(j))
+    end
+    else begin
+      mn := !mn +. (c *. hi.(j));
+      mx := !mx +. (c *. lo.(j))
+    end
+  done;
+  (!mn, !mx)
+
 let pp ppf h =
   Format.fprintf ppf "{%a . x = %g}" Vec.pp h.normal h.offset

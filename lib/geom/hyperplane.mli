@@ -48,4 +48,10 @@ val box_min_max : t -> lo:Vec.t -> hi:Vec.t -> float * float
     over the axis-aligned box [\[lo, hi\]]; used to prune R-tree nodes
     against halfspaces without visiting their contents. *)
 
+val box_min_max_n : normal:Vec.t -> lo:Vec.t -> hi:Vec.t -> float * float
+(** [box_min_max_n ~normal ~lo ~hi] is [box_min_max (make ~normal
+    ~offset:0.) ~lo ~hi] without constructing the hyperplane (and without
+    the zero-normal check) — bit-for-bit identical results. Hot loops use
+    this to range a candidate plane over the weight domain per rival. *)
+
 val pp : Format.formatter -> t -> unit

@@ -13,11 +13,17 @@ let on_segment s (p : Vec.t) =
   && p.(1) <= Float.max s.a.(1) s.b.(1) +. eps
 
 let segment_intersection s1 s2 =
-  let p = s1.a and r = Vec.sub s1.b s1.a in
-  let q = s2.a and s = Vec.sub s2.b s2.a in
-  let rxs = (r.(0) *. s.(1)) -. (r.(1) *. s.(0)) in
-  let qp = Vec.sub q p in
-  let qpxr = (qp.(0) *. r.(1)) -. (qp.(1) *. r.(0)) in
+  (* Scalar 2-D form of the parametric test: the boxed version allocated
+     three difference vectors and a result via [Vec.sub]/[Vec.add]/
+     [Vec.scale] per call, which dominated sweep-heavy subdomain builds.
+     Every expression below mirrors the componentwise arithmetic of those
+     helpers, so results are bit-for-bit unchanged. *)
+  let p = s1.a and q = s2.a in
+  let rx = s1.b.(0) -. s1.a.(0) and ry = s1.b.(1) -. s1.a.(1) in
+  let sx = s2.b.(0) -. s2.a.(0) and sy = s2.b.(1) -. s2.a.(1) in
+  let rxs = (rx *. sy) -. (ry *. sx) in
+  let qpx = q.(0) -. p.(0) and qpy = q.(1) -. p.(1) in
+  let qpxr = (qpx *. ry) -. (qpy *. rx) in
   let eps = 1e-12 in
   if abs_float rxs <= eps then
     if abs_float qpxr > eps then None (* parallel, non-collinear *)
@@ -27,12 +33,12 @@ let segment_intersection s1 s2 =
       List.find_opt (fun c -> on_segment s1 c && on_segment s2 c) candidates
     end
   else
-    let t = ((qp.(0) *. s.(1)) -. (qp.(1) *. s.(0))) /. rxs in
+    let t = ((qpx *. sy) -. (qpy *. sx)) /. rxs in
     let u = qpxr /. rxs in
     (* p + t r = q + u s  =>  t = (q-p) x s / (r x s),
                               u = (q-p) x r / (r x s). *)
     if t >= -.eps && t <= 1. +. eps && u >= -.eps && u <= 1. +. eps then
-      Some (Vec.add p (Vec.scale t r))
+      Some [| p.(0) +. (t *. rx); p.(1) +. (t *. ry) |]
     else None
 
 let x_lo s = Float.min s.a.(0) s.b.(0)

@@ -7,7 +7,17 @@ type pool = {
   tasks : task Queue.t;
   mutable stopped : bool;
   mutable workers : unit Domain.t array;
+  mutable overhead : float;
+      (* measured per-job dispatch overhead in seconds; negative until
+         the first calibration (lazy, once per pool) *)
 }
+
+(* Hardware parallelism available to this process. A pool may be
+   configured with more domains than cores (IQ_DOMAINS=8 on a laptop in
+   a container); activating them all just multiplies stop-the-world
+   minor-GC synchronization without adding compute, so jobs cap their
+   active participants here. *)
+let cores = Domain.recommended_domain_count ()
 
 (* True while the current domain is executing inside a pool operation
    (as a worker, or as a caller draining its own chunks). Nested
@@ -55,10 +65,19 @@ let create ?domains () =
       tasks = Queue.create ();
       stopped = false;
       workers = [||];
+      overhead = -1.;
     }
   in
+  (* Never spawn more workers than spare cores: an idle domain is not
+     free — every minor collection is a stop-the-world handshake across
+     all live domains, so a parked worker on a 1-CPU host roughly
+     doubles GC pauses. Oversubscribed pools (IQ_DOMAINS=8 on a small
+     container) keep their configured size for reporting but only
+     materialize the domains the host can actually run. *)
   pool.workers <-
-    Array.init (n - 1) (fun _ ->
+    Array.init
+      (Int.min (n - 1) (Int.max 0 (cores - 1)))
+      (fun _ ->
         Domain.spawn (fun () ->
             Domain.DLS.set inside_pool true;
             worker_loop pool));
@@ -160,6 +179,71 @@ let sequential_for ~stop ~on_chunk ~lo ~hi f =
         incr i
       done
 
+let make_job ~lo ~chunk ~n_chunks ~body ~stop_req ~on_chunk =
+  {
+    lo;
+    chunk;
+    n_chunks;
+    body;
+    stop_req;
+    on_chunk;
+    cursor = Atomic.make 0;
+    completed = Atomic.make 0;
+    failure = Atomic.make None;
+    done_mutex = Mutex.create ();
+    done_cond = Condition.create ();
+  }
+
+(* Enqueue [helpers] worker tasks, participate on the caller, wait for
+   the last in-flight chunk, re-raise the first captured failure. With
+   [helpers = 0] this is still the full job machinery — same chunk
+   boundaries for [stop], same failure drain — just all on the
+   caller. *)
+let run_job pool job hi ~helpers =
+  if helpers > 0 then begin
+    Mutex.lock pool.mutex;
+    for _ = 1 to helpers do
+      Queue.add (fun () -> run_chunks job hi) pool.tasks
+    done;
+    Condition.broadcast pool.wake;
+    Mutex.unlock pool.mutex
+  end;
+  Domain.DLS.set inside_pool true;
+  Fun.protect
+    ~finally:(fun () -> Domain.DLS.set inside_pool false)
+    (fun () -> run_chunks job hi);
+  Mutex.lock job.done_mutex;
+  while Atomic.get job.completed < job.n_chunks do
+    Condition.wait job.done_cond job.done_mutex
+  done;
+  Mutex.unlock job.done_mutex;
+  match Atomic.get job.failure with None -> () | Some e -> raise e
+
+(* How long it takes to dispatch a job at all: set-up, queueing, worker
+   wake-up and the completion handshake, measured with empty bodies
+   (median of three to shrug off a scheduler blip). The caller
+   participates in its own probe jobs, so calibration cannot wedge
+   even if every worker is busy elsewhere. Chunks whose work does not
+   amortize this are not worth shipping to another domain. *)
+let dispatch_overhead pool =
+  if pool.overhead >= 0. then pool.overhead
+  else begin
+    let sample () =
+      let job =
+        make_job ~lo:0 ~chunk:1 ~n_chunks:2 ~body:ignore
+          ~stop_req:(fun () -> false)
+          ~on_chunk:(fun () -> ())
+      in
+      let t0 = Unix.gettimeofday () in
+      run_job pool job 2 ~helpers:(Int.min 1 (Array.length pool.workers));
+      Unix.gettimeofday () -. t0
+    in
+    let s = Array.init 3 (fun _ -> sample ()) in
+    Array.sort compare s;
+    pool.overhead <- Float.max 0. s.(1);
+    pool.overhead
+  end
+
 let parallel_for ?stop ?on_chunk pool ~lo ~hi f =
   let len = hi - lo in
   if len <= 0 then ()
@@ -168,42 +252,70 @@ let parallel_for ?stop ?on_chunk pool ~lo ~hi f =
     || Domain.DLS.get inside_pool
   then sequential_for ~stop ~on_chunk ~lo ~hi f
   else begin
-    (* Over-decompose (4 chunks per domain) so the atomic cursor
-       load-balances uneven per-index costs. *)
-    let n_chunks = Int.min len (pool.n_domains * 4) in
-    let chunk = (len + n_chunks - 1) / n_chunks in
-    let job =
-      {
-        lo;
-        chunk;
-        n_chunks;
-        body = f;
-        stop_req = (match stop with Some s -> s | None -> fun () -> false);
-        on_chunk = (match on_chunk with Some h -> h | None -> fun () -> ());
-        cursor = Atomic.make 0;
-        completed = Atomic.make 0;
-        failure = Atomic.make None;
-        done_mutex = Mutex.create ();
-        done_cond = Condition.create ();
-      }
-    in
-    let helpers = Int.min (Array.length pool.workers) (n_chunks - 1) in
-    Mutex.lock pool.mutex;
-    for _ = 1 to helpers do
-      Queue.add (fun () -> run_chunks job hi) pool.tasks
-    done;
-    Condition.broadcast pool.wake;
-    Mutex.unlock pool.mutex;
-    Domain.DLS.set inside_pool true;
-    Fun.protect
-      ~finally:(fun () -> Domain.DLS.set inside_pool false)
-      (fun () -> run_chunks job hi);
-    Mutex.lock job.done_mutex;
-    while Atomic.get job.completed < job.n_chunks do
-      Condition.wait job.done_cond job.done_mutex
-    done;
-    Mutex.unlock job.done_mutex;
-    match Atomic.get job.failure with None -> () | Some e -> raise e
+    let stop_req = match stop with Some s -> s | None -> fun () -> false in
+    let hook = match on_chunk with Some h -> h | None -> fun () -> () in
+    let active = Int.min pool.n_domains cores in
+    if active <= 1 || Array.length pool.workers = 0 then begin
+      (* More domains than cores collapses to one active participant:
+         on a single-core host a second mutator only adds GC
+         synchronization stalls, so the caller keeps all the work —
+         still chunked through the job machinery so cancellation and
+         failure-drain behave exactly like the parallel path. *)
+      let n_chunks = Int.min len 4 in
+      let chunk = (len + n_chunks - 1) / n_chunks in
+      run_job pool
+        (make_job ~lo ~chunk ~n_chunks ~body:f ~stop_req ~on_chunk:hook)
+        hi ~helpers:0
+    end
+    else begin
+      (* Run the first nominal chunk inline as a timing probe, then
+         size the remaining chunks so each amortizes the measured
+         dispatch overhead at least 4x. Cheap loops thus stay
+         sequential automatically; expensive ones still over-decompose
+         (4 chunks per active domain) for cursor load-balancing. *)
+      let nominal = Int.min len (active * 4) in
+      let probe_len = (len + nominal - 1) / nominal in
+      let probe_hi = Int.min hi (lo + probe_len) in
+      let t0 = Unix.gettimeofday () in
+      if not (stop_req ()) then begin
+        (* Probe items run under the same nested-sequential rule as
+           chunked ones; a probe exception propagates directly (nothing
+           has been dispatched yet — still exactly once). *)
+        Domain.DLS.set inside_pool true;
+        Fun.protect
+          ~finally:(fun () -> Domain.DLS.set inside_pool false)
+          (fun () ->
+            hook ();
+            for i = lo to probe_hi - 1 do
+              f i
+            done)
+      end;
+      let t_probe = Unix.gettimeofday () -. t0 in
+      let remaining = hi - probe_hi in
+      if remaining > 0 then begin
+        let oh = dispatch_overhead pool in
+        let t_item =
+          Float.max t_probe 1e-6 /. float_of_int (probe_hi - lo)
+        in
+        let min_chunk =
+          Int.max 1 (int_of_float (Float.ceil (4. *. oh /. t_item)))
+        in
+        let n_chunks = Int.max 1 (Int.min (active * 4) (remaining / min_chunk)) in
+        if n_chunks = 1 then sequential_for ~stop ~on_chunk ~lo:probe_hi ~hi f
+        else begin
+          let chunk = (remaining + n_chunks - 1) / n_chunks in
+          let job =
+            make_job ~lo:probe_hi ~chunk ~n_chunks ~body:f ~stop_req
+              ~on_chunk:hook
+          in
+          let helpers =
+            Int.min (Array.length pool.workers)
+              (Int.min (n_chunks - 1) (active - 1))
+          in
+          run_job pool job hi ~helpers
+        end
+      end
+    end
   end
 
 let map_array ?stop ?on_chunk pool f arr =

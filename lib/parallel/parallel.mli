@@ -8,6 +8,24 @@
     load-balances uneven per-item costs (candidate evaluations vary
     wildly in how much of the affected subspace they touch).
 
+    {b Auto-tuned chunking.} A pool never materializes more than
+    [Domain.recommended_domain_count () - 1] worker domains, and each
+    job activates at most [Domain.recommended_domain_count ()]
+    participants — a pool configured with more domains than the host
+    has cores (e.g. [IQ_DOMAINS=2] in a single-core container) keeps
+    all the work on the caller and spawns nothing, instead of paying
+    stop-the-world minor-GC synchronization (which every live domain
+    joins, parked or not) for no extra compute. Oversubscribed pools
+    therefore run within noise of [~domains:1]. When several cores are genuinely
+    available, the first nominal chunk runs inline as a timing probe
+    and the rest of the range is re-chunked so that every chunk's work
+    amortizes the pool's measured dispatch overhead (calibrated once
+    per pool, median of three empty-job round-trips) at least 4x:
+    cheap loops degrade to the sequential path automatically,
+    expensive ones still over-decompose 4 chunks per active domain for
+    cursor load-balancing. None of this changes results — only where
+    and in how many pieces the same indices run.
+
     {b Sequential bypass.} A pool created with [~domains:1] spawns no
     domains at all: every operation degrades to a plain [for] loop on
     the calling domain, so results — including evaluation-order
@@ -33,9 +51,10 @@ val default_domains : unit -> int
     the sequential bypass on single-core containers). *)
 
 val create : ?domains:int -> unit -> pool
-(** [create ()] builds a pool of [default_domains ()] total domains
-    ([domains - 1] spawned workers). [~domains:1] spawns nothing and
-    makes every operation a sequential loop.
+(** [create ()] builds a pool of [default_domains ()] total domains —
+    at most [domains - 1] spawned workers, further capped at the
+    host's spare cores (see the auto-tuning note above). [~domains:1]
+    spawns nothing and makes every operation a sequential loop.
     @raise Invalid_argument when [domains < 1]. *)
 
 val default : unit -> pool
@@ -45,7 +64,8 @@ val default : unit -> pool
     pass [Parallel.default ()] to opt into the shared pool. *)
 
 val domains : pool -> int
-(** Total participating domains (workers + caller), [>= 1]. *)
+(** The configured pool size, [>= 1] — what the caller asked for, not
+    the (possibly core-capped) number of spawned workers. *)
 
 val live : unit -> int
 (** Number of pools created and not yet shut down, process-wide. A

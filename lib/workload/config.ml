@@ -53,6 +53,14 @@ let fault () =
   | None | Some "" -> None
   | Some s -> Some s
 
+let prune () =
+  match Sys.getenv_opt "IQ_PRUNE" with
+  | None | Some "" -> true
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | "0" | "false" | "off" | "no" -> false
+      | _ -> true)
+
 let scaled ?scale:(s = scale ()) t =
   let scale_int min_v v =
     Int.max min_v (int_of_float (float_of_int v *. s))

@@ -56,6 +56,13 @@ val fault : unit -> string option
     unset or empty). Parsed by [Resilience.Fault.of_spec]; the format
     is documented there. *)
 
+val prune : unit -> bool
+(** Whether engines use dominance-layer rival pruning on the ESE hot
+    path (see [Iq.Ese.prepare]'s [layers]): the [IQ_PRUNE] env var,
+    default [true]; "0", "false", "off" and "no" (any case) disable
+    it. Pruned and unpruned runs return identical results — the knob
+    exists for benchmarking and bisection. *)
+
 val scaled : ?scale:float -> t -> t
 (** Scale object/query counts and tau (budget and dimension are
     scale-free). Counts are kept >= 100 (objects), >= 50 (queries). *)

@@ -1,0 +1,278 @@
+(* The hot-path raw-speed pass: flat SoA geometry and dominance-layer
+   rival pruning. The contract under test is exactness — the pruned
+   kth-rival path must return bit-for-bit the same counts, strategies
+   and dirty sets as the unpruned path, at every pool size and backend,
+   and the engine's lazy dominance index must invalidate correctly
+   across interleaved mutations. *)
+
+open Iq
+
+let pool1 = Parallel.create ~domains:1 ()
+let pool4 = Parallel.create ~domains:4 ()
+
+let make_instance ?(seed = 77) ?(n = 120) ?(m = 60) ?(d = 3) ?(kmax = 6) () =
+  let rng = Workload.Rng.make seed in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, kmax)
+      ~m ~d ()
+  in
+  Instance.create ~data ~queries ()
+
+let ok = function
+  | Ok v -> v
+  | Error e ->
+      Alcotest.failf "unexpected engine error: %s" (Engine.Error.to_string e)
+
+let layers_of inst =
+  Topk.Onion.layer_of (Topk.Onion.build inst.Instance.features)
+
+(* --- Ese level: pruned state == full state, observably ---------------- *)
+
+let test_ese_pruned_equals_full () =
+  let inst = make_instance ~seed:31 ~n:140 ~m:90 () in
+  let idx = Query_index.build inst in
+  let layers = layers_of inst in
+  let d = Instance.dim inst in
+  let rng = Workload.Rng.make 404 in
+  let pruned_seen = ref false in
+  for target = 0 to 7 do
+    let full = Ese.prepare idx ~target in
+    let kth = Ese.prepare ~layers idx ~target in
+    Alcotest.(check bool) "full state is unpruned" false (Ese.pruned full);
+    if Ese.pruned kth then begin
+      pruned_seen := true;
+      Alcotest.(check bool)
+        "pruned rival set is no larger" true
+        (Ese.rival_count kth <= Ese.rival_count full)
+    end;
+    Alcotest.(check int) "base hits agree" (Ese.base_hits full)
+      (Ese.base_hits kth);
+    for _ = 1 to 12 do
+      let s =
+        Array.init d (fun _ -> (Workload.Rng.uniform rng -. 0.5) *. 0.6)
+      in
+      Alcotest.(check int) "evaluate agrees"
+        (Ese.evaluate full ~s) (Ese.evaluate kth ~s);
+      for q = 0 to Instance.n_queries inst - 1 do
+        if Ese.member_after full ~s ~q <> Ese.member_after kth ~s ~q then
+          Alcotest.failf "member_after diverges at target=%d q=%d" target q
+      done;
+      (* The pruned dirty set may drop queries whose membership cannot
+         change, never add any. *)
+      let full_dirty = Ese.dirty_queries full ~s in
+      let kth_dirty = Ese.dirty_queries kth ~s in
+      List.iter
+        (fun q ->
+          if not (List.mem q full_dirty) then
+            Alcotest.failf "pruned dirty set invented query %d" q)
+        kth_dirty
+    done
+  done;
+  Alcotest.(check bool)
+    "certificate held for at least one target" true !pruned_seen
+
+let test_ese_desc_falls_back () =
+  (* Desc-order instances negate weights at construction, so the
+     non-negativity certificate must fail — silently unpruned. *)
+  let rng = Workload.Rng.make 9 in
+  let data =
+    Workload.Datagen.generate rng Workload.Datagen.Independent ~n:60 ~d:3
+  in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 4)
+      ~m:30 ~d:3 ()
+  in
+  let inst =
+    Instance.create ~order:Topk.Utility.Desc ~data ~queries ()
+  in
+  let idx = Query_index.build inst in
+  let st = Ese.prepare ~layers:(layers_of inst) idx ~target:0 in
+  Alcotest.(check bool) "Desc instance is never pruned" false (Ese.pruned st);
+  (* ... and still answers exactly. *)
+  let naive = Evaluator.naive inst ~target:0 in
+  Alcotest.(check int) "base hits match naive" naive.Evaluator.base_hits
+    (Ese.base_hits st)
+
+(* --- Engine level: prune on/off outcomes are byte-identical ---------- *)
+
+let outcome_sig_mc (o : Min_cost.outcome) =
+  (o.Min_cost.strategy, o.Min_cost.total_cost, o.Min_cost.hits_after,
+   o.Min_cost.iterations)
+
+let outcome_sig_mh (o : Max_hit.outcome) =
+  (o.Max_hit.strategy, o.Max_hit.total_cost, o.Max_hit.hits_after,
+   o.Max_hit.iterations)
+
+let prop_engine_prune_oracle =
+  let gen =
+    QCheck.Gen.(
+      let* seed = int_range 1 10_000 in
+      let* n = int_range 20 60 in
+      let* m = int_range 10 40 in
+      let* d = int_range 2 5 in
+      return (seed, n, m, d))
+  in
+  let arb =
+    QCheck.make
+      ~print:(fun (seed, n, m, d) ->
+        Printf.sprintf "seed=%d n=%d m=%d d=%d" seed n m d)
+      gen
+  in
+  QCheck.Test.make
+    ~name:"engine outcomes identical with pruning on/off (backends x pools)"
+    ~count:10 arb (fun (seed, n, m, d) ->
+      let inst = make_instance ~seed ~n ~m ~d ~kmax:4 () in
+      let cost = Cost.euclidean d in
+      let ok' = function
+        | Ok v -> v
+        | Error e ->
+            QCheck.Test.fail_reportf "engine error: %s"
+              (Engine.Error.to_string e)
+      in
+      List.for_all
+        (fun backend_name ->
+          let backend = ok' (Engine.backend_of_name backend_name) in
+          List.for_all
+            (fun pool ->
+              let on = ok' (Engine.create ~backend ~prune:true ~pool inst) in
+              let off = ok' (Engine.create ~backend ~prune:false ~pool inst) in
+              let target = seed mod Int.min 5 n in
+              let mc e =
+                Engine.min_cost ~candidate_cap:16 e ~cost ~target ~tau:3
+              in
+              let mh e =
+                Engine.max_hit ~candidate_cap:16 e ~cost ~target ~beta:0.3
+              in
+              (match (mc on, mc off) with
+              | Ok a, Ok b ->
+                  if outcome_sig_mc a <> outcome_sig_mc b then
+                    QCheck.Test.fail_reportf
+                      "min-cost diverges: backend=%s" backend_name
+              | Error Engine.Error.Infeasible, Error Engine.Error.Infeasible
+                ->
+                  ()
+              | _ ->
+                  QCheck.Test.fail_reportf
+                    "min-cost feasibility diverges: backend=%s" backend_name);
+              let a = ok' (mh on) and b = ok' (mh off) in
+              if outcome_sig_mh a <> outcome_sig_mh b then
+                QCheck.Test.fail_reportf "max-hit diverges: backend=%s"
+                  backend_name;
+              true)
+            [ pool1; pool4 ])
+        [ "ese"; "scan"; "rta" ])
+
+(* --- lazy dominance index: generation-tracked invalidation ----------- *)
+
+let test_dominance_invalidation () =
+  let inst = make_instance ~seed:77 () in
+  let e = ok (Engine.create ~prune:true ~pool:pool1 inst) in
+  Alcotest.(check (option (pair int int)))
+    "nothing built before first prepare" None (Engine.dominance_stats e);
+  let _ = ok (Engine.hits e ~target:2) in
+  (match Engine.dominance_stats e with
+  | Some (0, layers) ->
+      Alcotest.(check bool) "onion has layers" true (layers > 0)
+  | other ->
+      Alcotest.failf "expected generation-0 index, got %s"
+        (match other with
+        | None -> "None"
+        | Some (g, l) -> Printf.sprintf "Some (%d, %d)" g l));
+  (* A mutation leaves the cached index stale (behind the generation)
+     until the next prepare rebuilds it. *)
+  let target = 2 in
+  let moved =
+    Array.map (fun v -> Float.max 0. (v -. 0.3)) inst.Instance.raw.(target)
+  in
+  ok (Engine.update_object e target moved);
+  Alcotest.(check int) "mutation bumped generation" 1 (Engine.generation e);
+  (match Engine.dominance_stats e with
+  | Some (0, _) -> ()
+  | _ -> Alcotest.fail "stale index should persist until next prepare");
+  let h1 = ok (Engine.hits e ~target) in
+  (match Engine.dominance_stats e with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "prepare after mutation must rebuild the index");
+  (* The rebuilt pruned engine answers exactly like a fresh build and
+     like an unpruned engine over the same mutated instance. *)
+  let fresh = ok (Engine.create ~prune:true ~pool:pool1 (Engine.instance e)) in
+  let off = ok (Engine.create ~prune:false ~pool:pool1 (Engine.instance e)) in
+  Alcotest.(check int) "pruned = fresh build" (ok (Engine.hits fresh ~target)) h1;
+  Alcotest.(check int) "pruned = unpruned" (ok (Engine.hits off ~target)) h1;
+  (* remove_object invalidates too. *)
+  ok (Engine.remove_object e (Instance.n_objects (Engine.instance e) - 1));
+  (match Engine.dominance_stats e with
+  | Some (1, _) -> ()
+  | _ -> Alcotest.fail "remove_object must not eagerly rebuild");
+  let h2 = ok (Engine.hits e ~target) in
+  (match Engine.dominance_stats e with
+  | Some (2, _) -> ()
+  | _ -> Alcotest.fail "index must catch up to generation 2");
+  let off2 =
+    ok (Engine.create ~prune:false ~pool:pool1 (Engine.instance e))
+  in
+  Alcotest.(check int) "post-removal pruned = unpruned"
+    (ok (Engine.hits off2 ~target)) h2;
+  Alcotest.(check bool) "pruning flag reported" true (Engine.pruning_enabled e);
+  Alcotest.(check bool) "stats carry the flag" true (Engine.stats e).Engine.prune
+
+let test_prune_off_builds_nothing () =
+  let inst = make_instance ~seed:5 ~n:60 ~m:30 () in
+  let e = ok (Engine.create ~prune:false ~pool:pool1 inst) in
+  let _ = ok (Engine.hits e ~target:0) in
+  Alcotest.(check (option (pair int int)))
+    "no dominance index when pruning is off" None (Engine.dominance_stats e);
+  Alcotest.(check bool) "flag off" false (Engine.pruning_enabled e)
+
+(* --- the flat SoA views stay in sync through every mutation ---------- *)
+
+let check_sync msg inst =
+  let open Geom in
+  let n = Instance.n_objects inst and m = Instance.n_queries inst in
+  Alcotest.(check int) (msg ^ ": flat rows") n (Flat.rows inst.Instance.flat);
+  Alcotest.(check int) (msg ^ ": qflat rows") m (Flat.rows inst.Instance.qflat);
+  for i = 0 to n - 1 do
+    if Flat.row inst.Instance.flat i <> inst.Instance.features.(i) then
+      Alcotest.failf "%s: flat row %d diverged from features" msg i
+  done;
+  for q = 0 to m - 1 do
+    if Flat.row inst.Instance.qflat q
+       <> inst.Instance.queries.(q).Topk.Query.weights
+    then Alcotest.failf "%s: qflat row %d diverged from weights" msg q
+  done
+
+let test_flat_views_sync () =
+  let inst = make_instance ~seed:13 ~n:30 ~m:20 () in
+  check_sync "create" inst;
+  let d = Instance.dim inst in
+  let inst = Instance.with_feature inst ~target:4 (Array.make d 0.25) in
+  check_sync "with_feature" inst;
+  let inst = Instance.add_object inst (Array.make (Instance.dim_raw inst) 0.7) in
+  check_sync "add_object" inst;
+  let inst = Instance.update_object inst 2 (Array.make (Instance.dim_raw inst) 0.1) in
+  check_sync "update_object" inst;
+  let inst = Instance.remove_object inst 0 in
+  check_sync "remove_object" inst;
+  let inst =
+    Instance.add_query inst
+      (Topk.Query.make ~id:999 ~k:2 (Array.init d (fun j -> 0.1 *. float_of_int (j + 1))))
+  in
+  check_sync "add_query" inst;
+  let inst = Instance.remove_query inst 3 in
+  check_sync "remove_query" inst
+
+let suite =
+  [
+    Alcotest.test_case "ESE pruned state == full state" `Quick
+      test_ese_pruned_equals_full;
+    Alcotest.test_case "Desc order falls back to unpruned" `Quick
+      test_ese_desc_falls_back;
+    QCheck_alcotest.to_alcotest prop_engine_prune_oracle;
+    Alcotest.test_case "dominance index invalidates across mutations" `Quick
+      test_dominance_invalidation;
+    Alcotest.test_case "pruning off builds no index" `Quick
+      test_prune_off_builds_nothing;
+    Alcotest.test_case "flat SoA views track all mutations" `Quick
+      test_flat_views_sync;
+  ]

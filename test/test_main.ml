@@ -27,6 +27,7 @@ let () =
       ("core.extensions", Test_extensions.suite);
       ("core.properties", Test_properties.suite);
       ("core.engine", Test_engine.suite);
+      ("core.hotpath", Test_hotpath.suite);
       ("resilience", Test_resilience.suite);
       ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);

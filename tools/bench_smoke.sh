@@ -5,10 +5,14 @@
 #    sharded index build, the parallel candidate fan-out, and the
 #    cross-domain determinism check (the bench exits non-zero if
 #    outcomes diverge across domain counts).
-# 2. Engine bench: the serving facade vs direct search calls — exits
+# 2. Hot-path bench: flat SoA kernels vs the boxed baselines and
+#    dominance-layer pruning vs the full rival set — exits non-zero if
+#    any checksum diverges or a fast path is slower than its baseline
+#    beyond noise; records ratios in BENCH_hotpath.json.
+# 3. Engine bench: the serving facade vs direct search calls — exits
 #    non-zero if their outcomes diverge, and records the facade
 #    overhead in BENCH_engine.json.
-# 3. Resilience bench: armed-budget overhead vs the clean path (exits
+# 4. Resilience bench: armed-budget overhead vs the clean path (exits
 #    non-zero above the 2% budget) and the anytime degradation curve,
 #    recorded in BENCH_resilience.json.
 #
@@ -18,5 +22,6 @@ cd "$(dirname "$0")/.."
 export REPRO_SCALE="${REPRO_SCALE:-0.02}"
 export IQ_DOMAINS="${IQ_DOMAINS:-2}"
 dune exec bench/main.exe -- --bench parallel
+dune exec bench/main.exe -- --bench hotpath
 dune exec bench/main.exe -- --bench engine
 dune exec bench/main.exe -- --bench resilience
