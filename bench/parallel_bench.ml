@@ -76,16 +76,21 @@ let run () =
            spawned and every task runs inline, so that column is the
            exact pre-parallel-layer behaviour. *)
         let pool = Parallel.create ~domains:dc () in
-        let engine, build_s =
-          Harness.time (fun () ->
-              match Iq.Engine.create ~pool inst with
-              | Ok e -> e
-              | Error e -> failwith (Iq.Engine.Error.to_string e))
+        let build_s, outcomes, search_s =
+          Fun.protect
+            ~finally:(fun () -> Parallel.shutdown pool)
+            (fun () ->
+              let engine, build_s =
+                Harness.time (fun () ->
+                    match Iq.Engine.create ~pool inst with
+                    | Ok e -> e
+                    | Error e -> failwith (Iq.Engine.Error.to_string e))
+              in
+              let outcomes, search_s =
+                Harness.time (fun () -> search_session engine ~tau)
+              in
+              (build_s, outcomes, search_s))
         in
-        let outcomes, search_s =
-          Harness.time (fun () -> search_session engine ~tau)
-        in
-        Parallel.shutdown pool;
         let build_ref, search_ref, outcomes_ref =
           match !baseline with
           | None ->

@@ -102,6 +102,10 @@ let collect_candidates index ctxs ~cover ~cap ~budget_left ~budget =
         Vec.add inst.Instance.features.(ctx.target) ctx.s_star
       in
       let bounds = Candidates.remaining_bounds ctx.total_bounds ctx.s_star in
+      (* A bounded O(m) constraint scan per target; the budget is booked
+         once per produced candidate in the union-gain pass below, so a
+         per-probe poll here would only add overhead. *)
+      (* iqlint: allow budget-unchecked-loop *)
       for q = 0 to m - 1 do
         if cover.(q) = 0 then
           match Ese.hit_constraint ctx.state ~q ~current with

@@ -538,6 +538,10 @@ let evaluate t p ~s =
     Error (Error.Stale_state { held = p.p_gen; current })
   else Ok (p.p_entry.c_eval.Evaluator.hit_count s)
 
+(* Re-preparing a stale handle is the one read of its payload that must
+   not be gated on the stamp: the target survives the generation change
+   by design, and [prepare] re-stamps it against the live counter. *)
+(* iqlint: allow generation-protocol *)
 let refresh t p = prepare t ~target:p.p_target
 
 (* {2 Improvement queries} *)

@@ -110,7 +110,7 @@ let build ?(depth_slack = 0) ?(method_ = Scan) ?pool inst =
     | Some pool ->
         let out = Array.make m [||] in
         Parallel.parallel_for pool ~lo:0 ~hi:m (fun qi ->
-            (* iqlint: allow domain-unsafe-capture — each query writes its own slot *)
+            (* each query writes its own slot *)
             out.(qi) <- compute_prefix ?ta inst depth qi);
         out
   in

@@ -1,0 +1,289 @@
+(* budget-unchecked-loop: every evaluation loop the engine can reach
+   must consult the resilience budget.
+
+   The serving layer's degradation story only works if long-running
+   search loops poll [Resilience.Budget] — a loop that calls into the
+   evaluation kernel without ever consulting the budget cannot be
+   preempted and turns the deadline machinery into a no-op. This rule
+   finds such loops:
+
+   1. Two interprocedural boolean summaries over the callgraph
+      ({!Dataflow.node_summary}): [may_evaluate] — the node (or
+      anything it calls) reaches the evaluation kernel
+      ([Evaluator]/[Ese]/[Candidates]); [may_consult] — the node (or
+      anything it calls) calls [Budget.check]/[Budget.live].
+   2. Forward reachability from [Engine]'s nodes marks the code the
+      engine can actually drive; loops elsewhere (benchmarks, offline
+      baselines) are not serving-path loops and stay silent.
+   3. Every outermost [while]/[for] in a reachable binding is executed
+      symbolically ({!Typestate}) with a path-class state: a class
+      accumulates "evaluated" (with the first witness site) and
+      "consulted" flags, and branching unions the classes. A class at
+      loop exit that evaluated but never consulted — on that path, an
+      iteration does kernel work with no budget poll — is a finding,
+      with the witness call as a related location.
+   4. A self-recursive top-level binding is a loop too: the same
+      analysis runs over its whole body, and a class that both
+      evaluates and recurses without consulting is reported at the
+      binding.
+
+   The kernel modules themselves are exempt — their callers own the
+   budget (bounded inner kernels poll once per call, not per array
+   element). *)
+
+open Parsetree
+
+let rule_id = "budget-unchecked-loop"
+
+(* The evaluation kernel: loops inside it are its callers' problem. *)
+let kernel_mods = [ "Evaluator"; "Ese"; "Candidates" ]
+
+let split_path s = String.split_on_char '.' s
+
+let is_budget_path comps =
+  List.mem "Budget" comps
+  &&
+  match List.rev comps with
+  | last :: _ -> List.mem last [ "check"; "live" ]
+  | [] -> false
+
+let node_is_consult (n : Callgraph.node) =
+  is_budget_path (split_path n.Callgraph.n_val)
+
+let node_is_eval (n : Callgraph.node) =
+  List.mem n.Callgraph.n_mod kernel_mods
+
+(* ---------------------- path classes ------------------------------ *)
+
+type cls = {
+  ev : bool;  (** evaluation happened on this path *)
+  con : bool;  (** budget consulted on this path *)
+  recd : bool;  (** self-recursive call on this path *)
+  wit : Location.t option;  (** first evaluation site *)
+}
+
+type st = cls list
+
+let init = [ { ev = false; con = false; recd = false; wit = None } ]
+let key c = (c.ev, c.con, c.recd)
+
+let dedup cs =
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun c ->
+      if Hashtbl.mem seen (key c) then false
+      else begin
+        Hashtbl.replace seen (key c) ();
+        true
+      end)
+    cs
+
+let join a b = dedup (a @ b)
+
+(* Witnesses are presentation, not semantics: ignoring them here is
+   what lets the loop fixpoint converge. *)
+let equal a b =
+  let keys cs = List.sort_uniq compare (List.map key cs) in
+  keys a = keys b
+
+(* ---------------------- the analysis ------------------------------ *)
+
+let findings (cg : Callgraph.t) =
+  let proj = cg.Callgraph.cg_project in
+  let may_evaluate =
+    Dataflow.node_summary cg
+      ~seed:(fun bodies ->
+        List.exists
+          (fun (fn : Callgraph.fn) ->
+            List.exists
+              (fun (x : Callgraph.xref) ->
+                (not x.Callgraph.x_usage_only) && node_is_eval x.Callgraph.x_target)
+              fn.Callgraph.f_refs)
+          bodies)
+      ~via:(fun _ _ -> true)
+  in
+  let may_consult =
+    Dataflow.node_summary cg
+      ~seed:(fun bodies ->
+        List.exists
+          (fun (fn : Callgraph.fn) ->
+            List.exists
+              (fun (x : Callgraph.xref) -> node_is_consult x.Callgraph.x_target)
+              fn.Callgraph.f_refs
+            || List.exists
+                 (fun (e : Callgraph.ext) ->
+                   is_budget_path (split_path e.Callgraph.e_path))
+                 fn.Callgraph.f_exts)
+          bodies)
+      ~via:(fun _ _ -> true)
+  in
+  (* Forward reachability from the engine's nodes. *)
+  let reachable = Hashtbl.create 64 in
+  let work = Queue.create () in
+  List.iter
+    (fun (fn : Callgraph.fn) ->
+      if
+        fn.Callgraph.f_node.Callgraph.n_mod = "Engine"
+        && not (Hashtbl.mem reachable fn.Callgraph.f_node)
+      then begin
+        Hashtbl.replace reachable fn.Callgraph.f_node ();
+        Queue.add fn.Callgraph.f_node work
+      end)
+    cg.Callgraph.cg_fns;
+  while not (Queue.is_empty work) do
+    let nd = Queue.take work in
+    List.iter
+      (fun (fn : Callgraph.fn) ->
+        List.iter
+          (fun (x : Callgraph.xref) ->
+            if
+              (not x.Callgraph.x_usage_only)
+              && not (Hashtbl.mem reachable x.Callgraph.x_target)
+            then begin
+              Hashtbl.replace reachable x.Callgraph.x_target ();
+              Queue.add x.Callgraph.x_target work
+            end)
+          fn.Callgraph.f_refs)
+      (Callgraph.fns_of cg nd)
+  done;
+  let resolver = Callgraph.make_resolver proj in
+  let out = ref [] in
+  let analyze_file (file : Project.file) str =
+    let resolve = resolver file in
+    let modname = file.Project.modname in
+    let path = file.Project.path in
+    let hooks ~self =
+      let on_apply st lid loc _args =
+        let callee_ev, callee_con, callee_rec =
+          match resolve lid with
+          | Callgraph.RNodes ns ->
+              ( List.exists (fun n -> node_is_eval n || may_evaluate n) ns,
+                List.exists (fun n -> node_is_consult n || may_consult n) ns,
+                match self with
+                | Some name ->
+                    List.exists
+                      (fun n ->
+                        n.Callgraph.n_mod = modname
+                        && n.Callgraph.n_val = name)
+                      ns
+                | None -> false )
+          | Callgraph.RExt p -> (false, is_budget_path (split_path p), false)
+          | Callgraph.ROther -> (false, false, false)
+        in
+        if callee_ev || callee_con || callee_rec then
+          dedup
+            (List.map
+               (fun c ->
+                 {
+                   ev = c.ev || callee_ev;
+                   con = c.con || callee_con;
+                   recd = c.recd || callee_rec;
+                   wit =
+                     (match c.wit with
+                     | Some _ -> c.wit
+                     | None -> if callee_ev then Some loc else None);
+                 })
+               st)
+        else st
+      in
+      { (Typestate.default_hooks ~join ~equal) with Typestate.on_apply }
+    in
+    (* Outermost loops of an expression; nested loops are part of the
+       outer body's symbolic execution. *)
+    let outer_loops body =
+      let acc = ref [] in
+      let it =
+        {
+          Ast_iterator.default_iterator with
+          expr =
+            (fun self e ->
+              match e.pexp_desc with
+              | Pexp_while _ | Pexp_for _ -> acc := e :: !acc
+              | _ -> Ast_iterator.default_iterator.expr self e);
+        }
+      in
+      it.expr it body;
+      List.rev !acc
+    in
+    let emit loc wit what =
+      let related =
+        match wit with
+        | Some w -> [ Report.rel ~file:path w "evaluation happens here" ]
+        | None -> []
+      in
+      out :=
+        Report.mk ~file:path loc rule_id ~related
+          (Printf.sprintf
+             "%s reaches the evaluation kernel on a path that never \
+              consults Resilience.Budget; the deadline machinery cannot \
+              preempt it — poll Budget.check/Budget.live each iteration"
+             what)
+        :: !out
+    in
+    List.iter
+      (fun (name, body, bloc) ->
+        let node =
+          Callgraph.
+            { n_lib = file.Project.library; n_mod = modname; n_val = name }
+        in
+        if Hashtbl.mem reachable node then begin
+          let _, core = Typestate.peel_params body in
+          List.iter
+            (fun loop ->
+              let st =
+                match loop.pexp_desc with
+                | Pexp_while (cond, lbody) ->
+                    let h = hooks ~self:None in
+                    Typestate.exec h (Typestate.exec h init cond) lbody
+                | Pexp_for (_, lo, hi, _, lbody) ->
+                    let h = hooks ~self:None in
+                    Typestate.exec h
+                      (Typestate.exec h (Typestate.exec h init lo) hi)
+                      lbody
+                | _ -> init
+              in
+              match List.find_opt (fun c -> c.ev && not c.con) st with
+              | Some c -> emit loop.pexp_loc c.wit "this loop"
+              | None -> ())
+            (outer_loops core);
+          let self_rec =
+            List.exists
+              (fun (fn : Callgraph.fn) ->
+                fn.Callgraph.f_node = node
+                && List.exists
+                     (fun (x : Callgraph.xref) ->
+                       (not x.Callgraph.x_usage_only)
+                       && x.Callgraph.x_target = node)
+                     fn.Callgraph.f_refs)
+              cg.Callgraph.cg_fns
+          in
+          if self_rec then
+            let st = Typestate.exec (hooks ~self:(Some name)) init core in
+            match
+              List.find_opt (fun c -> c.ev && c.recd && not c.con) st
+            with
+            | Some c ->
+                emit bloc c.wit (Printf.sprintf "recursive `%s`" name)
+            | None -> ()
+        end)
+      (Typestate.top_bindings str)
+  in
+  List.iter
+    (fun (f : Project.file) ->
+      match (f.Project.kind, f.Project.str) with
+      | Project.Impl, Some str
+        when not (List.mem f.Project.modname kernel_mods) ->
+          analyze_file f str
+      | _ -> ())
+    proj.Project.files;
+  (* A recursive binding whose witness loop also fired reports once. *)
+  let seen = Hashtbl.create 8 in
+  List.filter
+    (fun (f : Report.finding) ->
+      let k = (f.Report.file, f.Report.line, f.Report.col) in
+      if Hashtbl.mem seen k then false
+      else begin
+        Hashtbl.replace seen k ();
+        true
+      end)
+    (List.rev !out)

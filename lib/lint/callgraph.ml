@@ -97,6 +97,28 @@ let ext_mutators =
 
 let pool_entry_names = [ "parallel_for"; "map_array" ]
 
+(* [Parallel.create ~domains:1 ()] — a pool that can never run a
+   closure on another domain. Closures handed to it are sequential
+   code; the domain-safety rules skip them. Only the literal
+   [~domains:1] qualifies: anything computed stays conservative. *)
+let is_seq_pool_create e =
+  match (Ast_util.strip e).pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match (Ast_util.strip f).pexp_desc with
+      | Pexp_ident { txt; _ }
+        when Ast_util.last_comp txt = "create"
+             && List.mem "Parallel" (Ast_util.lid_comps txt) ->
+          List.exists
+            (fun (lbl, a) ->
+              match (lbl, (Ast_util.strip a).pexp_desc) with
+              | ( Asttypes.Labelled "domains",
+                  Pexp_constant (Pconst_integer ("1", _)) ) ->
+                  true
+              | _ -> false)
+            args
+      | _ -> false)
+  | _ -> false
+
 (* ---------------------- pass 1: name tables ----------------------- *)
 
 let rec pat_exns p =
@@ -208,6 +230,7 @@ type scope = {
   in_pool : bool;
   protected : bool;
   usage_only : bool;
+  seq_vals : SSet.t;  (** names bound to [Parallel.create ~domains:1] *)
 }
 
 type fctx = {
@@ -223,7 +246,18 @@ let bind scope vars =
   {
     scope with
     vals = List.fold_left (fun s v -> SSet.add v s) scope.vals vars;
+    (* A rebinding shadows any sequential-pool knowledge. *)
+    seq_vals = List.fold_left (fun s v -> SSet.remove v s) scope.seq_vals vars;
   }
+
+let bind_seq_pools scope vbs =
+  List.fold_left
+    (fun scope vb ->
+      match Ast_util.pattern_vars vb.pvb_pat with
+      | [ v ] when is_seq_pool_create vb.pvb_expr ->
+          { scope with seq_vals = SSet.add v scope.seq_vals }
+      | _ -> scope)
+    scope vbs
 
 let lib_visible fctx lib =
   lib = fctx.file.Project.library
@@ -455,7 +489,7 @@ let rec walk fctx fn scope e =
       let vars =
         List.concat_map (fun vb -> Ast_util.pattern_vars vb.pvb_pat) vbs
       in
-      let scope' = bind scope vars in
+      let scope' = bind_seq_pools (bind scope vars) vbs in
       let bscope = match rf with Asttypes.Recursive -> scope' | _ -> scope in
       List.iter (fun vb -> walk fctx fn bscope vb.pvb_expr) vbs;
       walk fctx fn scope' body
@@ -583,10 +617,20 @@ and walk_apply fctx fn scope e f args =
               args
           in
           record_ref fctx fn scope txt loc ~pos_args;
-          let pool_entry =
-            match List.rev comps with
-            | last :: _ -> List.mem last pool_entry_names
+          let seq_pool_arg =
+            match pos_args with
+            | p :: _ -> (
+                match (Ast_util.strip p).pexp_desc with
+                | Pexp_ident { txt = Longident.Lident x; _ } ->
+                    SSet.mem x scope.seq_vals
+                | _ -> false)
             | [] -> false
+          in
+          let pool_entry =
+            (match List.rev comps with
+            | last :: _ -> List.mem last pool_entry_names
+            | [] -> false)
+            && not seq_pool_arg
           in
           let protect = is_mutex_protect_fn fs in
           (* Closures handed to a run-wrapper ([let guard f = try f ()
@@ -736,9 +780,10 @@ let rec walk_structure fctx base prefix items =
           let fn = new_fn fctx (prefix ^ "(include)") pincl_loc in
           walk_mexpr fctx fn base pincl_mod
       | _ -> ());
-      (* Structure-level opens and module aliases scope over the items
-         that follow them. *)
+      (* Structure-level opens, module aliases and sequential-pool
+         bindings scope over the items that follow them. *)
       match item.pstr_desc with
+      | Pstr_value (_, vbs) -> bind_seq_pools base vbs
       | Pstr_open od -> (
           match od.popen_expr.pmod_desc with
           | Pmod_ident { txt; _ } -> (
@@ -819,6 +864,7 @@ let build ~pool (proj : Project.t) =
         in_pool = false;
         protected = false;
         usage_only = false;
+        seq_vals = SSet.empty;
       }
     in
     (match file.Project.str with
@@ -846,3 +892,83 @@ let build ~pool (proj : Project.t) =
       Hashtbl.replace by_node fn.f_node (fn :: prev))
     fns;
   { cg_project = proj; cg_fns = fns; cg_exports = exports; cg_by_node = by_node }
+
+(* ---------------------- standalone resolution --------------------- *)
+
+(* The protocol analyses (Genproto, Budget_loop) re-walk function
+   bodies themselves but still need to know what a [Longident] means
+   project-wide. [make_resolver] packages the pass-1 name tables into
+   a per-file resolver using the file's structure-level opens and
+   module aliases (a value mentioned before the [open] that would make
+   it visible resolves the same way — an acceptable over-approximation
+   that avoids threading positional scope through clients). *)
+
+type resolution =
+  | RNodes of node list  (** project value(s) *)
+  | RExt of string  (** external path, e.g. ["Hashtbl.add"] *)
+  | ROther  (** locally bound / unresolvable *)
+
+let make_resolver (proj : Project.t) =
+  let names = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      if f.Project.kind = Project.Impl then
+        Hashtbl.replace names f.Project.modname (module_names f))
+    proj.Project.files;
+  fun (file : Project.file) ->
+    let fctx =
+      {
+        proj;
+        file;
+        names;
+        own =
+          Option.value
+            (Hashtbl.find_opt names file.Project.modname)
+            ~default:no_names;
+        fns = [];
+        init_count = 0;
+      }
+    in
+    let base =
+      ref
+        {
+          vals = SSet.empty;
+          mods = SMap.empty;
+          opens = [];
+          handled = [];
+          in_pool = false;
+          protected = false;
+          usage_only = false;
+          seq_vals = SSet.empty;
+        }
+    in
+    (match file.Project.str with
+    | Some items ->
+        List.iter
+          (fun item ->
+            match item.pstr_desc with
+            | Pstr_open od -> (
+                match od.popen_expr.pmod_desc with
+                | Pmod_ident { txt; _ } -> (
+                    match open_of_lid fctx !base txt with
+                    | Some os -> base := { !base with opens = os @ !base.opens }
+                    | None -> ())
+                | _ -> ())
+            | Pstr_module
+                { pmb_name = { txt = Some n; _ };
+                  pmb_expr = { pmod_desc = Pmod_ident { txt; _ }; _ };
+                  _
+                } ->
+                base :=
+                  { !base with
+                    mods = SMap.add n (APath (Ast_util.lid_comps txt)) !base.mods
+                  }
+            | _ -> ())
+          items
+    | None -> ());
+    let scope = !base in
+    fun lid ->
+      match resolve_value fctx scope lid with
+      | VLocal | VUnknown -> ROther
+      | VNodes ns -> RNodes ns
+      | VExt p -> RExt p

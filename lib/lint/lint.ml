@@ -19,12 +19,25 @@
 open Parsetree
 open Longident
 
+(* Re-exported so the QCheck properties can drive the solver on random
+   lattices without the test depending on the library's internal
+   module layout. *)
+module Dataflow = Dataflow
+
+type related = Report.related = {
+  rl_file : string;
+  rl_line : int;
+  rl_col : int;
+  rl_note : string;
+}
+
 type finding = Report.finding = {
   file : string;
   line : int;
   col : int;
   rule : string;
   message : string;
+  related : related list;
 }
 
 let compare_finding = Report.compare_finding
@@ -45,12 +58,17 @@ let rule_parse_error = "parse-error"
 let rule_domain_call = "domain-unsafe-call"
 let rule_engine_boundary = "engine-boundary-raise"
 let rule_dead_export = "dead-export"
+let rule_genproto = Genproto.rule_id
+let rule_budget = Budget_loop.rule_id
+let rule_lifecycle = Lifecycle.rule_id
 
 let all_rules =
   [
     ( rule_domain,
       "mutation of state bound outside a closure passed to \
-       Parallel.parallel_for/map_array without Atomic or Mutex" );
+       Parallel.parallel_for/map_array without Atomic or Mutex (lock-set \
+       aware: Mutex-guarded paths, per-index parallel_for slots and \
+       ~domains:1 pools are exempt)" );
     ( rule_domain_call,
       "call from a Parallel pool closure to a function that (transitively) \
        mutates shared state without Atomic or Mutex" );
@@ -67,6 +85,17 @@ let all_rules =
        returning an Error.t result (values named *_exn are exempt)" );
     ( rule_dead_export,
       ".mli value of a dune library never referenced outside its own module" );
+    ( rule_genproto,
+      "generation protocol: a mutation of gen-owned state that can exit an \
+       exported entry point without bumping `gen`, or a read of a \
+       gen-stamped payload with no stamp check on some path" );
+    ( rule_budget,
+      "loop (or self-recursion) reachable from Engine that calls the \
+       evaluation kernel without consulting Resilience.Budget on some path" );
+    ( rule_lifecycle,
+      "pool/channel lifecycle: use after close/shutdown, double close, \
+       handle never closed, or a non-bracketed close that leaks on the \
+       exception path" );
   ]
 
 type ctx = {
@@ -83,8 +112,6 @@ let report ctx (loc : Location.t) rule message =
 (* ---------------------- small AST helpers ------------------------- *)
 
 let strip = Ast_util.strip
-let pattern_vars = Ast_util.pattern_vars
-let flatten_lid = Ast_util.flatten_lid
 
 (* ---------------------- float-exact-compare ----------------------- *)
 
@@ -227,138 +254,16 @@ let check_try ctx e =
           cases
     | _ -> ()
 
-(* ---------------------- domain-unsafe-capture --------------------- *)
-
-module SSet = Set.Make (String)
-
-type cenv = { bound : SSet.t; protected : bool }
-
-let bind env vars =
-  { env with bound = List.fold_left (fun s v -> SSet.add v s) env.bound vars }
-
-let is_apply_of names e =
-  match (strip e).pexp_desc with
-  | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; _ }, _) ->
-      List.exists
-        (fun (m, f) ->
-          match txt with Ldot (Lident m', f') -> m = m' && f = f' | _ -> false)
-        names
-  | _ -> false
-
-let is_mutex_lock = is_apply_of [ ("Mutex", "lock") ]
-
-let is_mutex_protect fn =
-  match fn.pexp_desc with
-  | Pexp_ident { txt = Ldot (Lident "Mutex", "protect"); _ } -> true
-  | _ -> false
-
-let check_mut_target ctx env loc lhs kind =
-  if not env.protected then
-    match (strip lhs).pexp_desc with
-    | Pexp_ident { txt = Lident x; _ } when not (SSet.mem x env.bound) ->
-        report ctx loc rule_domain
-          (Printf.sprintf
-             "%s targets `%s`, bound outside this closure, from inside a \
-              Parallel pool body; route it through Atomic (or guard with a \
-              Mutex) — concurrent domains race on it"
-             kind x)
-    | Pexp_ident { txt = Ldot _ as p; _ } ->
-        report ctx loc rule_domain
-          (Printf.sprintf
-             "%s targets module-level state `%s` from inside a Parallel pool \
-              body; route it through Atomic (or guard with a Mutex)"
-             kind (flatten_lid p))
-    | _ -> ()
-
-(* Walk a closure body tracking which identifiers the closure itself
-   binds; any mutation whose target is bound outside is a finding. A
-   [Mutex.lock ...; e] sequence or a [Mutex.protect] argument marks the
-   rest of that scope as protected. *)
-let rec walk_closure ctx env e =
-  match e.pexp_desc with
-  | Pexp_let (rf, vbs, body) ->
-      let vars = List.concat_map (fun vb -> pattern_vars vb.pvb_pat) vbs in
-      let env' = bind env vars in
-      let benv = match rf with Asttypes.Recursive -> env' | _ -> env in
-      List.iter (fun vb -> walk_closure ctx benv vb.pvb_expr) vbs;
-      walk_closure ctx env' body
-  | Pexp_fun (_, dflt, pat, body) ->
-      Option.iter (walk_closure ctx env) dflt;
-      walk_closure ctx (bind env (pattern_vars pat)) body
-  | Pexp_function cases -> walk_cases ctx env cases
-  | Pexp_match (scrut, cases) | Pexp_try (scrut, cases) ->
-      walk_closure ctx env scrut;
-      walk_cases ctx env cases
-  | Pexp_for (pat, a, b, _, body) ->
-      walk_closure ctx env a;
-      walk_closure ctx env b;
-      walk_closure ctx (bind env (pattern_vars pat)) body
-  | Pexp_sequence (e1, e2) ->
-      walk_closure ctx env e1;
-      let env2 = if is_mutex_lock e1 then { env with protected = true } else env in
-      walk_closure ctx env2 e2
-  | Pexp_setfield (tgt, _, v) ->
-      check_mut_target ctx env e.pexp_loc tgt "record-field assignment `<-`";
-      walk_closure ctx env tgt;
-      walk_closure ctx env v
-  | Pexp_apply (fn, args) ->
-      (match (fn.pexp_desc, args) with
-      | Pexp_ident { txt = Lident ":="; _ }, (_, lhs) :: _ ->
-          check_mut_target ctx env e.pexp_loc lhs "assignment `:=`"
-      | Pexp_ident { txt = Lident (("incr" | "decr") as op); _ }, (_, lhs) :: _
-        ->
-          check_mut_target ctx env e.pexp_loc lhs ("`" ^ op ^ "` on a ref")
-      | ( Pexp_ident
-            { txt = Ldot (Lident ("Array" | "Bytes"), ("set" | "unsafe_set")); _ },
-          (_, lhs) :: _ ) ->
-          check_mut_target ctx env e.pexp_loc lhs "array-element assignment"
-      | _ -> ());
-      let env' = if is_mutex_protect fn then { env with protected = true } else env in
-      walk_closure ctx env' fn;
-      List.iter (fun (_, a) -> walk_closure ctx env' a) args
-  | _ -> descend ctx env e
-
-and walk_cases ctx env cases =
-  List.iter
-    (fun c ->
-      let env' = bind env (pattern_vars c.pc_lhs) in
-      Option.iter (walk_closure ctx env') c.pc_guard;
-      walk_closure ctx env' c.pc_rhs)
-    cases
-
-and descend ctx env e =
-  let it =
-    {
-      Ast_iterator.default_iterator with
-      expr = (fun _ child -> walk_closure ctx env child);
-    }
-  in
-  Ast_iterator.default_iterator.expr it e
-
-let pool_entry_points = [ "parallel_for"; "map_array" ]
-
-let check_pool_apply ctx fn_txt args =
-  let is_entry =
-    match fn_txt with
-    | Lident f | Ldot (_, f) -> List.mem f pool_entry_points
-    | Lapply _ -> false
-  in
-  if is_entry then
-    List.iter
-      (fun (_, a) ->
-        match (strip a).pexp_desc with
-        | Pexp_fun _ | Pexp_function _ ->
-            walk_closure ctx { bound = SSet.empty; protected = false } (strip a)
-        | _ -> ())
-      args
-
 (* ---------------------- per-file driver --------------------------- *)
+
+(* domain-unsafe-capture lives in {!Lockset} (per-closure lock-set
+   analysis); handle-lifecycle in {!Lifecycle} (open→use→close
+   typestate). Both are per-file passes appended below. *)
 
 let check_expr ctx e =
   (match e.pexp_desc with
   | Pexp_apply ({ pexp_desc = Pexp_ident { txt; _ }; pexp_loc; _ }, args) ->
-      check_float_compare ctx txt pexp_loc args;
-      check_pool_apply ctx txt args
+      check_float_compare ctx txt pexp_loc args
   | Pexp_ident { txt; loc } ->
       check_partial ctx loc txt;
       check_escape_ident ctx loc txt
@@ -382,10 +287,16 @@ let path_is_test file =
 (* Per-file rules over an already-parsed structure; no pragma
    filtering here — the caller owns suppression. *)
 let run_rules ~enabled ~file ast =
-  let ctx = { file; in_test = path_is_test file; enabled; findings = [] } in
+  let in_test = path_is_test file in
+  let ctx = { file; in_test; enabled; findings = [] } in
   let it = iterator ctx in
   it.structure it ast;
-  ctx.findings
+  let locksets = if enabled rule_domain then Lockset.findings ~file ast else [] in
+  let lifecycle =
+    if enabled rule_lifecycle then Lifecycle.findings ~in_test ~file ast
+    else []
+  in
+  ctx.findings @ locksets @ lifecycle
 
 let parse_error_finding file =
   {
@@ -394,6 +305,7 @@ let parse_error_finding file =
     col = 0;
     rule = rule_parse_error;
     message = "file does not parse; run the compiler for details";
+    related = [];
   }
 
 (* ---------------------- pragma suppression ------------------------ *)
@@ -411,15 +323,37 @@ let pragma_marker = "iqlint: allow"
 
 let known_rule_ids = rule_parse_error :: List.map fst all_rules
 
-(* Maps line number (1-based) -> rule ids allowed on that line. Only
-   tokens that are actual rule ids (or "all") count, and scanning
+type pragma_table = {
+  p_allow : (int, string list) Hashtbl.t;
+      (** line number (1-based) -> rule ids allowed on that line *)
+  p_transparent : (int, unit) Hashtbl.t;
+      (** lines a pragma "sees through": attributes and one-line
+          comments between the pragma and the code it governs *)
+}
+
+(* A pragma governs the next line of *code*, not the next line of
+   text: attributes ([@@@warning …], [@inline]…) and one-line comments
+   (including doc comments) between the pragma and the flagged
+   expression are transparent. Blank lines are not — a pragma floating
+   above an empty line reads as detached, and keeping it inert is the
+   conservative choice. *)
+let line_is_transparent line =
+  let t = String.trim line in
+  t <> ""
+  && (String.length t >= 2
+      && (String.sub t 0 2 = "[@"
+         || (String.sub t 0 2 = "(*" && String.ends_with ~suffix:"*)" t)))
+
+(* Only tokens that are actual rule ids (or "all") count, and scanning
    stops at the first non-rule token — so trailing commentary in the
    same comment ([(* iqlint: allow foo — because ... *)]) can mention
    another rule's name without suppressing it. *)
 let pragmas_of_source src =
-  let tbl = Hashtbl.create 8 in
+  let allow = Hashtbl.create 8 in
+  let transparent = Hashtbl.create 8 in
   List.iteri
     (fun i line ->
+      if line_is_transparent line then Hashtbl.replace transparent (i + 1) ();
       match find_sub line pragma_marker with
       | None -> ()
       | Some j ->
@@ -441,17 +375,25 @@ let pragmas_of_source src =
             | _ -> List.rev acc
           in
           let ids = take [] tokens in
-          if ids <> [] then Hashtbl.replace tbl (i + 1) ids)
+          if ids <> [] then Hashtbl.replace allow (i + 1) ids)
     (String.split_on_char '\n' src);
-  tbl
+  { p_allow = allow; p_transparent = transparent }
 
 let suppressed pragmas f =
   let allows line =
-    match Hashtbl.find_opt pragmas line with
+    match Hashtbl.find_opt pragmas.p_allow line with
     | None -> false
     | Some ids -> List.mem f.rule ids || List.mem "all" ids
   in
-  allows f.line || allows (f.line - 1)
+  (* Same line, the line above, or above a run of transparent lines
+     (capped so a pragma cannot act at a distance). *)
+  let rec above line budget =
+    budget > 0 && line >= 1
+    && (allows line
+       || (Hashtbl.mem pragmas.p_transparent line
+          && above (line - 1) (budget - 1)))
+  in
+  allows f.line || above (f.line - 1) 10
 
 (* ---------------------- per-file entry points --------------------- *)
 
@@ -476,67 +418,99 @@ let lint_file ?enabled path = lint_source ?enabled ~file:path (read_file path)
 
 (* ---------------------- whole-program driver ---------------------- *)
 
-let lint_paths ?(enabled = fun _ -> true) ?jobs ?(pragmas = true) paths =
+(* [lint_paths_timed] also returns per-pass wall times (seconds, in
+   pass order) for [--timings]. *)
+let lint_paths_timed ?(enabled = fun _ -> true) ?jobs ?(pragmas = true) paths =
+  let timings = ref [] in
+  let timed name f =
+    let t0 = Unix.gettimeofday () in
+    let r = f () in
+    timings := (name, Unix.gettimeofday () -. t0) :: !timings;
+    r
+  in
   let domains =
     match jobs with Some j -> max 1 j | None -> Parallel.default_domains ()
   in
   let pool = Parallel.create ~domains () in
-  Fun.protect
-    ~finally:(fun () -> Parallel.shutdown pool)
-    (fun () ->
-      let proj = Project.load ~pool paths in
-      (* Per-file rules over the already-parsed implementations. *)
-      let per_file =
-        Parallel.map_array pool
-          (fun (f : Project.file) ->
-            match (f.Project.kind, f.Project.str) with
-            | Project.Impl, Some ast ->
-                run_rules ~enabled ~file:f.Project.path ast
-            | _ ->
-                if f.Project.parse_failed then
-                  [ parse_error_finding f.Project.path ]
-                else [])
-          (Array.of_list proj.Project.files)
-        |> Array.to_list |> List.concat
-      in
-      (* Whole-program rules. *)
-      let cg = Callgraph.build ~pool proj in
-      let eff_findings =
-        if enabled rule_domain_call then
-          Effects.findings cg (Effects.build cg)
-        else []
-      in
-      let exn_findings =
-        if enabled rule_engine_boundary then
-          Exn_escape.engine_boundary_findings cg (Exn_escape.build cg)
-        else []
-      in
-      let dead_findings =
-        if enabled rule_dead_export then Exn_escape.dead_export_findings cg
-        else []
-      in
-      let all = per_file @ eff_findings @ exn_findings @ dead_findings in
-      let all =
-        if not pragmas then all
-        else begin
-          let tables = Hashtbl.create 32 in
-          List.iter
-            (fun f ->
-              if not (Hashtbl.mem tables f.Project.path) then
-                Hashtbl.replace tables f.Project.path
-                  (pragmas_of_source f.Project.source))
-            proj.Project.files;
-          List.filter
-            (fun (fd : finding) ->
-              match Hashtbl.find_opt tables fd.file with
-              | Some tbl -> not (suppressed tbl fd)
-              | None -> true)
-            all
-        end
-      in
-      List.sort_uniq compare_finding all)
+  let findings =
+    Fun.protect
+      ~finally:(fun () -> Parallel.shutdown pool)
+      (fun () ->
+        let proj = timed "load" (fun () -> Project.load ~pool paths) in
+        (* Per-file rules over the already-parsed implementations. *)
+        let per_file =
+          timed "per-file" (fun () ->
+              Parallel.map_array pool
+                (fun (f : Project.file) ->
+                  match (f.Project.kind, f.Project.str) with
+                  | Project.Impl, Some ast ->
+                      run_rules ~enabled ~file:f.Project.path ast
+                  | _ ->
+                      if f.Project.parse_failed then
+                        [ parse_error_finding f.Project.path ]
+                      else [])
+                (Array.of_list proj.Project.files)
+              |> Array.to_list |> List.concat)
+        in
+        (* Whole-program rules. *)
+        let cg = timed "callgraph" (fun () -> Callgraph.build ~pool proj) in
+        let eff_findings =
+          if enabled rule_domain_call then
+            timed "effects" (fun () -> Effects.findings cg (Effects.build cg))
+          else []
+        in
+        let exn_findings =
+          if enabled rule_engine_boundary then
+            timed "exn-escape" (fun () ->
+                Exn_escape.engine_boundary_findings cg (Exn_escape.build cg))
+          else []
+        in
+        let dead_findings =
+          if enabled rule_dead_export then
+            timed "dead-export" (fun () -> Exn_escape.dead_export_findings cg)
+          else []
+        in
+        let gen_findings =
+          if enabled rule_genproto then
+            timed rule_genproto (fun () -> Genproto.findings cg)
+          else []
+        in
+        let budget_findings =
+          if enabled rule_budget then
+            timed rule_budget (fun () -> Budget_loop.findings cg)
+          else []
+        in
+        let all =
+          per_file @ eff_findings @ exn_findings @ dead_findings
+          @ gen_findings @ budget_findings
+        in
+        let all =
+          if not pragmas then all
+          else
+            timed "pragmas" (fun () ->
+                let tables = Hashtbl.create 32 in
+                List.iter
+                  (fun f ->
+                    if not (Hashtbl.mem tables f.Project.path) then
+                      Hashtbl.replace tables f.Project.path
+                        (pragmas_of_source f.Project.source))
+                  proj.Project.files;
+                List.filter
+                  (fun (fd : finding) ->
+                    match Hashtbl.find_opt tables fd.file with
+                    | Some tbl -> not (suppressed tbl fd)
+                    | None -> true)
+                  all)
+        in
+        List.sort_uniq compare_finding all)
+  in
+  (findings, List.rev !timings)
 
-let render format findings = Report.render ~rules:all_rules format findings
+let lint_paths ?enabled ?jobs ?pragmas paths =
+  fst (lint_paths_timed ?enabled ?jobs ?pragmas paths)
+
+let render ?timings format findings =
+  Report.render ?timings ~rules:all_rules format findings
 
 (* ---------------------- CLI ---------------------------------------- *)
 
@@ -545,16 +519,20 @@ let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 let usage =
   "usage: iqlint [--rules id,id] [--disable id,id] [--list-rules]\n\
   \              [--format text|json|sarif] [--baseline file.json]\n\
-  \              [--write-baseline file.json] [--jobs N] [--no-pragmas]\n\
-  \              [path ...]\n\
+  \              [--write-baseline file.json] [--prune-baseline file.json]\n\
+  \              [--jobs N] [--no-pragmas] [--timings] [path ...]\n\
    Paths may be .ml/.mli files or directories (scanned recursively); default\n\
    is `lib bin bench examples test`. Exit 1 when any unsuppressed,\n\
    non-baselined finding is reported.\n\
    Suppress a finding with `(* iqlint: allow <rule-id> *)` on the same line\n\
-   or the line directly above it; `--no-pragmas` ignores pragmas for audit\n\
-   runs. `--baseline` tolerates checked-in legacy findings (per-file,\n\
-   per-rule counts); `--write-baseline` records the current findings as the\n\
-   new baseline."
+   or the line directly above it (attributes and one-line comments between\n\
+   them are transparent); `--no-pragmas` ignores pragmas for audit runs.\n\
+   `--baseline` tolerates checked-in legacy findings (per-file, per-rule\n\
+   counts) and fails the run when any (file, rule) group grows past its\n\
+   budget; `--write-baseline` records the current findings as the new\n\
+   baseline; `--prune-baseline` shrinks budgets down to the current counts\n\
+   (the ratchet) without admitting anything new. `--timings` reports\n\
+   per-pass wall time (text summary, `timings_ms` in JSON)."
 
 let main ?(out = Format.std_formatter) args =
   let only = ref None
@@ -563,8 +541,10 @@ let main ?(out = Format.std_formatter) args =
   and format = ref Report.Text
   and baseline = ref None
   and write_baseline = ref None
+  and prune_baseline = ref None
   and jobs = ref None
-  and pragmas = ref true in
+  and pragmas = ref true
+  and want_timings = ref false in
   let bad = ref None in
   let rec parse = function
     | [] -> ()
@@ -590,6 +570,12 @@ let main ?(out = Format.std_formatter) args =
         parse rest
     | "--write-baseline" :: v :: rest ->
         write_baseline := Some v;
+        parse rest
+    | "--prune-baseline" :: v :: rest ->
+        prune_baseline := Some v;
+        parse rest
+    | "--timings" :: rest ->
+        want_timings := true;
         parse rest
     | "--jobs" :: v :: rest -> (
         match int_of_string_opt v with
@@ -647,59 +633,105 @@ let main ?(out = Format.std_formatter) args =
             2
           end
           else
-            let findings =
-              lint_paths ~enabled ?jobs:!jobs ~pragmas:!pragmas paths
+            let findings, timings =
+              lint_paths_timed ~enabled ?jobs:!jobs ~pragmas:!pragmas paths
+            in
+            let print_timings () =
+              if !want_timings then
+                List.iter
+                  (fun (name, secs) ->
+                    Format.fprintf out "iqlint: pass %-24s %8.2f ms@." name
+                      (secs *. 1000.))
+                  timings
+            in
+            let write_doc file doc =
+              let oc = open_out_bin file in
+              Fun.protect
+                ~finally:(fun () -> close_out_noerr oc)
+                (fun () -> output_string oc doc)
             in
             match !write_baseline with
             | Some file ->
-                let doc =
-                  Report.baseline_json
-                    ~note:"accepted legacy findings; regenerate with iqlint \
-                           --write-baseline"
-                    findings
-                in
-                let oc = open_out_bin file in
-                Fun.protect
-                  ~finally:(fun () -> close_out_noerr oc)
-                  (fun () -> output_string oc doc);
+                write_doc file
+                  (Report.baseline_json
+                     ~note:"accepted legacy findings; regenerate with iqlint \
+                            --write-baseline"
+                     findings);
                 Format.fprintf out "iqlint: wrote baseline (%d finding(s)) to %s@."
                   (List.length findings) file;
                 0
             | None -> (
-                let applied =
-                  match !baseline with
-                  | None -> Ok (0, findings)
-                  | Some file -> (
-                      match Report.load_baseline file with
-                      | Error msg -> Error msg
-                      | Ok entries ->
-                          let kept = Report.apply_baseline entries findings in
-                          Ok (List.length findings - List.length kept, kept))
-                in
-                match applied with
-                | Error msg ->
-                    Format.fprintf out "iqlint: %s@." msg;
-                    2
-                | Ok (baselined, findings) -> (
-                    match !format with
-                    | Report.Text -> (
-                        List.iter
-                          (fun f -> Format.fprintf out "%a@." pp_finding f)
-                          findings;
-                        match findings with
-                        | [] ->
-                            if baselined > 0 then
-                              Format.fprintf out
-                                "iqlint: clean (%d baselined finding(s))@."
-                                baselined;
-                            0
-                        | fs ->
-                            Format.fprintf out "iqlint: %d finding(s)%s@."
-                              (List.length fs)
-                              (if baselined > 0 then
-                                 Printf.sprintf " (+%d baselined)" baselined
-                               else "");
-                            1)
-                    | Report.Json | Report.Sarif ->
-                        Format.fprintf out "%s" (render !format findings);
-                        if findings = [] then 0 else 1))))
+                match !prune_baseline with
+                | Some file -> (
+                    match Report.load_baseline file with
+                    | Error msg ->
+                        Format.fprintf out "iqlint: %s@." msg;
+                        2
+                    | Ok entries ->
+                        let pruned = Report.prune_entries entries findings in
+                        write_doc file
+                          (Report.entries_json
+                             ~note:"accepted legacy findings; regenerate with \
+                                    iqlint --write-baseline"
+                             pruned);
+                        Format.fprintf out
+                          "iqlint: pruned baseline %s: %d -> %d group(s)@."
+                          file (List.length entries) (List.length pruned);
+                        0)
+                | None -> (
+                    let applied =
+                      match !baseline with
+                      | None -> Ok (0, findings, [])
+                      | Some file -> (
+                          match Report.load_baseline file with
+                          | Error msg -> Error msg
+                          | Ok entries ->
+                              let kept =
+                                Report.apply_baseline entries findings
+                              in
+                              Ok
+                                ( List.length findings - List.length kept,
+                                  kept,
+                                  Report.baseline_regressions entries findings
+                                ))
+                    in
+                    match applied with
+                    | Error msg ->
+                        Format.fprintf out "iqlint: %s@." msg;
+                        2
+                    | Ok (baselined, findings, regressions) -> (
+                        match !format with
+                        | Report.Text -> (
+                            List.iter
+                              (fun f -> Format.fprintf out "%a@." pp_finding f)
+                              findings;
+                            List.iter
+                              (fun (file, rule, budget, current) ->
+                                Format.fprintf out
+                                  "iqlint: baseline ratchet: %s [%s] budget \
+                                   %d exceeded (now %d)@."
+                                  file rule budget current)
+                              regressions;
+                            print_timings ();
+                            match findings with
+                            | [] ->
+                                if baselined > 0 then
+                                  Format.fprintf out
+                                    "iqlint: clean (%d baselined finding(s))@."
+                                    baselined;
+                                0
+                            | fs ->
+                                Format.fprintf out "iqlint: %d finding(s)%s@."
+                                  (List.length fs)
+                                  (if baselined > 0 then
+                                     Printf.sprintf " (+%d baselined)"
+                                       baselined
+                                   else "");
+                                1)
+                        | Report.Json | Report.Sarif ->
+                            let timings =
+                              if !want_timings then timings else []
+                            in
+                            Format.fprintf out "%s"
+                              (render ~timings !format findings);
+                            if findings = [] then 0 else 1)))))

@@ -3,14 +3,24 @@
     Two layers of rules, each individually toggleable and suppressible
     with a [(* iqlint: allow <rule-id> *)] comment on the finding's
     line or the line directly above (only tokens that are actual rule
-    ids count; trailing commentary is ignored).
+    ids count; trailing commentary is ignored; attributes and one-line
+    comments between the pragma and the code it governs are
+    transparent).
 
     Per-file rules:
 
     - [domain-unsafe-capture]: a closure passed to
       [Parallel.parallel_for]/[map_array] mutates ([:=], [<-],
       [Array.set] sugar, [incr]/[decr]) an identifier bound outside the
-      closure without routing through [Atomic] or a [Mutex].
+      closure without routing through [Atomic] or a [Mutex]. Lock-set
+      aware: paths under [Mutex.lock]/[Mutex.protect] or a local lock
+      wrapper, [parallel_for] writes indexed by the closure's own
+      parameter (disjoint slots), and closures handed to a
+      [~domains:1] pool are exempt.
+    - [handle-lifecycle]: open→use→close typestate for [Parallel]
+      pools and stdlib channels — use after close/shutdown, double
+      close, a handle never closed on some path, or a close outside a
+      [Fun.protect ~finally] bracket that leaks on the exception path.
     - [float-exact-compare]: polymorphic [=], [<>], [compare], [min],
       [max] where an operand is a float literal or an application of a
       known float-returning primitive.
@@ -21,8 +31,8 @@
       code.
 
     Whole-program rules (computed over a cross-module call graph; see
-    DESIGN.md "Whole-program lint" for the conservative
-    approximations):
+    DESIGN.md "Whole-program lint" and "Protocol analysis" for the
+    conservative approximations):
 
     - [domain-unsafe-call]: a call from a Parallel pool closure to a
       function that (transitively) mutates shared state without
@@ -31,7 +41,26 @@
       whose implementation can raise instead of returning an
       [Error.t] result ([*_exn] values are exempt by convention).
     - [dead-export]: a [.mli] value of a dune library never referenced
-      outside its own module. *)
+      outside its own module.
+    - [generation-protocol]: a mutation of gen-owned engine state that
+      can exit an exported entry point without bumping [gen], or a
+      read of a gen-stamped payload with no stamp check dominating it
+      (with the witness path as related locations).
+    - [budget-unchecked-loop]: a loop (or self-recursive function)
+      reachable from [Engine] that calls the evaluation kernel on a
+      path that never consults [Resilience.Budget]. *)
+
+module Dataflow : module type of Dataflow
+(** The generic monotone-framework engine behind the protocol
+    summaries, re-exported for the property tests: [Solve(L).solve]
+    over any {!Dataflow.LATTICE}. *)
+
+type related = Report.related = {
+  rl_file : string;
+  rl_line : int;  (** 1-based *)
+  rl_col : int;  (** 0-based *)
+  rl_note : string;  (** why this location matters, e.g. "opened here" *)
+}
 
 type finding = Report.finding = {
   file : string;
@@ -39,6 +68,9 @@ type finding = Report.finding = {
   col : int;  (** 0-based *)
   rule : string;  (** rule id, e.g. ["float-exact-compare"] *)
   message : string;
+  related : related list;
+      (** witness path: steps that explain the finding, rendered as
+          SARIF [relatedLocations] *)
 }
 
 val all_rules : (string * string) list
@@ -52,9 +84,11 @@ val pp_finding : Format.formatter -> finding -> unit
 
 type format = Report.format = Text | Json | Sarif
 
-val render : format -> finding list -> string
+val render : ?timings:(string * float) list -> format -> finding list -> string
 (** Render a finding list as the given output document: plain text
-    lines, an iqlint JSON report, or SARIF 2.1.0. *)
+    lines, an iqlint JSON report, or SARIF 2.1.0. [timings] (pass
+    name, wall seconds) adds a [timings_ms] object to the JSON
+    report; the other formats ignore it. *)
 
 val lint_source :
   ?enabled:(string -> bool) -> file:string -> string -> finding list
@@ -62,7 +96,7 @@ val lint_source :
     [enabled] filters rule ids (default: all on). Unsuppressed
     findings, sorted by position. A file whose path contains a [test]
     directory segment skips the [catch-all-handler] and
-    [forbidden-escape] rules. *)
+    [forbidden-escape] rules and the lifecycle exception-path check. *)
 
 val lint_file : ?enabled:(string -> bool) -> string -> finding list
 (** [lint_source] over a file's contents. *)
@@ -82,10 +116,21 @@ val lint_paths :
     is deterministic regardless of job count. [pragmas:false] ignores
     suppression comments (audit mode). *)
 
+val lint_paths_timed :
+  ?enabled:(string -> bool) ->
+  ?jobs:int ->
+  ?pragmas:bool ->
+  string list ->
+  finding list * (string * float) list
+(** [lint_paths] plus per-pass wall times (pass name, seconds) in pass
+    order — the payload behind [--timings]. *)
+
 val main : ?out:Format.formatter -> string list -> int
 (** CLI driver: [main args] (argv without the program name) prints
     findings to [out] and returns the exit code — 0 clean, 1 findings,
     2 usage error. Supports [--rules], [--disable], [--list-rules],
-    [--format text|json|sarif], [--baseline file], [--write-baseline
-    file], [--jobs N], [--no-pragmas], [--help]; default paths are
-    [lib bin bench examples test]. *)
+    [--format text|json|sarif], [--baseline file] (budgeted per-file,
+    per-rule counts; growth past a budget is a ratchet failure),
+    [--write-baseline file], [--prune-baseline file] (cap budgets at
+    today's counts), [--jobs N], [--no-pragmas], [--timings],
+    [--help]; default paths are [lib bin bench examples test]. *)

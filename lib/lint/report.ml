@@ -11,12 +11,24 @@
    rather than line numbers keep the baseline stable under unrelated
    edits to the same file. *)
 
+(* A related location: a step of the witness path explaining the
+   finding (the mutation a missing bump orphans, the evaluation call a
+   missing budget check leaves unbounded, the open site of a leaked
+   handle). Rendered as SARIF [relatedLocations]. *)
+type related = {
+  rl_file : string;
+  rl_line : int;
+  rl_col : int;
+  rl_note : string;
+}
+
 type finding = {
   file : string;
   line : int;
   col : int;
   rule : string;
   message : string;
+  related : related list;
 }
 
 let compare_finding a b =
@@ -32,7 +44,7 @@ let compare_finding a b =
 let pp_finding ppf f =
   Format.fprintf ppf "%s:%d:%d [%s] %s" f.file f.line f.col f.rule f.message
 
-let mk ~file (loc : Location.t) rule message =
+let mk ?(related = []) ~file (loc : Location.t) rule message =
   let p = loc.Location.loc_start in
   {
     file;
@@ -40,6 +52,16 @@ let mk ~file (loc : Location.t) rule message =
     col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
     rule;
     message;
+    related;
+  }
+
+let rel ~file (loc : Location.t) note =
+  let p = loc.Location.loc_start in
+  {
+    rl_file = file;
+    rl_line = p.Lexing.pos_lnum;
+    rl_col = p.Lexing.pos_cnum - p.Lexing.pos_bol;
+    rl_note = note;
   }
 
 (* ------------------------------------------------------------------ *)
@@ -90,11 +112,40 @@ let add_finding_json buf f =
   add_str buf f.rule;
   Buffer.add_string buf ", \"message\": ";
   add_str buf f.message;
+  (* Witness path, omitted when empty so reports without one stay
+     byte-stable. *)
+  if f.related <> [] then begin
+    Buffer.add_string buf ", \"related\": [ ";
+    List.iteri
+      (fun i r ->
+        if i > 0 then Buffer.add_string buf ", ";
+        Buffer.add_string buf "{ \"file\": ";
+        add_str buf r.rl_file;
+        Buffer.add_string buf
+          (Printf.sprintf ", \"line\": %d, \"col\": %d, \"note\": " r.rl_line
+             r.rl_col);
+        add_str buf r.rl_note;
+        Buffer.add_string buf " }")
+      f.related;
+    Buffer.add_string buf " ]"
+  end;
   Buffer.add_string buf " }"
 
-let render_json findings =
+(* [timings]: per-pass wall times in seconds from a [--timings] run. *)
+let render_json ?(timings = []) findings =
   let buf = Buffer.create 1024 in
   Buffer.add_string buf "{\n  \"tool\": \"iqlint\",\n  \"schema\": 1,\n";
+  if timings <> [] then begin
+    Buffer.add_string buf "  \"timings_ms\": {";
+    List.iteri
+      (fun i (pass, secs) ->
+        if i > 0 then Buffer.add_char buf ',';
+        Buffer.add_string buf "\n    ";
+        add_str buf pass;
+        Buffer.add_string buf (Printf.sprintf ": %.3f" (secs *. 1000.)))
+      timings;
+    Buffer.add_string buf "\n  },\n"
+  end;
   Buffer.add_string buf
     (Printf.sprintf "  \"count\": %d,\n  \"findings\": [\n" (List.length findings));
   List.iteri
@@ -145,17 +196,35 @@ let render_sarif ~rules findings =
       add_str buf f.file;
       Buffer.add_string buf
         (Printf.sprintf
-           " }, \"region\": { \"startLine\": %d, \"startColumn\": %d } } } ] }"
-           f.line (f.col + 1)))
+           " }, \"region\": { \"startLine\": %d, \"startColumn\": %d } } } ]"
+           f.line (f.col + 1));
+      if f.related <> [] then begin
+        Buffer.add_string buf ", \"relatedLocations\": [ ";
+        List.iteri
+          (fun j r ->
+            if j > 0 then Buffer.add_string buf ", ";
+            Buffer.add_string buf "{ \"physicalLocation\": { \"artifactLocation\": { \"uri\": ";
+            add_str buf r.rl_file;
+            Buffer.add_string buf
+              (Printf.sprintf
+                 " }, \"region\": { \"startLine\": %d, \"startColumn\": %d } }, \
+                  \"message\": { \"text\": "
+                 r.rl_line (r.rl_col + 1));
+            add_str buf r.rl_note;
+            Buffer.add_string buf " } }")
+          f.related;
+        Buffer.add_string buf " ]"
+      end;
+      Buffer.add_string buf " }")
     findings;
   if findings <> [] then Buffer.add_char buf '\n';
   Buffer.add_string buf "      ]\n    }\n  ]\n}\n";
   Buffer.contents buf
 
-let render ~rules format findings =
+let render ?timings ~rules format findings =
   match format with
   | Text -> render_text findings
-  | Json -> render_json findings
+  | Json -> render_json ?timings findings
   | Sarif -> render_sarif ~rules findings
 
 (* ------------------------------------------------------------------ *)
@@ -346,7 +415,7 @@ let load_baseline path =
 (* Group budget semantics: a (file, rule) group at or under its
    baselined count is suppressed entirely; a group over budget is
    reported entirely (we cannot tell which member is the new one). *)
-let apply_baseline entries findings =
+let group_counts findings =
   let counts = Hashtbl.create 32 in
   List.iter
     (fun f ->
@@ -354,30 +423,55 @@ let apply_baseline entries findings =
       Hashtbl.replace counts key
         (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
     findings;
-  let budget file rule =
-    List.fold_left
-      (fun acc e ->
-        if e.b_file = file && e.b_rule = rule then acc + e.b_count else acc)
-      0 entries
-  in
+  counts
+
+let budget_of entries file rule =
+  List.fold_left
+    (fun acc e ->
+      if e.b_file = file && e.b_rule = rule then acc + e.b_count else acc)
+    0 entries
+
+let apply_baseline entries findings =
+  let counts = group_counts findings in
   List.filter
     (fun f ->
       Option.value (Hashtbl.find_opt counts (f.file, f.rule)) ~default:0
-      > budget f.file f.rule)
+      > budget_of entries f.file f.rule)
     findings
 
-let baseline_json ?(note = "") findings =
-  let counts = Hashtbl.create 32 in
-  List.iter
-    (fun f ->
-      let key = (f.file, f.rule) in
-      Hashtbl.replace counts key
-        (1 + Option.value (Hashtbl.find_opt counts key) ~default:0))
-    findings;
+(* The ratchet report: every (file, rule) group whose current count
+   exceeds its baselined budget, as (file, rule, budget, current). A
+   group absent from the baseline has budget 0, so brand-new findings
+   regress too. *)
+let baseline_regressions entries findings =
+  let counts = group_counts findings in
+  Hashtbl.fold
+    (fun (file, rule) count acc ->
+      let b = budget_of entries file rule in
+      if count > b then (file, rule, b, count) :: acc else acc)
+    counts []
+  |> List.sort compare
+
+(* Ratchet downward: cap every baselined budget at the count the rule
+   actually produces today and drop groups that no longer fire at all.
+   Counts never grow here — growth is a gate failure, not a baseline
+   update. *)
+let prune_entries entries findings =
+  let counts = group_counts findings in
+  List.filter_map
+    (fun e ->
+      let current =
+        Option.value (Hashtbl.find_opt counts (e.b_file, e.b_rule)) ~default:0
+      in
+      let capped = min e.b_count current in
+      if capped <= 0 then None else Some { e with b_count = capped })
+    entries
+  |> List.sort_uniq compare
+
+let entries_json ?(note = "") entries =
   let entries =
-    Hashtbl.fold (fun (file, rule) count acc -> (file, rule, count) :: acc)
-      counts []
-    |> List.sort compare
+    List.sort compare
+      (List.map (fun e -> (e.b_file, e.b_rule, e.b_count)) entries)
   in
   let buf = Buffer.create 512 in
   Buffer.add_string buf "{\n  \"version\": 1,\n";
@@ -399,3 +493,13 @@ let baseline_json ?(note = "") findings =
   if entries <> [] then Buffer.add_char buf '\n';
   Buffer.add_string buf "  ]\n}\n";
   Buffer.contents buf
+
+let baseline_json ?note findings =
+  let counts = group_counts findings in
+  let entries =
+    Hashtbl.fold
+      (fun (file, rule) count acc ->
+        { b_file = file; b_rule = rule; b_count = count } :: acc)
+      counts []
+  in
+  entries_json ?note entries

@@ -325,7 +325,7 @@ let map_array ?stop ?on_chunk pool f arr =
     let out = Array.make n (f arr.(0)) in
     parallel_for ?stop ?on_chunk pool ~lo:1 ~hi:n (fun i ->
         (* Each iteration writes a distinct cell, so no two domains
-           touch the same slot. iqlint: allow domain-unsafe-capture *)
+           touch the same slot. *)
         out.(i) <- f arr.(i));
     out
   end

@@ -127,12 +127,16 @@ let string_of_table ?(header = true) t =
 
 let load_file ?header path =
   let ic = open_in path in
-  let len = in_channel_length ic in
-  let s = really_input_string ic len in
-  close_in ic;
+  let s =
+    Fun.protect
+      ~finally:(fun () -> close_in_noerr ic)
+      (fun () -> really_input_string ic (in_channel_length ic))
+  in
   table_of_string ?header s
 
 let save_file ?header path t =
+  let s = string_of_table ?header t in
   let oc = open_out path in
-  output_string oc (string_of_table ?header t);
-  close_out oc
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc s)

@@ -58,12 +58,15 @@ let test_domain_array_set_fires () =
     [ "domain-unsafe-capture" ] (rules fs)
 
 let test_domain_pragma () =
+  (* [out.(0)] — a shared slot, so the finding is real and only the
+     pragma keeps it quiet (the [out.(i)] gather is exempt outright;
+     see the lock-set tests below). *)
   let fs =
     lint_src
       {|let fill pool out =
   Parallel.parallel_for pool ~lo:0 ~hi:4 (fun i ->
-    (* iqlint: allow domain-unsafe-capture — distinct slot per index *)
-    out.(i) <- i)
+    (* iqlint: allow domain-unsafe-capture — last writer wins is fine here *)
+    out.(0) <- i)
 |}
   in
   Alcotest.check rules_t "pragma suppresses" [] (rules fs)
@@ -519,6 +522,7 @@ let one_finding =
     col = 4;
     rule = "dead-export";
     message = "msg with \"quotes\"";
+    related = [];
   }
 
 let test_finding_pp_and_order () =
@@ -687,6 +691,628 @@ let test_baseline_malformed () =
       let code, _ = run_main [ "--baseline"; bl; path ] in
       Alcotest.(check int) "malformed baseline exits 2" 2 code)
 
+(* ------------------------- lock-set exemptions ------------------- *)
+
+let test_lockset_disjoint_slot_ok () =
+  let fs =
+    lint_src
+      {|let fill pool out =
+  Parallel.parallel_for pool ~lo:0 ~hi:4 (fun i -> out.(i) <- i)
+|}
+  in
+  Alcotest.check rules_t "out.(i) <- with i the closure param is exempt" []
+    (rules (by_rule "domain-unsafe-capture" fs))
+
+let test_lockset_shared_slot_fires () =
+  let fs =
+    lint_src
+      {|let fill pool out =
+  Parallel.parallel_for pool ~lo:0 ~hi:4 (fun i -> out.(0) <- i)
+|}
+  in
+  Alcotest.check rules_t "a shared slot still fires"
+    [ "domain-unsafe-capture" ]
+    (rules (by_rule "domain-unsafe-capture" fs))
+
+let test_lockset_map_array_index_fires () =
+  (* map_array closures receive elements, not indices, so a variable
+     used as an index there is never the iteration counter. *)
+  let fs =
+    lint_src
+      {|let fill pool out xs =
+  Parallel.map_array pool (fun i -> out.(i) <- i; i) xs
+|}
+  in
+  Alcotest.check rules_t "map_array gets no disjoint-slot exemption"
+    [ "domain-unsafe-capture" ]
+    (rules (by_rule "domain-unsafe-capture" fs))
+
+let test_lockset_seq_pool_ok () =
+  let fs =
+    lint_src
+      {|let total = ref 0
+let sum n =
+  let pool = Parallel.create ~domains:1 () in
+  Parallel.parallel_for pool ~lo:0 ~hi:n (fun i -> total := !total + i);
+  !total
+|}
+  in
+  Alcotest.check rules_t "~domains:1 pool closures never leave the caller" []
+    (rules (by_rule "domain-unsafe-capture" fs));
+  (* The same fixture leaks the pool itself — the lifecycle rule owns
+     that complaint. *)
+  Alcotest.check rules_t "but the unclosed pool is a lifecycle finding"
+    [ "handle-lifecycle" ]
+    (rules (by_rule "handle-lifecycle" fs))
+
+let test_lockset_lock_wrapper_ok () =
+  let fs =
+    lint_src
+      {|let total = ref 0
+let m = Mutex.create ()
+let with_lock f =
+  Mutex.lock m;
+  let r = f () in
+  Mutex.unlock m;
+  r
+let sum pool n =
+  Parallel.parallel_for pool ~lo:0 ~hi:n (fun i ->
+    with_lock (fun () -> total := !total + i))
+|}
+  in
+  Alcotest.check rules_t "closure under a local lock wrapper is exempt" []
+    (rules (by_rule "domain-unsafe-capture" fs))
+
+(* ------------------------- handle-lifecycle ---------------------- *)
+
+let lifecycle fs = by_rule "handle-lifecycle" fs
+
+let test_lifecycle_never_closed () =
+  let fs =
+    lifecycle
+      (lint_src {|let slurp () =
+  let ic = open_in "x" in
+  input_line ic
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "reported at the open" 2 f.Lint.line;
+      Alcotest.(check bool) "says never closed" true
+        (contains f.Lint.message "never closed")
+  | fs' -> Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_double_close () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let f () =
+  let ic = open_in "x" in
+  close_in ic;
+  close_in ic
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "at the second close" 4 f.Lint.line;
+      Alcotest.(check bool) "says closed twice" true
+        (contains f.Lint.message "closed twice");
+      Alcotest.(check bool) "relates the first close" true
+        (List.exists
+           (fun r -> contains r.Lint.rl_note "first closed")
+           f.Lint.related)
+  | fs' -> Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_use_after_close () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let f () =
+  let ic = open_in "x" in
+  close_in ic;
+  input_line ic
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "at the stale use" 4 f.Lint.line;
+      Alcotest.(check bool) "says used after close" true
+        (contains f.Lint.message "used after");
+      Alcotest.(check bool) "relates the close site" true
+        (List.exists (fun r -> r.Lint.rl_line = 3) f.Lint.related)
+  | fs' -> Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_exception_path () =
+  (* Used handle, close not under Fun.protect: an exception between
+     open and close leaks it. *)
+  let fs =
+    lifecycle
+      (lint_src
+         {|let f () =
+  let ic = open_in "x" in
+  let l = input_line ic in
+  close_in ic;
+  l
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "names the bracket idiom" true
+        (contains f.Lint.message "Fun.protect")
+  | fs' -> Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_bracket_ok () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let f () =
+  let ic = open_in "x" in
+  Fun.protect ~finally:(fun () -> close_in ic) (fun () -> input_line ic)
+|})
+  in
+  Alcotest.check rules_t "the bracket idiom is clean" [] (rules fs)
+
+let test_lifecycle_escape_ok () =
+  let fs =
+    lifecycle
+      (lint_src {|let make () =
+  let ic = open_in "x" in
+  ic
+|})
+  in
+  Alcotest.check rules_t "a returned handle moves ownership" [] (rules fs)
+
+let test_lifecycle_pool_never_shutdown () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let run () =
+  let pool = Parallel.create () in
+  Parallel.parallel_for pool ~lo:0 ~hi:4 (fun _ -> ())
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "names Parallel.shutdown" true
+        (contains f.Lint.message "Parallel.shutdown")
+  | fs' -> Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_pragma () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let slurp () =
+  (* iqlint: allow handle-lifecycle — ownership moves to the registry *)
+  let ic = open_in "x" in
+  input_line ic
+|})
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+(* ------------------------- generation-protocol ------------------- *)
+
+let genproto fs = by_rule "generation-protocol" fs
+
+let store_ml = "let add_item tbl x = Hashtbl.replace tbl x x\n"
+let owner_dune = ("dune", "(library (name fixgen))\n")
+
+let test_genproto_missed_bump_fires () =
+  let fs =
+    genproto
+      (lint_project
+         [
+           owner_dune;
+           ("store.ml", store_ml);
+           ( "owner.ml",
+             "type t = { mutable gen : int; tbl : (int, int) Hashtbl.t }\n\
+              let touch t = Store.add_item t.tbl 1\n\
+              let touch_ok t =\n\
+             \  Store.add_item t.tbl 1;\n\
+             \  t.gen <- t.gen + 1\n" );
+         ])
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "in owner.ml" true
+        (Filename.basename f.Lint.file = "owner.ml");
+      Alcotest.(check int) "at the unbumped mutation" 2 f.Lint.line;
+      Alcotest.(check bool) "asks for a generation bump" true
+        (contains f.Lint.message "generation bump");
+      Alcotest.(check bool) "relates the exported entry point" true
+        (List.exists
+           (fun r -> contains r.Lint.rl_note "touch")
+           f.Lint.related)
+  | fs' -> Alcotest.failf "expected one genproto finding, got %d" (List.length fs')
+
+let test_genproto_bump_on_every_path_clean () =
+  let fs =
+    genproto
+      (lint_project
+         [
+           owner_dune;
+           ("store.ml", store_ml);
+           ( "owner.ml",
+             "type t = { mutable gen : int; tbl : (int, int) Hashtbl.t }\n\
+              let touch t =\n\
+             \  Store.add_item t.tbl 1;\n\
+             \  t.gen <- t.gen + 1\n" );
+         ])
+  in
+  Alcotest.check rules_t "bumped mutation is clean" [] (rules fs)
+
+let test_genproto_unchecked_read_fires () =
+  let fs =
+    genproto
+      (lint_project
+         [
+           owner_dune;
+           ( "snap.ml",
+             "type snap = { snap_gen : int; data : int array }\n\
+              let peek s = Array.length s.data\n\
+              let peek_ok live s =\n\
+             \  if s.snap_gen = live then Array.length s.data else 0\n\
+              let raw s = s.data\n" );
+         ])
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "the unchecked read in peek" 2 f.Lint.line;
+      Alcotest.(check bool) "names the payload field" true
+        (contains f.Lint.message "`data`")
+  | fs' -> Alcotest.failf "expected one genproto finding, got %d" (List.length fs')
+
+let test_genproto_checked_callback_clean () =
+  (* A closure handed to a same-file wrapper that checks the stamp on
+     every path runs after the check, even though the analysis inlines
+     it at the call site. *)
+  let fs =
+    genproto
+      (lint_project
+         [
+           owner_dune;
+           ( "snap.ml",
+             "type snap = { snap_gen : int; data : int array }\n\
+              let with_fresh live s f =\n\
+             \  if s.snap_gen = live then Some (f s) else None\n\
+              let use live s = with_fresh live s (fun s -> Array.length s.data)\n"
+           );
+         ])
+  in
+  Alcotest.check rules_t "callback under a checking wrapper is clean" []
+    (rules fs)
+
+let test_genproto_pragma () =
+  let fs =
+    genproto
+      (lint_project
+         [
+           owner_dune;
+           ("store.ml", store_ml);
+           ( "owner.ml",
+             "type t = { mutable gen : int; tbl : (int, int) Hashtbl.t }\n\
+              let touch t =\n\
+             \  (* iqlint: allow generation-protocol — rebuilt from scratch \
+              next read *)\n\
+             \  Store.add_item t.tbl 1\n" );
+         ])
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+(* ------------------------- budget-unchecked-loop ----------------- *)
+
+let budget fs = by_rule "budget-unchecked-loop" fs
+
+let evaluator_ml = "let eval x = x + 1\n"
+
+let unchecked_engine_ml =
+  "let run n =\n\
+  \  let acc = ref 0 in\n\
+  \  for i = 0 to n - 1 do\n\
+  \    acc := !acc + Evaluator.eval i\n\
+  \  done;\n\
+  \  !acc\n\
+   \n\
+   let rec search n = if n = 0 then 0 else Evaluator.eval n + search (n - 1)\n"
+
+let test_budget_loop_fires () =
+  let fs =
+    budget
+      (lint_project
+         [
+           ("dune", "(library (name fixbud))\n");
+           ("evaluator.ml", evaluator_ml);
+           ("engine.ml", unchecked_engine_ml);
+           (* The same loop outside the engine's reach stays silent. *)
+           ( "bench.ml",
+             "let offline n =\n\
+             \  let acc = ref 0 in\n\
+             \  for i = 0 to n - 1 do\n\
+             \    acc := !acc + Evaluator.eval i\n\
+             \  done;\n\
+             \  !acc\n" );
+         ])
+  in
+  List.iter
+    (fun (f : Lint.finding) ->
+      Alcotest.(check bool) "only engine.ml is on the serving path" true
+        (Filename.basename f.Lint.file = "engine.ml"))
+    fs;
+  match fs with
+  | [ loop; recur ] ->
+      Alcotest.(check int) "the for loop" 3 loop.Lint.line;
+      Alcotest.(check bool) "witnesses the evaluation site" true
+        (List.exists
+           (fun r -> contains r.Lint.rl_note "evaluation")
+           loop.Lint.related);
+      Alcotest.(check bool) "the recursive binding too" true
+        (contains recur.Lint.message "recursive `search`")
+  | fs' -> Alcotest.failf "expected two budget findings, got %d" (List.length fs')
+
+let test_budget_polled_loop_clean () =
+  let fs =
+    budget
+      (lint_project
+         [
+           ("dune", "(library (name fixbud))\n");
+           ("evaluator.ml", evaluator_ml);
+           ( "engine.ml",
+             "let run b n =\n\
+             \  let acc = ref 0 in\n\
+             \  for i = 0 to n - 1 do\n\
+             \    ignore (Resilience.Budget.check b);\n\
+             \    acc := !acc + Evaluator.eval i\n\
+             \  done;\n\
+             \  !acc\n" );
+         ])
+  in
+  Alcotest.check rules_t "a budget poll per iteration is clean" [] (rules fs)
+
+let test_budget_pragma () =
+  let fs =
+    budget
+      (lint_project
+         [
+           ("dune", "(library (name fixbud))\n");
+           ("evaluator.ml", evaluator_ml);
+           ( "engine.ml",
+             "let run n =\n\
+             \  let acc = ref 0 in\n\
+             \  (* iqlint: allow budget-unchecked-loop — bounded by n *)\n\
+             \  for i = 0 to n - 1 do\n\
+             \    acc := !acc + Evaluator.eval i\n\
+             \  done;\n\
+             \  !acc\n" );
+         ])
+  in
+  Alcotest.check rules_t "pragma suppresses" [] (rules fs)
+
+(* ------------------------- pragma transparency ------------------- *)
+
+let test_pragma_above_attribute () =
+  let fs =
+    lint_src
+      {|(* iqlint: allow partial-function — head of a checked list *)
+[@@@warning "-32"]
+let a l = List.hd l
+|}
+  in
+  Alcotest.check rules_t "an attribute line is transparent" [] (rules fs)
+
+let test_pragma_above_doc_comment () =
+  let fs =
+    lint_src
+      {|(* iqlint: allow partial-function — head of a checked list *)
+(** picks the head; callers check emptiness *)
+let a l = List.hd l
+|}
+  in
+  Alcotest.check rules_t "a one-line doc comment is transparent" [] (rules fs)
+
+let test_pragma_blank_line_breaks () =
+  let fs =
+    lint_src {|(* iqlint: allow partial-function *)
+
+let a l = List.hd l
+|}
+  in
+  Alcotest.check rules_t "a blank line is not transparent"
+    [ "partial-function" ] (rules fs)
+
+(* ------------------------- dataflow solver ----------------------- *)
+
+let arb_dataflow =
+  let gen =
+    QCheck.Gen.(
+      let* n = int_range 1 8 in
+      let* seeds = array_size (return n) (int_range 0 15) in
+      let* deps =
+        array_size (return n) (list_size (int_range 0 4) (int_range 0 (n - 1)))
+      in
+      return (n, seeds, deps))
+  in
+  QCheck.make
+    ~print:(fun (n, seeds, deps) ->
+      Printf.sprintf "n=%d seeds=[%s] deps=[%s]" n
+        (String.concat ";" (List.map string_of_int (Array.to_list seeds)))
+        (String.concat ";"
+           (List.map
+              (fun l -> String.concat "," (List.map string_of_int l))
+              (Array.to_list deps))))
+    gen
+
+(* Chaotic round-robin iteration to a fixpoint: the reference
+   semantics the worklist solver must agree with. *)
+let naive_fixpoint n seeds deps =
+  let fact = Array.copy seeds in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = 0 to n - 1 do
+      let next = List.fold_left (fun a d -> a lor fact.(d)) fact.(i) deps.(i) in
+      if next <> fact.(i) then begin
+        fact.(i) <- next;
+        changed := true
+      end
+    done
+  done;
+  fact
+
+let solve_bits n seeds deps =
+  Lint.Dataflow.Bits_solver.solve ~n
+    ~deps:(fun i -> deps.(i))
+    ~init:(fun i -> seeds.(i))
+    ~transfer:(fun ~get i ->
+      List.fold_left (fun a d -> a lor get d) seeds.(i) deps.(i))
+    ()
+
+let prop_solver_least_fixpoint =
+  QCheck.Test.make ~name:"worklist solve = chaotic least fixpoint" ~count:300
+    arb_dataflow (fun (n, seeds, deps) ->
+      let fact, stats = solve_bits n seeds deps in
+      fact = naive_fixpoint n seeds deps
+      && stats.Lint.Dataflow.Bits_solver.iterations >= n
+      && Array.for_all2 (fun f s -> f lor s = f) fact seeds)
+
+let prop_solver_monotone_in_seeds =
+  QCheck.Test.make ~name:"facts grow monotonically with seeds" ~count:300
+    arb_dataflow (fun (n, seeds, deps) ->
+      let lo, _ = solve_bits n seeds deps in
+      let hi, _ = solve_bits n (Array.map (fun s -> s lor 1) seeds) deps in
+      Array.for_all2 (fun l h -> l lor h = h) lo hi)
+
+let test_dataflow_widening () =
+  (* An unbounded-height climb on a 2-cycle: join alone needs ~1000
+     rounds; widening jumps to the stable top after [widen_after]
+     bumps. *)
+  let module Climb = Lint.Dataflow.Solve (struct
+    type t = int
+
+    let equal = Int.equal
+    let join = Int.max
+    let widen a b = if b > a then 1000 else a
+  end) in
+  let fact, stats =
+    Climb.solve ~widen_after:2 ~n:2
+      ~deps:(fun i -> [ 1 - i ])
+      ~init:(fun _ -> 0)
+      ~transfer:(fun ~get i -> Int.min 1000 (get (1 - i) + 1))
+      ()
+  in
+  Alcotest.(check (array int)) "widening reaches the stable top"
+    [| 1000; 1000 |] fact;
+  Alcotest.(check bool) "widening was applied" true (stats.Climb.widenings > 0);
+  Alcotest.(check bool) "far fewer iterations than the raw climb" true
+    (stats.Climb.iterations < 100)
+
+(* ------------------------- timings ------------------------------- *)
+
+let test_timings_payload () =
+  let dir =
+    write_project
+      [ ("dune", "(library (name fixlib))\n"); ("a.ml", "let bad x = x = 0.0\n") ]
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_project dir)
+    (fun () ->
+      let fs, timings = Lint.lint_paths_timed [ dir ] in
+      Alcotest.(check bool) "still finds the float compare" true
+        (by_rule "float-exact-compare" fs <> []);
+      let names = List.map fst timings in
+      List.iter
+        (fun p ->
+          Alcotest.(check bool) (p ^ " pass is timed") true (List.mem p names))
+        [
+          "load";
+          "per-file";
+          "callgraph";
+          "generation-protocol";
+          "budget-unchecked-loop";
+          "pragmas";
+        ];
+      List.iter
+        (fun (_, s) ->
+          Alcotest.(check bool) "wall times are non-negative" true (s >= 0.))
+        timings)
+
+let test_timings_flag () =
+  let path = write_fixture "let bad x = x = 0.0\n" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      let _, text = run_main [ "--timings"; path ] in
+      Alcotest.(check bool) "text mode prints a pass summary" true
+        (contains text "iqlint: pass");
+      let _, json = run_main [ "--timings"; "--format"; "json"; path ] in
+      Alcotest.(check bool) "json carries timings_ms" true
+        (contains json "timings_ms");
+      let _, plain = run_main [ "--format"; "json"; path ] in
+      Alcotest.(check bool) "no timings without the flag" false
+        (contains plain "timings_ms"))
+
+(* ------------------------- baseline ratchet ---------------------- *)
+
+let test_prune_baseline_ratchet () =
+  let path = write_fixture "let bad x = x = 0.0\nlet worse y = y = 1.0\n" in
+  let bl = Filename.temp_file "iqlint_baseline" ".json" in
+  let rewrite src =
+    let oc = open_out path in
+    output_string oc src;
+    close_out oc
+  in
+  Fun.protect
+    ~finally:(fun () ->
+      Sys.remove path;
+      Sys.remove bl)
+    (fun () ->
+      let code, _ = run_main [ "--write-baseline"; bl; path ] in
+      Alcotest.(check int) "baseline written" 0 code;
+      (* Fix one of the two findings, then ratchet the budget down. *)
+      rewrite "let bad x = x = 0.0\n";
+      let code, output = run_main [ "--prune-baseline"; bl; path ] in
+      Alcotest.(check int) "--prune-baseline exits 0" 0 code;
+      Alcotest.(check bool) "acknowledges the prune" true
+        (contains output "pruned baseline");
+      let code, _ = run_main [ "--baseline"; bl; path ] in
+      Alcotest.(check int) "pruned baseline still tolerates the rest" 0 code;
+      (* Reintroducing the fixed finding now blows the shrunk budget. *)
+      rewrite "let bad x = x = 0.0\nlet worse y = y = 1.0\n";
+      let code, output = run_main [ "--baseline"; bl; path ] in
+      Alcotest.(check int) "regression past the ratchet exits 1" 1 code;
+      Alcotest.(check bool) "and is reported as a ratchet failure" true
+        (contains output "baseline ratchet"))
+
+(* ------------------------- determinism over new passes ----------- *)
+
+let test_jobs_deterministic_protocol () =
+  (* Fixtures firing every protocol rule at once: output must stay
+     byte-identical across worker counts. *)
+  let dir =
+    write_project
+      [
+        ("dune", "(library (name fixlib))\n");
+        ("evaluator.ml", evaluator_ml);
+        ("engine.ml", unchecked_engine_ml);
+        ("store.ml", store_ml);
+        ( "owner.ml",
+          "type t = { mutable gen : int; tbl : (int, int) Hashtbl.t }\n\
+           let touch t = Store.add_item t.tbl 1\n" );
+        ( "leak.ml",
+          "let slurp () =\n  let ic = open_in \"x\" in\n  input_line ic\n" );
+      ]
+  in
+  Fun.protect
+    ~finally:(fun () -> rm_project dir)
+    (fun () ->
+      let c1, o1 = run_main [ "--jobs"; "1"; "--format"; "json"; dir ] in
+      let c4, o4 = run_main [ "--jobs"; "4"; "--format"; "json"; dir ] in
+      Alcotest.(check int) "same exit code" c1 c4;
+      Alcotest.(check bool) "found something" true (c1 = 1);
+      List.iter
+        (fun rule ->
+          Alcotest.(check bool) (rule ^ " present") true (contains o1 rule))
+        [ "generation-protocol"; "budget-unchecked-loop"; "handle-lifecycle" ];
+      Alcotest.(check string) "--jobs 4 output byte-identical to --jobs 1" o1 o4)
+
 let suite =
   [
     Alcotest.test_case "domain-unsafe-capture fires on := capture" `Quick
@@ -763,4 +1389,64 @@ let suite =
       test_baseline_gate;
     Alcotest.test_case "baseline: malformed file exits 2" `Quick
       test_baseline_malformed;
+    Alcotest.test_case "lock-set: parallel_for disjoint slot exempt" `Quick
+      test_lockset_disjoint_slot_ok;
+    Alcotest.test_case "lock-set: shared slot still fires" `Quick
+      test_lockset_shared_slot_fires;
+    Alcotest.test_case "lock-set: map_array index not exempt" `Quick
+      test_lockset_map_array_index_fires;
+    Alcotest.test_case "lock-set: ~domains:1 pool exempt" `Quick
+      test_lockset_seq_pool_ok;
+    Alcotest.test_case "lock-set: local lock wrapper exempt" `Quick
+      test_lockset_lock_wrapper_ok;
+    Alcotest.test_case "handle-lifecycle: never closed" `Quick
+      test_lifecycle_never_closed;
+    Alcotest.test_case "handle-lifecycle: double close" `Quick
+      test_lifecycle_double_close;
+    Alcotest.test_case "handle-lifecycle: use after close" `Quick
+      test_lifecycle_use_after_close;
+    Alcotest.test_case "handle-lifecycle: exception-path leak" `Quick
+      test_lifecycle_exception_path;
+    Alcotest.test_case "handle-lifecycle: Fun.protect bracket clean" `Quick
+      test_lifecycle_bracket_ok;
+    Alcotest.test_case "handle-lifecycle: escaped handle untracked" `Quick
+      test_lifecycle_escape_ok;
+    Alcotest.test_case "handle-lifecycle: pool never shut down" `Quick
+      test_lifecycle_pool_never_shutdown;
+    Alcotest.test_case "handle-lifecycle: pragma suppresses" `Quick
+      test_lifecycle_pragma;
+    Alcotest.test_case "generation-protocol: missed bump fires" `Quick
+      test_genproto_missed_bump_fires;
+    Alcotest.test_case "generation-protocol: bump on every path clean" `Quick
+      test_genproto_bump_on_every_path_clean;
+    Alcotest.test_case "generation-protocol: unchecked read fires" `Quick
+      test_genproto_unchecked_read_fires;
+    Alcotest.test_case "generation-protocol: checked callback clean" `Quick
+      test_genproto_checked_callback_clean;
+    Alcotest.test_case "generation-protocol: pragma suppresses" `Quick
+      test_genproto_pragma;
+    Alcotest.test_case "budget-unchecked-loop: loop and recursion fire" `Quick
+      test_budget_loop_fires;
+    Alcotest.test_case "budget-unchecked-loop: polled loop clean" `Quick
+      test_budget_polled_loop_clean;
+    Alcotest.test_case "budget-unchecked-loop: pragma suppresses" `Quick
+      test_budget_pragma;
+    Alcotest.test_case "pragma above an attribute line" `Quick
+      test_pragma_above_attribute;
+    Alcotest.test_case "pragma above a doc comment" `Quick
+      test_pragma_above_doc_comment;
+    Alcotest.test_case "pragma does not cross a blank line" `Quick
+      test_pragma_blank_line_breaks;
+    QCheck_alcotest.to_alcotest prop_solver_least_fixpoint;
+    QCheck_alcotest.to_alcotest prop_solver_monotone_in_seeds;
+    Alcotest.test_case "dataflow: widening terminates the climb" `Quick
+      test_dataflow_widening;
+    Alcotest.test_case "--timings payload covers every pass" `Quick
+      test_timings_payload;
+    Alcotest.test_case "--timings flag in text and JSON" `Quick
+      test_timings_flag;
+    Alcotest.test_case "baseline: prune-baseline ratchets budgets down" `Quick
+      test_prune_baseline_ratchet;
+    Alcotest.test_case "--jobs identical across protocol passes" `Quick
+      test_jobs_deterministic_protocol;
   ]

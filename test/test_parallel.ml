@@ -43,7 +43,6 @@ let test_parallel_for_covers () =
   let n = 2048 in
   let marks = Array.make n 0 in
   (* Distinct slots per index: no two domains touch the same cell. *)
-  (* iqlint: allow domain-unsafe-capture — per-index disjoint writes. *)
   Parallel.parallel_for pool4 ~lo:0 ~hi:n (fun i -> marks.(i) <- marks.(i) + 1);
   Alcotest.(check bool)
     "every index exactly once" true
@@ -152,7 +151,7 @@ let test_sequential_bypass () =
      is exactly the sequential one. *)
   let seen = ref [] in
   (* A single-domain pool runs on the caller, so the race the rule
-     guards against cannot occur. iqlint: allow domain-unsafe-capture *)
+     guards against cannot occur. *)
   Parallel.parallel_for pool1 ~lo:0 ~hi:5 (fun i -> seen := i :: !seen);
   Alcotest.(check (list int)) "caller-order iteration" [ 4; 3; 2; 1; 0 ] !seen
 
@@ -161,8 +160,13 @@ let test_shutdown_idempotent () =
   let r = Parallel.map_array p string_of_int (Array.init 10 Fun.id) in
   Alcotest.(check string) "works before shutdown" "9" r.(9);
   Parallel.shutdown p;
+  (* The double shutdown and the post-shutdown use below are the point
+     of this test: shutdown must be idempotent and the pool must
+     degrade to sequential execution, exactly the misuse the
+     handle-lifecycle rule exists to flag elsewhere. *)
+  (* iqlint: allow handle-lifecycle *)
   Parallel.shutdown p;
-  (* After shutdown the pool degrades to sequential execution. *)
+  (* iqlint: allow handle-lifecycle *)
   let r = Parallel.map_array p (fun i -> i * i) (Array.init 10 Fun.id) in
   Alcotest.(check int) "sequential after shutdown" 81 r.(9)
 

@@ -26,6 +26,23 @@ echo "== iqlint SARIF report =="
   lib bin bench examples test > _build/iqlint.sarif || true
 echo "wrote _build/iqlint.sarif"
 
+echo "== iqlint pass timings (soft budget) =="
+# Per-pass wall time, so lint cost creep shows up in CI logs. The
+# budget is soft: a slow runner prints a warning instead of blocking
+# the merge — the hard gate is @lint above.
+LINT_BUDGET_MS=30000
+./_build/default/bin/iqlint.exe --timings \
+  --baseline tools/lint-baseline.json lib bin bench examples test \
+  > _build/iqlint-timings.txt || true
+cat _build/iqlint-timings.txt
+awk -v budget="$LINT_BUDGET_MS" '
+  /^iqlint: pass / { total += $(NF - 1) }
+  END {
+    printf "iqlint: total lint time %.0f ms (soft budget %d ms)\n", total, budget
+    if (total > budget)
+      print "iqlint: WARNING: lint exceeded its soft time budget"
+  }' _build/iqlint-timings.txt
+
 echo "== chaos: resilience + engine suites under a fixed IQ_FAULT =="
 # A latency-only schedule: every engine built from the environment
 # consults the fault sites and injects (so the schedule, counters and
