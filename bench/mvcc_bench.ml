@@ -1,0 +1,185 @@
+(* MVCC serving bench and smoke gates.
+
+   Two claims are checked, both cheap enough for CI:
+
+   1. Overhead: a search routed through a serving session (pin a
+      snapshot, answer from it) must cost within a few percent of the
+      same search issued directly against the engine — the session
+      layer is one atomic read and a hashtable pin, not a copy. The
+      gate is relative (5%) with an absolute noise guard, since at
+      smoke scale a run is a handful of milliseconds.
+
+   2. Memory: holding sessions pinned across writer mutations retains
+      old generations, but copy-on-write shares everything the
+      mutation did not touch — so each pinned snapshot must stay close
+      to the size of a single index, not multiply with the number of
+      generations.
+
+   Results land in BENCH_mvcc.json for trajectory tracking. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+let sok = function
+  | Ok v -> v
+  | Error e -> failwith (Serve.Session.Error.to_string e)
+
+let run () =
+  Harness.header "MVCC snapshot serving";
+  let rng = Harness.rng 23 in
+  let n = Harness.scaled_int 20_000 in
+  let m = Harness.scaled_int 2_500 in
+  let d = 3 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 10) ~m
+      ~d ()
+  in
+  let inst = Iq.Instance.create ~data ~queries () in
+  let engine = Harness.engine inst in
+  let cost = Iq.Cost.euclidean d in
+  let tau = 10 in
+  let targets = List.init 8 (fun i -> (1 + (i * 97)) mod n) in
+
+  (* --- 1. snapshot-read overhead ----------------------------------- *)
+  (* Warm every evaluator so both paths time pure search work. *)
+  List.iter
+    (fun target -> ignore (ok (Iq.Engine.evaluator engine ~target)))
+    targets;
+  let direct_once () =
+    List.iter
+      (fun target ->
+        match
+          Iq.Engine.min_cost ~candidate_cap:16 engine ~cost ~target ~tau
+        with
+        | Ok _ | Error Iq.Engine.Error.Infeasible -> ()
+        | Error e -> failwith (Iq.Engine.Error.to_string e))
+      targets
+  in
+  let session_once sess =
+    List.iter
+      (fun target ->
+        match
+          Serve.Session.min_cost ~candidate_cap:16 sess ~cost ~target ~tau
+        with
+        | Ok _ | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible)
+          ->
+            ()
+        | Error e -> failwith (Serve.Session.Error.to_string e))
+      targets
+  in
+  let rounds = 3 in
+  direct_once () (* one untimed round warms both code paths *);
+  let t_direct =
+    Harness.time_only (fun () ->
+        for _ = 1 to rounds do
+          direct_once ()
+        done)
+  in
+  let sess = Serve.Session.open_exn engine in
+  let t_session =
+    Fun.protect
+      ~finally:(fun () -> Serve.Session.close sess)
+      (fun () ->
+        Harness.time_only (fun () ->
+            for _ = 1 to rounds do
+              session_once sess
+            done))
+  in
+  let overhead_pct = 100. *. ((t_session -. t_direct) /. t_direct) in
+  Harness.row
+    [
+      Harness.cell_s 14 "direct";
+      Harness.cell_f 10 (1000. *. t_direct /. float_of_int rounds);
+      Harness.cell_s 4 "ms";
+    ];
+  Harness.row
+    [
+      Harness.cell_s 14 "via session";
+      Harness.cell_f 10 (1000. *. t_session /. float_of_int rounds);
+      Harness.cell_s 4 "ms";
+    ];
+  Harness.note "snapshot-read overhead: %+.2f%%" overhead_pct;
+  (* Gate: relative bound with an absolute guard against timer noise
+     on sub-millisecond smoke runs. *)
+  if overhead_pct > 5. && t_session -. t_direct > 0.02 then
+    failwith
+      (Printf.sprintf
+         "MVCC smoke: session overhead %.2f%% exceeds the 5%% gate \
+          (direct %.1f ms, session %.1f ms)"
+         overhead_pct (1000. *. t_direct) (1000. *. t_session));
+
+  (* --- 2. pinned-generation memory ceiling -------------------------- *)
+  let base_words = Iq.Snapshot.size_words (Iq.Engine.snapshot engine) in
+  let pinned = ref [] in
+  let n_pins = 3 in
+  for i = 0 to n_pins - 1 do
+    pinned := Serve.Session.open_exn engine :: !pinned;
+    (* A writer keeps mutating while the sessions stay pinned. *)
+    let id = (1 + (i * 53)) mod n in
+    let raw = (Iq.Engine.instance engine).Iq.Instance.raw.(id) in
+    ignore
+      (ok (Iq.Engine.update_object engine id (Array.map (fun v -> v *. 0.99) raw)))
+  done;
+  let st = Iq.Engine.stats engine in
+  let pinned_words =
+    List.fold_left
+      (fun acc s -> acc + Iq.Snapshot.size_words (Serve.Session.snapshot s))
+      0 !pinned
+  in
+  let max_pinned_words =
+    List.fold_left
+      (fun acc s -> Int.max acc (Iq.Snapshot.size_words (Serve.Session.snapshot s)))
+      0 !pinned
+  in
+  Harness.note "pinned: %d sessions across generations %s (oldest %s)"
+    st.Iq.Engine.active_sessions
+    (String.concat ","
+       (List.map
+          (fun s -> string_of_int (Serve.Session.generation s))
+          (List.rev !pinned)))
+    (match st.Iq.Engine.oldest_pinned with
+    | Some g -> string_of_int g
+    | None -> "none");
+  Harness.note "index %d words; largest pinned snapshot %d words" base_words
+    max_pinned_words;
+  (* Gate: COW generations share structure, so no pinned snapshot may
+     balloon past the live index (update_object keeps sizes flat; the
+     slack absorbs table growth rounding). *)
+  if max_pinned_words > (base_words * 3 / 2) + 4096 then
+    failwith
+      (Printf.sprintf
+         "MVCC smoke: a pinned generation holds %d words against a %d-word \
+          index — copy-on-write is copying too much"
+         max_pinned_words base_words);
+  if st.Iq.Engine.pinned_snapshots <> n_pins then
+    failwith
+      (Printf.sprintf "MVCC smoke: %d sessions open but %d generations pinned"
+         n_pins st.Iq.Engine.pinned_snapshots);
+  (* Every pinned session still answers from its own generation. *)
+  (match targets with
+  | [] -> ()
+  | target :: _ ->
+      List.iter (fun s -> ignore (sok (Serve.Session.hits s ~target))) !pinned);
+  List.iter Serve.Session.close !pinned;
+  let st_after = Iq.Engine.stats engine in
+  if st_after.Iq.Engine.pinned_snapshots <> 0 then
+    failwith "MVCC smoke: pins survived session close";
+
+  Harness.write_json ~name:"mvcc"
+    (Harness.Obj
+       [
+         ("n_objects", Harness.Int n);
+         ("n_queries", Harness.Int m);
+         ("rounds", Harness.Int rounds);
+         ("pruning", Harness.Bool (Iq.Snapshot.pruning (Iq.Engine.snapshot engine)));
+         ("direct_ms", Harness.Float (1000. *. t_direct /. float_of_int rounds));
+         ( "session_ms",
+           Harness.Float (1000. *. t_session /. float_of_int rounds) );
+         ("overhead_pct", Harness.Float overhead_pct);
+         ("index_words", Harness.Int base_words);
+         ("max_pinned_words", Harness.Int max_pinned_words);
+         ("sum_pinned_words", Harness.Int pinned_words);
+         ("pinned_generations", Harness.Int n_pins);
+       ])

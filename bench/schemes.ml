@@ -1,9 +1,10 @@
 (* The four IQ processing schemes of Section 6.1, wrapped behind one
    interface so the figure benches can sweep them uniformly.
 
-   Every scheme runs against an [Iq.Engine.t] (Efficient-IQ's serving
-   facade); RTA-IQ wraps the same built index in a sibling engine with
-   the RTA backend. Efficient-IQ and RTA-IQ share the greedy ratio
+   Every scheme runs against an [Iq.Engine.t] through a serving
+   session (opened outside the timed region, so the figures keep
+   measuring search time); RTA-IQ wraps the same built index in a
+   sibling engine with the RTA backend. Efficient-IQ and RTA-IQ share the greedy ratio
    search (so their strategy quality coincides, as the paper notes);
    Greedy and Random are the quality baselines. *)
 
@@ -48,25 +49,32 @@ let searches name prep =
         let engine = prep engine in
         let cost = cost_for engine in
         warm engine ~target;
+        (* Session open/close stays outside the timed region. *)
+        let sess = Serve.Session.open_exn engine in
+        Fun.protect ~finally:(fun () -> Serve.Session.close sess) @@ fun () ->
         let r, seconds =
           Harness.time (fun () ->
-              Iq.Engine.min_cost ?candidate_cap:cap engine ~cost ~target ~tau)
+              Serve.Session.min_cost ?candidate_cap:cap sess ~cost ~target ~tau)
         in
         match r with
         | Ok o -> Some (mc_outcome o seconds)
-        | Error Iq.Engine.Error.Infeasible -> None
-        | Error e -> failwith (Iq.Engine.Error.to_string e));
+        | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible) -> None
+        | Error e -> failwith (Serve.Session.Error.to_string e));
     max_hit =
       (fun engine ~target ~beta ->
         let engine = prep engine in
         let cost = cost_for engine in
         warm engine ~target;
+        let sess = Serve.Session.open_exn engine in
+        Fun.protect ~finally:(fun () -> Serve.Session.close sess) @@ fun () ->
         let r, seconds =
           Harness.time (fun () ->
-              Iq.Engine.max_hit ?candidate_cap:cap ?max_iterations:mh_iters
-                engine ~cost ~target ~beta)
+              Serve.Session.max_hit ?candidate_cap:cap ?max_iterations:mh_iters
+                sess ~cost ~target ~beta)
         in
-        Some (mh_outcome (ok r) seconds));
+        match r with
+        | Ok o -> Some (mh_outcome o seconds)
+        | Error e -> failwith (Serve.Session.Error.to_string e));
   }
 
 let efficient_iq = searches "Efficient-IQ" Fun.id

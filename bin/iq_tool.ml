@@ -48,6 +48,20 @@ let ok_or_die = function
   | Ok v -> v
   | Error e -> failwith (Iq.Engine.Error.to_string e)
 
+(* Searches run through a serving session (pinning a snapshot, passing
+   admission control) rather than hitting the engine directly; the
+   session layer can only add lifecycle misuses we never commit, so
+   anything except an engine error is a bug worth dying loudly on. *)
+let to_engine_result = function
+  | Ok _ as r -> r
+  | Error (Serve.Session.Error.Engine e) -> Error e
+  | Error e -> failwith (Serve.Session.Error.to_string e)
+
+let in_session engine f =
+  match Serve.Session.with_session engine (fun sess -> Ok (f sess)) with
+  | Ok () -> ()
+  | Error e -> failwith (Serve.Session.Error.to_string e)
+
 (* The resilience policy is resolved here, not left to Engine.create:
    a malformed IQ_FAULT is a user config error (stderr + exit 2, like
    a parse error), and an explicit --retries must override IQ_RETRIES
@@ -289,11 +303,13 @@ let run_mincost data_path queries_path targets tau cost_name order cap deadline
   let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   let cost = cost_of_name cost_name d in
   let cap = normalize_cap cap in
+  in_session engine @@ fun sess ->
   match targets with
   | [ target ] -> (
       match
-        Iq.Engine.min_cost ?candidate_cap:cap ?deadline_ms:deadline engine
-          ~cost ~target ~tau
+        to_engine_result
+          (Serve.Session.min_cost ?candidate_cap:cap ?deadline_ms:deadline sess
+             ~cost ~target ~tau)
       with
       | Error Iq.Engine.Error.Infeasible ->
           Printf.printf "tau = %d is unreachable\n" tau
@@ -314,8 +330,9 @@ let run_mincost data_path queries_path targets tau cost_name order cap deadline
   | targets -> (
       let costs = List.map (fun t -> (t, cost)) targets in
       match
-        Iq.Engine.min_cost_multi ?candidate_cap:cap ?deadline_ms:deadline
-          engine ~costs ~tau
+        to_engine_result
+          (Serve.Session.min_cost_multi ?candidate_cap:cap
+             ?deadline_ms:deadline sess ~costs ~tau)
       with
       | Error Iq.Engine.Error.Infeasible ->
           Printf.printf "tau = %d is unreachable\n" tau
@@ -355,11 +372,13 @@ let run_maxhit data_path queries_path targets beta cost_name order cap deadline
   let d = Iq.Instance.dim (Iq.Engine.instance engine) in
   let cost = cost_of_name cost_name d in
   let cap = normalize_cap cap in
+  in_session engine @@ fun sess ->
   match targets with
   | [ target ] -> (
       match
-        Iq.Engine.max_hit ?candidate_cap:cap ?deadline_ms:deadline engine
-          ~cost ~target ~beta
+        to_engine_result
+          (Serve.Session.max_hit ?candidate_cap:cap ?deadline_ms:deadline sess
+             ~cost ~target ~beta)
       with
       | Error (Iq.Engine.Error.Deadline_exceeded { elapsed_ms; partial }) ->
           Printf.printf "deadline exceeded after %.1f ms\n" elapsed_ms;
@@ -376,8 +395,9 @@ let run_maxhit data_path queries_path targets beta cost_name order cap deadline
   | targets -> (
       let costs = List.map (fun t -> (t, cost)) targets in
       match
-        Iq.Engine.max_hit_multi ?candidate_cap:cap ?deadline_ms:deadline engine
-          ~costs ~beta
+        to_engine_result
+          (Serve.Session.max_hit_multi ?candidate_cap:cap
+             ?deadline_ms:deadline sess ~costs ~beta)
       with
       | Error (Iq.Engine.Error.Deadline_exceeded { elapsed_ms; partial }) ->
           Printf.printf "deadline exceeded after %.1f ms\n" elapsed_ms;
@@ -449,6 +469,102 @@ let exhaustive_cmd =
     Term.(
       const run_exhaustive $ data_arg $ queries_arg $ target $ tau $ order_arg)
 
+(* --- sessions ----------------------------------------------------------- *)
+
+(* Multi-client serving demo: N interleaved sessions over one engine,
+   with a mutation landing between each open so the sessions pin
+   distinct generations. Each session then answers its Min-Cost query
+   from its own snapshot — the printout makes the MVCC isolation and
+   the admission counters visible. *)
+let run_sessions data_path queries_path order n tau cost_name =
+  let _, data = load_objects data_path in
+  let queries = load_queries queries_path in
+  let engine = build_engine ~order data queries in
+  let inst = Iq.Engine.instance engine in
+  let d = Iq.Instance.dim inst in
+  let n_obj = Iq.Instance.n_objects inst in
+  let cost = cost_of_name cost_name d in
+  Printf.printf "opening %d sessions (IQ_MAX_SESSIONS=%d), mutating between \
+                 opens\n"
+    n
+    (Workload.Config.max_sessions ());
+  let sessions =
+    List.init n (fun i ->
+        let s = Serve.Session.open_ ~deadline_ms:250. engine in
+        (* Nudge object 0 after each admission so the next session
+           pins a strictly newer generation. *)
+        if i < n - 1 then
+          ignore
+            (ok_or_die
+               (Iq.Engine.update_object engine 0
+                  (Array.map
+                     (fun v -> v *. 0.995)
+                     (Iq.Engine.instance engine).Iq.Instance.raw.(0))));
+        (i, s))
+  in
+  List.iter
+    (fun (i, s) ->
+      match s with
+      | Error e ->
+          Format.printf "session %d: not admitted: %a@." i
+            Serve.Session.Error.pp e
+      | Ok sess -> (
+          let target = i mod n_obj in
+          match Serve.Session.min_cost sess ~cost ~target ~tau with
+          | Ok o ->
+              Printf.printf
+                "session %d: generation %d, target %d, hits %d -> %d, cost \
+                 %.6f\n"
+                i
+                (Serve.Session.generation sess)
+                target o.Iq.Min_cost.hits_before o.Iq.Min_cost.hits_after
+                o.Iq.Min_cost.total_cost
+          | Error e ->
+              Printf.printf "session %d: generation %d, target %d, error: %s\n"
+                i
+                (Serve.Session.generation sess)
+                target
+                (Serve.Session.Error.to_string e)))
+    sessions;
+  let st = Iq.Engine.stats engine in
+  Printf.printf "engine generation: %d\n" (Iq.Engine.generation engine);
+  Printf.printf "active sessions:   %d\n" st.Iq.Engine.active_sessions;
+  Printf.printf "pinned snapshots:  %d\n" st.Iq.Engine.pinned_snapshots;
+  (match st.Iq.Engine.oldest_pinned with
+  | Some g -> Printf.printf "oldest pinned:     generation %d\n" g
+  | None -> Printf.printf "oldest pinned:     none\n");
+  Printf.printf "admission rejects: %d\n" st.Iq.Engine.admission_rejections;
+  List.iter
+    (fun (_, s) -> match s with Ok sess -> Serve.Session.close sess
+                              | Error _ -> ())
+    sessions;
+  let st = Iq.Engine.stats engine in
+  Printf.printf "after close:       %d active, %d pinned\n"
+    st.Iq.Engine.active_sessions st.Iq.Engine.pinned_snapshots
+
+let sessions_cmd =
+  let n =
+    Arg.(
+      value & opt int 4
+      & info [ "sessions" ] ~docv:"N"
+          ~doc:
+            "Number of interleaved serving sessions to drive through the \
+             engine (admission-controlled by IQ_MAX_SESSIONS).")
+  in
+  let tau =
+    Arg.(
+      value & opt int 5
+      & info [ "tau" ] ~docv:"N" ~doc:"Desired number of hit queries.")
+  in
+  Cmd.v
+    (Cmd.info "sessions"
+       ~doc:
+         "Drive the workload through N interleaved MVCC serving sessions and \
+          print per-session generations and admission statistics")
+    Term.(
+      const run_sessions $ data_arg $ queries_arg $ order_arg $ n $ tau
+      $ cost_arg)
+
 (* --- main --------------------------------------------------------------- *)
 
 let () =
@@ -465,4 +581,5 @@ let () =
             mincost_cmd;
             maxhit_cmd;
             exhaustive_cmd;
+            sessions_cmd;
           ]))

@@ -51,7 +51,10 @@ let () =
       ~queries:customers ()
   in
   let engine = Iq.Engine.create_exn inst in
-
+  (* All reads below run through one serving session pinned to the
+     freshly built snapshot. *)
+  let sess = Serve.Session.open_exn engine in
+  Fun.protect ~finally:(fun () -> Serve.Session.close sess) @@ fun () ->
   (* Pick the manufacturer's model: a mid-market camera. *)
   let target = 100 in
   let p = raw_market.(target) in
@@ -61,11 +64,11 @@ let () =
             Printf.sprintf "%s = %.1f" attribute_names.(j)
               (p.(j) *. scales.(j)))));
 
-  (match Iq.Engine.hits engine ~target with
+  (match Serve.Session.hits sess ~target with
   | Ok h ->
       Printf.printf "currently in %d of %d customers' top-5\n" h
         (List.length customers)
-  | Error e -> failwith (Iq.Engine.Error.to_string e));
+  | Error e -> failwith (Serve.Session.Error.to_string e));
 
   (* Engineering constraints:
      - resolution: may only increase, by at most 8 MP (0.2 normalized);
@@ -86,11 +89,11 @@ let () =
      price cuts do. *)
   let cost = Iq.Cost.weighted_l1 [| 5.; 5.; 1. |] in
 
-  match Iq.Engine.min_cost ~limits engine ~cost ~target ~tau:25 with
-  | Error Iq.Engine.Error.Infeasible ->
+  match Serve.Session.min_cost ~limits sess ~cost ~target ~tau:25 with
+  | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible) ->
       print_endline
         "25 hits are not reachable under the engineering constraints"
-  | Error e -> failwith (Iq.Engine.Error.to_string e)
+  | Error e -> failwith (Serve.Session.Error.to_string e)
   | Ok o ->
       Printf.printf "improvement strategy reaching %d hits (cost %.3f):\n"
         o.Iq.Min_cost.hits_after o.Iq.Min_cost.total_cost;

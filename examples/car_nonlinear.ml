@@ -73,6 +73,9 @@ let () =
   in
   let inst = Iq.Instance.create ~utility:generic ~data:cars ~queries () in
   let engine = Iq.Engine.create_exn inst in
+  (* Serve the analysis from a pinned session. *)
+  let sess = Serve.Session.open_exn engine in
+  Fun.protect ~finally:(fun () -> Serve.Session.close sess) @@ fun () ->
   let st = Iq.Engine.stats engine in
   Printf.printf
     "unified weight space: %d dims, %d subdomain groups for %d queries\n"
@@ -82,17 +85,18 @@ let () =
   let car = cars.(target) in
   Printf.printf "car #%d: price %.2f, mpg %.2f, capacity %.2f\n" target car.(0)
     car.(1) car.(2);
-  (match Iq.Engine.hits engine ~target with
+  (match Serve.Session.hits sess ~target with
   | Ok h ->
       Printf.printf "hits %d of %d mixed-utility queries\n" h
         (List.length queries)
-  | Error e -> failwith (Iq.Engine.Error.to_string e));
+  | Error e -> failwith (Serve.Session.Error.to_string e));
 
   (* Min-Cost IQ in the unified feature space. *)
   let cost = Iq.Cost.euclidean (Iq.Instance.dim inst) in
-  match Iq.Engine.min_cost ~candidate_cap:256 engine ~cost ~target ~tau:120 with
-  | Error Iq.Engine.Error.Infeasible -> print_endline "tau unreachable"
-  | Error e -> failwith (Iq.Engine.Error.to_string e)
+  match Serve.Session.min_cost ~candidate_cap:256 sess ~cost ~target ~tau:120 with
+  | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible) ->
+      print_endline "tau unreachable"
+  | Error e -> failwith (Serve.Session.Error.to_string e)
   | Ok o ->
       Printf.printf
         "min-cost IQ: %d -> %d hits, feature-space strategy cost %.4f\n"

@@ -8,17 +8,22 @@
    - the competitor reprices mid-cycle (update object, id stable);
    - the competitor's product is recalled (remove object).
 
-   The engine maintains the index in place — no rebuild — and bumps
-   its generation on every change, so cached evaluator state is
-   re-prepared transparently before the Min-Cost IQ is re-run. A
-   prepared handle, by contrast, is pinned to its generation and
-   reports staleness instead of answering from outdated state.
+   Each change publishes a new copy-on-write generation — no rebuild —
+   and fresh reads transparently follow the latest one. A serving
+   session, by contrast, pins the generation it opened on and keeps
+   answering from that immutable snapshot while the market moves
+   underneath it; catching up is an explicit [Session.refresh], never
+   a forced re-prepare mid-analysis.
 
    Run with: dune exec examples/dynamic_market.exe *)
 
 let ok = function
   | Ok v -> v
   | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+let sok = function
+  | Ok v -> v
+  | Error e -> failwith (Serve.Session.Error.to_string e)
 
 let report label engine target =
   let st = Iq.Engine.stats engine in
@@ -28,18 +33,26 @@ let report label engine target =
     st.Iq.Engine.generation st.Iq.Engine.n_groups
     (Array.length (Iq.Query_index.candidate_rivals (Iq.Engine.index engine)))
 
+(* Each replan is one short-lived serving session: it pins the current
+   generation for the duration of the search, so a concurrent market
+   event could never shift the ground mid-search. *)
 let replan engine target =
   let d = Iq.Instance.dim (Iq.Engine.instance engine) in
-  match
-    Iq.Engine.min_cost ~candidate_cap:64 engine ~cost:(Iq.Cost.euclidean d)
-      ~target ~tau:30
-  with
-  | Ok o ->
-      Printf.printf "    plan: reach 30 hits at cost %.4f (%d iterations)\n"
-        o.Iq.Min_cost.total_cost o.Iq.Min_cost.iterations
-  | Error Iq.Engine.Error.Infeasible ->
-      print_endline "    plan: 30 hits currently unreachable"
-  | Error e -> failwith (Iq.Engine.Error.to_string e)
+  sok
+    (Serve.Session.with_session engine (fun sess ->
+         match
+           Serve.Session.min_cost ~candidate_cap:64 sess
+             ~cost:(Iq.Cost.euclidean d) ~target ~tau:30
+         with
+         | Ok o ->
+             Printf.printf
+               "    plan: reach 30 hits at cost %.4f (%d iterations)\n"
+               o.Iq.Min_cost.total_cost o.Iq.Min_cost.iterations;
+             Ok ()
+         | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible) ->
+             print_endline "    plan: 30 hits currently unreachable";
+             Ok ()
+         | Error e -> Error e))
 
 let () =
   let rng = Workload.Rng.make 808 in
@@ -61,23 +74,41 @@ let () =
   report "initial market:" engine target;
   replan engine target;
 
-  (* Pin an evaluator snapshot to the current generation; every market
-     event below will invalidate it. *)
-  let snapshot = ok (Iq.Engine.prepare engine ~target) in
+  (* Open a monitoring session: it pins the pre-launch generation and
+     will keep answering from it while the market moves on. The
+     Fun.protect bracket guarantees the admission slot is released on
+     every exit path. *)
+  let monitor = Serve.Session.open_exn engine in
+  let competitor =
+    Fun.protect
+      ~finally:(fun () -> Serve.Session.close monitor)
+      (fun () ->
+        let h_pinned = sok (Serve.Session.hits monitor ~target) in
 
-  (* 1. A competitor launches a strong product near the top corner. *)
-  let launch = [| 0.005; 0.008; 0.006 |] in
-  let competitor = ok (Iq.Engine.add_object engine launch) in
-  report (Printf.sprintf "competitor #%d launches:" competitor) engine target;
-  replan engine target;
+        (* 1. A competitor launches a strong product near the top
+           corner. *)
+        let launch = [| 0.005; 0.008; 0.006 |] in
+        let competitor = ok (Iq.Engine.add_object engine launch) in
+        report
+          (Printf.sprintf "competitor #%d launches:" competitor)
+          engine target;
+        replan engine target;
 
-  (* The pinned snapshot refuses to answer for the changed market. *)
-  (match Iq.Engine.evaluate engine snapshot ~s:(Geom.Vec.zero 3) with
-  | Error (Iq.Engine.Error.Stale_state { held; current }) ->
-      Printf.printf
-        "    pinned snapshot correctly stale (generation %d vs %d)\n" held
-        current
-  | Ok _ | Error _ -> failwith "snapshot should have gone stale");
+        (* The pinned session still serves the pre-launch market — the
+           same answer as before, from its immutable snapshot — until
+           it opts into the new generation with an explicit refresh. *)
+        Printf.printf
+          "    pinned session still sees H = %d (generation %d vs engine %d)\n"
+          (sok (Serve.Session.hits monitor ~target))
+          (Serve.Session.generation monitor)
+          (Iq.Engine.generation engine);
+        assert (sok (Serve.Session.hits monitor ~target) = h_pinned);
+        sok (Serve.Session.refresh monitor);
+        Printf.printf "    after refresh: H = %d (generation %d)\n"
+          (sok (Serve.Session.hits monitor ~target))
+          (Serve.Session.generation monitor);
+        competitor)
+  in
 
   (* 2. 50 new customers arrive; most resolve through the kNN
      subdomain shortcut instead of a full evaluation. *)

@@ -41,9 +41,9 @@ let voter_query rng id =
   in
   Topk.Query.make ~id ~k:1 weights
 
-let ok = function
+let sok = function
   | Ok v -> v
-  | Error e -> failwith (Iq.Engine.Error.to_string e)
+  | Error e -> failwith (Serve.Session.Error.to_string e)
 
 let () =
   let rng = Workload.Rng.make 1789 in
@@ -56,19 +56,22 @@ let () =
       ~queries:voters ()
   in
   let engine = Iq.Engine.create_exn inst in
-
+  (* The whole analysis runs in one serving session, so every count
+     and search below describes the same pinned snapshot. *)
+  let sess = Serve.Session.open_exn engine in
+  Fun.protect ~finally:(fun () -> Serve.Session.close sess) @@ fun () ->
   (* Current vote counts. *)
   Printf.printf "current first-choice support (3000 voters):\n";
   Array.iteri
     (fun c _ ->
       Printf.printf "  candidate %2d: %4d votes\n" c
-        (ok (Iq.Engine.hits engine ~target:c)))
+        (sok (Serve.Session.hits sess ~target:c)))
     candidates;
 
   (* Our candidate: the one currently in the middle of the pack. *)
   let target = 7 in
   Printf.printf "\nmanaging candidate %d (%d votes)\n" target
-    (ok (Iq.Engine.hits engine ~target));
+    (sok (Serve.Session.hits sess ~target));
 
   (* Political capital limits movement in feature space; platform
      positions must stay in [0,1] and their squares consistent — we
@@ -80,8 +83,8 @@ let () =
   let cost = Iq.Cost.euclidean (2 * d) in
 
   let o =
-    ok
-      (Iq.Engine.max_hit ~limits ~candidate_cap:256 engine ~cost ~target
+    sok
+      (Serve.Session.max_hit ~limits ~candidate_cap:256 sess ~cost ~target
          ~beta:0.35)
   in
   Printf.printf "max-hit IQ with budget 0.35: %d -> %d votes (spent %.3f)\n"
@@ -99,8 +102,8 @@ let () =
   Printf.printf "\ncombinatorial max-hit for the ticket {%d, %d}:\n" target
     running_mate;
   let co =
-    ok
-      (Iq.Engine.max_hit_multi ~candidate_cap:128 engine
+    sok
+      (Serve.Session.max_hit_multi ~candidate_cap:128 sess
          ~costs:[ (target, cost); (running_mate, cost) ]
          ~beta:0.35)
   in

@@ -10,11 +10,16 @@
      normalized attribute units), how many customers can product #17
      reach?
 
+   Both questions are asked through a serving session: the session
+   pins the engine's current snapshot, so the two answers are
+   guaranteed to describe the same market even if another client were
+   mutating the engine concurrently.
+
    Run with: dune exec examples/quickstart.exe *)
 
-let ok = function
+let sok = function
   | Ok v -> v
-  | Error e -> failwith (Iq.Engine.Error.to_string e)
+  | Error e -> failwith (Serve.Session.Error.to_string e)
 
 let () =
   let rng = Workload.Rng.make 2024 in
@@ -38,30 +43,37 @@ let () =
 
   let target = 17 in
   let cost = Iq.Cost.euclidean 3 in
-  Printf.printf "product #%d currently hits %d of %d queries\n" target
-    (ok (Iq.Engine.hits engine ~target))
-    st.Iq.Engine.n_queries;
 
-  (* Min-Cost IQ. *)
-  (match Iq.Engine.min_cost engine ~cost ~target ~tau:25 with
-  | Ok o ->
-      Printf.printf
-        "min-cost IQ: reach 25 hits with cost %.4f (achieved %d hits in %d \
-         iterations)\n"
-        o.Iq.Min_cost.total_cost o.Iq.Min_cost.hits_after
-        o.Iq.Min_cost.iterations;
-      Printf.printf "  strategy s = %s\n"
-        (String.concat ", "
-           (Array.to_list
-              (Array.map (Printf.sprintf "%+.4f") o.Iq.Min_cost.strategy)))
-  | Error Iq.Engine.Error.Infeasible ->
-      print_endline "min-cost IQ: goal unreachable"
-  | Error e -> failwith (Iq.Engine.Error.to_string e));
+  (* One serving session for both questions; with_session is the
+     bracket that releases the admission slot on every exit path. *)
+  sok
+    (Serve.Session.with_session engine (fun sess ->
+         Printf.printf "product #%d currently hits %d of %d queries\n" target
+           (sok (Serve.Session.hits sess ~target))
+           st.Iq.Engine.n_queries;
 
-  (* Max-Hit IQ — the engine reuses the evaluator it cached for the
-     Min-Cost search and reports this call's work only. *)
-  let o = ok (Iq.Engine.max_hit engine ~cost ~target ~beta:0.8) in
-  Printf.printf
-    "max-hit IQ: budget 0.80 buys %d hits (up from %d), spending %.4f\n"
-    o.Iq.Max_hit.hits_after o.Iq.Max_hit.hits_before
-    o.Iq.Max_hit.incremental_cost
+         (* Min-Cost IQ. *)
+         (match Serve.Session.min_cost sess ~cost ~target ~tau:25 with
+         | Ok o ->
+             Printf.printf
+               "min-cost IQ: reach 25 hits with cost %.4f (achieved %d hits \
+                in %d iterations)\n"
+               o.Iq.Min_cost.total_cost o.Iq.Min_cost.hits_after
+               o.Iq.Min_cost.iterations;
+             Printf.printf "  strategy s = %s\n"
+               (String.concat ", "
+                  (Array.to_list
+                     (Array.map (Printf.sprintf "%+.4f") o.Iq.Min_cost.strategy)))
+         | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible) ->
+             print_endline "min-cost IQ: goal unreachable"
+         | Error e -> failwith (Serve.Session.Error.to_string e));
+
+         (* Max-Hit IQ — the snapshot reuses the evaluator it cached
+            for the Min-Cost search and reports this call's work
+            only. *)
+         let o = sok (Serve.Session.max_hit sess ~cost ~target ~beta:0.8) in
+         Printf.printf
+           "max-hit IQ: budget 0.80 buys %d hits (up from %d), spending %.4f\n"
+           o.Iq.Max_hit.hits_after o.Iq.Max_hit.hits_before
+           o.Iq.Max_hit.incremental_cost;
+         Ok ()))

@@ -95,15 +95,20 @@ let () =
   in
   let cost = Iq.Cost.euclidean 5 in
   print_endline "\nimprovement strategies:";
+  (* One serving session covers the whole facelift program: every
+     target's search answers from the same pinned snapshot, so the
+     UPDATEs below are computed against one consistent market. *)
+  let sess = Serve.Session.open_exn engine in
+  Fun.protect ~finally:(fun () -> Serve.Session.close sess) @@ fun () ->
   List.iter
     (fun target ->
       match
-        Iq.Engine.min_cost ~limits ~candidate_cap:128 engine ~cost ~target
+        Serve.Session.min_cost ~limits ~candidate_cap:128 sess ~cost ~target
           ~tau:40
       with
-      | Error Iq.Engine.Error.Infeasible ->
+      | Error (Serve.Session.Error.Engine Iq.Engine.Error.Infeasible) ->
           Printf.printf "  vehicle %d: 40 hits unreachable\n" target
-      | Error e -> failwith (Iq.Engine.Error.to_string e)
+      | Error e -> failwith (Serve.Session.Error.to_string e)
       | Ok o ->
           Printf.printf
             "  vehicle %d: %d -> %d buyer hits at cost %.4f (dHP %+0.3f, \

@@ -160,57 +160,83 @@ let chain_of (module B : BACKEND) =
   let tail = if is_builtin then after builtin_chain else builtin_chain in
   Array.of_list ((module B : BACKEND) :: tail)
 
-(* Per-backend health accounting, engine-lock protected. [open_until_ms]
+(* Per-backend health accounting. Every field is an [Atomic] so the
+   counters can be bumped from any reader domain (prepares now run
+   under per-snapshot locks, not one engine lock) and read by [stats]
+   concurrently with a writer — no torn reads, no lock. The records
+   themselves are pre-created per chain link at engine construction,
+   so the table is never mutated after creation. [bs_open_until_ms]
    is the circuit breaker: non-zero while the backend is skipped
    outright; after the cooldown the next prepare half-opens it (one
    trial attempt; failure re-opens, success closes). *)
 type bstat = {
-  mutable bs_attempts : int;
-  mutable bs_failures : int;
-  mutable bs_retries : int;
-  mutable bs_fallbacks : int;
-  mutable bs_consecutive : int;
-  mutable bs_open_until_ms : float;
+  bs_attempts : int Atomic.t;
+  bs_failures : int Atomic.t;
+  bs_retries : int Atomic.t;
+  bs_fallbacks : int Atomic.t;
+  bs_consecutive : int Atomic.t;
+  bs_open_until_ms : float Atomic.t;
 }
 
-(* A cached per-target evaluator, pinned to the generation it was
-   prepared at. The ESE state rides along (when the backend has one)
-   so combinatorial searches reuse it instead of re-preparing.
-   [c_pos] records which link of the fallback chain served it. *)
-type centry = {
-  c_gen : int;
-  c_eval : Evaluator.t;
-  c_state : Ese.state option;
-  c_pos : int;
-  c_bname : string;
-}
+let fresh_bstat () =
+  {
+    bs_attempts = Atomic.make 0;
+    bs_failures = Atomic.make 0;
+    bs_retries = Atomic.make 0;
+    bs_fallbacks = Atomic.make 0;
+    bs_consecutive = Atomic.make 0;
+    bs_open_until_ms = Atomic.make 0.;
+  }
 
+(* The MVCC core. [current] is the published snapshot: readers
+   [Atomic.get] it (acquire) and then work against that immutable
+   bundle for the whole call; the writer path builds the successor
+   through the functional [Query_index.with_*] updates under [wlock]
+   and [Atomic.set]s it (release). Nothing a reader touches is ever
+   patched in place, so a pinned snapshot stays valid forever.
+
+   [slock] protects the small cross-generation tables: [seen] (which
+   targets were prepared at which generation — the bridge that keeps
+   the pre-MVCC [cached_targets]/[stale_cached]/[repreparations]
+   stats semantics), [pins] (generation -> live session pin count)
+   and [retained] (the IQ_SNAPSHOT_KEEP ring of recently retired
+   snapshots kept reachable for late readers). Lock order is
+   snapshot-lock -> slock; [wlock] never nests inside either. *)
 type t = {
-  index : Query_index.t;
   pool : Parallel.pool;
   backend : backend;
   chain : backend array;
   res : resilience;
   prune : bool;
-  lock : Mutex.t;
-  cache : (int, centry) Hashtbl.t;
+  current : Snapshot.t Atomic.t;
+  wlock : Mutex.t;
+  slock : Mutex.t;
+  seen : (int, int) Hashtbl.t;
+  pins : (int, int) Hashtbl.t;
+  mutable retained : Snapshot.t list;
+  keep : int;
   bstats : (string, bstat) Hashtbl.t;
-  mutable gen : int;
-  mutable dom : (int * Topk.Onion.t) option;
-      (* lazily-built onion/dominance layer index over the current
-         features, stamped with the generation it was built at; a
-         mismatch on next prepare rebuilds it (mutations move objects) *)
-  mutable repreps : int;
-  mutable retired_evals : int;
-      (* evaluation counts of cache entries already replaced, so
-         [stats] stays monotonic across re-preparations *)
-  mutable deadline_trips : int;
-  mutable cancellations : int;
+  last_dom : (int * int) option Atomic.t;
+      (* (generation, layer_count) of the most recently built onion,
+         for {!dominance_stats}: a stale pair after a mutation is the
+         observable form of "rebuilt lazily on next prepare" *)
+  repreps : int Atomic.t;
+  retired_evals : int Atomic.t;
+      (* evaluation counts of retired snapshots and replaced cache
+         entries, so [stats] stays monotonic across generations *)
+  deadline_trips : int Atomic.t;
+  cancellations : int Atomic.t;
+  (* admission control for serving sessions *)
+  alock : Mutex.t;
+  mutable adm_active : int;
+  mutable adm_waiting : int;
+  adm_max : int;
+  rejections : int Atomic.t;
 }
 
-let with_lock t f =
-  Mutex.lock t.lock;
-  Fun.protect ~finally:(fun () -> Mutex.unlock t.lock) f
+let with_mutex m f =
+  Mutex.lock m;
+  Fun.protect ~finally:(fun () -> Mutex.unlock m) f
 
 let resolve_backend = function Some b -> Ok b | None -> default_backend ()
 
@@ -228,22 +254,14 @@ let resolve_resilience = function
           | Some spec -> Error (Error.Fault_spec { spec; msg })
           | None -> Error (Error.Fault_spec { spec = ""; msg })))
 
+(* The per-link table is fixed at creation with an entry for every
+   chain link, so this lookup is a read of an immutable Hashtbl and
+   safe from any domain; the [None] arm is unreachable by construction
+   and yields a throwaway record rather than a raise. *)
 let bstat t name =
   match Hashtbl.find_opt t.bstats name with
-  | Some s -> s
-  | None ->
-      let s =
-        {
-          bs_attempts = 0;
-          bs_failures = 0;
-          bs_retries = 0;
-          bs_fallbacks = 0;
-          bs_consecutive = 0;
-          bs_open_until_ms = 0.;
-        }
-      in
-      Hashtbl.add t.bstats name s;
-      s
+  | Some st -> st
+  | None -> fresh_bstat ()
 
 let of_index ?backend ?resilience ?prune ?pool index =
   guard @@ fun () ->
@@ -253,23 +271,38 @@ let of_index ?backend ?resilience ?prune ?pool index =
   let prune =
     match prune with Some p -> p | None -> Workload.Config.prune ()
   in
+  let chain = chain_of b in
+  let bstats = Hashtbl.create 4 in
+  Array.iter
+    (fun (module B : BACKEND) ->
+      if not (Hashtbl.mem bstats B.name) then
+        Hashtbl.add bstats B.name (fresh_bstat ()))
+    chain;
   Ok
     {
-      index;
       pool;
       backend = b;
-      chain = chain_of b;
+      chain;
       res;
       prune;
-      lock = Mutex.create ();
-      cache = Hashtbl.create 16;
-      bstats = Hashtbl.create 4;
-      gen = 0;
-      dom = None;
-      repreps = 0;
-      retired_evals = 0;
-      deadline_trips = 0;
-      cancellations = 0;
+      current = Atomic.make (Snapshot.root ~prune index);
+      wlock = Mutex.create ();
+      slock = Mutex.create ();
+      seen = Hashtbl.create 16;
+      pins = Hashtbl.create 8;
+      retained = [];
+      keep = Workload.Config.snapshot_keep ();
+      bstats;
+      last_dom = Atomic.make None;
+      repreps = Atomic.make 0;
+      retired_evals = Atomic.make 0;
+      deadline_trips = Atomic.make 0;
+      cancellations = Atomic.make 0;
+      alock = Mutex.create ();
+      adm_active = 0;
+      adm_waiting = 0;
+      adm_max = Workload.Config.max_sessions ();
+      rejections = Atomic.make 0;
     }
 
 let create ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
@@ -296,13 +329,17 @@ let create_exn ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
   | Ok t -> t
   | Error e -> invalid_arg ("Engine.create: " ^ Error.to_string e)
 
-let instance t = Query_index.instance t.index
+let snapshot t = Atomic.get t.current
 
-let index t = t.index
+let resolve_snap t = function Some s -> s | None -> snapshot t
+
+let instance t = Snapshot.instance (snapshot t)
+
+let index t = Snapshot.index (snapshot t)
 
 let pool t = t.pool
 
-let generation t = t.gen
+let generation t = Snapshot.generation (snapshot t)
 
 let backend_name t =
   let (module B : BACKEND) = t.backend in
@@ -310,19 +347,17 @@ let backend_name t =
 
 let pruning_enabled t = t.prune
 
-let dominance_stats t =
-  with_lock t (fun () ->
-      Option.map (fun (g, onion) -> (g, Topk.Onion.layer_count onion)) t.dom)
+let dominance_stats t = Atomic.get t.last_dom
 
 (* {2 Validation} *)
 
-let check_target t id =
-  let n = Instance.n_objects (instance t) in
+let check_target_in snap id =
+  let n = Instance.n_objects (Snapshot.instance snap) in
   if id < 0 || id >= n then Error (Error.Unknown_target { id; n_objects = n })
   else Ok ()
 
-let check_query t q =
-  let m = Instance.n_queries (instance t) in
+let check_query_in snap q =
+  let m = Instance.n_queries (Snapshot.instance snap) in
   if q < 0 || q >= m then Error (Error.Unknown_query { q; n_queries = m })
   else Ok ()
 
@@ -350,34 +385,14 @@ let wrap_eval t bname (eval : Evaluator.t) =
             eval.Evaluator.hit_count s);
       }
 
-(* The layer map handed to backends when pruning is on; engine lock
-   held. The onion index is built lazily on first prepare and reused
-   until a mutation moves the generation past its stamp — every object
-   mutation can reshuffle layers, so a stale index is simply rebuilt
-   rather than patched. *)
-let layers_locked t =
-  if not t.prune then None
-  else begin
-    let onion =
-      match t.dom with
-      | Some (g, onion) when g = t.gen -> onion
-      | Some _ | None ->
-          let onion =
-            Topk.Onion.build (Query_index.instance t.index).Instance.features
-          in
-          t.dom <- Some (t.gen, onion);
-          onion
-    in
-    Some (Topk.Onion.layer_of onion)
-  end
-
-(* Prepare [target] starting at chain link [from_pos]; engine lock
-   held. Circuit-open backends are skipped outright; an injected
-   transient retries the same backend with doubling backoff; a
-   persistent injection marks the failure and falls through to the
-   next link. Only {!Resilience.Fault.Injected} drives failover — any
-   other exception is a genuine bug and propagates to [guard]. *)
-let prepare_locked t ~target ~from_pos =
+(* Prepare [target] against [snap] starting at chain link [from_pos];
+   the snapshot's cache lock is held. Circuit-open backends are
+   skipped outright; an injected transient retries the same backend
+   with doubling backoff; a persistent injection marks the failure and
+   falls through to the next link. Only {!Resilience.Fault.Injected}
+   drives failover — any other exception is a genuine bug and
+   propagates to [guard]. *)
+let prepare_in t snap ~target ~from_pos =
   let n = Array.length t.chain in
   let rec try_pos pos last =
     if pos >= n then
@@ -387,37 +402,37 @@ let prepare_locked t ~target ~from_pos =
     else
       let (module B : BACKEND) = t.chain.(pos) in
       let st = bstat t B.name in
-      if st.bs_open_until_ms > Resilience.now_ms () then begin
-        st.bs_fallbacks <- st.bs_fallbacks + 1;
+      if Atomic.get st.bs_open_until_ms > Resilience.now_ms () then begin
+        Atomic.incr st.bs_fallbacks;
         try_pos (pos + 1) last
       end
       else
         let site = "backend." ^ B.name ^ ".prepare" in
         let rec attempt tries_left =
-          st.bs_attempts <- st.bs_attempts + 1;
+          Atomic.incr st.bs_attempts;
           match
             Resilience.Fault.point t.res.fault ~site;
-            B.prepare ~layers:(layers_locked t) ~index:t.index ~pool:t.pool
-              ~target
+            B.prepare ~layers:(Snapshot.layers snap)
+              ~index:(Snapshot.index snap) ~pool:t.pool ~target
           with
           | eval, state ->
-              st.bs_consecutive <- 0;
-              st.bs_open_until_ms <- 0.;
+              Atomic.set st.bs_consecutive 0;
+              Atomic.set st.bs_open_until_ms 0.;
               (pos, B.name, eval, state)
           | exception Resilience.Fault.Injected { transient = true; _ }
             when tries_left > 0 ->
-              st.bs_retries <- st.bs_retries + 1;
+              Atomic.incr st.bs_retries;
               sleep_ms
                 (t.res.backoff_ms
                 *. (2. ** float_of_int (t.res.retries - tries_left)));
               attempt (tries_left - 1)
           | exception (Resilience.Fault.Injected _ as e) ->
-              st.bs_failures <- st.bs_failures + 1;
-              st.bs_consecutive <- st.bs_consecutive + 1;
-              if st.bs_consecutive >= t.res.circuit_threshold then
-                st.bs_open_until_ms <-
-                  Resilience.now_ms () +. t.res.circuit_cooldown_ms;
-              st.bs_fallbacks <- st.bs_fallbacks + 1;
+              Atomic.incr st.bs_failures;
+              Atomic.incr st.bs_consecutive;
+              if Atomic.get st.bs_consecutive >= t.res.circuit_threshold then
+                Atomic.set st.bs_open_until_ms
+                  (Resilience.now_ms () +. t.res.circuit_cooldown_ms);
+              Atomic.incr st.bs_fallbacks;
               try_pos (pos + 1) (Some e)
         in
         attempt t.res.retries
@@ -425,104 +440,128 @@ let prepare_locked t ~target ~from_pos =
   let pos, bname, eval, state = try_pos from_pos None in
   let e =
     {
-      c_gen = t.gen;
-      c_eval = wrap_eval t bname eval;
-      c_state = state;
-      c_pos = pos;
-      c_bname = bname;
+      Snapshot.e_eval = wrap_eval t bname eval;
+      e_state = state;
+      e_pos = pos;
+      e_bname = bname;
     }
   in
-  Hashtbl.replace t.cache target e;
+  (* A same-snapshot replacement (failover past a poisoned entry)
+     retires the old entry's evaluation count so [stats] stays
+     monotonic. Entries of retired snapshots were already folded in
+     when the writer published their successor. *)
+  (match Snapshot.find_entry snap target with
+  | Some old when snap == Atomic.get t.current ->
+      ignore
+        (Atomic.fetch_and_add t.retired_evals
+           (old.Snapshot.e_eval.Evaluator.evaluations ()))
+  | Some _ | None -> ());
+  Snapshot.set_entry snap target e;
+  let gen = Snapshot.generation snap in
+  with_mutex t.slock (fun () ->
+      (match Hashtbl.find_opt t.seen target with
+      | Some g when g <> gen ->
+          (* Transparent re-preparation: a mutation moved the engine
+             past this target's last evaluator. *)
+          Atomic.incr t.repreps
+      | Some _ | None -> ());
+      Hashtbl.replace t.seen target gen);
+  (match Snapshot.onion_layers snap with
+  | Some layers -> Atomic.set t.last_dom (Some (gen, layers))
+  | None -> ());
   e
 
-(* Cache lookup honouring both the generation and a minimum chain
-   position: a search that just watched chain link [c_pos] fail asks
-   for [min_pos = c_pos + 1] so the retry skips the poisoned entry. *)
-let entry_locked t ~target ~min_pos =
-  match Hashtbl.find_opt t.cache target with
-  | Some e when e.c_gen = t.gen && e.c_pos >= min_pos -> e
-  | Some stale ->
-      if stale.c_gen <> t.gen then
-        (* Transparent re-preparation: a mutation moved the engine
-           past this entry's generation. *)
-        t.repreps <- t.repreps + 1;
-      t.retired_evals <-
-        t.retired_evals + stale.c_eval.Evaluator.evaluations ();
-      prepare_locked t ~target ~from_pos:min_pos
-  | None -> prepare_locked t ~target ~from_pos:min_pos
+(* Cache lookup honouring a minimum chain position: a search that just
+   watched chain link [e_pos] fail asks for [min_pos = e_pos + 1] so
+   the retry skips the poisoned entry. Generation staleness needs no
+   check here — an entry lives in exactly one snapshot. *)
+let entry_in t snap ~target ~min_pos =
+  match Snapshot.find_entry snap target with
+  | Some e when e.Snapshot.e_pos >= min_pos -> e
+  | Some _ | None -> prepare_in t snap ~target ~from_pos:min_pos
 
-let entry t ~target = with_lock t (fun () -> entry_locked t ~target ~min_pos:0)
+let entry ?snap t ~target =
+  let snap = resolve_snap t snap in
+  Snapshot.locked snap (fun () -> entry_in t snap ~target ~min_pos:0)
 
 (* Run [f] over the target's cached entry, treating injected eval
    faults like prepare faults: transients retry the same backend with
    backoff; persistent injections advance down the chain (the cache
    entry is replaced, so later calls start from the healthy backend).
    Each retry restarts [f] from scratch — searches are pure over the
-   evaluator, so the restart is safe, merely slower. *)
-let with_failover t ~target f =
+   evaluator, so the restart is safe, merely slower. The whole call
+   runs against one snapshot: a mutation landing mid-search never
+   forces a re-prepare. *)
+let with_failover ?snap t ~target f =
+  let snap = resolve_snap t snap in
   let n = Array.length t.chain in
   let rec go ~min_pos tries_left =
-    let e = with_lock t (fun () -> entry_locked t ~target ~min_pos) in
+    let e = Snapshot.locked snap (fun () -> entry_in t snap ~target ~min_pos) in
     match f e with
     | r -> r
     | exception Resilience.Fault.Injected { transient = true; _ }
       when tries_left > 0 ->
-        with_lock t (fun () ->
-            let st = bstat t e.c_bname in
-            st.bs_retries <- st.bs_retries + 1);
+        Atomic.incr (bstat t e.Snapshot.e_bname).bs_retries;
         sleep_ms
           (t.res.backoff_ms *. (2. ** float_of_int (t.res.retries - tries_left)));
         go ~min_pos (tries_left - 1)
     | exception (Resilience.Fault.Injected _ as ex) ->
-        with_lock t (fun () ->
-            let st = bstat t e.c_bname in
-            st.bs_failures <- st.bs_failures + 1;
-            st.bs_consecutive <- st.bs_consecutive + 1;
-            if st.bs_consecutive >= t.res.circuit_threshold then
-              st.bs_open_until_ms <-
-                Resilience.now_ms () +. t.res.circuit_cooldown_ms;
-            st.bs_fallbacks <- st.bs_fallbacks + 1);
-        if e.c_pos + 1 >= n then raise ex
-        else go ~min_pos:(e.c_pos + 1) t.res.retries
+        let st = bstat t e.Snapshot.e_bname in
+        Atomic.incr st.bs_failures;
+        Atomic.incr st.bs_consecutive;
+        if Atomic.get st.bs_consecutive >= t.res.circuit_threshold then
+          Atomic.set st.bs_open_until_ms
+            (Resilience.now_ms () +. t.res.circuit_cooldown_ms);
+        Atomic.incr st.bs_fallbacks;
+        if e.Snapshot.e_pos + 1 >= n then raise ex
+        else go ~min_pos:(e.Snapshot.e_pos + 1) t.res.retries
   in
   go ~min_pos:0 t.res.retries
 
-let evaluator t ~target =
+let evaluator ?snap t ~target =
   guard @@ fun () ->
-  let* () = check_target t target in
-  Ok (entry t ~target).c_eval
+  let snap = resolve_snap t snap in
+  let* () = check_target_in snap target in
+  Ok (entry ~snap t ~target).Snapshot.e_eval
 
-let hits t ~target =
-  let* ev = evaluator t ~target in
+let hits ?snap t ~target =
+  let* ev = evaluator ?snap t ~target in
   Ok ev.Evaluator.base_hits
 
-let member t ~target ~q =
+let member ?snap t ~target ~q =
   guard @@ fun () ->
-  let* () = check_target t target in
-  let* () = check_query t q in
-  let e = entry t ~target in
-  match e.c_state with
+  let snap = resolve_snap t snap in
+  let* () = check_target_in snap target in
+  let* () = check_query_in snap q in
+  let e = entry ~snap t ~target in
+  match e.Snapshot.e_state with
   | Some state -> Ok (Ese.member state ~q)
   | None ->
-      Ok (e.c_eval.Evaluator.member ~q (Strategy.zero (Instance.dim (instance t))))
+      Ok
+        (e.Snapshot.e_eval.Evaluator.member ~q
+           (Strategy.zero (Instance.dim (Snapshot.instance snap))))
 
-let dirty_queries t ~target ~s =
+let dirty_queries ?snap t ~target ~s =
   guard @@ fun () ->
-  let* () = check_target t target in
-  let* () = check_dim ~expected:(Instance.dim (instance t)) ~got:(Vec.dim s) in
-  match (entry t ~target).c_state with
+  let snap = resolve_snap t snap in
+  let* () = check_target_in snap target in
+  let* () =
+    check_dim ~expected:(Instance.dim (Snapshot.instance snap)) ~got:(Vec.dim s)
+  in
+  match (entry ~snap t ~target).Snapshot.e_state with
   | Some state -> Ok (Ese.dirty_queries state ~s)
-  | None -> Ok (List.init (Instance.n_queries (instance t)) Fun.id)
+  | None -> Ok (List.init (Instance.n_queries (Snapshot.instance snap)) Fun.id)
 
 (* {2 Prepared handles} *)
 
-type prepared = { p_target : int; p_gen : int; p_entry : centry }
+type prepared = { p_target : int; p_gen : int; p_entry : Snapshot.entry }
 
 let prepare t ~target =
   guard @@ fun () ->
-  let* () = check_target t target in
-  let e = entry t ~target in
-  Ok { p_target = target; p_gen = e.c_gen; p_entry = e }
+  let snap = snapshot t in
+  let* () = check_target_in snap target in
+  let e = entry ~snap t ~target in
+  Ok { p_target = target; p_gen = Snapshot.generation snap; p_entry = e }
 
 let prepared_target p = p.p_target
 
@@ -533,10 +572,10 @@ let evaluate t p ~s =
   let* () =
     check_dim ~expected:(Instance.dim (instance t)) ~got:(Vec.dim s)
   in
-  let current = t.gen in
+  let current = generation t in
   if p.p_gen <> current then
     Error (Error.Stale_state { held = p.p_gen; current })
-  else Ok (p.p_entry.c_eval.Evaluator.hit_count s)
+  else Ok (p.p_entry.Snapshot.e_eval.Evaluator.hit_count s)
 
 (* Re-preparing a stale handle is the one read of its payload that must
    not be gated on the stamp: the target survives the generation change
@@ -570,13 +609,13 @@ let resolve_budget ?deadline_ms ?budget () =
 let degraded_error t budget trip partial =
   match (trip : Resilience.Budget.trip) with
   | Resilience.Budget.Cancelled ->
-      with_lock t (fun () -> t.cancellations <- t.cancellations + 1);
+      Atomic.incr t.cancellations;
       Error (Error.Cancelled { partial = Some partial })
   | Resilience.Budget.Deadline { elapsed_ms } ->
-      with_lock t (fun () -> t.deadline_trips <- t.deadline_trips + 1);
+      Atomic.incr t.deadline_trips;
       Error (Error.Deadline_exceeded { elapsed_ms; partial = Some partial })
   | Resilience.Budget.Steps _ ->
-      with_lock t (fun () -> t.deadline_trips <- t.deadline_trips + 1);
+      Atomic.incr t.deadline_trips;
       Error
         (Error.Deadline_exceeded
            {
@@ -584,19 +623,22 @@ let degraded_error t budget trip partial =
              partial = Some partial;
            })
 
-let min_cost ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget t
-    ~cost ~target ~tau =
+let min_cost ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget ?snap
+    t ~cost ~target ~tau =
   guard @@ fun () ->
-  let* () = check_target t target in
+  let snap = resolve_snap t snap in
+  let* () = check_target_in snap target in
   let* () =
-    check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
+    check_dim ~expected:(Instance.dim (Snapshot.instance snap))
+      ~got:cost.Cost.dim
   in
   let budget = resolve_budget ?deadline_ms ?budget () in
-  with_failover t ~target (fun e ->
-      let before = e.c_eval.Evaluator.evaluations () in
+  with_failover ~snap t ~target (fun e ->
+      let before = e.Snapshot.e_eval.Evaluator.evaluations () in
       match
         Min_cost.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
-          ~budget ?fault:t.res.fault ~evaluator:e.c_eval ~cost ~target ~tau ()
+          ~budget ?fault:t.res.fault ~evaluator:e.Snapshot.e_eval ~cost ~target
+          ~tau ()
       with
       | None -> Error Error.Infeasible
       | Some o -> (
@@ -617,22 +659,24 @@ let min_cost ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget t
                   p_flag = `Degraded;
                 }))
 
-let max_hit ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget t
+let max_hit ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget ?snap t
     ~cost ~target ~beta =
   guard @@ fun () ->
   if beta < 0. then Error (Error.Budget_exhausted beta)
   else
-    let* () = check_target t target in
+    let snap = resolve_snap t snap in
+    let* () = check_target_in snap target in
     let* () =
-      check_dim ~expected:(Instance.dim (instance t)) ~got:cost.Cost.dim
+      check_dim ~expected:(Instance.dim (Snapshot.instance snap))
+        ~got:cost.Cost.dim
     in
     let budget = resolve_budget ?deadline_ms ?budget () in
-    with_failover t ~target (fun e ->
-        let before = e.c_eval.Evaluator.evaluations () in
+    with_failover ~snap t ~target (fun e ->
+        let before = e.Snapshot.e_eval.Evaluator.evaluations () in
         let o =
           Max_hit.search ?limits ?max_iterations ?candidate_cap ~pool:t.pool
-            ~budget ?fault:t.res.fault ~evaluator:e.c_eval ~cost ~target ~beta
-            ()
+            ~budget ?fault:t.res.fault ~evaluator:e.Snapshot.e_eval ~cost
+            ~target ~beta ()
         in
         let o =
           { o with Max_hit.evaluations = o.Max_hit.evaluations - before }
@@ -649,21 +693,21 @@ let max_hit ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget t
                 p_flag = `Degraded;
               })
 
-let check_costs t costs =
+let check_costs snap costs =
   if costs = [] then Error Error.Empty_targets
   else
-    let d = Instance.dim (instance t) in
+    let d = Instance.dim (Snapshot.instance snap) in
     List.fold_left
       (fun acc (target, cost) ->
         let* () = acc in
-        let* () = check_target t target in
+        let* () = check_target_in snap target in
         check_dim ~expected:d ~got:cost.Cost.dim)
       (Ok ()) costs
 
-let cached_states t costs =
+let cached_states t snap costs =
   List.filter_map
     (fun (target, _) ->
-      match (entry t ~target).c_state with
+      match (entry ~snap t ~target).Snapshot.e_state with
       | Some state -> Some (target, state)
       | None -> None)
     costs
@@ -682,14 +726,15 @@ let multi_partial o =
    scan runs on ESE states directly, not through a backend evaluator,
    so an injected fault there surfaces via [guard] as [Internal]. *)
 let min_cost_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
-    t ~costs ~tau =
+    ?snap t ~costs ~tau =
   guard @@ fun () ->
-  let* () = check_costs t costs in
+  let snap = resolve_snap t snap in
+  let* () = check_costs snap costs in
   let budget = resolve_budget ?deadline_ms ?budget () in
-  let states = cached_states t costs in
+  let states = cached_states t snap costs in
   match
     Combinatorial.min_cost ?limits ?max_iterations ?candidate_cap ~states
-      ~budget ?fault:t.res.fault ~index:t.index ~costs ~tau ()
+      ~budget ?fault:t.res.fault ~index:(Snapshot.index snap) ~costs ~tau ()
   with
   | None -> Error Error.Infeasible
   | Some o -> (
@@ -698,16 +743,17 @@ let min_cost_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
       | `Degraded trip -> degraded_error t budget trip (multi_partial o))
 
 let max_hit_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
-    t ~costs ~beta =
+    ?snap t ~costs ~beta =
   guard @@ fun () ->
   if beta < 0. then Error (Error.Budget_exhausted beta)
   else
-    let* () = check_costs t costs in
+    let snap = resolve_snap t snap in
+    let* () = check_costs snap costs in
     let budget = resolve_budget ?deadline_ms ?budget () in
-    let states = cached_states t costs in
+    let states = cached_states t snap costs in
     let o =
       Combinatorial.max_hit ?limits ?max_iterations ?candidate_cap ~states
-        ~budget ?fault:t.res.fault ~index:t.index ~costs ~beta ()
+        ~budget ?fault:t.res.fault ~index:(Snapshot.index snap) ~costs ~beta ()
     in
     match o.Combinatorial.status with
     | `Complete -> Ok o
@@ -715,47 +761,166 @@ let max_hit_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
 
 (* {2 Dataset maintenance} *)
 
-let mutate t f =
-  with_lock t (fun () ->
-      let r = f () in
-      t.gen <- t.gen + 1;
-      r)
+(* The single writer path. Under [wlock]: validate against the
+   snapshot that will actually be mutated, build the successor index
+   through the functional [Query_index.with_*] updates (the published
+   snapshot is never touched), fold the outgoing generation's
+   evaluation counts into the retired total, slide the retention ring,
+   and publish. [Atomic.set] gives release semantics: a reader that
+   acquires the new snapshot sees every write that built it. *)
+let mutate t validate f =
+  with_mutex t.wlock (fun () ->
+      let snap = Atomic.get t.current in
+      let* () = validate snap in
+      let index', r = f (Snapshot.index snap) in
+      let snap' = Snapshot.next snap index' in
+      let outgoing = Snapshot.eval_total snap in
+      if outgoing > 0 then
+        ignore (Atomic.fetch_and_add t.retired_evals outgoing);
+      with_mutex t.slock (fun () ->
+          let rec take n = function
+            | [] -> []
+            | _ when n <= 0 -> []
+            | s :: rest -> s :: take (n - 1) rest
+          in
+          t.retained <- take t.keep (snap :: t.retained));
+      Atomic.set t.current snap';
+      Ok r)
 
 let add_query t q =
   guard @@ fun () ->
-  let* () =
-    check_dim ~expected:(Instance.dim (instance t))
-      ~got:(Vec.dim q.Topk.Query.weights)
-  in
-  let depth = Query_index.depth t.index in
-  if q.Topk.Query.k + 1 > depth then
-    Error (Error.Depth_exceeded { k = q.Topk.Query.k; depth })
-  else Ok (mutate t (fun () -> Query_index.add_query t.index q))
+  mutate t
+    (fun snap ->
+      let* () =
+        check_dim
+          ~expected:(Instance.dim (Snapshot.instance snap))
+          ~got:(Vec.dim q.Topk.Query.weights)
+      in
+      let depth = Query_index.depth (Snapshot.index snap) in
+      if q.Topk.Query.k + 1 > depth then
+        Error (Error.Depth_exceeded { k = q.Topk.Query.k; depth })
+      else Ok ())
+    (fun idx -> Query_index.with_query_added idx q)
 
 let remove_query t q =
   guard @@ fun () ->
-  let* () = check_query t q in
-  Ok (mutate t (fun () -> Query_index.remove_query t.index q))
+  mutate t
+    (fun snap -> check_query_in snap q)
+    (fun idx -> (Query_index.with_query_removed idx q, ()))
 
 let add_object t raw =
   guard @@ fun () ->
-  let* () =
-    check_dim ~expected:(Instance.dim_raw (instance t)) ~got:(Vec.dim raw)
-  in
-  Ok (mutate t (fun () -> Query_index.add_object t.index raw))
+  mutate t
+    (fun snap ->
+      check_dim
+        ~expected:(Instance.dim_raw (Snapshot.instance snap))
+        ~got:(Vec.dim raw))
+    (fun idx -> Query_index.with_object_added idx raw)
 
 let update_object t id raw =
   guard @@ fun () ->
-  let* () = check_target t id in
-  let* () =
-    check_dim ~expected:(Instance.dim_raw (instance t)) ~got:(Vec.dim raw)
-  in
-  Ok (mutate t (fun () -> Query_index.update_object t.index id raw))
+  mutate t
+    (fun snap ->
+      let* () = check_target_in snap id in
+      check_dim
+        ~expected:(Instance.dim_raw (Snapshot.instance snap))
+        ~got:(Vec.dim raw))
+    (fun idx -> (Query_index.with_object_updated idx id raw, ()))
 
 let remove_object t id =
   guard @@ fun () ->
-  let* () = check_target t id in
-  Ok (mutate t (fun () -> Query_index.remove_object t.index id))
+  mutate t
+    (fun snap -> check_target_in snap id)
+    (fun idx -> (Query_index.with_object_removed idx id, ()))
+
+(* {2 Serving sessions: admission and snapshot pinning} *)
+
+let pin t snap =
+  let g = Snapshot.generation snap in
+  with_mutex t.slock (fun () ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt t.pins g) in
+      Hashtbl.replace t.pins g (n + 1))
+
+let unpin t snap =
+  let g = Snapshot.generation snap in
+  with_mutex t.slock (fun () ->
+      match Hashtbl.find_opt t.pins g with
+      | Some n when n <= 1 -> Hashtbl.remove t.pins g
+      | Some n -> Hashtbl.replace t.pins g (n - 1)
+      | None -> ())
+
+(* Wait for an admission slot. OCaml's stdlib [Condition] has no timed
+   wait, so a full queue polls: each miss checks the caller's budget
+   (deadline/cancellation) and sleeps 1ms. A tripped budget while
+   queued is an admission rejection — typed like any other deadline. *)
+let acquire_slot t ~budget =
+  let registered = ref false in
+  let enter () =
+    with_mutex t.alock (fun () ->
+        if t.adm_active < t.adm_max then begin
+          t.adm_active <- t.adm_active + 1;
+          if !registered then t.adm_waiting <- t.adm_waiting - 1;
+          true
+        end
+        else begin
+          if not !registered then begin
+            registered := true;
+            t.adm_waiting <- t.adm_waiting + 1
+          end;
+          false
+        end)
+  in
+  let give_up () =
+    with_mutex t.alock (fun () ->
+        if !registered then t.adm_waiting <- t.adm_waiting - 1)
+  in
+  let rec loop () =
+    if enter () then Ok ()
+    else
+      match Resilience.Budget.check budget with
+      | Some trip -> (
+          give_up ();
+          Atomic.incr t.rejections;
+          match trip with
+          | Resilience.Budget.Cancelled ->
+              Error (Error.Cancelled { partial = None })
+          | Resilience.Budget.Deadline { elapsed_ms } ->
+              Error (Error.Deadline_exceeded { elapsed_ms; partial = None })
+          | Resilience.Budget.Steps _ ->
+              Error
+                (Error.Deadline_exceeded
+                   {
+                     elapsed_ms = Resilience.Budget.elapsed_ms budget;
+                     partial = None;
+                   }))
+      | None ->
+          Unix.sleepf 0.001;
+          loop ()
+  in
+  loop ()
+
+let release_slot t =
+  with_mutex t.alock (fun () -> t.adm_active <- Int.max 0 (t.adm_active - 1))
+
+let acquire_session ?deadline_ms ?budget t =
+  guard @@ fun () ->
+  let budget = resolve_budget ?deadline_ms ?budget () in
+  let* () = acquire_slot t ~budget in
+  let snap = snapshot t in
+  pin t snap;
+  Ok snap
+
+let release_session t snap =
+  unpin t snap;
+  release_slot t
+
+let repin t snap =
+  let snap' = snapshot t in
+  if snap' != snap then begin
+    pin t snap';
+    unpin t snap
+  end;
+  snap'
 
 (* {2 Stats} *)
 
@@ -785,56 +950,78 @@ type stats = {
   deadline_trips : int;
   cancellations : int;
   faults_injected : int;
+  active_sessions : int;
+  queue_depth : int;
+  admission_rejections : int;
+  pinned_snapshots : int;
+  oldest_pinned : int option;
 }
 
 let stats t =
-  with_lock t (fun () ->
-      let inst = Query_index.instance t.index in
-      let stale =
-        Hashtbl.fold
-          (fun _ e acc -> if e.c_gen <> t.gen then acc + 1 else acc)
-          t.cache 0
-      in
-      let live_evals =
-        Hashtbl.fold
-          (fun _ e acc -> acc + e.c_eval.Evaluator.evaluations ())
-          t.cache 0
-      in
-      let backends =
-        Array.to_list t.chain
-        |> List.filter_map (fun (module B : BACKEND) ->
-               match Hashtbl.find_opt t.bstats B.name with
-               | None -> None
-               | Some st ->
-                   Some
-                     {
-                       b_name = B.name;
-                       b_attempts = st.bs_attempts;
-                       b_failures = st.bs_failures;
-                       b_retries = st.bs_retries;
-                       b_fallbacks = st.bs_fallbacks;
-                       b_circuit_open =
-                         st.bs_open_until_ms > Resilience.now_ms ();
-                     })
-      in
-      {
-        generation = t.gen;
-        backend = backend_name t;
-        prune = t.prune;
-        domains = Parallel.domains t.pool;
-        n_objects = Instance.n_objects inst;
-        n_queries = Instance.n_queries inst;
-        n_groups = Query_index.n_groups t.index;
-        index_words = Query_index.size_words t.index;
-        cached_targets = Hashtbl.length t.cache;
-        stale_cached = stale;
-        repreparations = t.repreps;
-        evaluations = t.retired_evals + live_evals;
-        backends;
-        deadline_trips = t.deadline_trips;
-        cancellations = t.cancellations;
-        faults_injected =
-          (match t.res.fault with
-          | None -> 0
-          | Some f -> Resilience.Fault.injections f);
-      })
+  let snap = snapshot t in
+  let gen = Snapshot.generation snap in
+  let inst = Snapshot.instance snap in
+  let cached, stale, pinned, oldest =
+    with_mutex t.slock (fun () ->
+        let cached, stale =
+          Hashtbl.fold
+            (fun _ g (c, s) -> (c + 1, if g <> gen then s + 1 else s))
+            t.seen (0, 0)
+        in
+        let pinned = Hashtbl.length t.pins in
+        let oldest =
+          Hashtbl.fold
+            (fun g _ acc ->
+              match acc with Some o when o <= g -> acc | _ -> Some g)
+            t.pins None
+        in
+        (cached, stale, pinned, oldest))
+  in
+  let live_evals = Snapshot.eval_total snap in
+  let active, waiting =
+    with_mutex t.alock (fun () -> (t.adm_active, t.adm_waiting))
+  in
+  let backends =
+    Array.to_list t.chain
+    |> List.filter_map (fun (module B : BACKEND) ->
+           let st = bstat t B.name in
+           if Atomic.get st.bs_attempts = 0 && Atomic.get st.bs_fallbacks = 0
+           then None
+           else
+             Some
+               {
+                 b_name = B.name;
+                 b_attempts = Atomic.get st.bs_attempts;
+                 b_failures = Atomic.get st.bs_failures;
+                 b_retries = Atomic.get st.bs_retries;
+                 b_fallbacks = Atomic.get st.bs_fallbacks;
+                 b_circuit_open =
+                   Atomic.get st.bs_open_until_ms > Resilience.now_ms ();
+               })
+  in
+  {
+    generation = gen;
+    backend = backend_name t;
+    prune = t.prune;
+    domains = Parallel.domains t.pool;
+    n_objects = Instance.n_objects inst;
+    n_queries = Instance.n_queries inst;
+    n_groups = Query_index.n_groups (Snapshot.index snap);
+    index_words = Query_index.size_words (Snapshot.index snap);
+    cached_targets = cached;
+    stale_cached = stale;
+    repreparations = Atomic.get t.repreps;
+    evaluations = Atomic.get t.retired_evals + live_evals;
+    backends;
+    deadline_trips = Atomic.get t.deadline_trips;
+    cancellations = Atomic.get t.cancellations;
+    faults_injected =
+      (match t.res.fault with
+      | None -> 0
+      | Some f -> Resilience.Fault.injections f);
+    active_sessions = active;
+    queue_depth = waiting;
+    admission_rejections = Atomic.get t.rejections;
+    pinned_snapshots = pinned;
+    oldest_pinned = oldest;
+  }

@@ -6,14 +6,27 @@
     engine — callers never wire [build]/[prepare]/[search] by hand (and
     nothing outside [lib/core] should).
 
-    {b Generations.} The engine stamps every prepared evaluator with a
-    generation counter that each mutation ({!add_query},
-    {!add_object}, {!update_object}, …) bumps. Cached evaluators from
-    an older generation are re-prepared transparently on next use, so
-    a search after an update always sees current data. Only explicit
-    {!prepared} handles can observe staleness: evaluating one whose
-    generation is behind yields [Error (Stale_state _)] rather than a
-    silently wrong count.
+    {b Generations and MVCC.} The engine's state lives in immutable
+    per-generation {!Snapshot} bundles. Every mutation ({!add_query},
+    {!add_object}, {!update_object}, …) builds the {e next} bundle
+    through the functional [Query_index.with_*] copy-on-write paths
+    and publishes it atomically — the previous bundle is never patched
+    in place, so a reader that obtained a snapshot (a serving session,
+    or any search mid-flight) keeps a consistent view for as long as
+    it holds it. Reads default to the current snapshot; passing
+    [?snap] pins one explicitly. Evaluators are cached per snapshot
+    and re-prepared transparently when a search first touches a target
+    on a new generation. Only explicit {!prepared} handles can observe
+    staleness: evaluating one whose generation is behind yields
+    [Error (Stale_state _)] rather than a silently wrong count.
+
+    {b Serving sessions.} The [Serve.Session] layer (library [serve])
+    drives multi-client serving: {!acquire_session} admits a caller
+    (bounded by [IQ_MAX_SESSIONS], waiting within the caller's budget)
+    and pins the current snapshot; {!release_session} unpins it. A few
+    recently retired generations stay reachable via the
+    [IQ_SNAPSHOT_KEEP] ring; anything older is reclaimed by the GC
+    once its last session unpins it.
 
     {b Errors.} Entry points validate their inputs and return typed
     [result]s instead of raising — the [invalid_arg]s of the inner
@@ -75,7 +88,8 @@ module Error : sig
     | Empty_targets  (** a combinatorial call with no targets *)
     | Deadline_exceeded of { elapsed_ms : float; partial : partial option }
         (** the request's wall-clock deadline or step budget ran out;
-            [partial] is the anytime answer *)
+            [partial] is the anytime answer. Also the admission-wait
+            timeout of {!acquire_session} (with [partial = None]). *)
     | Cancelled of { partial : partial option }
         (** the request's cancellation token fired *)
     | Fault_spec of { spec : string; msg : string }
@@ -94,7 +108,7 @@ end
 (** An evaluation backend. [prepare] builds the per-target evaluator
     (and, when the backend has one, the underlying {!Ese} state so
     multi-target searches can reuse it instead of re-preparing).
-    [layers] is the engine's dominance-layer map (object id → 0-based
+    [layers] is the snapshot's dominance-layer map (object id → 0-based
     onion layer, [Some] when pruning is enabled); backends without a
     geometric hot path ignore it. *)
 module type BACKEND = sig
@@ -180,7 +194,8 @@ val of_index :
   (t, Error.t) result
 (** Adopt an already-built index (e.g. one loaded with
     {!Query_index.load}). The engine becomes its owner: mutating the
-    index behind the engine's back voids the generation guarantee. *)
+    index behind the engine's back voids the snapshot guarantee —
+    mutate only through the engine, whose updates are copy-on-write. *)
 
 val create_exn :
   ?backend:backend ->
@@ -197,12 +212,19 @@ val create_exn :
 
 (** {2 Inspection} *)
 
+val snapshot : t -> Snapshot.t
+(** The currently published generation bundle. Reading it is one
+    atomic load; holding it keeps that generation's state alive (and
+    consistent) regardless of later mutations, but does {e not} count
+    as a pinned session — see {!acquire_session}. *)
+
 val instance : t -> Instance.t
-(** The current instance (follows mutations). *)
+(** The current snapshot's instance (follows mutations). *)
 
 val index : t -> Query_index.t
-(** Read-only access for diagnostics ([size_words], [build_seconds],
-    …). Mutate only through the engine. *)
+(** The current snapshot's index, read-only access for diagnostics
+    ([size_words], [build_seconds], …). Mutate only through the
+    engine. *)
 
 val pool : t -> Parallel.pool
 
@@ -218,11 +240,11 @@ val pruning_enabled : t -> bool
     (e.g. [Desc]-order workloads) — see {!Ese.prepare}. *)
 
 val dominance_stats : t -> (int * int) option
-(** [(built_generation, layer_count)] of the lazily-built onion layer
-    index, [None] while nothing has been prepared yet (or pruning is
-    off). A [built_generation] behind {!generation} means the index is
-    stale and will be rebuilt on the next prepare — exposed so tests
-    can observe the invalidation protocol. *)
+(** [(built_generation, layer_count)] of the most recently built onion
+    layer index, [None] while nothing has been prepared yet (or
+    pruning is off). A [built_generation] behind {!generation} means
+    the live snapshot has not built its onion yet and will on the next
+    prepare — exposed so tests can observe the invalidation protocol. *)
 
 type backend_stats = {
   b_name : string;
@@ -244,32 +266,45 @@ type stats = {
   n_queries : int;
   n_groups : int;  (** index subdomain groups *)
   index_words : int;  (** approximate index footprint *)
-  cached_targets : int;  (** evaluators held, any generation *)
-  stale_cached : int;  (** of those, behind the current generation *)
-  repreparations : int;  (** cache entries rebuilt after mutations *)
+  cached_targets : int;  (** targets with a prepared evaluator, ever *)
+  stale_cached : int;  (** of those, last prepared at an older generation *)
+  repreparations : int;  (** evaluators rebuilt after mutations *)
   evaluations : int;  (** candidate evaluations served, process total *)
   backends : backend_stats list;  (** in chain order *)
   deadline_trips : int;  (** searches ended by deadline/step budget *)
   cancellations : int;  (** searches ended by a cancelled token *)
   faults_injected : int;  (** total injections from the loaded schedule *)
+  active_sessions : int;  (** sessions currently admitted *)
+  queue_depth : int;  (** callers waiting for an admission slot *)
+  admission_rejections : int;
+      (** admission waits that tripped their budget *)
+  pinned_snapshots : int;  (** distinct generations pinned by sessions *)
+  oldest_pinned : int option;  (** oldest pinned generation, if any *)
 }
+(** Every counter is readable concurrently with a writer: the scalars
+    are [Atomic]s (or read under their own small lock) and the record
+    is assembled from one published snapshot — no torn values. *)
 
 val stats : t -> stats
 
-(** {2 Evaluation} *)
+(** {2 Evaluation}
 
-val evaluator : t -> target:int -> (Evaluator.t, Error.t) result
-(** The cached (current-generation) evaluator for a target — prepared
-    on first use, re-prepared transparently after mutations. *)
+    All reads below default to the current snapshot; [?snap] pins an
+    explicit one (a session's, typically), whose cache they then use. *)
 
-val hits : t -> target:int -> (int, Error.t) result
+val evaluator : ?snap:Snapshot.t -> t -> target:int -> (Evaluator.t, Error.t) result
+(** The snapshot's cached evaluator for a target — prepared on first
+    use, re-prepared transparently on the first touch of a new
+    generation. *)
+
+val hits : ?snap:Snapshot.t -> t -> target:int -> (int, Error.t) result
 (** [H(p_target)]: how many workload queries the target hits now. *)
 
-val member : t -> target:int -> q:int -> (bool, Error.t) result
+val member : ?snap:Snapshot.t -> t -> target:int -> q:int -> (bool, Error.t) result
 (** Whether [target] is in query [q]'s top-k. *)
 
 val dirty_queries :
-  t -> target:int -> s:Strategy.t -> (int list, Error.t) result
+  ?snap:Snapshot.t -> t -> target:int -> s:Strategy.t -> (int list, Error.t) result
 (** The queries whose membership the move [s] can affect — ESE's
     affected subdomains. Backends without ESE state conservatively
     report every query. *)
@@ -280,7 +315,9 @@ val dirty_queries :
     made at. Unlike the implicit cache — which silently re-prepares —
     a handle is a promise of {e that} snapshot: evaluating it after a
     mutation reports [Stale_state] instead of answering from data the
-    caller no longer holds. *)
+    caller no longer holds. (Serving sessions, which pin a whole
+    snapshot instead, never go stale mid-search — their refresh is
+    opt-in; see [Serve.Session].) *)
 
 type prepared
 
@@ -308,7 +345,9 @@ val refresh : t -> prepared -> (prepared, Error.t) result
     {e or} step budget) or [Error (Cancelled _)], each carrying the
     anytime {!partial}. With no budget and no fault schedule the
     results are byte-identical to an engine without resilience at any
-    pool size. *)
+    pool size. Each call runs against one snapshot ([?snap], default
+    the current one at entry): a mutation landing mid-search never
+    forces a re-prepare or mixes generations. *)
 
 val min_cost :
   ?limits:Strategy.limits ->
@@ -316,6 +355,7 @@ val min_cost :
   ?candidate_cap:int ->
   ?deadline_ms:float ->
   ?budget:Resilience.Budget.t ->
+  ?snap:Snapshot.t ->
   t ->
   cost:Cost.t ->
   target:int ->
@@ -332,6 +372,7 @@ val max_hit :
   ?candidate_cap:int ->
   ?deadline_ms:float ->
   ?budget:Resilience.Budget.t ->
+  ?snap:Snapshot.t ->
   t ->
   cost:Cost.t ->
   target:int ->
@@ -345,6 +386,7 @@ val min_cost_multi :
   ?candidate_cap:int ->
   ?deadline_ms:float ->
   ?budget:Resilience.Budget.t ->
+  ?snap:Snapshot.t ->
   t ->
   costs:(int * Cost.t) list ->
   tau:int ->
@@ -362,6 +404,7 @@ val max_hit_multi :
   ?candidate_cap:int ->
   ?deadline_ms:float ->
   ?budget:Resilience.Budget.t ->
+  ?snap:Snapshot.t ->
   t ->
   costs:(int * Cost.t) list ->
   beta:float ->
@@ -369,15 +412,18 @@ val max_hit_multi :
 
 (** {2 Dataset maintenance — Section 4.3}
 
-    All maintenance goes through the in-place index updates; the
-    engine bumps its generation so cached evaluators re-prepare on
-    next use. *)
+    Maintenance is copy-on-write: one writer at a time (they serialise
+    on the engine's write lock) validates against the generation it
+    extends, derives the next index through the functional
+    [Query_index.with_*] paths, and publishes the successor snapshot
+    atomically. Readers — including every pinned session — keep the
+    generation they hold; nothing they can reach is modified. *)
 
 val add_query : t -> Topk.Query.t -> (int, Error.t) result
 (** Returns the new query's index. *)
 
 val remove_query : t -> int -> (unit, Error.t) result
-(** Later query indices shift down by one. *)
+(** Later query indices shift down by one (in the new generation). *)
 
 val add_object : t -> Vec.t -> (int, Error.t) result
 (** Raw attributes; returns the new object's id. *)
@@ -386,4 +432,32 @@ val update_object : t -> int -> Vec.t -> (unit, Error.t) result
 (** Replace object [id]'s raw attributes; its id is stable. *)
 
 val remove_object : t -> int -> (unit, Error.t) result
-(** Later object ids shift down by one. *)
+(** Later object ids shift down by one (in the new generation). *)
+
+(** {2 Serving sessions — admission control and snapshot pinning}
+
+    The raw material of [Serve.Session]; application code should use
+    that library rather than these directly. *)
+
+val acquire_session :
+  ?deadline_ms:float ->
+  ?budget:Resilience.Budget.t ->
+  t ->
+  (Snapshot.t, Error.t) result
+(** Admit a serving session and pin the current snapshot. At most
+    [IQ_MAX_SESSIONS] sessions are active at once; beyond that the
+    caller waits (polling, 1ms) until a slot frees or its budget
+    trips — the trip is returned as [Deadline_exceeded]/[Cancelled]
+    with no partial and counted as an admission rejection in
+    {!stats}. Budget precedence matches the searches'. *)
+
+val release_session : t -> Snapshot.t -> unit
+(** Unpin a session's snapshot and free its admission slot. Call
+    exactly once per successful {!acquire_session} (sessions do this
+    in their [close]). *)
+
+val repin : t -> Snapshot.t -> Snapshot.t
+(** Exchange a session's pinned snapshot for the current one (the
+    opt-in refresh): pins the new generation, unpins the old, keeps
+    the admission slot. Returns the snapshot now pinned (the same one
+    when no mutation has landed). *)

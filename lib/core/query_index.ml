@@ -481,3 +481,39 @@ let remove_object t id =
   in
   t.inst <- inst';
   refresh t updated
+
+(* --- copy-on-write variants ----------------------------------------- *)
+
+(* The in-place mutators above never patch a shared array: each one
+   computes a fresh [inst'] (Instance's update paths are functional)
+   and a fresh prefix table, then wholesale-assigns the derived fields
+   via [refresh]. Running them against a shallow copy of the record
+   therefore leaves the original index fully intact — unchanged prefix
+   arrays and the old instance's slabs are shared structurally, and a
+   reader holding the original never observes a half-applied update. *)
+let shallow_copy t = { t with inst = t.inst }
+
+let with_query_added t q =
+  let t' = shallow_copy t in
+  let qi = add_query t' q in
+  (t', qi)
+
+let with_query_removed t qi =
+  let t' = shallow_copy t in
+  remove_query t' qi;
+  t'
+
+let with_object_added t raw_attrs =
+  let t' = shallow_copy t in
+  let id = add_object t' raw_attrs in
+  (t', id)
+
+let with_object_updated t id raw_attrs =
+  let t' = shallow_copy t in
+  update_object t' id raw_attrs;
+  t'
+
+let with_object_removed t id =
+  let t' = shallow_copy t in
+  remove_object t' id;
+  t'

@@ -106,12 +106,6 @@ val add_object : t -> Vec.t -> int
     prefix; those prefixes are updated by sorted insertion, everything
     else is untouched. *)
 
-val update_object : t -> int -> Vec.t -> unit
-(** Replace object [id]'s raw attributes in place, keeping its id.
-    Only subdomains whose cached prefix contains [id] (found via the
-    {!prefix_filter} Bloom filter) or that the moved object now cuts
-    into recompute their prefixes; everything else is untouched. *)
-
 val remove_object : t -> int -> unit
 (** Remove an object id (later ids shift down). The Bloom filter over
     prefix membership ({!prefix_filter}) short-circuits the search for
@@ -120,6 +114,35 @@ val remove_object : t -> int -> unit
 val prefix_filter : t -> int Bloom.t
 (** Bloom filter over object ids that bound some populated subdomain
     (appear in a cached prefix) — Section 4.3's structure. *)
+
+(** {2 Copy-on-write variants}
+
+    Functional counterparts of the update operations above: the input
+    index is left fully intact and a new index is returned, so a reader
+    holding the original can keep searching against a consistent
+    snapshot while a writer builds the next generation. Unchanged
+    prefix arrays and the instance's untouched column slabs are shared
+    structurally between the two. *)
+
+val with_query_added : t -> Topk.Query.t -> t * int
+(** Functional {!add_query}: returns the new index and the inserted
+    query's index. @raise Invalid_argument as {!add_query}. *)
+
+val with_query_removed : t -> int -> t
+(** Functional {!remove_query}. *)
+
+val with_object_added : t -> Vec.t -> t * int
+(** Functional {!add_object}: returns the new index and the object id. *)
+
+val with_object_updated : t -> int -> Vec.t -> t
+(** Functional in-place object update: replace object [id]'s raw
+    attributes keeping its id, in a successor index. Only subdomains
+    whose cached prefix contains [id] (found via the {!prefix_filter}
+    Bloom filter) or that the moved object now cuts into recompute
+    their prefixes; everything else is shared with the parent. *)
+
+val with_object_removed : t -> int -> t
+(** Functional {!remove_object}. *)
 
 val hint_stats : t -> int * int
 (** [(hits, misses)] of the kNN subdomain shortcut across

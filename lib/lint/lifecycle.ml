@@ -1,10 +1,12 @@
 (* handle-lifecycle: open → use → close typestate for pools and
    channels.
 
-   Tracked resources are let-bound results of [Parallel.create] and
-   the stdlib [open_in*]/[open_out*] family; their closers are
-   [Parallel.shutdown] and [close_in*]/[close_out*]. Per function
-   body, each resource variable moves through
+   Tracked resources are let-bound results of [Parallel.create], the
+   stdlib [open_in*]/[open_out*] family, and the serving-session
+   family ([Session.open_]/[Session.open_exn] and
+   [Session.prepare]); their closers are [Parallel.shutdown],
+   [close_in*]/[close_out*], and [Session.close]/[Session.finalize].
+   Per function body, each resource variable moves through
 
      Open {used} --close--> Closed --close--> (double-close)
                   \--use after Closed--------> (use-after-close)
@@ -80,6 +82,11 @@ let creator e =
           let comps = Ast_util.lid_comps txt in
           let last = Ast_util.last_comp txt in
           if last = "create" && List.mem "Parallel" comps then Some "pool"
+          else if
+            (last = "open_" || last = "open_exn") && List.mem "Session" comps
+          then Some "session"
+          else if last = "prepare" && List.mem "Session" comps then
+            Some "prepared statement"
           else if List.mem last in_chans && stdlibish comps then
             Some "input channel"
           else if List.mem last out_chans && stdlibish comps then
@@ -92,6 +99,8 @@ let closer lid =
   let comps = Ast_util.lid_comps lid in
   let last = Ast_util.last_comp lid in
   if last = "shutdown" && List.mem "Parallel" comps then true
+  else if (last = "close" || last = "finalize") && List.mem "Session" comps
+  then true
   else
     List.mem last
       [ "close_in"; "close_in_noerr"; "close_out"; "close_out_noerr"; "close" ]
@@ -248,7 +257,11 @@ let findings ~in_test ~file str =
                   (no %s reaches the exit); close it, ideally in a \
                   Fun.protect ~finally bracket"
                  kind v
-                 (if kind = "pool" then "Parallel.shutdown" else "close"))
+                 (match kind with
+                 | "pool" -> "Parallel.shutdown"
+                 | "session" -> "Session.close"
+                 | "prepared statement" -> "Session.finalize"
+                 | _ -> "close"))
         | Closed _ | Escaped -> ())
       final
   in

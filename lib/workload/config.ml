@@ -61,6 +61,22 @@ let prune () =
       | "0" | "false" | "off" | "no" -> false
       | _ -> true)
 
+let max_sessions () =
+  match Sys.getenv_opt "IQ_MAX_SESSIONS" with
+  | None | Some "" -> 8
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | Some _ | None -> 8)
+
+let snapshot_keep () =
+  match Sys.getenv_opt "IQ_SNAPSHOT_KEEP" with
+  | None | Some "" -> 2
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n >= 0 -> n
+      | Some _ | None -> 2)
+
 let scaled ?scale:(s = scale ()) t =
   let scale_int min_v v =
     Int.max min_v (int_of_float (float_of_int v *. s))

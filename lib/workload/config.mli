@@ -63,6 +63,20 @@ val prune : unit -> bool
     it. Pruned and unpruned runs return identical results — the knob
     exists for benchmarking and bisection. *)
 
+val max_sessions : unit -> int
+(** Admission-control ceiling for concurrently open serving sessions:
+    the [IQ_MAX_SESSIONS] env var when set to a positive integer,
+    default [8]. Opening a session beyond the ceiling waits (bounded by
+    the session's deadline budget) for a slot; an expired wait is a
+    rejection, counted in [Iq.Engine.stats]. *)
+
+val snapshot_keep : unit -> int
+(** How many {e retired} engine generations the MVCC layer keeps
+    reachable beyond the current one (the [IQ_SNAPSHOT_KEEP] env var,
+    default [2], [0] disables retention). Pinned snapshots are always
+    kept alive by their sessions regardless of this knob; unpinned ones
+    older than the ring are reclaimed by the GC. *)
+
 val scaled : ?scale:float -> t -> t
 (** Scale object/query counts and tau (budget and dimension are
     scale-free). Counts are kept >= 100 (objects), >= 50 (queries). *)

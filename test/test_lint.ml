@@ -889,6 +889,128 @@ let test_lifecycle_pragma () =
   in
   Alcotest.check rules_t "pragma suppresses" [] (rules fs)
 
+(* Serving sessions and prepared statements are tracked through the
+   same typestate: open_/open_exn/prepare are creators,
+   close/finalize are closers. *)
+
+let test_lifecycle_session_leaked () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let serve e =
+  let sess = Session.open_exn e in
+  Session.generation sess
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "says never closed" true
+        (contains f.Lint.message "never closed");
+      Alcotest.(check bool) "names Session.close" true
+        (contains f.Lint.message "Session.close")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_session_outside_bracket () =
+  (* A used session closed outside Fun.protect leaks its admission
+     slot on the exception path between open and close. *)
+  let fs =
+    lifecycle
+      (lint_src
+         {|let serve e =
+  let sess = Session.open_exn e in
+  let h = Session.hits sess ~target:0 in
+  Session.close sess;
+  h
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "names the bracket idiom" true
+        (contains f.Lint.message "Fun.protect");
+      Alcotest.(check bool) "names the session kind" true
+        (contains f.Lint.message "session")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_session_bracket_ok () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let serve e =
+  let sess = Session.open_exn e in
+  Fun.protect ~finally:(fun () -> Session.close sess)
+    (fun () -> Session.hits sess ~target:0)
+|})
+  in
+  Alcotest.check rules_t "the session bracket idiom is clean" [] (rules fs)
+
+let test_lifecycle_stmt_double_finalize () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let q sess =
+  let st = Session.prepare sess ~target:3 in
+  Session.finalize st;
+  Session.finalize st
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "at the second finalize" 4 f.Lint.line;
+      Alcotest.(check bool) "says closed twice" true
+        (contains f.Lint.message "closed twice")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_stmt_step_after_finalize () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let q sess =
+  let st = Session.prepare sess ~target:3 in
+  Session.finalize st;
+  Session.step st
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "at the stale step" 4 f.Lint.line;
+      Alcotest.(check bool) "says used after" true
+        (contains f.Lint.message "used after")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_stmt_never_finalized () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let q sess =
+  let st = Session.prepare sess ~target:3 in
+  Session.step st
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "names Session.finalize" true
+        (contains f.Lint.message "Session.finalize");
+      Alcotest.(check bool) "names the statement kind" true
+        (contains f.Lint.message "prepared statement")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_session_pragma () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let serve e =
+  (* iqlint: allow handle-lifecycle — the registry owns this session *)
+  let sess = Session.open_exn e in
+  Session.generation sess
+|})
+  in
+  Alcotest.check rules_t "pragma suppresses the session finding" [] (rules fs)
+
 (* ------------------------- generation-protocol ------------------- *)
 
 let genproto fs = by_rule "generation-protocol" fs
@@ -1415,6 +1537,20 @@ let suite =
       test_lifecycle_pool_never_shutdown;
     Alcotest.test_case "handle-lifecycle: pragma suppresses" `Quick
       test_lifecycle_pragma;
+    Alcotest.test_case "handle-lifecycle: session leaked" `Quick
+      test_lifecycle_session_leaked;
+    Alcotest.test_case "handle-lifecycle: session closed outside bracket"
+      `Quick test_lifecycle_session_outside_bracket;
+    Alcotest.test_case "handle-lifecycle: session bracket clean" `Quick
+      test_lifecycle_session_bracket_ok;
+    Alcotest.test_case "handle-lifecycle: double finalize" `Quick
+      test_lifecycle_stmt_double_finalize;
+    Alcotest.test_case "handle-lifecycle: step after finalize" `Quick
+      test_lifecycle_stmt_step_after_finalize;
+    Alcotest.test_case "handle-lifecycle: statement never finalized" `Quick
+      test_lifecycle_stmt_never_finalized;
+    Alcotest.test_case "handle-lifecycle: session pragma suppresses" `Quick
+      test_lifecycle_session_pragma;
     Alcotest.test_case "generation-protocol: missed bump fires" `Quick
       test_genproto_missed_bump_fires;
     Alcotest.test_case "generation-protocol: bump on every path clean" `Quick

@@ -29,6 +29,7 @@ let () =
       ("core.engine", Test_engine.suite);
       ("core.hotpath", Test_hotpath.suite);
       ("resilience", Test_resilience.suite);
+      ("serve", Test_serve.suite);
       ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);
       ("edge-cases", Test_edge_cases.suite);

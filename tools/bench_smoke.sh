@@ -15,6 +15,10 @@
 # 4. Resilience bench: armed-budget overhead vs the clean path (exits
 #    non-zero above the 2% budget) and the anytime degradation curve,
 #    recorded in BENCH_resilience.json.
+# 5. MVCC bench: snapshot-read overhead of a serving session vs the
+#    direct engine call (exits non-zero above the few-percent gate)
+#    and the pinned-generation copy-on-write memory ceiling, recorded
+#    in BENCH_mvcc.json.
 #
 # Also available as a dune alias: `dune build @bench-smoke`.
 set -eu
@@ -25,3 +29,4 @@ dune exec bench/main.exe -- --bench parallel
 dune exec bench/main.exe -- --bench hotpath
 dune exec bench/main.exe -- --bench engine
 dune exec bench/main.exe -- --bench resilience
+dune exec bench/main.exe -- --bench mvcc

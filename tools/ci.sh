@@ -3,10 +3,13 @@
 # (`dune build @lint` baseline gate plus a SARIF emission for CI
 # annotation upload; see DESIGN.md "Whole-program lint"), a chaos
 # stage (the resilience suites under a fixed IQ_FAULT schedule — same
-# seed every run, so a chaos failure is reproducible locally), and the
+# seed every run, so a chaos failure is reproducible locally), a
+# torture stage (the MVCC serving suite — random interleavings of
+# mutations and concurrent pinned-snapshot readers checked against
+# frozen-generation oracles — under the same chaos schedule), and the
 # bench smoke checks (parallel determinism + engine facade overhead +
-# resilience overhead/anytime curve, which also emit BENCH_*.json).
-# Any stage failing fails the run.
+# resilience overhead/anytime curve + MVCC session overhead, which
+# also emit BENCH_*.json). Any stage failing fails the run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -52,6 +55,14 @@ echo "== chaos: resilience + engine suites under a fixed IQ_FAULT =="
 CHAOS_FAULT='seed=42;backend.*.prepare:latency(1)@0.4;index.build:latency(1)@0.5;search.iteration:latency(1)@0.1'
 IQ_FAULT="$CHAOS_FAULT" ./_build/default/test/test_main.exe test resilience
 IQ_FAULT="$CHAOS_FAULT" ./_build/default/test/test_main.exe test core.engine
+
+echo "== torture: MVCC serving under mixed read/write + chaos =="
+# The serve suite's QCheck oracle interleaves a writer with pinned
+# readers on 1 and 4 domains and replays every recorded answer against
+# a fresh engine frozen at that reader's generation. Running it under
+# the latency-only chaos schedule exercises the injection sites on
+# the snapshot prepare path too. Fixed seed: failures reproduce.
+IQ_FAULT="$CHAOS_FAULT" ./_build/default/test/test_main.exe test serve
 
 echo "== bench smoke =="
 tools/bench_smoke.sh
