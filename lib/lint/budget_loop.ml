@@ -146,7 +146,7 @@ let findings (cg : Callgraph.t) =
           fn.Callgraph.f_refs)
       (Callgraph.fns_of cg nd)
   done;
-  let resolver = Callgraph.make_resolver proj in
+  let resolver = Callgraph.resolver_of cg in
   let out = ref [] in
   let analyze_file (file : Project.file) str =
     let resolve = resolver file in

@@ -65,11 +65,24 @@ type fn = {
 
 type export = { ex_node : node; ex_loc : Location.t; ex_file : string }
 
+(* Per module: every value path (with submodule prefixes), every
+   submodule path, and the run-wrapper values, from the
+   implementation. *)
+type mod_names = {
+  mn_values : SSet.t;
+  mn_submods : SSet.t;
+  mn_wrappers : SSet.t;
+}
+
 type t = {
   cg_project : Project.t;
   cg_fns : fn list;
   cg_exports : export list;
   cg_by_node : (node, fn list) Hashtbl.t;
+  cg_names : (string, mod_names) Hashtbl.t;
+      (** pass-1 per-module name tables, kept so [resolver_of] (and
+          every whole-program rule behind it) reuses them instead of
+          re-deriving them per rule family *)
 }
 
 let fns_of t node = Option.value (Hashtbl.find_opt t.cg_by_node node) ~default:[]
@@ -160,15 +173,6 @@ let is_run_wrapper expr =
             | _ -> false)
         | _ -> false)
   | _ -> false
-
-(* Per module: every value path (with submodule prefixes), every
-   submodule path, and the run-wrapper values, from the
-   implementation. *)
-type mod_names = {
-  mn_values : SSet.t;
-  mn_submods : SSet.t;
-  mn_wrappers : SSet.t;
-}
 
 let rec names_of_structure prefix items acc =
   List.fold_left
@@ -891,7 +895,13 @@ let build ~pool (proj : Project.t) =
       let prev = Option.value (Hashtbl.find_opt by_node fn.f_node) ~default:[] in
       Hashtbl.replace by_node fn.f_node (fn :: prev))
     fns;
-  { cg_project = proj; cg_fns = fns; cg_exports = exports; cg_by_node = by_node }
+  {
+    cg_project = proj;
+    cg_fns = fns;
+    cg_exports = exports;
+    cg_by_node = by_node;
+    cg_names = names;
+  }
 
 (* ---------------------- standalone resolution --------------------- *)
 
@@ -908,13 +918,7 @@ type resolution =
   | RExt of string  (** external path, e.g. ["Hashtbl.add"] *)
   | ROther  (** locally bound / unresolvable *)
 
-let make_resolver (proj : Project.t) =
-  let names = Hashtbl.create 64 in
-  List.iter
-    (fun f ->
-      if f.Project.kind = Project.Impl then
-        Hashtbl.replace names f.Project.modname (module_names f))
-    proj.Project.files;
+let resolver_with names (proj : Project.t) =
   fun (file : Project.file) ->
     let fctx =
       {
@@ -972,3 +976,18 @@ let make_resolver (proj : Project.t) =
       | VLocal | VUnknown -> ROther
       | VNodes ns -> RNodes ns
       | VExt p -> RExt p
+
+let make_resolver (proj : Project.t) =
+  let names = Hashtbl.create 64 in
+  List.iter
+    (fun f ->
+      if f.Project.kind = Project.Impl then
+        Hashtbl.replace names f.Project.modname (module_names f))
+    proj.Project.files;
+  resolver_with names proj
+
+(* The cheap entry point: every rule family that already has the built
+   callgraph shares its pass-1 name tables instead of re-deriving them
+   (which used to cost a full [module_names] walk of every module per
+   family). *)
+let resolver_of (cg : t) = resolver_with cg.cg_names cg.cg_project

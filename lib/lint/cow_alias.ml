@@ -1,0 +1,83 @@
+(* cow-aliasing: a copy-on-write [with_*] path writes through an
+   array/hashtable/buffer it did not freshly allocate or explicitly
+   copy.
+
+   A [with_*] constructor's contract is "return a successor that
+   shares nothing mutable with its predecessor" — the predecessor may
+   already be published, so an element-level write through aliased
+   structure is visible to readers holding the old generation. The
+   alias analysis evaluates the binding body; any container-write
+   event (direct, or inside a callee via its summary) whose target
+   set contains a non-[Fresh] site is a violation. The witness chain
+   runs from the write site back to the shared structure's origin
+   (the parameter / global / escaped allocation it aliases) and to
+   the head of the copy-on-write path.
+
+   Lock-wrapper bindings that happen to be named [with_*]
+   ([with_lock], [with_mutex]) are brackets, not COW constructors,
+   and are skipped. *)
+
+let rule_id = "cow-aliasing"
+
+let findings (al : Alias.t) =
+  List.concat_map
+    (fun (sf : Alias.source_file) ->
+      let file = sf.Alias.af_file.Project.path in
+      List.concat_map
+        (fun (name, body, bloc) ->
+          let own_name = Alias.last_dot name in
+          if
+            (not (String.starts_with ~prefix:"with_" own_name))
+            || Alias.SSet.mem own_name sf.Alias.af_wrappers
+          then []
+          else
+            let an = Alias.analyze_binding al sf body in
+            let shared_witness target =
+              (* Deterministic witness: the lowest-id non-fresh site. *)
+              Alias.ISet.fold
+                (fun id acc ->
+                  match (acc, an.Alias.an_site id) with
+                  | Some _, _ -> acc
+                  | None, Some s
+                    when not (Alias.own_equal s.Alias.s_own Alias.Fresh) ->
+                      Some s
+                  | None, _ -> acc)
+                target None
+            in
+            let finding loc what target =
+              match shared_witness target with
+              | None -> None
+              | Some s ->
+                  Some
+                    (Report.mk ~file loc rule_id
+                       (Printf.sprintf
+                          "copy-on-write path `%s` writes through %s state \
+                           it did not freshly allocate or copy (%s); the \
+                           predecessor generation shares this structure — \
+                           mutate a fresh copy instead"
+                          own_name
+                          (Alias.own_to_string s.Alias.s_own)
+                          what)
+                       ~related:
+                         [
+                           Report.rel ~file s.Alias.s_loc
+                             (Printf.sprintf
+                                "write target aliases %s, never copied on \
+                                 this path"
+                                (Alias.describe_origin s.Alias.s_origin));
+                           Report.rel ~file bloc
+                             (Printf.sprintf
+                                "copy-on-write constructor `%s` begins here"
+                                own_name);
+                         ])
+            in
+            List.filter_map
+              (function
+                | Alias.Write { w_loc; w_what; w_target } ->
+                    finding w_loc ("a direct " ^ w_what) w_target
+                | Alias.Call_mut { c_loc; c_callee; c_target } ->
+                    finding c_loc ("a call to `" ^ c_callee ^ "`") c_target
+                | _ -> None)
+              an.Alias.an_events)
+        sf.Alias.af_bindings)
+    al.Alias.al_files

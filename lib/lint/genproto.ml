@@ -313,7 +313,7 @@ let analyze_file ~resolve ~(cg : Callgraph.t) (file : Project.file) str gate =
 
 let findings (cg : Callgraph.t) =
   let proj = cg.Callgraph.cg_project in
-  let resolver = Callgraph.make_resolver proj in
+  let resolver = Callgraph.resolver_of cg in
   List.concat_map
     (fun (f : Project.file) ->
       match (f.Project.kind, f.Project.str) with

@@ -23,6 +23,7 @@ open Longident
    lattices without the test depending on the library's internal
    module layout. *)
 module Dataflow = Dataflow
+module Alias = Alias
 
 type related = Report.related = {
   rl_file : string;
@@ -61,6 +62,10 @@ let rule_dead_export = "dead-export"
 let rule_genproto = Genproto.rule_id
 let rule_budget = Budget_loop.rule_id
 let rule_lifecycle = Lifecycle.rule_id
+let rule_cow = Cow_alias.rule_id
+let rule_snap_escape = Snap_escape.rule_id
+let rule_pub_order = Pub_order.rule_id
+let rule_unlocked = Unlocked_pub.rule_id
 
 let all_rules =
   [
@@ -96,7 +101,92 @@ let all_rules =
       "pool/channel lifecycle: use after close/shutdown, double close, \
        handle never closed, or a non-bracketed close that leaks on the \
        exception path" );
+    ( rule_cow,
+      "a copy-on-write `with_*` path writes through an array/hashtable it \
+       did not freshly allocate or explicitly copy; the predecessor \
+       generation shares the structure (witness chain from the write back \
+       to the shared allocation)" );
+    ( rule_snap_escape,
+      "a mutable value reachable from a constructed Snapshot.t is also \
+       reachable from a caller-visible root (module-level state, or an \
+       allocation that escaped into shared structure)" );
+    ( rule_pub_order,
+      "a store to snapshot-reachable state sequenced after the Atomic.set \
+       publication point; readers already holding the new generation \
+       observe the mutation" );
+    ( rule_unlocked,
+      "snapshot publication or copy-on-write successor construction not \
+       dominated by the writer mutex (lock-set aware: Mutex.lock/protect, \
+       transitive lock wrappers and callee summaries count)" );
   ]
+
+(* Minimal firing example per rule, shown by [--explain]. Each is the
+   smallest program shape the rule reports on — the fixture suite
+   keeps a firing variant of each of these, so the examples cannot
+   silently rot. *)
+let rule_examples =
+  [
+    ( rule_domain,
+      "let total = ref 0 in\n\
+       Parallel.parallel_for pool 0 n (fun i -> total := !total + cost i)" );
+    ( rule_domain_call,
+      "let bump () = counter := !counter + 1\n\
+       let run pool = Parallel.parallel_for pool 0 9 (fun _ -> bump ())" );
+    (rule_float, "if score = 0.1 then accept ()");
+    (rule_partial, "let first = List.hd items");
+    (rule_catch_all, "try step () with _ -> ()");
+    (rule_escape, "let cast (x : int) : float = Obj.magic x");
+    ( rule_parse_error,
+      "let broken = (   (* unterminated: the file no longer parses *)" );
+    ( rule_engine_boundary,
+      "(* engine.mli *) val lookup : t -> string -> entry\n\
+       (* engine.ml  *) let lookup t k = Hashtbl.find t.tbl k  (* raises *)" );
+    ( rule_dead_export,
+      "(* foo.mli *) val helper : unit -> int\n\
+       (* no module outside Foo ever references Foo.helper *)" );
+    ( rule_genproto,
+      "let clear t = Hashtbl.reset t.cache\n\
+       (* exported entry point mutates gen-owned state, never bumps t.gen *)" );
+    ( rule_budget,
+      "let rec drain t = eval_next t; drain t\n\
+       (* reachable from Engine, no Resilience.Budget check on the loop *)" );
+    ( rule_lifecycle,
+      "let run () =\n\
+      \  let p = Pool.create () in\n\
+      \  work p; Pool.shutdown p; Pool.shutdown p  (* double shutdown *)" );
+    ( rule_cow,
+      "let with_put t i v =\n\
+      \  let data = t.data in    (* aliases the predecessor generation *)\n\
+      \  data.(i) <- v;          (* readers of the old snapshot see this *)\n\
+      \  { t with version = t.version + 1 }" );
+    ( rule_snap_escape,
+      "let scratch = Array.make 8 0\n\
+       let root g = Snapshot.make g scratch  (* module-level mutable state *)" );
+    ( rule_pub_order,
+      "Atomic.set t.current snap';\n\
+       idx.(0) <- v  (* readers may already hold snap'; write came too late *)" );
+    ( rule_unlocked,
+      "let publish t snap' = Atomic.set t.current snap'\n\
+       (* no Mutex.lock / lock wrapper dominates the store *)" );
+  ]
+
+let explain out id =
+  match List.assoc_opt id all_rules with
+  | None -> false
+  | Some doc ->
+      Format.fprintf out "%s@.  %s@." id doc;
+      (match List.assoc_opt id rule_examples with
+      | None -> ()
+      | Some ex ->
+          Format.fprintf out "@.  example (fires):@.";
+          String.split_on_char '\n' ex
+          |> List.iter (fun l -> Format.fprintf out "    %s@." l));
+      Format.fprintf out
+        "@.  suppress with `(* iqlint: allow %s *)` on the finding line or \
+         the@.  line directly above it (attributes between them are \
+         transparent).@."
+        id;
+      true
 
 type ctx = {
   file : string;
@@ -344,6 +434,18 @@ let line_is_transparent line =
       && (String.sub t 0 2 = "[@"
          || (String.sub t 0 2 = "(*" && String.ends_with ~suffix:"*)" t)))
 
+(* Attributes may span lines ([@@@warning\n  "-32"]): the continuation
+   lines don't start with "[@" so [line_is_transparent] misses them.
+   Track the attribute's bracket balance instead — every line until
+   the brackets close is part of the attribute, hence transparent.
+   Bracket characters inside the payload string are counted too; that
+   only ever extends transparency, and the walk-up budget still caps
+   action at a distance. *)
+let bracket_delta line =
+  String.fold_left
+    (fun d c -> match c with '[' -> d + 1 | ']' -> d - 1 | _ -> d)
+    0 line
+
 (* Only tokens that are actual rule ids (or "all") count, and scanning
    stops at the first non-rule token — so trailing commentary in the
    same comment ([(* iqlint: allow foo — because ... *)]) can mention
@@ -351,9 +453,18 @@ let line_is_transparent line =
 let pragmas_of_source src =
   let allow = Hashtbl.create 8 in
   let transparent = Hashtbl.create 8 in
+  let attr_depth = ref 0 in
   List.iteri
     (fun i line ->
-      if line_is_transparent line then Hashtbl.replace transparent (i + 1) ();
+      let in_attr = !attr_depth > 0 in
+      let starts_attr =
+        let t = String.trim line in
+        String.length t >= 2 && String.sub t 0 2 = "[@"
+      in
+      if in_attr || starts_attr then
+        attr_depth := max 0 (!attr_depth + bracket_delta line);
+      if in_attr || line_is_transparent line then
+        Hashtbl.replace transparent (i + 1) ();
       match find_sub line pragma_marker with
       | None -> ()
       | Some j ->
@@ -422,6 +533,7 @@ let lint_file ?enabled path = lint_source ?enabled ~file:path (read_file path)
    pass order) for [--timings]. *)
 let lint_paths_timed ?(enabled = fun _ -> true) ?jobs ?(pragmas = true) paths =
   let timings = ref [] in
+  let _, _, cache_saved0 = Project.parse_cache_stats () in
   let timed name f =
     let t0 = Unix.gettimeofday () in
     let r = f () in
@@ -480,9 +592,33 @@ let lint_paths_timed ?(enabled = fun _ -> true) ?jobs ?(pragmas = true) paths =
             timed rule_budget (fun () -> Budget_loop.findings cg)
           else []
         in
+        (* Alias & escape analysis: one summary build shared by the
+           three alias-backed rule families. *)
+        let need_alias =
+          enabled rule_cow || enabled rule_snap_escape || enabled rule_unlocked
+        in
+        let alias =
+          if need_alias then
+            Some (timed "alias-summaries" (fun () -> Alias.build cg))
+          else None
+        in
+        let alias_rule rule f =
+          match alias with
+          | Some al when enabled rule -> timed rule (fun () -> f al)
+          | _ -> []
+        in
+        let cow_findings = alias_rule rule_cow Cow_alias.findings in
+        let snap_findings = alias_rule rule_snap_escape Snap_escape.findings in
+        let unlocked_findings = alias_rule rule_unlocked Unlocked_pub.findings in
+        let pub_order_findings =
+          if enabled rule_pub_order then
+            timed rule_pub_order (fun () -> Pub_order.findings cg)
+          else []
+        in
         let all =
           per_file @ eff_findings @ exn_findings @ dead_findings
-          @ gen_findings @ budget_findings
+          @ gen_findings @ budget_findings @ cow_findings @ snap_findings
+          @ pub_order_findings @ unlocked_findings
         in
         let all =
           if not pragmas then all
@@ -504,10 +640,17 @@ let lint_paths_timed ?(enabled = fun _ -> true) ?jobs ?(pragmas = true) paths =
         in
         List.sort_uniq compare_finding all)
   in
+  (* The AST cache's contribution this run: wall time the cached
+     parses cost when first performed — i.e. what re-parsing would
+     have added to the load pass. *)
+  let _, _, cache_saved1 = Project.parse_cache_stats () in
+  timings := ("parse-cache-saved", cache_saved1 -. cache_saved0) :: !timings;
   (findings, List.rev !timings)
 
 let lint_paths ?enabled ?jobs ?pragmas paths =
   fst (lint_paths_timed ?enabled ?jobs ?pragmas paths)
+
+let parse_cache_stats = Project.parse_cache_stats
 
 let render ?timings format findings =
   Report.render ?timings ~rules:all_rules format findings
@@ -518,9 +661,10 @@ let split_ids s = String.split_on_char ',' s |> List.filter (fun x -> x <> "")
 
 let usage =
   "usage: iqlint [--rules id,id] [--disable id,id] [--list-rules]\n\
-  \              [--format text|json|sarif] [--baseline file.json]\n\
-  \              [--write-baseline file.json] [--prune-baseline file.json]\n\
-  \              [--jobs N] [--no-pragmas] [--timings] [path ...]\n\
+  \              [--explain rule-id] [--format text|json|sarif]\n\
+  \              [--baseline file.json] [--write-baseline file.json]\n\
+  \              [--prune-baseline file.json] [--jobs N] [--no-pragmas]\n\
+  \              [--timings] [path ...]\n\
    Paths may be .ml/.mli files or directories (scanned recursively); default\n\
    is `lib bin bench examples test`. Exit 1 when any unsuppressed,\n\
    non-baselined finding is reported.\n\
@@ -532,7 +676,9 @@ let usage =
    budget; `--write-baseline` records the current findings as the new\n\
    baseline; `--prune-baseline` shrinks budgets down to the current counts\n\
    (the ratchet) without admitting anything new. `--timings` reports\n\
-   per-pass wall time (text summary, `timings_ms` in JSON)."
+   per-pass wall time (text summary, `timings_ms` in JSON). `--explain`\n\
+   prints one rule's rationale, a minimal firing example and its\n\
+   suppression pragma."
 
 let main ?(out = Format.std_formatter) args =
   let only = ref None
@@ -553,6 +699,10 @@ let main ?(out = Format.std_formatter) args =
           (fun (id, doc) -> Format.fprintf out "%-22s %s@." id doc)
           all_rules;
         raise Exit
+    | "--explain" :: v :: _ ->
+        if explain out v then raise Exit
+        else bad := Some (Printf.sprintf "unknown rule id `%s` (try --list-rules)" v)
+    | [ "--explain" ] -> bad := Some "--explain needs a rule id"
     | "--rules" :: v :: rest ->
         only := Some (split_ids v);
         parse rest

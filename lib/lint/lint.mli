@@ -48,12 +48,40 @@
       (with the witness path as related locations).
     - [budget-unchecked-loop]: a loop (or self-recursive function)
       reachable from [Engine] that calls the evaluation kernel on a
-      path that never consults [Resilience.Budget]. *)
+      path that never consults [Resilience.Budget].
+
+    MVCC publication-safety rules (computed over the interprocedural
+    alias & escape summaries of {!Alias}; see DESIGN.md "Alias &
+    escape analysis"):
+
+    - [cow-aliasing]: a copy-on-write [with_*] path writes through an
+      array/hashtable/buffer it did not freshly allocate or explicitly
+      copy — the predecessor generation shares the structure. The
+      witness chain runs from the write back to the shared
+      allocation and the head of the copy-on-write path.
+    - [snapshot-mutable-escape]: a mutable value reachable from a
+      constructed [Snapshot.t] is also reachable from a caller-visible
+      root (module-level state, or an allocation that escaped into
+      shared structure before the construction).
+    - [publish-after-write]: a store to snapshot-reachable state
+      sequenced after the [Atomic.set] publication point; readers
+      already holding the new generation observe the mutation.
+    - [unlocked-publish]: snapshot publication, or copy-on-write
+      successor construction, not dominated by the writer mutex
+      (lock-set aware: [Mutex.lock]/[Mutex.protect], the transitive
+      same-file lock-wrapper closure and callee summaries count). *)
 
 module Dataflow : module type of Dataflow
 (** The generic monotone-framework engine behind the protocol
     summaries, re-exported for the property tests: [Solve(L).solve]
-    over any {!Dataflow.LATTICE}. *)
+    over any {!Dataflow.LATTICE}, and [stabilise] — the bounded
+    round-until-fixpoint driver the alias summaries run on. *)
+
+module Alias : module type of Alias
+(** The interprocedural alias & escape analysis behind the MVCC
+    publication-safety rules, re-exported for the property tests:
+    the [Fresh < Shared < Published] ownership lattice and the
+    per-binding summary builder. *)
 
 type related = Report.related = {
   rl_file : string;
@@ -75,6 +103,11 @@ type finding = Report.finding = {
 
 val all_rules : (string * string) list
 (** [(rule-id, one-line description)] for every rule. *)
+
+val explain : Format.formatter -> string -> bool
+(** [explain out id] prints the rule's rationale, a minimal firing
+    example and its suppression pragma (the payload behind
+    [--explain]); [false] if [id] is not a known rule. *)
 
 val compare_finding : finding -> finding -> int
 (** Position order: file, line, col, rule. *)
@@ -116,6 +149,13 @@ val lint_paths :
     is deterministic regardless of job count. [pragmas:false] ignores
     suppression comments (audit mode). *)
 
+val parse_cache_stats : unit -> int * int * float
+(** [(hits, misses, saved_seconds)] of the process-wide parsed-AST
+    cache: repeated lints of unchanged sources (multiple passes, test
+    suites, baseline rewrites) reuse the parse instead of re-running
+    it; [saved_seconds] is the wall time the cached parses originally
+    cost. Surfaced per run as the [parse-cache-saved] timings entry. *)
+
 val lint_paths_timed :
   ?enabled:(string -> bool) ->
   ?jobs:int ->
@@ -133,4 +173,5 @@ val main : ?out:Format.formatter -> string list -> int
     per-rule counts; growth past a budget is a ratchet failure),
     [--write-baseline file], [--prune-baseline file] (cap budgets at
     today's counts), [--jobs N], [--no-pragmas], [--timings],
-    [--help]; default paths are [lib bin bench examples test]. *)
+    [--explain rule-id], [--help]; default paths are
+    [lib bin bench examples test]. *)

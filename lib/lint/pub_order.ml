@@ -1,0 +1,196 @@
+(* publish-after-write: a store to snapshot-reachable state sequenced
+   after the [Atomic.set] publication point.
+
+   Publication is a memory barrier in the MVCC protocol's contract:
+   once [Atomic.set _.current snap'] runs, readers may already hold
+   [snap'], so any later mutation of state the new generation reaches
+   is observed mid-flight. The typestate interpreter threads a small
+   path-class state through each top-level binding: the set of names
+   that flow into the pending generation (the constructed snapshot,
+   its index, anything bound from them) and the publication point once
+   it is crossed. A container write or field store rooted in a tracked
+   name after that point is a finding, with the publication site as
+   the witness. *)
+
+open Parsetree
+module SSet = Set.Make (String)
+
+let rule_id = "publish-after-write"
+
+let strip = Ast_util.strip
+let last_comp = Ast_util.last_comp
+
+type st = { pub : Location.t option; tracked : SSet.t }
+
+let join a b =
+  {
+    pub = (match a.pub with Some _ -> a.pub | None -> b.pub);
+    tracked = SSet.union a.tracked b.tracked;
+  }
+
+let equal a b =
+  a.pub = b.pub && SSet.equal a.tracked b.tracked
+
+(* [Snapshot.make/next/root …], a cross-file [with_*] successor
+   application (lock-bracket names are filtered by the caller), or a
+   generation record literal — the same [generation]-labelled shape
+   the protocol rules key on. Returns the expressions flowing into
+   the pending generation. *)
+let ctor_head wrappers e =
+  match (strip e).pexp_desc with
+  | Pexp_apply (f, args) -> (
+      match (strip f).pexp_desc with
+      | Pexp_ident { txt; _ } ->
+          let base = last_comp txt in
+          if
+            (List.mem base [ "make"; "next"; "root" ]
+            && List.mem "Snapshot" (Ast_util.lid_comps txt))
+            || (String.starts_with ~prefix:"with_" base
+               && not (SSet.mem base wrappers))
+          then Some (List.map snd args)
+          else None
+      | _ -> None)
+  | Pexp_record (fields, base) ->
+      if
+        List.exists
+          (fun ({ Location.txt; _ }, _) -> last_comp txt = "generation")
+          fields
+      then
+        Some
+          (List.map snd fields
+          @ match base with Some b -> [ b ] | None -> [])
+      else None
+  | _ -> None
+
+let rec root_ident e =
+  match (strip e).pexp_desc with
+  | Pexp_ident { txt = Longident.Lident x; _ } -> Some x
+  | Pexp_field (b, _) -> root_ident b
+  | _ -> None
+
+let pos_args args =
+  List.filter_map
+    (function Asttypes.Nolabel, a -> Some a | _ -> None)
+    args
+
+let findings (cg : Callgraph.t) =
+  let out = ref [] in
+  let analyze_file (file : Project.file) str =
+    let wrappers = Lockset.lock_wrapper_closure str in
+    let path = file.Project.path in
+    let track_from_rhs st names rhs =
+      match rhs with
+      | None -> st
+      | Some r -> (
+          match ctor_head wrappers r with
+          | Some args ->
+              (* The bound snapshot and every identifier argument (the
+                 index, the predecessor) are snapshot-reachable. *)
+              let tracked =
+                List.fold_left
+                  (fun acc a ->
+                    match root_ident a with
+                    | Some x -> SSet.add x acc
+                    | None -> acc)
+                  (List.fold_left (fun acc n -> SSet.add n acc) st.tracked
+                     names)
+                  args
+              in
+              { st with tracked }
+          | None -> (
+              match (strip r).pexp_desc with
+              | Pexp_ident { txt = Longident.Lident x; _ }
+                when SSet.mem x st.tracked ->
+                  {
+                    st with
+                    tracked =
+                      List.fold_left
+                        (fun acc n -> SSet.add n acc)
+                        st.tracked names;
+                  }
+              | _ -> st))
+    in
+    let store st base loc what =
+      match (st.pub, root_ident base) with
+      | Some ploc, Some x when SSet.mem x st.tracked ->
+          out :=
+            Report.mk ~file:path loc rule_id
+              (Printf.sprintf
+                 "%s mutates snapshot-reachable state after the generation \
+                  was published; readers already holding the new snapshot \
+                  observe a half-updated state — complete all writes before \
+                  `Atomic.set`"
+                 what)
+              ~related:
+                [ Report.rel ~file:path ploc "generation published here" ]
+            :: !out;
+          st
+      | _ -> st
+    in
+    let hooks =
+      {
+        (Typestate.default_hooks ~join ~equal) with
+        Typestate.on_bind = (fun st names rhs -> track_from_rhs st names rhs);
+        on_setfield =
+          (fun st base _field loc -> store st base loc "this field store");
+        on_apply =
+          (fun st lid loc args ->
+            let name = Ast_util.flatten_lid lid in
+            if name = "Atomic.set" then
+              let published =
+                match pos_args args with
+                | a0 :: rest -> (
+                    (match (strip a0).pexp_desc with
+                    | Pexp_field (_, { txt; _ }) -> last_comp txt = "current"
+                    | _ -> false)
+                    ||
+                    match rest with
+                    | [ v ] -> (
+                        match root_ident v with
+                        | Some x -> SSet.mem x st.tracked
+                        | None -> false)
+                    | _ -> false)
+                | [] -> false
+              in
+              if published && st.pub = None then { st with pub = Some loc }
+              else st
+            else
+              match List.assoc_opt name Alias.container_mutators with
+              | Some idxs ->
+                  let ps = pos_args args in
+                  List.fold_left
+                    (fun st i ->
+                      match List.nth_opt ps i with
+                      | Some target ->
+                          store st target loc ("`" ^ name ^ "`")
+                      | None -> st)
+                    st idxs
+              | None -> st);
+      }
+    in
+    List.iter
+      (fun (_name, body, _loc) ->
+        let _, core = Typestate.peel_params body in
+        ignore
+          (Typestate.exec hooks { pub = None; tracked = SSet.empty } core))
+      (Typestate.top_bindings str)
+  in
+  List.iter
+    (fun (f : Project.file) ->
+      match (f.Project.kind, f.Project.str) with
+      | Project.Impl, Some str when not (Alias.path_is_test f.Project.path) ->
+          (* Only files that can publish at all. *)
+          let src = f.Project.source in
+          let mentions_atomic =
+            let n = String.length src in
+            let rec scan i =
+              if i + 7 > n then false
+              else if String.sub src i 7 = "Atomic." then true
+              else scan (i + 1)
+            in
+            scan 0
+          in
+          if mentions_atomic then analyze_file f str
+      | _ -> ())
+    cg.Callgraph.cg_project.Project.files;
+  List.rev !out

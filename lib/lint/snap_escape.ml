@@ -1,0 +1,115 @@
+(* snapshot-mutable-escape: a mutable value reachable from a
+   constructed [Snapshot.t] is also reachable from a caller-visible
+   root.
+
+   A published generation must own its mutable state exclusively; if
+   the state handed to a snapshot constructor is module-level, or a
+   local allocation that also escaped into caller-visible structure,
+   every mutation through the other root is visible to readers of the
+   "immutable" snapshot. Passing a caller's own parameter into the
+   constructor is ownership {e transfer}, not sharing — the rule fires
+   only on module-level roots and on double-rooted allocations
+   (allocated here, stored into shared structure here, AND handed to
+   the snapshot). *)
+
+let rule_id = "snapshot-mutable-escape"
+
+let source_mentions_snapshot (sf : Alias.source_file) =
+  let f = sf.Alias.af_file in
+  f.Project.modname = "Snapshot"
+  ||
+  let src = f.Project.source in
+  let n = String.length src in
+  let rec scan i =
+    if i + 8 > n then false
+    else if String.sub src i 8 = "Snapshot" then true
+    else scan (i + 1)
+  in
+  scan 0
+
+let findings (al : Alias.t) =
+  List.concat_map
+    (fun (sf : Alias.source_file) ->
+      if not (source_mentions_snapshot sf) then []
+      else
+        let file = sf.Alias.af_file.Project.path in
+        List.concat_map
+          (fun (_name, body, _bloc) ->
+            let an = Alias.analyze_binding al sf body in
+            (* First escape point per site, for the witness chain. *)
+            let escaped = Hashtbl.create 8 in
+            List.iter
+              (function
+                | Alias.Escape { e_loc; e_into; e_value } ->
+                    Alias.ISet.iter
+                      (fun id ->
+                        if not (Hashtbl.mem escaped id) then
+                          Hashtbl.add escaped id (e_loc, e_into))
+                      e_value
+                | _ -> ())
+              an.Alias.an_events;
+            List.concat_map
+              (function
+                | Alias.Ctor { k_loc; k_kind = `Snap; k_args; _ } ->
+                    let seen = Hashtbl.create 4 in
+                    List.concat_map
+                      (fun (_aloc, aval) ->
+                        Alias.ISet.fold
+                          (fun id acc ->
+                            if Hashtbl.mem seen id then acc
+                            else begin
+                              Hashtbl.add seen id ();
+                              match an.Alias.an_site id with
+                              | Some s when s.Alias.s_mutable -> (
+                                  match s.Alias.s_origin with
+                                  | Alias.OGlobal (g, _) ->
+                                      Report.mk ~file k_loc rule_id
+                                        (Printf.sprintf
+                                           "mutable module-level state `%s` \
+                                            flows into this snapshot; a \
+                                            published generation must own \
+                                            its state exclusively"
+                                           g)
+                                        ~related:
+                                          [
+                                            Report.rel ~file s.Alias.s_loc
+                                              (Printf.sprintf
+                                                 "%s enters the snapshot's \
+                                                  state here"
+                                                 (Alias.describe_origin
+                                                    s.Alias.s_origin));
+                                          ]
+                                      :: acc
+                                  | Alias.OAlloc what -> (
+                                      match Hashtbl.find_opt escaped id with
+                                      | Some (eloc, einto) ->
+                                          Report.mk ~file k_loc rule_id
+                                            (Printf.sprintf
+                                               "mutable state reachable from \
+                                                this snapshot also escaped \
+                                                to %s; writers through the \
+                                                other root invalidate reader \
+                                                isolation"
+                                               einto)
+                                            ~related:
+                                              [
+                                                Report.rel ~file s.Alias.s_loc
+                                                  (Printf.sprintf
+                                                     "allocated here (%s)"
+                                                     what);
+                                                Report.rel ~file eloc
+                                                  (Printf.sprintf
+                                                     "escapes to %s here"
+                                                     einto);
+                                              ]
+                                          :: acc
+                                      | None -> acc)
+                                  | Alias.OParam _ -> acc)
+                              | _ -> acc
+                            end)
+                          aval [])
+                      k_args
+                | _ -> [])
+              an.Alias.an_events)
+          sf.Alias.af_bindings)
+    al.Alias.al_files

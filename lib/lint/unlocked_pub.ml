@@ -1,0 +1,77 @@
+(* unlocked-publish: snapshot publication, or copy-on-write successor
+   construction, not dominated by the writer mutex.
+
+   The MVCC write protocol is single-writer: take the writer lock,
+   build the successor, publish, release. A publication ([Atomic.set
+   _.current v]) or a successor construction ([Snapshot.next …], a
+   cross-module [with_*] call) outside the lock lets two writers
+   interleave — each forks from the same predecessor and one
+   generation is silently lost. Lock domination reuses the lockset
+   machinery: [Mutex.lock]/[Mutex.protect] in scope, the transitive
+   same-file lock-wrapper closure, and callee summaries
+   ([sm_wrapper]) for closures run under a callee's lock; the alias
+   evaluator threads that protection bit to every event it records.
+
+   The rule only considers files containing a direct publication site
+   — successor construction in a file that never publishes (helpers,
+   benches replaying generations) is not a write-protocol step. *)
+
+let rule_id = "unlocked-publish"
+
+let findings (al : Alias.t) =
+  List.concat_map
+    (fun (sf : Alias.source_file) ->
+      let file = sf.Alias.af_file.Project.path in
+      let analyses =
+        List.map
+          (fun (name, body, bloc) ->
+            (name, bloc, Alias.analyze_binding al sf body))
+          sf.Alias.af_bindings
+      in
+      let has_publication =
+        List.exists
+          (fun (_, _, an) ->
+            List.exists
+              (function
+                | Alias.Publish { p_direct = true; _ } -> true
+                | _ -> false)
+              an.Alias.an_events)
+          analyses
+      in
+      if not has_publication then []
+      else
+        List.concat_map
+          (fun (name, bloc, an) ->
+            let own_name = Alias.last_dot name in
+            let entered =
+              Report.rel ~file bloc
+                (Printf.sprintf "unprotected path enters `%s` here" own_name)
+            in
+            List.filter_map
+              (function
+                | Alias.Publish { p_loc; p_guarded = false; p_direct = true }
+                  ->
+                    Some
+                      (Report.mk ~file p_loc rule_id
+                         "snapshot publication is not dominated by the \
+                          writer mutex; concurrent writers can interleave \
+                          and lose a generation — publish inside the writer \
+                          lock"
+                         ~related:[ entered ])
+                | Alias.Ctor
+                    { k_loc; k_kind; k_what; k_guarded = false; _ }
+                  when k_kind = `Succ
+                       || Alias.last_dot k_what = "next" ->
+                    Some
+                      (Report.mk ~file k_loc rule_id
+                         (Printf.sprintf
+                            "copy-on-write successor `%s` constructed \
+                             outside the writer mutex; racing writers fork \
+                             the generation history — construct and publish \
+                             under the same lock"
+                            k_what)
+                         ~related:[ entered ])
+                | _ -> None)
+              an.Alias.an_events)
+          analyses)
+    al.Alias.al_files
