@@ -1,0 +1,161 @@
+(* Durability bench and smoke gates.
+
+   Three claims, all cheap enough for CI:
+
+   1. Append overhead: journaling a mutation in [Batch] mode is one
+      buffered write of a small frame under the writer lock the
+      mutation already holds — the mutation path must cost within a
+      few percent of the same mutations on an unjournaled engine. The
+      gate is relative (5%) with an absolute noise guard, since smoke
+      runs are a handful of milliseconds.
+
+   2. Replay throughput: recovery re-executes log records through the
+      same validated mutation paths; the bench reports records/s so a
+      regression in the replay loop shows in the trajectory.
+
+   3. Checkpoint size: the on-disk image is the raw rows plus query
+      weights, not the index — it must stay within a small multiple of
+      the in-memory snapshot footprint (words * 8 bytes), or the
+      format has started persisting derived state.
+
+   Results land in BENCH_durability.json for trajectory tracking. *)
+
+let ok = function
+  | Ok v -> v
+  | Error e -> failwith (Iq.Engine.Error.to_string e)
+
+let fresh_dir tag =
+  let dir =
+    Filename.concat
+      (Filename.get_temp_dir_name ())
+      (Printf.sprintf "iq_bench_durability_%d_%s" (Unix.getpid ()) tag)
+  in
+  if Sys.file_exists dir then
+    Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir)
+  else Unix.mkdir dir 0o755;
+  dir
+
+let rm_dir dir =
+  Array.iter (fun f -> Sys.remove (Filename.concat dir f)) (Sys.readdir dir);
+  Unix.rmdir dir
+
+let run () =
+  Harness.header "Durability: WAL append, replay, checkpoint";
+  let rng = Harness.rng 31 in
+  let n = Harness.scaled_int 10_000 in
+  let m = Harness.scaled_int 1_000 in
+  let d = 3 in
+  let data = Workload.Datagen.generate rng Workload.Datagen.Independent ~n ~d in
+  let queries =
+    Workload.Querygen.linear rng Workload.Querygen.Uniform ~k_range:(1, 10) ~m
+      ~d ()
+  in
+  let inst = Iq.Instance.create ~data ~queries () in
+  let muts = Int.max 50 (Harness.scaled_int 2_000) in
+  let mutate_round engine =
+    for i = 0 to muts - 1 do
+      let id = (1 + (i * 61)) mod n in
+      let raw = (Iq.Engine.instance engine).Iq.Instance.raw.(id) in
+      ignore
+        (ok
+           (Iq.Engine.update_object engine id
+              (Array.map (fun v -> Float.min 1. (v *. 0.999)) raw)))
+    done
+  in
+
+  (* --- 1. append overhead (batch mode, no mid-run checkpoints) ------ *)
+  let bare = Harness.engine inst in
+  mutate_round bare (* warm both code paths once, untimed *);
+  let t_base = Harness.time_only (fun () -> mutate_round bare) in
+  let journaled = Harness.engine inst in
+  let dir = fresh_dir "wal" in
+  let store =
+    ok (Durable.Store.attach ~sync:(Durable.Wal.Batch 64) ~every:max_int ~dir journaled)
+  in
+  mutate_round journaled;
+  let t_wal = Harness.time_only (fun () -> mutate_round journaled) in
+  let overhead_pct = 100. *. ((t_wal -. t_base) /. t_base) in
+  Harness.row
+    [
+      Harness.cell_s 14 "no journal";
+      Harness.cell_f 10 (1000. *. t_base);
+      Harness.cell_s 4 "ms";
+    ];
+  Harness.row
+    [
+      Harness.cell_s 14 "wal (batch)";
+      Harness.cell_f 10 (1000. *. t_wal);
+      Harness.cell_s 4 "ms";
+    ];
+  Harness.note "append overhead: %+.2f%% over %d mutations" overhead_pct muts;
+  if overhead_pct > 5. && t_wal -. t_base > 0.02 then
+    failwith
+      (Printf.sprintf
+         "durability smoke: batch-mode append overhead %.2f%% exceeds the \
+          5%%%% gate (bare %.1f ms, journaled %.1f ms)"
+         overhead_pct (1000. *. t_base) (1000. *. t_wal));
+  let wal_bytes = (Iq.Engine.stats journaled).Iq.Engine.wal_bytes in
+  Durable.Store.detach store;
+
+  (* --- 2. replay throughput ---------------------------------------- *)
+  let t0 = Unix.gettimeofday () in
+  let recovered, report =
+    match Durable.Recovery.replay ~pool:(Harness.default_pool ()) dir with
+    | Ok v -> v
+    | Error e ->
+        failwith
+          (Printf.sprintf "durability smoke: replay failed: %s"
+             (Iq.Engine.Error.to_string e))
+  in
+  let t_replay = Unix.gettimeofday () -. t0 in
+  let replayed = report.Durable.Recovery.r_replayed in
+  let replay_per_s =
+    if t_replay > 0. then float_of_int replayed /. t_replay else 0.
+  in
+  Harness.note "replayed %d records in %.1f ms (%.0f records/s)" replayed
+    (1000. *. t_replay) replay_per_s;
+  if Iq.Engine.generation recovered <> Iq.Engine.generation journaled then
+    failwith
+      (Printf.sprintf
+         "durability smoke: replay reached generation %d, writer was at %d"
+         (Iq.Engine.generation recovered)
+         (Iq.Engine.generation journaled));
+
+  (* --- 3. checkpoint size ------------------------------------------ *)
+  let snap = Iq.Engine.snapshot recovered in
+  let ckpt_bytes =
+    Durable.Checkpoint.write
+      (Durable.Checkpoint.path_in dir)
+      (Durable.Checkpoint.of_snapshot snap)
+  in
+  let snap_bytes = 8 * Iq.Snapshot.size_words snap in
+  Harness.note "checkpoint %d bytes; in-memory snapshot ~%d bytes" ckpt_bytes
+    snap_bytes;
+  (* The image stores raw rows + weights; the in-memory figure counts
+     index structure over the same rows. A checkpoint dwarfing the
+     snapshot means derived state leaked into the format. The absolute
+     floor absorbs Marshal header overhead at tiny smoke scales. *)
+  if ckpt_bytes > (8 * snap_bytes) + 65_536 then
+    failwith
+      (Printf.sprintf
+         "durability smoke: checkpoint is %d bytes against a ~%d-byte \
+          snapshot — the image is persisting derived state"
+         ckpt_bytes snap_bytes);
+  rm_dir dir;
+
+  Harness.write_json ~name:"durability"
+    (Harness.Obj
+       [
+         ("n_objects", Harness.Int n);
+         ("n_queries", Harness.Int m);
+         ("mutations", Harness.Int muts);
+         ("base_ms", Harness.Float (1000. *. t_base));
+         ("wal_ms", Harness.Float (1000. *. t_wal));
+         ("append_overhead_pct", Harness.Float overhead_pct);
+         ("wal_bytes", Harness.Int wal_bytes);
+         ("replayed_records", Harness.Int replayed);
+         ("replay_ms", Harness.Float (1000. *. t_replay));
+         ("replay_records_per_s", Harness.Float replay_per_s);
+         ("checkpoint_bytes", Harness.Int ckpt_bytes);
+         ("snapshot_words", Harness.Int (Iq.Snapshot.size_words snap));
+       ])

@@ -2,7 +2,7 @@
    table and figure of the paper's evaluation (Section 6.3) at
    REPRO_SCALE of the published sizes, then runs the Bechamel
    micro-benchmarks. Pass --bench f4|f5|f6|f7|f8|f9|f10|f11|f12|f13|
-   exhaustive|ablations|parallel|hotpath|engine|resilience|mvcc|micro
+   exhaustive|ablations|parallel|hotpath|engine|resilience|mvcc|durability|micro
    to run one. *)
 
 let benches =
@@ -24,6 +24,7 @@ let benches =
     ("engine", Engine_bench.run);
     ("resilience", Resilience_bench.run);
     ("mvcc", Mvcc_bench.run);
+    ("durability", Durability_bench.run);
     ("micro", Micro.run);
   ]
 

@@ -154,6 +154,18 @@ let retries_arg =
 
 let normalize_cap = function Some 0 -> None | c -> c
 
+let wal_arg =
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "wal" ] ~docv:"DIR"
+        ~doc:
+          "Durable directory (write-ahead log + checkpoint). Every \
+           mutation is journaled there before it is acknowledged; after \
+           a crash, $(b,iq_tool recover --wal) $(i,DIR) rebuilds the \
+           engine. Sync discipline and checkpoint cadence come from \
+           IQ_WAL_SYNC and IQ_CHECKPOINT_EVERY.")
+
 (* --- gen-data --------------------------------------------------------- *)
 
 let gen_data kind n d seed out =
@@ -476,10 +488,19 @@ let exhaustive_cmd =
    distinct generations. Each session then answers its Min-Cost query
    from its own snapshot — the printout makes the MVCC isolation and
    the admission counters visible. *)
-let run_sessions data_path queries_path order n tau cost_name =
+let run_sessions data_path queries_path order n tau cost_name wal =
   let _, data = load_objects data_path in
   let queries = load_queries queries_path in
   let engine = build_engine ~order data queries in
+  let store =
+    match wal with
+    | None -> None
+    | Some dir ->
+        let s = ok_or_die (Durable.Store.attach ~dir engine) in
+        Printf.printf "journaling mutations to %s\n"
+          (Durable.Wal.path (Durable.Store.wal s));
+        Some s
+  in
   let inst = Iq.Engine.instance engine in
   let d = Iq.Instance.dim inst in
   let n_obj = Iq.Instance.n_objects inst in
@@ -540,7 +561,16 @@ let run_sessions data_path queries_path order n tau cost_name =
     sessions;
   let st = Iq.Engine.stats engine in
   Printf.printf "after close:       %d active, %d pinned\n"
-    st.Iq.Engine.active_sessions st.Iq.Engine.pinned_snapshots
+    st.Iq.Engine.active_sessions st.Iq.Engine.pinned_snapshots;
+  match store with
+  | None -> ()
+  | Some s ->
+      Printf.printf "wal bytes:         %d since last checkpoint\n"
+        st.Iq.Engine.wal_bytes;
+      (match st.Iq.Engine.last_checkpoint_generation with
+      | Some g -> Printf.printf "last checkpoint:   generation %d\n" g
+      | None -> Printf.printf "last checkpoint:   none\n");
+      Durable.Store.detach s
 
 let sessions_cmd =
   let n =
@@ -560,10 +590,71 @@ let sessions_cmd =
     (Cmd.info "sessions"
        ~doc:
          "Drive the workload through N interleaved MVCC serving sessions and \
-          print per-session generations and admission statistics")
+          print per-session generations and admission statistics; with \
+          $(b,--wal), journal every mutation durably")
     Term.(
       const run_sessions $ data_arg $ queries_arg $ order_arg $ n $ tau
-      $ cost_arg)
+      $ cost_arg $ wal_arg)
+
+(* --- recover ------------------------------------------------------------ *)
+
+let run_recover dir compact =
+  match Durable.Recovery.replay dir with
+  | Error e ->
+      prerr_endline ("iq_tool: recovery failed: " ^ Iq.Engine.Error.to_string e);
+      exit 2
+  | Ok (engine, report) ->
+      Format.printf "recovered %s: %a@." dir Durable.Recovery.pp_report report;
+      let st = Iq.Engine.stats engine in
+      Printf.printf "generation:        %d\n" st.Iq.Engine.generation;
+      Printf.printf "objects:           %d\n" st.Iq.Engine.n_objects;
+      Printf.printf "queries:           %d\n" st.Iq.Engine.n_queries;
+      Printf.printf "replayed records:  %d\n"
+        report.Durable.Recovery.r_replayed;
+      (match report.Durable.Recovery.r_corrupt with
+      | Some e ->
+          Printf.printf "warning:           %s (prefix recovered, tail \
+                         dropped)\n"
+            (Iq.Engine.Error.to_string e)
+      | None -> ());
+      if compact then begin
+        let store =
+          ok_or_die
+            (Durable.Store.attach
+               ~replayed_records:report.Durable.Recovery.r_replayed ~dir engine)
+        in
+        ok_or_die (Durable.Store.checkpoint store);
+        let st = Iq.Engine.stats engine in
+        (match st.Iq.Engine.last_checkpoint_generation with
+        | Some g ->
+            Printf.printf "checkpointed:      generation %d, log truncated\n" g
+        | None -> ());
+        Durable.Store.detach store
+      end
+
+let recover_cmd =
+  let dir =
+    Arg.(
+      required
+      & opt (some string) None
+      & info [ "wal" ] ~docv:"DIR"
+          ~doc:"Durable directory to recover (checkpoint + log).")
+  in
+  let compact =
+    Arg.(
+      value & flag
+      & info [ "checkpoint" ]
+          ~doc:
+            "After replaying, write a fresh checkpoint of the recovered \
+             state and truncate the log.")
+  in
+  Cmd.v
+    (Cmd.info "recover"
+       ~doc:
+         "Rebuild an engine from a durable directory (checkpoint + \
+          write-ahead log), repairing torn tails and reporting corruption, \
+          and print what was recovered")
+    Term.(const run_recover $ dir $ compact)
 
 (* --- main --------------------------------------------------------------- *)
 
@@ -582,4 +673,5 @@ let () =
             maxhit_cmd;
             exhaustive_cmd;
             sessions_cmd;
+            recover_cmd;
           ]))

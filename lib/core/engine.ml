@@ -26,6 +26,7 @@ module Error = struct
     | Deadline_exceeded of { elapsed_ms : float; partial : partial option }
     | Cancelled of { partial : partial option }
     | Fault_spec of { spec : string; msg : string }
+    | Wal_corrupt of { path : string; offset : int }
     | Internal of string
 
   let partial_str = function
@@ -62,6 +63,8 @@ module Error = struct
         Printf.sprintf "cancelled (%s)" (partial_str partial)
     | Fault_spec { spec; msg } ->
         Printf.sprintf "bad IQ_FAULT spec %S: %s" spec msg
+    | Wal_corrupt { path; offset } ->
+        Printf.sprintf "corrupt durable log %s at byte %d" path offset
     | Internal msg -> "internal error: " ^ msg
 
   let pp ppf e = Format.pp_print_string ppf (to_string e)
@@ -141,6 +144,31 @@ let default_resilience () =
     circuit_cooldown_ms = 100.;
     fault = None;
   }
+
+(* {2 Durability hooks} *)
+
+(* The plain-data description of one successful mutation, exactly as
+   submitted (queries pre-normalization): what the durable layer
+   journals and what replay feeds back through {!apply_mutation}, so a
+   recovered engine runs the very same code paths the original did. *)
+type mutation =
+  | M_add_object of Vec.t
+  | M_update_object of { id : int; raw : Vec.t }
+  | M_remove_object of int
+  | M_add_query of Topk.Query.t
+  | M_remove_query of int
+
+(* The durable backend as the engine sees it: callbacks invoked under
+   the writer lock. [j_append] persists one mutation record before the
+   successor snapshot publishes (a raise aborts the mutation, so no
+   acknowledged mutation can be lost); [j_checkpoint] persists a whole
+   snapshot and truncates the log. The engine stays file-format
+   agnostic — [Durable.Store] owns the bytes. *)
+type journal = {
+  j_append : generation:int -> mutation -> int;
+  j_checkpoint : Snapshot.t -> int;
+  j_every : int option;
+}
 
 (* The degradation order: every engine falls back ese -> rta -> scan
    from its primary onwards (a custom primary falls back to the full
@@ -232,6 +260,17 @@ type t = {
   mutable adm_waiting : int;
   adm_max : int;
   rejections : int Atomic.t;
+  (* durability: the attached journal plus its accounting. [journal]
+     is written once at attach time and read under [wlock] on the
+     mutation path; the counters are Atomics so [stats] can read them
+     from any domain. [wal_bytes] counts log bytes since the last
+     checkpoint (the log is truncated there); [last_ckpt] is -1 until
+     a checkpoint exists. *)
+  journal : journal option Atomic.t;
+  wal_bytes : int Atomic.t;
+  last_ckpt : int Atomic.t;
+  replayed : int Atomic.t;
+  muts_since_ckpt : int Atomic.t;
 }
 
 let with_mutex m f =
@@ -263,7 +302,7 @@ let bstat t name =
   | Some st -> st
   | None -> fresh_bstat ()
 
-let of_index ?backend ?resilience ?prune ?pool index =
+let of_index ?backend ?resilience ?prune ?generation ?pool index =
   guard @@ fun () ->
   let* b = resolve_backend backend in
   let* res = resolve_resilience resilience in
@@ -285,7 +324,7 @@ let of_index ?backend ?resilience ?prune ?pool index =
       chain;
       res;
       prune;
-      current = Atomic.make (Snapshot.root ~prune index);
+      current = Atomic.make (Snapshot.root ?generation ~prune index);
       wlock = Mutex.create ();
       slock = Mutex.create ();
       seen = Hashtbl.create 16;
@@ -303,9 +342,15 @@ let of_index ?backend ?resilience ?prune ?pool index =
       adm_waiting = 0;
       adm_max = Workload.Config.max_sessions ();
       rejections = Atomic.make 0;
+      journal = Atomic.make None;
+      wal_bytes = Atomic.make 0;
+      last_ckpt = Atomic.make (-1);
+      replayed = Atomic.make 0;
+      muts_since_ckpt = Atomic.make 0;
     }
 
-let create ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
+let create ?backend ?resilience ?prune ?generation ?depth_slack ?method_ ?pool
+    inst =
   guard @@ fun () ->
   let* b = resolve_backend backend in
   let* res = resolve_resilience resilience in
@@ -322,7 +367,7 @@ let create ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
         build (tries - 1)
   in
   let index = build res.retries in
-  of_index ~backend:b ~resilience:res ?prune ~pool index
+  of_index ~backend:b ~resilience:res ?prune ?generation ~pool index
 
 let create_exn ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst =
   match create ?backend ?resilience ?prune ?depth_slack ?method_ ?pool inst with
@@ -761,19 +806,40 @@ let max_hit_multi ?limits ?max_iterations ?candidate_cap ?deadline_ms ?budget
 
 (* {2 Dataset maintenance} *)
 
+(* Persist a checkpoint of [snap] through the journal and reset the
+   log accounting. Called under [wlock] only; a raise inside
+   [j_checkpoint] (injected fault, full disk) leaves the counters
+   untouched — the log still covers everything since the last
+   successful checkpoint, so recovery is unaffected. *)
+let checkpoint_locked t j snap =
+  let _bytes : int = j.j_checkpoint snap in
+  Atomic.set t.last_ckpt (Snapshot.generation snap);
+  Atomic.set t.wal_bytes 0;
+  Atomic.set t.muts_since_ckpt 0
+
 (* The single writer path. Under [wlock]: validate against the
    snapshot that will actually be mutated, build the successor index
    through the functional [Query_index.with_*] updates (the published
-   snapshot is never touched), fold the outgoing generation's
-   evaluation counts into the retired total, slide the retention ring,
-   and publish. [Atomic.set] gives release semantics: a reader that
-   acquires the new snapshot sees every write that built it. *)
-let mutate t validate f =
+   snapshot is never touched), journal the mutation (write-ahead: a
+   journal failure aborts before anything becomes visible), fold the
+   outgoing generation's evaluation counts into the retired total,
+   slide the retention ring, and publish. [Atomic.set] gives release
+   semantics: a reader that acquires the new snapshot sees every write
+   that built it. After publishing, a due automatic checkpoint
+   ([j_every]) runs while the lock is still held. *)
+let mutate t ~m validate f =
   with_mutex t.wlock (fun () ->
       let snap = Atomic.get t.current in
       let* () = validate snap in
       let index', r = f (Snapshot.index snap) in
       let snap' = Snapshot.next snap index' in
+      (match Atomic.get t.journal with
+      | None -> ()
+      | Some j ->
+          let bytes =
+            j.j_append ~generation:(Snapshot.generation snap') m
+          in
+          ignore (Atomic.fetch_and_add t.wal_bytes bytes));
       let outgoing = Snapshot.eval_total snap in
       if outgoing > 0 then
         ignore (Atomic.fetch_and_add t.retired_evals outgoing);
@@ -785,11 +851,19 @@ let mutate t validate f =
           in
           t.retained <- take t.keep (snap :: t.retained));
       Atomic.set t.current snap';
+      (match Atomic.get t.journal with
+      | None -> ()
+      | Some j -> (
+          match j.j_every with
+          | Some every
+            when 1 + Atomic.fetch_and_add t.muts_since_ckpt 1 >= every ->
+              checkpoint_locked t j snap'
+          | Some _ | None -> ()));
       Ok r)
 
 let add_query t q =
   guard @@ fun () ->
-  mutate t
+  mutate t ~m:(M_add_query q)
     (fun snap ->
       let* () =
         check_dim
@@ -804,13 +878,13 @@ let add_query t q =
 
 let remove_query t q =
   guard @@ fun () ->
-  mutate t
+  mutate t ~m:(M_remove_query q)
     (fun snap -> check_query_in snap q)
     (fun idx -> (Query_index.with_query_removed idx q, ()))
 
 let add_object t raw =
   guard @@ fun () ->
-  mutate t
+  mutate t ~m:(M_add_object raw)
     (fun snap ->
       check_dim
         ~expected:(Instance.dim_raw (Snapshot.instance snap))
@@ -819,7 +893,7 @@ let add_object t raw =
 
 let update_object t id raw =
   guard @@ fun () ->
-  mutate t
+  mutate t ~m:(M_update_object { id; raw })
     (fun snap ->
       let* () = check_target_in snap id in
       check_dim
@@ -829,9 +903,42 @@ let update_object t id raw =
 
 let remove_object t id =
   guard @@ fun () ->
-  mutate t
+  mutate t ~m:(M_remove_object id)
     (fun snap -> check_target_in snap id)
     (fun idx -> (Query_index.with_object_removed idx id, ()))
+
+(* {2 Durability API} *)
+
+let attach_journal ?(replayed_records = 0) ?checkpoint_generation
+    ?(wal_bytes = 0) t j =
+  Atomic.set t.replayed replayed_records;
+  (match checkpoint_generation with
+  | Some g -> Atomic.set t.last_ckpt g
+  | None -> ());
+  Atomic.set t.wal_bytes wal_bytes;
+  Atomic.set t.muts_since_ckpt 0;
+  Atomic.set t.journal (Some j)
+
+let detach_journal t = Atomic.set t.journal None
+
+let journaled t = Atomic.get t.journal <> None
+
+let checkpoint t =
+  guard @@ fun () ->
+  with_mutex t.wlock (fun () ->
+      match Atomic.get t.journal with
+      | None -> Ok ()
+      | Some j ->
+          checkpoint_locked t j (Atomic.get t.current);
+          Ok ())
+
+let apply_mutation t m =
+  match m with
+  | M_add_object raw -> Result.map (fun (_ : int) -> ()) (add_object t raw)
+  | M_update_object { id; raw } -> update_object t id raw
+  | M_remove_object id -> remove_object t id
+  | M_add_query q -> Result.map (fun (_ : int) -> ()) (add_query t q)
+  | M_remove_query q -> remove_query t q
 
 (* {2 Serving sessions: admission and snapshot pinning} *)
 
@@ -955,6 +1062,9 @@ type stats = {
   admission_rejections : int;
   pinned_snapshots : int;
   oldest_pinned : int option;
+  wal_bytes : int;
+  last_checkpoint_generation : int option;
+  replayed_records : int;
 }
 
 let stats t =
@@ -1024,4 +1134,9 @@ let stats t =
     admission_rejections = Atomic.get t.rejections;
     pinned_snapshots = pinned;
     oldest_pinned = oldest;
+    wal_bytes = Atomic.get t.wal_bytes;
+    last_checkpoint_generation =
+      (let g = Atomic.get t.last_ckpt in
+       if g < 0 then None else Some g);
+    replayed_records = Atomic.get t.replayed;
   }

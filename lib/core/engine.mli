@@ -95,6 +95,11 @@ module Error : sig
     | Fault_spec of { spec : string; msg : string }
         (** [IQ_FAULT] didn't parse — reported rather than silently
             running a chaos experiment without its faults *)
+    | Wal_corrupt of { path : string; offset : int }
+        (** the durable mutation log failed its frame checks at
+            [offset] — a checksum mismatch or an impossible length.
+            Recovery ([Durable.Recovery]) reports it after replaying
+            the intact prefix; it never surfaces as a raw exception. *)
     | Internal of string
         (** an unexpected exception escaped an internal layer; carries
             [Printexc.to_string]. Entry points catch-and-wrap rather
@@ -168,6 +173,7 @@ val create :
   ?backend:backend ->
   ?resilience:resilience ->
   ?prune:bool ->
+  ?generation:int ->
   ?depth_slack:int ->
   ?method_:Query_index.build_method ->
   ?pool:Parallel.pool ->
@@ -175,7 +181,9 @@ val create :
   (t, Error.t) result
 (** Build the index (sharded over [pool], default the shared
     {!Parallel.default} pool — engines never create pools of their
-    own) and start at generation 0. Without [?backend] the [IQ_BACKEND]
+    own) and start at generation 0 ([?generation] overrides the start —
+    recovery resumes the crashed engine's count; see
+    [Durable.Recovery]). Without [?backend] the [IQ_BACKEND]
     environment selects one; [Error (Unknown_backend _)] when it names
     nothing. Without [?resilience], [IQ_FAULT]/[IQ_RETRIES] configure
     the policy; a malformed [IQ_FAULT] is [Error (Fault_spec _)]. The
@@ -189,6 +197,7 @@ val of_index :
   ?backend:backend ->
   ?resilience:resilience ->
   ?prune:bool ->
+  ?generation:int ->
   ?pool:Parallel.pool ->
   Query_index.t ->
   (t, Error.t) result
@@ -280,6 +289,15 @@ type stats = {
       (** admission waits that tripped their budget *)
   pinned_snapshots : int;  (** distinct generations pinned by sessions *)
   oldest_pinned : int option;  (** oldest pinned generation, if any *)
+  wal_bytes : int;
+      (** durable-log bytes appended since the last checkpoint (0 when
+          no journal is attached) *)
+  last_checkpoint_generation : int option;
+      (** generation of the most recent successful checkpoint, [None]
+          before the first one *)
+  replayed_records : int;
+      (** log records replayed into this engine at recovery time (0
+          for engines born fresh) *)
 }
 (** Every counter is readable concurrently with a writer: the scalars
     are [Atomic]s (or read under their own small lock) and the record
@@ -433,6 +451,70 @@ val update_object : t -> int -> Vec.t -> (unit, Error.t) result
 
 val remove_object : t -> int -> (unit, Error.t) result
 (** Later object ids shift down by one (in the new generation). *)
+
+(** {2 Durability — the write-ahead journal hook}
+
+    The engine itself knows nothing about file formats; it exposes a
+    {e journal}: a pair of callbacks invoked under the write lock. The
+    [Durable] library supplies the standard implementation (CRC-framed
+    write-ahead log + atomic checkpoints); [Durable.Store.attach] is
+    the entry point application code should use. *)
+
+(** A logical dataset mutation — exactly the information needed to
+    re-execute one maintenance call. [Durable.Codec] serialises these;
+    {!apply_mutation} replays them through the very same validated
+    code paths the original call took. *)
+type mutation =
+  | M_add_object of Vec.t
+  | M_update_object of { id : int; raw : Vec.t }
+  | M_remove_object of int
+  | M_add_query of Topk.Query.t
+  | M_remove_query of int
+
+type journal = {
+  j_append : generation:int -> mutation -> int;
+      (** persist one mutation, stamped with the generation it
+          produces, {e before} the successor snapshot is published;
+          returns the bytes written. Raising aborts the mutation —
+          nothing is published, the caller sees the error — so an
+          acknowledged mutation is always durable. *)
+  j_checkpoint : Snapshot.t -> int;
+      (** persist a full snapshot and truncate the log; returns the
+          checkpoint's size in bytes. Called under the write lock. *)
+  j_every : int option;
+      (** automatic checkpoint cadence in mutations, [None] for
+          manual-only (the [IQ_CHECKPOINT_EVERY] knob, resolved by
+          [Durable.Store]) *)
+}
+
+val attach_journal :
+  ?replayed_records:int ->
+  ?checkpoint_generation:int ->
+  ?wal_bytes:int ->
+  t ->
+  journal ->
+  unit
+(** Start journaling every subsequent mutation. The optional carry-ins
+    seed the durability counters in {!stats} when attaching over a
+    recovered engine (records replayed, the generation of the
+    checkpoint recovery started from, bytes already in the log
+    tail). *)
+
+val detach_journal : t -> unit
+(** Stop journaling (already-written files are left alone). *)
+
+val journaled : t -> bool
+
+val checkpoint : t -> (unit, Error.t) result
+(** Force a checkpoint now: persists the current snapshot through the
+    journal and resets {!stats}'s [wal_bytes]. A no-op (and [Ok ()])
+    without an attached journal. *)
+
+val apply_mutation : t -> mutation -> (unit, Error.t) result
+(** Re-execute a logical mutation through its maintenance entry point
+    (replay). New ids are recomputed, not trusted from the record —
+    determinism of the copy-on-write paths makes them land on the same
+    values the original run produced. *)
 
 (** {2 Serving sessions — admission control and snapshot pinning}
 

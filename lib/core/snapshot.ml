@@ -26,7 +26,7 @@ let make ~generation ~prune index =
     onion = None;
   }
 
-let root ~prune index = make ~generation:0 ~prune index
+let root ?(generation = 0) ~prune index = make ~generation ~prune index
 
 let next t index = make ~generation:(t.generation + 1) ~prune:t.prune index
 

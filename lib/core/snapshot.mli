@@ -34,8 +34,11 @@ type entry = {
 
 type t
 
-val root : prune:bool -> Query_index.t -> t
-(** Generation 0 over a freshly built (or adopted) index. *)
+val root : ?generation:int -> prune:bool -> Query_index.t -> t
+(** A root snapshot over a freshly built (or adopted) index.
+    [generation] defaults to 0; recovery passes the generation the
+    persisted checkpoint was taken at, so a replayed engine counts on
+    from where the crashed one stopped. *)
 
 val next : t -> Query_index.t -> t
 (** The successor generation over a functionally-updated index: the

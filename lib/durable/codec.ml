@@ -1,0 +1,143 @@
+(* Versioned binary codec for journal payloads. Everything is
+   little-endian and fixed-width: a payload is
+   [u8 version | u32 generation | u8 tag | body], floats travel as
+   their IEEE-754 bit patterns, so encode/decode round-trips are exact
+   (no printf/parse detour). Framing (length + checksum) is [Wal]'s
+   job — this module only sees payload strings. *)
+
+let version = 1
+
+(* --- CRC32 (IEEE 802.3, reflected, poly 0xEDB88320) ----------------- *)
+
+let crc_table =
+  lazy
+    (Array.init 256 (fun n ->
+         let c = ref n in
+         for _ = 0 to 7 do
+           c := if !c land 1 = 1 then 0xEDB88320 lxor (!c lsr 1) else !c lsr 1
+         done;
+         !c))
+
+let crc32 s =
+  let table = Lazy.force crc_table in
+  let crc = ref 0xFFFFFFFF in
+  String.iter
+    (fun ch ->
+      crc := table.((!crc lxor Char.code ch) land 0xFF) lxor (!crc lsr 8))
+    s;
+  !crc lxor 0xFFFFFFFF
+
+(* --- primitive writers --------------------------------------------- *)
+
+let put_u8 b v = Buffer.add_char b (Char.chr (v land 0xFF))
+
+let put_u32 b v =
+  put_u8 b v;
+  put_u8 b (v lsr 8);
+  put_u8 b (v lsr 16);
+  put_u8 b (v lsr 24)
+
+let put_f64 b v =
+  let bits = Int64.bits_of_float v in
+  for i = 0 to 7 do
+    put_u8 b (Int64.to_int (Int64.shift_right_logical bits (8 * i)))
+  done
+
+let put_vec b (v : Geom.Vec.t) =
+  put_u32 b (Array.length v);
+  Array.iter (put_f64 b) v
+
+(* --- primitive readers --------------------------------------------- *)
+
+exception Malformed of string
+
+let get_u8 s pos =
+  if !pos >= String.length s then raise (Malformed "truncated payload");
+  let v = Char.code s.[!pos] in
+  incr pos;
+  v
+
+let get_u32 s pos =
+  let a = get_u8 s pos in
+  let b = get_u8 s pos in
+  let c = get_u8 s pos in
+  let d = get_u8 s pos in
+  a lor (b lsl 8) lor (c lsl 16) lor (d lsl 24)
+
+(* ids may be negative (queries default to id -1): u32 on the wire,
+   sign-extended back. *)
+let get_i32 s pos =
+  let v = get_u32 s pos in
+  if v land 0x80000000 <> 0 then v - 0x100000000 else v
+
+let get_f64 s pos =
+  let bits = ref 0L in
+  for i = 0 to 7 do
+    bits :=
+      Int64.logor !bits
+        (Int64.shift_left (Int64.of_int (get_u8 s pos)) (8 * i))
+  done;
+  Int64.float_of_bits !bits
+
+let get_vec s pos =
+  let n = get_u32 s pos in
+  if n < 0 || n > (String.length s - !pos) / 8 then
+    raise (Malformed "vector length out of range");
+  Array.init n (fun _ -> get_f64 s pos)
+
+(* --- mutation payloads --------------------------------------------- *)
+
+let tag_of = function
+  | Iq.Engine.M_add_object _ -> 0
+  | Iq.Engine.M_update_object _ -> 1
+  | Iq.Engine.M_remove_object _ -> 2
+  | Iq.Engine.M_add_query _ -> 3
+  | Iq.Engine.M_remove_query _ -> 4
+
+let encode ~generation m =
+  let b = Buffer.create 64 in
+  put_u8 b version;
+  put_u32 b generation;
+  put_u8 b (tag_of m);
+  (match m with
+  | Iq.Engine.M_add_object raw -> put_vec b raw
+  | Iq.Engine.M_update_object { id; raw } ->
+      put_u32 b id;
+      put_vec b raw
+  | Iq.Engine.M_remove_object id -> put_u32 b id
+  | Iq.Engine.M_add_query q ->
+      put_u32 b q.Topk.Query.id;
+      put_u32 b q.Topk.Query.k;
+      put_vec b q.Topk.Query.weights
+  | Iq.Engine.M_remove_query q -> put_u32 b q);
+  Buffer.contents b
+
+let decode s =
+  let pos = ref 0 in
+  try
+    let v = get_u8 s pos in
+    if v <> version then
+      Error (Printf.sprintf "unsupported payload version %d" v)
+    else begin
+      let generation = get_u32 s pos in
+      let m =
+        match get_u8 s pos with
+        | 0 -> Iq.Engine.M_add_object (get_vec s pos)
+        | 1 ->
+            let id = get_u32 s pos in
+            Iq.Engine.M_update_object { id; raw = get_vec s pos }
+        | 2 -> Iq.Engine.M_remove_object (get_u32 s pos)
+        | 3 ->
+            let id = get_i32 s pos in
+            let k = get_u32 s pos in
+            let weights = get_vec s pos in
+            Iq.Engine.M_add_query (Topk.Query.make ~id ~k weights)
+        | 4 -> Iq.Engine.M_remove_query (get_u32 s pos)
+        | t -> raise (Malformed (Printf.sprintf "unknown mutation tag %d" t))
+      in
+      if !pos <> String.length s then Error "trailing bytes after payload"
+      else Ok (generation, m)
+    end
+  with
+  | Malformed msg -> Error msg
+  | Invalid_argument msg -> Error msg

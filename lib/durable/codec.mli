@@ -1,0 +1,27 @@
+(** Versioned binary codec for durable-log payloads.
+
+    A payload is [u8 version | u32 generation | u8 tag | body], all
+    little-endian, floats as raw IEEE-754 bits — decoding an encoded
+    mutation is bit-exact, which is what makes recovery byte-identical
+    to the original run. The generation stamp is the generation the
+    mutation {e produced}; [Recovery] uses it to skip records already
+    covered by a checkpoint. Framing (length prefix + checksum) lives
+    in {!Wal}; corruption of a payload {e inside} an intact frame is
+    impossible unless the checksum colludes, so {!decode} errors are
+    treated as corruption by the scanner. *)
+
+val version : int
+(** Current payload format version (1). A decoded record with any
+    other version byte is rejected, not guessed at. *)
+
+val crc32 : string -> int
+(** IEEE 802.3 CRC-32 (the zlib/PNG polynomial), as a non-negative
+    int. Reference vector: [crc32 "123456789" = 0xCBF43926]. *)
+
+val encode : generation:int -> Iq.Engine.mutation -> string
+(** Serialize one mutation stamped with the generation it produces. *)
+
+val decode : string -> (int * Iq.Engine.mutation, string) result
+(** Inverse of {!encode}: [(generation, mutation)], or a message for
+    payloads that are truncated, over-long, or of an unknown
+    version/tag. Never raises. *)

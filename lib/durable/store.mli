@@ -1,0 +1,56 @@
+(** A durable directory attached to a live engine — the entry point
+    application code uses.
+
+    {!attach} makes an engine durable in one call: it creates the
+    directory if needed, guarantees a complete checkpoint exists
+    (writing an initial one for a fresh directory, so recovery always
+    has a base image), opens the write-ahead log for appending and
+    installs the engine's journal. From then on every acknowledged
+    mutation has a CRC-framed record on disk {e before} its snapshot
+    is published, and a checkpoint — automatic per
+    [IQ_CHECKPOINT_EVERY], or forced via {!checkpoint} — atomically
+    persists the current snapshot and truncates the log.
+
+    Typical lifecycles:
+    {v
+    fresh:     Engine.create → Store.attach ~dir → mutate/serve …
+    restart:   Recovery.replay dir → Store.attach ~dir
+                 ~replayed_records:report.r_replayed → serve on
+    v}
+
+    Only linear-utility engines can attach (checkpoints cannot
+    serialise feature-map closures); the error is typed, not raised. *)
+
+type t
+
+val attach :
+  ?sync:Wal.sync ->
+  ?every:int ->
+  ?fault:Resilience.Fault.t ->
+  ?replayed_records:int ->
+  dir:string ->
+  Iq.Engine.t ->
+  (t, Iq.Engine.Error.t) result
+(** Attach durability to an engine. [sync] defaults to the
+    [IQ_WAL_SYNC] knob, [every] to [IQ_CHECKPOINT_EVERY], [fault] to
+    the [IQ_FAULT] schedule (its [wal.*]/[checkpoint.*] sites drive
+    the crash-fault tests; a malformed spec is [Error (Fault_spec _)]).
+    [replayed_records] carries a recovery report's count into
+    [Iq.Engine.stats]. Attaching over a directory that already has a
+    checkpoint adopts it — use [Recovery.replay] first if the engine
+    must be rebuilt {e from} that state. *)
+
+val checkpoint : t -> (unit, Iq.Engine.Error.t) result
+(** Force a checkpoint now ([Iq.Engine.checkpoint] on the attached
+    engine): snapshot persisted atomically, log truncated. *)
+
+val detach : t -> unit
+(** Stop journaling and close the log. The directory stays valid for
+    a later [Recovery.replay] or {!attach}. *)
+
+val dir : t -> string
+
+val wal : t -> Wal.t
+(** The underlying log handle (tests inspect its {!Wal.size}). *)
+
+val engine : t -> Iq.Engine.t

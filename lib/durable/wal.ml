@@ -1,0 +1,221 @@
+(* The append-only mutation log. One frame per record:
+   [u32 len | u32 crc32(payload) | payload]. The writer always runs
+   under the engine's write lock (journal callbacks are invoked there),
+   so the channel needs no locking of its own.
+
+   Crash-simulation contract: every append flushes the channel, so
+   "durable" for the in-process crash tests means "in the file after
+   flush" — fsync only adds OS-level durability on top and never
+   changes what a recovery test can observe. An exception escaping a
+   fault point here is a simulated process death: the handle marks
+   itself dead and refuses further work, because continuing to append
+   after a torn write would bury garbage in the middle of the log. *)
+
+type sync = Always | Batch of int | Off
+
+let sync_of_config () =
+  match Workload.Config.wal_sync () with
+  | "always" -> Always
+  | "off" -> Off
+  | _ -> Batch 64
+
+type t = {
+  path : string;
+  oc : out_channel;
+  sync : sync;
+  fault : Resilience.Fault.t option;
+  mutable unsynced : int;
+  mutable dead : bool;
+  mutable closed : bool;
+}
+
+let path_in dir = Filename.concat dir "wal.log"
+
+let open_ ?(sync = Batch 64) ?fault path =
+  let oc =
+    open_out_gen [ Open_wronly; Open_append; Open_creat; Open_binary ] 0o644
+      path
+  in
+  { path; oc; sync; fault; unsynced = 0; dead = false; closed = false }
+
+let path t = t.path
+
+let fd t = Unix.descr_of_out_channel t.oc
+
+let size t =
+  flush t.oc;
+  (Unix.fstat (fd t)).Unix.st_size
+
+let check_live t op =
+  if t.closed then failwith (Printf.sprintf "Durable.Wal.%s: closed log" op);
+  if t.dead then
+    failwith
+      (Printf.sprintf
+         "Durable.Wal.%s: %s died on an injected crash — recover from disk"
+         op t.path)
+
+let frame payload =
+  let b = Buffer.create (String.length payload + 8) in
+  let put_u32 v =
+    for i = 0 to 3 do
+      Buffer.add_char b (Char.chr ((v lsr (8 * i)) land 0xFF))
+    done
+  in
+  put_u32 (String.length payload);
+  put_u32 (Codec.crc32 payload);
+  Buffer.add_string b payload;
+  Buffer.contents b
+
+let do_sync t =
+  Unix.fsync (fd t);
+  t.unsynced <- 0
+
+let fsync t =
+  check_live t "fsync";
+  flush t.oc;
+  match t.sync with Off -> () | Always | Batch _ -> do_sync t
+
+let append t ~generation m =
+  check_live t "append";
+  let bytes = frame (Codec.encode ~generation m) in
+  (* [wal.append] fires before any byte lands: a plain injection kills
+     the process pre-write (record lost, mutation unacknowledged); a
+     torn injection persists a prefix of the frame first — exactly the
+     state a mid-write power cut leaves behind. *)
+  (try Resilience.Fault.point t.fault ~site:"wal.append"
+   with
+  | Resilience.Fault.Torn_write { frac; _ } as e ->
+      let n = int_of_float (frac *. float_of_int (String.length bytes)) in
+      output_substring t.oc bytes 0 n;
+      flush t.oc;
+      t.dead <- true;
+      raise e
+  | e ->
+      t.dead <- true;
+      raise e);
+  output_string t.oc bytes;
+  flush t.oc;
+  (* [wal.fsync] fires after the flush: the record is durable but the
+     crash happens before the mutation is acknowledged — recovery may
+     legitimately replay one more record than the client saw succeed. *)
+  (try Resilience.Fault.point t.fault ~site:"wal.fsync"
+   with e ->
+     t.dead <- true;
+     raise e);
+  (match t.sync with
+  | Always -> do_sync t
+  | Batch n ->
+      t.unsynced <- t.unsynced + 1;
+      if t.unsynced >= n then do_sync t
+  | Off -> ());
+  String.length bytes
+
+let reset t =
+  check_live t "reset";
+  flush t.oc;
+  Unix.ftruncate (fd t) 0;
+  (* the channel is O_APPEND so writes follow the (now zero) file end;
+     re-seat the buffer position so [pos_out] stays meaningful *)
+  seek_out t.oc 0;
+  t.unsynced <- 0
+
+let close t =
+  if not t.closed then begin
+    if not t.dead then begin
+      (try flush t.oc with Sys_error _ -> ());
+      match t.sync with
+      | Off -> ()
+      | Always | Batch _ -> (
+          try do_sync t with Sys_error _ | Unix.Unix_error _ -> ())
+    end;
+    t.closed <- true;
+    close_out_noerr t.oc
+  end
+
+(* --- recovery-side scanning ---------------------------------------- *)
+
+type scan = {
+  entries : (int * Iq.Engine.mutation) list;
+  intact_bytes : int;
+  torn_at : int option;
+  corrupt_at : int option;
+}
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let u32_at s off =
+  let b i = Char.code s.[off + i] in
+  b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)
+
+(* No single frame should come near this: the largest record is an
+   object/query row, a few KiB. A bigger claimed length with the bytes
+   actually present is corruption, not a huge record. *)
+let max_frame = 1 lsl 26
+
+let scan_file path =
+  if not (Sys.file_exists path) then
+    { entries = []; intact_bytes = 0; torn_at = None; corrupt_at = None }
+  else begin
+    let s = read_file path in
+    let len = String.length s in
+    let entries = ref [] in
+    let off = ref 0 in
+    let torn = ref None in
+    let corrupt = ref None in
+    let stop = ref false in
+    while not !stop do
+      if !off = len then stop := true
+      else if len - !off < 8 then begin
+        (* a frame header can't even fit: torn tail *)
+        torn := Some !off;
+        stop := true
+      end
+      else begin
+        let plen = u32_at s !off in
+        if plen > max_frame then begin
+          corrupt := Some !off;
+          stop := true
+        end
+        else if len - !off - 8 < plen then begin
+          (* the frame claims more payload than the file holds: the
+             final append was cut mid-record *)
+          torn := Some !off;
+          stop := true
+        end
+        else begin
+          let crc = u32_at s (!off + 4) in
+          let payload = String.sub s (!off + 8) plen in
+          if Codec.crc32 payload <> crc then begin
+            corrupt := Some !off;
+            stop := true
+          end
+          else
+            match Codec.decode payload with
+            | Error _ ->
+                (* intact frame, nonsense payload: the checksum matched
+                   garbage, so treat it as corruption too *)
+                corrupt := Some !off;
+                stop := true
+            | Ok entry ->
+                entries := entry :: !entries;
+                off := !off + 8 + plen
+        end
+      end
+    done;
+    {
+      entries = List.rev !entries;
+      intact_bytes = !off;
+      torn_at = !torn;
+      corrupt_at = !corrupt;
+    }
+  end
+
+let truncate_file path bytes =
+  if Sys.file_exists path then begin
+    let st = Unix.stat path in
+    if st.Unix.st_size > bytes then Unix.truncate path bytes
+  end

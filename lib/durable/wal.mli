@@ -1,0 +1,90 @@
+(** The append-only durable mutation log.
+
+    One CRC-framed record per successful engine mutation:
+    [u32 len | u32 crc32(payload) | payload] (little-endian), payload
+    as in {!Codec}. The handle is written only from the engine's
+    journal callbacks, which run under the engine's write lock — one
+    writer by construction, no locking here.
+
+    {b What "durable" means in-process.} Every append flushes the
+    [out_channel], so the crash-fault tests — which simulate death by
+    exception, not by killing the process — observe exactly the bytes
+    a real crash would leave: the flushed prefix. The {!sync} policy
+    ([IQ_WAL_SYNC]) controls [fsync], i.e. durability against {e OS}
+    crashes; it never changes recovery-visible state in-process.
+
+    {b Crash faults.} [append] consults two {!Resilience.Fault} sites:
+    [wal.append] fires before any byte lands (a [torn] rule persists
+    [floor (frac * frame)] bytes first — the mid-write power cut), and
+    [wal.fsync] fires after the flush (record durable, crash before
+    the client sees the ack). Any injected raise marks the handle
+    {e dead}: further operations fail, as a dead process's would, and
+    state must be rebuilt from disk via [Recovery]. *)
+
+type sync =
+  | Always  (** fsync every append *)
+  | Batch of int  (** fsync every [n] appends, and on close/checkpoint *)
+  | Off  (** never fsync; flush only *)
+
+val sync_of_config : unit -> sync
+(** The [IQ_WAL_SYNC] knob ({!Workload.Config.wal_sync}): ["always"],
+    ["off"], or ["batch"] (the default, as [Batch 64]). *)
+
+type t
+
+val path_in : string -> string
+(** The log's path inside a durable directory ([<dir>/wal.log]) —
+    shared vocabulary for [Store], [Recovery] and the CLI. *)
+
+val open_ : ?sync:sync -> ?fault:Resilience.Fault.t -> string -> t
+(** Open (creating if missing) for appending. Pair with {!close} —
+    the [handle-lifecycle] lint tracks this family. *)
+
+val append : t -> generation:int -> Iq.Engine.mutation -> int
+(** Frame and persist one record, stamped with the generation it
+    produces; returns the bytes written (frame included). Raises on an
+    injected crash (see above) — the engine aborts the mutation, so an
+    acknowledged mutation always has a durable record. *)
+
+val fsync : t -> unit
+(** Force an fsync now (no-op under {!Off}). *)
+
+val size : t -> int
+(** Current log length in bytes (flushes first). *)
+
+val reset : t -> unit
+(** Truncate to empty — called by [Store] right after a checkpoint
+    lands. A crash between checkpoint and reset is benign: replay
+    skips records at or below the checkpoint's generation. *)
+
+val path : t -> string
+
+val close : t -> unit
+(** Flush, fsync (per policy) and release the handle. Idempotent. *)
+
+(** {2 Recovery-side scanning} *)
+
+type scan = {
+  entries : (int * Iq.Engine.mutation) list;
+      (** intact records in log order, [(generation, mutation)] *)
+  intact_bytes : int;
+      (** byte offset one past the last intact record — the length the
+          log should be repaired to *)
+  torn_at : int option;
+      (** offset of a partial final frame (mid-append crash); expected
+          after a torn crash, silently dropped by repair *)
+  corrupt_at : int option;
+      (** offset of a complete frame failing its checksum (or carrying
+          an undecodable payload) — reported as
+          [Iq.Engine.Error.Wal_corrupt], everything before it is still
+          recovered *)
+}
+
+val scan_file : string -> scan
+(** Read a log file front to back, validating each frame. Stops at the
+    first torn or corrupt frame; a missing file is an empty scan.
+    Never raises on malformed content. *)
+
+val truncate_file : string -> int -> unit
+(** Repair: cut the file back to its intact prefix (no-op when already
+    that short), so post-recovery appends extend a clean log. *)

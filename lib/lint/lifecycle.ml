@@ -2,10 +2,11 @@
    channels.
 
    Tracked resources are let-bound results of [Parallel.create], the
-   stdlib [open_in*]/[open_out*] family, and the serving-session
-   family ([Session.open_]/[Session.open_exn] and
-   [Session.prepare]); their closers are [Parallel.shutdown],
-   [close_in*]/[close_out*], and [Session.close]/[Session.finalize].
+   stdlib [open_in*]/[open_out*] family, the serving-session family
+   ([Session.open_]/[Session.open_exn] and [Session.prepare]), and the
+   durable write-ahead log ([Wal.open_]); their closers are
+   [Parallel.shutdown], [close_in*]/[close_out*],
+   [Session.close]/[Session.finalize], and [Wal.close].
    Per function body, each resource variable moves through
 
      Open {used} --close--> Closed --close--> (double-close)
@@ -87,6 +88,8 @@ let creator e =
           then Some "session"
           else if last = "prepare" && List.mem "Session" comps then
             Some "prepared statement"
+          else if last = "open_" && List.mem "Wal" comps then
+            Some "write-ahead log"
           else if List.mem last in_chans && stdlibish comps then
             Some "input channel"
           else if List.mem last out_chans && stdlibish comps then
@@ -101,6 +104,7 @@ let closer lid =
   if last = "shutdown" && List.mem "Parallel" comps then true
   else if (last = "close" || last = "finalize") && List.mem "Session" comps
   then true
+  else if last = "close" && List.mem "Wal" comps then true
   else
     List.mem last
       [ "close_in"; "close_in_noerr"; "close_out"; "close_out_noerr"; "close" ]
@@ -261,6 +265,7 @@ let findings ~in_test ~file str =
                  | "pool" -> "Parallel.shutdown"
                  | "session" -> "Session.close"
                  | "prepared statement" -> "Session.finalize"
+                 | "write-ahead log" -> "Wal.close"
                  | _ -> "close"))
         | Closed _ | Escaped -> ())
       final

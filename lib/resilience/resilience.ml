@@ -114,9 +114,11 @@ module Budget = struct
 end
 
 module Fault = struct
-  type kind = Exn | Transient | Latency of float
+  type kind = Exn | Transient | Latency of float | Torn
 
   exception Injected of { site : string; transient : bool }
+
+  exception Torn_write of { site : string; frac : float }
 
   type rule = { pattern : string; kind : kind; p : float }
 
@@ -165,6 +167,14 @@ module Fault = struct
 
   let decide t r site n = draw t site n < r.p
 
+  (* The kill point of a torn write: a second independent deterministic
+     draw from the same (seed, site, n) triple, so the fraction of the
+     record that survives the simulated crash is as reproducible as the
+     decision to crash at all. *)
+  let torn_frac t site n =
+    Workload.Rng.uniform
+      (Workload.Rng.make (t.seed lxor Hashtbl.hash (site, t.seed, n, 1)))
+
   let would_inject t ~site ~n =
     match rule_for t site with None -> false | Some r -> decide t r site n
 
@@ -202,6 +212,7 @@ module Fault = struct
               | Latency ms -> if ms > 0. then Unix.sleepf (ms /. 1000.)
               | Exn -> raise (Injected { site; transient = false })
               | Transient -> raise (Injected { site; transient = true })
+              | Torn -> raise (Torn_write { site; frac = torn_frac t site n })
             end)
 
   (* --- IQ_FAULT spec parsing ---------------------------------------
@@ -219,6 +230,7 @@ module Fault = struct
     match s with
     | "exn" -> Ok Exn
     | "transient" -> Ok Transient
+    | "torn" -> Ok Torn
     | _ ->
         let l = String.length s in
         if l > 9 && String.sub s 0 8 = "latency(" && s.[l - 1] = ')' then

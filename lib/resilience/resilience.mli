@@ -94,8 +94,10 @@ end
     [layer.component.event]: the engine consults
     [backend.<name>.prepare] and [backend.<name>.eval], index
     construction consults [index.build], the searches consult
-    [search.iteration], and pool tasks consult [pool.task] at chunk
-    boundaries. Rules match a site exactly or by a trailing-[*]
+    [search.iteration], pool tasks consult [pool.task] at chunk
+    boundaries, and the durability layer consults [wal.append],
+    [wal.fsync], [checkpoint.write] and [checkpoint.rename] (see
+    [Durable]). Rules match a site exactly or by a trailing-[*]
     prefix wildcard.
 
     {b Determinism.} Whether the [n]-th consult of a site injects is a
@@ -110,11 +112,25 @@ module Fault : sig
         (** raise {!Injected} with [transient = true] — the engine's
             retry-with-backoff class *)
     | Latency of float  (** sleep that many milliseconds, then return *)
+    | Torn
+        (** raise {!Torn_write} — the kill-mid-write mode for durable
+            I/O sites: the consulting writer must persist only
+            [frac] of the bytes it was about to write and then die,
+            simulating a crash that tears the record *)
 
   exception Injected of { site : string; transient : bool }
-  (** The only exception this module raises from {!point}. The engine
-      maps it to retries, fallbacks or [Error (Internal _)] — it must
-      never cross the serving boundary raw. *)
+  (** The process-death/latency exception raised from {!point}. The
+      engine maps it to retries, fallbacks or [Error (Internal _)] —
+      it must never cross the serving boundary raw. *)
+
+  exception Torn_write of { site : string; frac : float }
+  (** Raised by a [Torn] rule. [frac] (in [0,1), a pure function of
+      (seed, site, consult number) like the schedule itself) tells the
+      instrumented writer where to cut: it should write
+      [floor (frac *. length)] bytes of its payload, flush, and then
+      treat the process as dead (abort the operation). Only the WAL
+      consults torn rules; everywhere else the exception is handled
+      like a persistent {!Injected}. *)
 
   type t
 
@@ -126,8 +142,8 @@ module Fault : sig
   (** Parse an [IQ_FAULT] spec:
       [seed=42;backend.ese.prepare:exn@0.5;index.*:latency(2)@0.1;pool.task:transient]
       — semicolon-separated clauses; each is [seed=N] or
-      [site:kind\[@probability\]] with kind [exn], [transient] or
-      [latency(MS)] and probability defaulting to [1]. *)
+      [site:kind\[@probability\]] with kind [exn], [transient],
+      [latency(MS)] or [torn] and probability defaulting to [1]. *)
 
   val of_env : unit -> (t option, string) result
   (** [Workload.Config.fault ()] parsed with {!of_spec};

@@ -69,6 +69,22 @@ let max_sessions () =
       | Some n when n > 0 -> n
       | Some _ | None -> 8)
 
+let wal_sync () =
+  match Sys.getenv_opt "IQ_WAL_SYNC" with
+  | None | Some "" -> "batch"
+  | Some s -> (
+      match String.lowercase_ascii (String.trim s) with
+      | ("always" | "batch" | "off") as m -> m
+      | _ -> "batch")
+
+let checkpoint_every () =
+  match Sys.getenv_opt "IQ_CHECKPOINT_EVERY" with
+  | None | Some "" -> None
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> Some n
+      | Some _ | None -> None)
+
 let snapshot_keep () =
   match Sys.getenv_opt "IQ_SNAPSHOT_KEEP" with
   | None | Some "" -> 2

@@ -70,6 +70,21 @@ val max_sessions : unit -> int
     the session's deadline budget) for a slot; an expired wait is a
     rejection, counted in [Iq.Engine.stats]. *)
 
+val wal_sync : unit -> string
+(** Fsync discipline of the durable write-ahead log: the [IQ_WAL_SYNC]
+    env var lowercased — ["always"] (fsync every append), ["batch"]
+    (group fsyncs, the default) or ["off"] (no fsync; OS flush only).
+    Unrecognized values fall back to ["batch"]. Interpreted by
+    [Durable.Wal]. *)
+
+val checkpoint_every : unit -> int option
+(** Automatic checkpoint cadence for durable engines: the
+    [IQ_CHECKPOINT_EVERY] env var when set to a positive integer —
+    after that many journaled mutations the engine checkpoints its
+    snapshot and truncates the log. [None] (default, or on a
+    non-positive value) means checkpoints happen only through
+    [Iq.Engine.checkpoint]. *)
+
 val snapshot_keep : unit -> int
 (** How many {e retired} engine generations the MVCC layer keeps
     reachable beyond the current one (the [IQ_SNAPSHOT_KEEP] env var,

@@ -6,9 +6,17 @@ let parse_error_to_string { file; line; msg } =
   if line > 0 then Printf.sprintf "%s:%d: %s" file line msg
   else Printf.sprintf "%s: %s" file msg
 
+(* An [id] column is an identity declaration, not data: it never
+   becomes an attribute, and the loaders enforce its uniqueness —
+   before this check, a duplicated id silently produced two distinct
+   objects and every later row shifted off its declared identity. *)
+let id_column = "id"
+
 let numeric_columns table =
   Schema.columns (Table.schema table)
   |> List.filter (fun c ->
+         c.Schema.name <> id_column
+         &&
          match c.Schema.ty with
          | Value.TInt | Value.TFloat -> true
          | Value.TBool | Value.TText -> false)
@@ -18,6 +26,43 @@ let objects_of_table table =
   match numeric_columns table with
   | [] -> invalid_arg "Loader.objects_of_table: no numeric columns"
   | cols -> (cols, Table.to_points table cols)
+
+(* Duplicate-id scan: [Ok ()] when the table has no [id] column;
+   otherwise every id must be an int seen once. Errors point at the
+   {e second} occurrence (the row that breaks the table), with the
+   first occurrence named in the message. *)
+let check_unique_ids ~file ~what table =
+  match Schema.index_of (Table.schema table) id_column with
+  | None -> Ok ()
+  | Some idx ->
+      let seen = Hashtbl.create 64 in
+      let rec scan i = function
+        | [] -> Ok ()
+        | row :: rest -> (
+            let line = i + 2 in
+            match Value.to_int row.(idx) with
+            | None ->
+                Error
+                  (`Parse_error
+                     { file; line; msg = "bad id value (not an integer)" })
+            | Some id -> (
+                match Hashtbl.find_opt seen id with
+                | Some first_line ->
+                    Error
+                      (`Parse_error
+                         {
+                           file;
+                           line;
+                           msg =
+                             Printf.sprintf
+                               "duplicate %s id %d (first declared at line %d)"
+                               what id first_line;
+                         })
+                | None ->
+                    Hashtbl.add seen id line;
+                    scan (i + 1) rest))
+      in
+      scan 0 (Table.to_list table)
 
 (* File-level failures: a missing file or a CSV the parser rejects
    outright has no meaningful data line, so those report line 0; the
@@ -34,6 +79,7 @@ let ( let* ) = Result.bind
 
 let load_objects file =
   let* table = load_table file in
+  let* () = check_unique_ids ~file ~what:"object" table in
   match objects_of_table table with
   | _, points -> Ok (table, points)
   | exception Invalid_argument _ ->
@@ -41,7 +87,15 @@ let load_objects file =
         (`Parse_error
            { file; line = 1; msg = "no numeric columns in header" })
 
-let query_of_row ~k_idx ~weight_cols id row =
+let query_of_row ~k_idx ~id_idx ~weight_cols fallback_id row =
+  let* id =
+    match id_idx with
+    | None -> Ok fallback_id
+    | Some i -> (
+        match Value.to_int row.(i) with
+        | Some id -> Ok id
+        | None -> Error "bad id value (not an integer)")
+  in
   match Value.to_int row.(k_idx) with
   | Some k when k > 0 -> (
       let rec weights acc = function
@@ -60,37 +114,39 @@ let query_columns schema =
   match Schema.index_of schema "k" with
   | None -> Error "query table needs a 'k' column"
   | Some k_idx ->
+      let id_idx = Schema.index_of schema id_column in
       let weight_cols =
         Schema.columns schema
         |> List.mapi (fun i c -> (i, c))
-        |> List.filter (fun (i, _) -> i <> k_idx)
+        |> List.filter (fun (i, _) -> i <> k_idx && Some i <> id_idx)
         |> List.map fst
       in
-      Ok (k_idx, weight_cols)
+      Ok (k_idx, id_idx, weight_cols)
 
 let queries_of_table table =
-  let k_idx, weight_cols =
+  let k_idx, id_idx, weight_cols =
     match query_columns (Table.schema table) with
     | Ok cols -> cols
     | Error msg -> failwith msg
   in
   Table.to_list table
-  |> List.mapi (fun id row ->
-         match query_of_row ~k_idx ~weight_cols id row with
+  |> List.mapi (fun i row ->
+         match query_of_row ~k_idx ~id_idx ~weight_cols i row with
          | Ok q -> q
          | Error msg -> failwith msg)
 
 let load_queries file =
   let* table = load_table file in
+  let* () = check_unique_ids ~file ~what:"query" table in
   match query_columns (Table.schema table) with
   | Error msg -> Error (`Parse_error { file; line = 1; msg })
-  | Ok (k_idx, weight_cols) ->
-      let rec rows id acc = function
+  | Ok (k_idx, id_idx, weight_cols) ->
+      let rec rows i acc = function
         | [] -> Ok (List.rev acc)
         | row :: rest -> (
-            match query_of_row ~k_idx ~weight_cols id row with
-            | Ok q -> rows (id + 1) (q :: acc) rest
-            | Error msg -> Error (`Parse_error { file; line = id + 2; msg }))
+            match query_of_row ~k_idx ~id_idx ~weight_cols i row with
+            | Ok q -> rows (i + 1) (q :: acc) rest
+            | Error msg -> Error (`Parse_error { file; line = i + 2; msg }))
       in
       rows 0 [] (Table.to_list table)
 

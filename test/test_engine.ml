@@ -348,10 +348,58 @@ let prop_interleaving_matches_rebuild =
       in
       hits_agree && !members_agree && searches_agree)
 
+(* --- snapshot footprint: removals must shrink, never ratchet up --- *)
+
+let test_size_words_shrinks_on_removal () =
+  let inst = make_instance ~n:12 ~m:24 () in
+  let e = engine inst in
+  let size () = Snapshot.size_words (Engine.snapshot e) in
+  let depth = Query_index.depth (Engine.index e) in
+  (* query removals strictly shrink: one prefix, one gid slot and one
+     rival slot leave the bundle each time — a copy-on-write slip that
+     kept dropped queries alive would plateau here *)
+  let before = ref (size ()) in
+  for i = 0 to 7 do
+    ok (Engine.remove_query e 0);
+    let after = size () in
+    Alcotest.(check bool)
+      (Printf.sprintf "query removal %d shrinks the snapshot (%d -> %d)" i
+         !before after)
+      true (after < !before);
+    before := after
+  done;
+  (* object removals never grow the footprint (prefixes recompute at
+     the same depth while enough objects remain)... *)
+  let n0 = Instance.n_objects (Engine.instance e) in
+  for i = 0 to n0 - 4 do
+    ignore (ok (Engine.remove_object e 0));
+    let after = size () in
+    let n = Instance.n_objects (Engine.instance e) in
+    Alcotest.(check bool)
+      (Printf.sprintf "object removal %d never grows the snapshot (%d -> %d)"
+         i !before after)
+      true (after <= !before);
+    (* ...and strictly shrink once the prefixes clamp to the shrunken
+       dataset: fewer objects than index depth means every prefix
+       must lose a slot per removal *)
+    if n < depth then
+      Alcotest.(check bool)
+        (Printf.sprintf
+           "object removal %d below depth %d shrinks the snapshot (%d -> %d)"
+           i depth !before after)
+        true (after < !before);
+    before := after
+  done;
+  (* the gauge moves both ways: an insertion grows it again *)
+  ignore (ok (Engine.add_object e [| 0.5; 0.5; 0.5 |]));
+  Alcotest.(check bool) "insertion grows the snapshot" true (size () > !before)
+
 let suite =
   [
     Alcotest.test_case "lifecycle: mutate, re-prepare, fresh-equal" `Quick
       test_lifecycle_reprepare;
+    Alcotest.test_case "size_words shrinks under removals" `Quick
+      test_size_words_shrinks_on_removal;
     Alcotest.test_case "hits = membership count" `Quick
       test_hits_match_direct_membership;
     Alcotest.test_case "prepared handle goes stale, refresh recovers" `Quick

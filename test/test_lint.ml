@@ -1011,6 +1011,81 @@ let test_lifecycle_session_pragma () =
   in
   Alcotest.check rules_t "pragma suppresses the session finding" [] (rules fs)
 
+(* The durable write-ahead log is tracked through the same typestate:
+   Wal.open_ is a creator, Wal.close its closer. *)
+
+let test_lifecycle_wal_leaked () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let journal path m =
+  let w = Durable.Wal.open_ path in
+  Durable.Wal.append w ~generation:1 m
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "says never closed" true
+        (contains f.Lint.message "never closed");
+      Alcotest.(check bool) "names Wal.close" true
+        (contains f.Lint.message "Wal.close");
+      Alcotest.(check bool) "names the log kind" true
+        (contains f.Lint.message "write-ahead log")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_wal_outside_bracket () =
+  (* A used log closed outside Fun.protect leaks the fd (and any
+     unsynced tail) on the exception path between open and close. *)
+  let fs =
+    lifecycle
+      (lint_src
+         {|let journal path m =
+  let w = Durable.Wal.open_ path in
+  let n = Durable.Wal.append w ~generation:1 m in
+  Durable.Wal.close w;
+  n
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check bool) "names the bracket idiom" true
+        (contains f.Lint.message "Fun.protect");
+      Alcotest.(check bool) "names the log kind" true
+        (contains f.Lint.message "write-ahead log")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
+let test_lifecycle_wal_bracket_ok () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let journal path m =
+  let w = Durable.Wal.open_ path in
+  Fun.protect ~finally:(fun () -> Durable.Wal.close w)
+    (fun () -> Durable.Wal.append w ~generation:1 m)
+|})
+  in
+  Alcotest.check rules_t "the wal bracket idiom is clean" [] (rules fs)
+
+let test_lifecycle_wal_double_close () =
+  let fs =
+    lifecycle
+      (lint_src
+         {|let f path =
+  let w = Durable.Wal.open_ path in
+  Durable.Wal.close w;
+  Durable.Wal.close w
+|})
+  in
+  match fs with
+  | [ f ] ->
+      Alcotest.(check int) "at the second close" 4 f.Lint.line;
+      Alcotest.(check bool) "says closed twice" true
+        (contains f.Lint.message "closed twice")
+  | fs' ->
+      Alcotest.failf "expected one lifecycle finding, got %d" (List.length fs')
+
 (* ------------------------- generation-protocol ------------------- *)
 
 let genproto fs = by_rule "generation-protocol" fs
@@ -1905,6 +1980,14 @@ let suite =
       test_lifecycle_stmt_never_finalized;
     Alcotest.test_case "handle-lifecycle: session pragma suppresses" `Quick
       test_lifecycle_session_pragma;
+    Alcotest.test_case "handle-lifecycle: wal leaked" `Quick
+      test_lifecycle_wal_leaked;
+    Alcotest.test_case "handle-lifecycle: wal closed outside bracket" `Quick
+      test_lifecycle_wal_outside_bracket;
+    Alcotest.test_case "handle-lifecycle: wal bracket clean" `Quick
+      test_lifecycle_wal_bracket_ok;
+    Alcotest.test_case "handle-lifecycle: wal double close" `Quick
+      test_lifecycle_wal_double_close;
     Alcotest.test_case "generation-protocol: missed bump fires" `Quick
       test_genproto_missed_bump_fires;
     Alcotest.test_case "generation-protocol: bump on every path clean" `Quick

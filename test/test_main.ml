@@ -30,6 +30,7 @@ let () =
       ("core.hotpath", Test_hotpath.suite);
       ("resilience", Test_resilience.suite);
       ("serve", Test_serve.suite);
+      ("durable", Test_durable.suite);
       ("parallel", Test_parallel.suite);
       ("lint", Test_lint.suite);
       ("edge-cases", Test_edge_cases.suite);

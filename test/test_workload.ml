@@ -261,6 +261,75 @@ let test_loader_parse_errors () =
   Alcotest.(check bool) "objects error has msg" true
     (String.length e.Workload.Loader.msg > 0)
 
+(* [id] columns are identity declarations: excluded from attributes
+   and weights, adopted as Query.id, and policed for uniqueness by the
+   file loaders (error at the second occurrence). *)
+let test_loader_id_column () =
+  let write name contents =
+    let path = Filename.temp_file name ".csv" in
+    let oc = open_out path in
+    output_string oc contents;
+    close_out oc;
+    path
+  in
+  let err load path =
+    let r = load path in
+    (try Sys.remove path with Sys_error _ -> ());
+    match r with
+    | Error (`Parse_error e) -> e
+    | Ok _ -> Alcotest.failf "%s should not parse" path
+  in
+  (* the id column never becomes an attribute *)
+  let path = write "obj_id" "id,x,y\n10,0.1,0.2\n11,0.3,0.4\n" in
+  (match Workload.Loader.load_objects path with
+  | Ok (_, points) ->
+      Sys.remove path;
+      Alcotest.(check int) "two objects" 2 (Array.length points);
+      Alcotest.(check int) "id excluded from attributes" 2
+        (Array.length points.(0))
+  | Error (`Parse_error e) ->
+      Alcotest.failf "objects with ids should parse: %s"
+        (Workload.Loader.parse_error_to_string e));
+  (* duplicate object id: error at the second occurrence (line 4) *)
+  let e =
+    err Workload.Loader.load_objects
+      (write "obj_dup" "id,x\n1,0.1\n2,0.2\n1,0.3\n")
+  in
+  Alcotest.(check int) "duplicate id -> second occurrence" 4
+    e.Workload.Loader.line;
+  Alcotest.(check bool) "message names the first declaration" true
+    (let m = e.Workload.Loader.msg in
+     let sub = "line 2" in
+     let n = String.length m and k = String.length sub in
+     let rec scan i = i + k <= n && (String.sub m i k = sub || scan (i + 1)) in
+     scan 0);
+  (* non-integer id *)
+  let e =
+    err Workload.Loader.load_objects (write "obj_badid" "id,x\nfoo,0.1\n")
+  in
+  Alcotest.(check int) "bad id -> its row" 2 e.Workload.Loader.line;
+  (* queries: id excluded from weights, adopted as Query.id *)
+  let path = write "q_id" "k,id,w0,w1\n2,7,0.5,0.5\n1,9,0.3,0.7\n" in
+  (match Workload.Loader.load_queries path with
+  | Ok [ a; b ] ->
+      Sys.remove path;
+      Alcotest.(check int) "id adopted (row 0)" 7 a.Topk.Query.id;
+      Alcotest.(check int) "id adopted (row 1)" 9 b.Topk.Query.id;
+      Alcotest.(check int) "id excluded from weights" 2
+        (Array.length a.Topk.Query.weights)
+  | Ok qs ->
+      Alcotest.failf "expected 2 queries, got %d" (List.length qs)
+  | Error (`Parse_error e) ->
+      Alcotest.failf "queries with ids should parse: %s"
+        (Workload.Loader.parse_error_to_string e));
+  (* duplicate query id: typed error at the second occurrence *)
+  let e =
+    err Workload.Loader.load_queries
+      (write "q_dup" "k,id,w0\n1,5,0.5\n2,5,0.6\n")
+  in
+  Alcotest.(check int) "duplicate query id -> second occurrence" 3
+    e.Workload.Loader.line
+
 let suite =
   [
     Alcotest.test_case "rng deterministic" `Quick test_rng_deterministic;
@@ -279,4 +348,5 @@ let suite =
     Alcotest.test_case "loader objects" `Quick test_loader_objects;
     Alcotest.test_case "loader guards" `Quick test_loader_guards;
     Alcotest.test_case "loader parse errors" `Quick test_loader_parse_errors;
+    Alcotest.test_case "loader id columns" `Quick test_loader_id_column;
   ]

@@ -19,6 +19,10 @@
 #    direct engine call (exits non-zero above the few-percent gate)
 #    and the pinned-generation copy-on-write memory ceiling, recorded
 #    in BENCH_mvcc.json.
+# 6. Durability bench: batch-mode WAL append overhead vs unjournaled
+#    mutations (exits non-zero above the 5% gate), crash-recovery
+#    replay throughput, and the checkpoint-image size ceiling,
+#    recorded in BENCH_durability.json.
 #
 # Also available as a dune alias: `dune build @bench-smoke`.
 set -eu
@@ -30,3 +34,4 @@ dune exec bench/main.exe -- --bench hotpath
 dune exec bench/main.exe -- --bench engine
 dune exec bench/main.exe -- --bench resilience
 dune exec bench/main.exe -- --bench mvcc
+dune exec bench/main.exe -- --bench durability

@@ -6,10 +6,14 @@
 # seed every run, so a chaos failure is reproducible locally), a
 # torture stage (the MVCC serving suite — random interleavings of
 # mutations and concurrent pinned-snapshot readers checked against
-# frozen-generation oracles — under the same chaos schedule), and the
-# bench smoke checks (parallel determinism + engine facade overhead +
-# resilience overhead/anytime curve + MVCC session overhead, which
-# also emit BENCH_*.json). Any stage failing fails the run.
+# frozen-generation oracles — under the same chaos schedule), a
+# crash-recovery stage (the durable suite, whose QCheck oracle kills
+# the writer at every WAL and checkpoint injection point, re-run under
+# an env-driven fault schedule), and the bench smoke
+# checks (parallel determinism + engine facade overhead + resilience
+# overhead/anytime curve + MVCC session overhead + WAL append
+# overhead, which also emit BENCH_*.json). Any stage failing fails
+# the run.
 set -eu
 cd "$(dirname "$0")/.."
 
@@ -71,6 +75,20 @@ echo "== torture: MVCC serving under mixed read/write + chaos =="
 # the latency-only chaos schedule exercises the injection sites on
 # the snapshot prepare path too. Fixed seed: failures reproduce.
 IQ_FAULT="$CHAOS_FAULT" ./_build/default/test/test_main.exe test serve
+
+echo "== crash recovery: durable suite under a crash-fault schedule =="
+# The durable suite runs twice. Bare: the in-suite QCheck oracle
+# crashes random traces at every injection point (append/fsync
+# process death, kill-mid-write torn frames, checkpoint write/rename
+# crashes) with its own fixed per-case schedules — that is the real
+# kill coverage. Then under a latency-only IQ_FAULT: every store
+# attached without an explicit schedule picks the env one up, so the
+# env-driven fault plumbing the sessions CLI relies on consults the
+# WAL sites during the whole suite without changing any outcome —
+# recovery assertions must hold either way. Fixed seed: reproducible.
+./_build/default/test/test_main.exe test durable
+CRASH_FAULT='seed=7;wal.fsync:latency(1)@0.2'
+IQ_FAULT="$CRASH_FAULT" ./_build/default/test/test_main.exe test durable
 
 echo "== bench smoke =="
 tools/bench_smoke.sh
